@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the simulation substrates themselves: how fast is
+//! one simulated round / tick / regression fit? These bound the cost of
+//! scaling any experiment up to paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::swarm::simulate;
+use dsa_gametheory::axelrod::{round_robin, TournamentConfig};
+use dsa_gametheory::games::prisoners_dilemma;
+use dsa_gametheory::strategy::classic_field;
+use dsa_stats::encode::NamedColumn;
+use dsa_stats::ols;
+use dsa_swarm::engine::{run, SimConfig};
+use dsa_swarm::presets;
+use dsa_workloads::bandwidth::BandwidthDist;
+use dsa_workloads::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    // Cycle simulator: one paper-shaped run (50 peers × 500 rounds).
+    let paper_cfg = SimConfig::default();
+    let assignment = vec![0usize; paper_cfg.peers];
+    c.bench_function("swarm_run_50peers_500rounds", |b| {
+        b.iter(|| {
+            run(
+                black_box(&[presets::bittorrent()]),
+                black_box(&assignment),
+                black_box(&paper_cfg),
+                7,
+            )
+        })
+    });
+
+    // Piece-level simulator: one tiny swarm to completion.
+    let bt_cfg = BtConfig {
+        bandwidth: BandwidthDist::Constant(32.0),
+        ..BtConfig::tiny()
+    };
+    let kinds = vec![ClientKind::BitTorrent; bt_cfg.leechers];
+    c.bench_function("btsim_tiny_swarm_to_completion", |b| {
+        b.iter(|| simulate(black_box(&kinds), black_box(&bt_cfg), 3))
+    });
+
+    // PRNG throughput.
+    c.bench_function("rng_1k_draws", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+
+    // OLS on a Table 3-shaped problem (3270 × 12); random columns are
+    // full-rank with probability 1.
+    let n = 3270;
+    let mut fill_rng = Xoshiro256pp::seed_from_u64(0x015);
+    let cols: Vec<NamedColumn> = (0..12)
+        .map(|j| {
+            NamedColumn::new(
+                format!("x{j}"),
+                (0..n).map(|_| fill_rng.next_f64()).collect(),
+            )
+        })
+        .collect();
+    let y: Vec<f64> = (0..n).map(|_| fill_rng.next_f64()).collect();
+    c.bench_function("ols_fit_3270x12", |b| {
+        b.iter(|| ols::fit(black_box(&cols), black_box(&y)).unwrap())
+    });
+
+    // Axelrod round-robin with the classic field.
+    let tconfig = TournamentConfig {
+        repetitions: 1,
+        ..TournamentConfig::default()
+    };
+    c.bench_function("axelrod_classic_field", |b| {
+        let game = prisoners_dilemma();
+        b.iter(|| round_robin(black_box(&game), classic_field, black_box(&tconfig)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! `dsa` — interactive command-line front end to the library.
+//!
+//! Where `experiments` regenerates the paper, `dsa` answers ad-hoc
+//! questions about individual protocols:
+//!
+//! ```text
+//! dsa protocols [filter]             list protocols (substring filter on the code)
+//! dsa describe <index|preset>        decode a protocol
+//! dsa simulate <index|preset> [--rounds N] [--peers N] [--seed N] [--churn R]
+//! dsa encounter <a> <b> [--frac F] [--runs N] [--seed N]
+//! dsa pra <p1> <p2> [...]            PRA over an ad-hoc protocol set
+//! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]
+//! ```
+//!
+//! Presets: bittorrent, birds, loyal, sorts, random, freerider.
+//! BT kinds: bittorrent, birds, loyal, sorts, random.
+
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::experiment::mixed_runs;
+use dsa_core::pra::{quantify, PraConfig};
+use dsa_core::sim::EncounterSim;
+use dsa_core::tournament::OpponentSampling;
+use dsa_stats::ci::ConfidenceInterval;
+use dsa_swarm::adapter::SwarmSim;
+use dsa_swarm::engine::SimConfig;
+use dsa_swarm::metrics;
+use dsa_swarm::presets;
+use dsa_swarm::protocol::{SwarmProtocol, SPACE_SIZE};
+use dsa_workloads::churn::ChurnModel;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("protocols") => cmd_protocols(&args[1..]),
+        Some("describe") => cmd_describe(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("encounter") => cmd_encounter(&args[1..]),
+        Some("pra") => cmd_pra(&args[1..]),
+        Some("bt") => cmd_bt(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprintln!("{}", HELP);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "dsa — Design Space Analysis toolkit
+commands: protocols, describe, simulate, encounter, pra, bt (see crate docs)";
+
+fn parse_protocol(token: &str) -> Result<SwarmProtocol, String> {
+    match token {
+        "bittorrent" | "bt" => Ok(presets::bittorrent()),
+        "birds" => Ok(presets::birds()),
+        "loyal" => Ok(presets::loyal_when_needed()),
+        "sorts" | "sort-s" => Ok(presets::sort_s()),
+        "random" => Ok(presets::random_rank()),
+        "freerider" => Ok(presets::freerider()),
+        other => {
+            let idx: usize = other
+                .parse()
+                .map_err(|_| format!("'{other}' is neither a preset nor an index"))?;
+            if idx >= SPACE_SIZE {
+                return Err(format!("index {idx} out of 0..{SPACE_SIZE}"));
+            }
+            Ok(SwarmProtocol::from_index(idx))
+        }
+    }
+}
+
+fn parse_kind(token: &str) -> Result<ClientKind, String> {
+    match token {
+        "bittorrent" | "bt" => Ok(ClientKind::BitTorrent),
+        "birds" => Ok(ClientKind::Birds),
+        "loyal" => Ok(ClientKind::LoyalWhenNeeded),
+        "sorts" | "sort-s" => Ok(ClientKind::SortS),
+        "random" => Ok(ClientKind::RandomRank),
+        other => Err(format!("unknown client kind '{other}'")),
+    }
+}
+
+/// Pulls `--flag value` pairs out of an argument list; returns
+/// (positional, lookup).
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.iter().find(|(n, _)| n == name) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+    }
+}
+
+fn cmd_protocols(args: &[String]) -> Result<(), String> {
+    let filter = args.first().cloned().unwrap_or_default();
+    let mut count = 0;
+    for p in SwarmProtocol::all() {
+        let code = p.to_string();
+        if code.contains(&filter) {
+            println!("{:>5}  {code}", p.index());
+            count += 1;
+        }
+    }
+    eprintln!("({count} of {SPACE_SIZE} protocols)");
+    Ok(())
+}
+
+fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let token = args.first().ok_or("describe needs a protocol")?;
+    let p = parse_protocol(token)?;
+    println!("index      : {}", p.index());
+    println!("code       : {p}");
+    println!("stranger   : {:?} × {}", p.stranger_policy, p.stranger_slots);
+    println!("candidates : {:?}", p.candidates);
+    println!("ranking    : {:?}", p.ranking);
+    println!("partners   : {}", p.partner_slots);
+    println!("allocation : {:?}", p.allocation);
+    println!("birds-like : {}", p.is_birds_family());
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let token = pos.first().ok_or("simulate needs a protocol")?;
+    let p = parse_protocol(token)?;
+    let rounds = flag(&flags, "rounds", 300usize)?;
+    let peers = flag(&flags, "peers", 50usize)?;
+    let seed = flag(&flags, "seed", 1u64)?;
+    let churn = flag(&flags, "churn", 0.0f64)?;
+    let config = SimConfig {
+        peers,
+        rounds,
+        churn: if churn > 0.0 {
+            ChurnModel::PerRound { rate: churn }
+        } else {
+            ChurnModel::None
+        },
+        ..SimConfig::default()
+    };
+    let out = dsa_swarm::engine::run(&[p], &vec![0; peers], &config, seed);
+    println!("protocol    : {p}");
+    println!("throughput  : {:.2} KiB/round/peer", out.throughput);
+    println!("utilization : {:.3}", metrics::utilization(&out));
+    println!("fairness    : {:.3} (Jain)", metrics::jain_fairness(&out));
+    let (fast, slow) = metrics::fast_slow_split(&out);
+    println!("fast / slow : {fast:.2} / {slow:.2}");
+    Ok(())
+}
+
+fn cmd_encounter(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if pos.len() < 2 {
+        return Err("encounter needs two protocols".into());
+    }
+    let a = parse_protocol(&pos[0])?;
+    let b = parse_protocol(&pos[1])?;
+    let frac = flag(&flags, "frac", 0.5f64)?;
+    let runs = flag(&flags, "runs", 5usize)?;
+    let seed = flag(&flags, "seed", 1u64)?;
+    let sim = SwarmSim {
+        config: SimConfig {
+            rounds: 200,
+            ..SimConfig::default()
+        },
+    };
+    let mut wins = 0;
+    let mut ua = Vec::new();
+    let mut ub = Vec::new();
+    for r in 0..runs {
+        let (x, y) = sim.run_encounter(&a, &b, frac, seed.wrapping_add(r as u64));
+        if x > y {
+            wins += 1;
+        }
+        ua.push(x);
+        ub.push(y);
+    }
+    println!("{a} ({frac:.0}% of swarm) vs {b}");
+    println!("  group A mean utility: {}", ConfidenceInterval::ci95(&ua));
+    println!("  group B mean utility: {}", ConfidenceInterval::ci95(&ub));
+    println!("  A wins {wins}/{runs} runs");
+    Ok(())
+}
+
+fn cmd_pra(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if pos.len() < 2 {
+        return Err("pra needs at least two protocols".into());
+    }
+    let protocols: Vec<SwarmProtocol> = pos
+        .iter()
+        .map(|t| parse_protocol(t))
+        .collect::<Result<_, _>>()?;
+    let seed = flag(&flags, "seed", 0x5EEDu64)?;
+    let sim = SwarmSim {
+        config: SimConfig {
+            rounds: 150,
+            ..SimConfig::default()
+        },
+    };
+    let config = PraConfig {
+        performance_runs: 3,
+        encounter_runs: 2,
+        sampling: OpponentSampling::Exhaustive,
+        seed,
+        ..PraConfig::default()
+    };
+    let results = quantify(&sim, &protocols, &config);
+    println!("{:<24} {:>11} {:>10} {:>14}", "protocol", "Performance", "Robustness", "Aggressiveness");
+    for (i, p) in protocols.iter().enumerate() {
+        let pt = results.point(i);
+        println!(
+            "{:<24} {:>11.3} {:>10.3} {:>14.3}",
+            p.to_string(),
+            pt.performance,
+            pt.robustness,
+            pt.aggressiveness
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bt(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let a = parse_kind(pos.first().ok_or("bt needs a client kind")?)?;
+    let b = pos.get(1).map(|t| parse_kind(t)).transpose()?.unwrap_or(a);
+    let frac = flag(&flags, "frac", if pos.len() > 1 { 0.5 } else { 1.0 })?;
+    let runs = flag(&flags, "runs", 5usize)?;
+    let seed = flag(&flags, "seed", 1u64)?;
+    let config = BtConfig::default();
+    let (ta, tb) = mixed_runs(a, b, frac, runs, &config, seed);
+    if !ta.is_empty() {
+        println!("{:<20} {}", a.name(), ConfidenceInterval::ci95(&ta));
+    }
+    if !tb.is_empty() {
+        println!("{:<20} {}", b.name(), ConfidenceInterval::ci95(&tb));
+    }
+    if !ta.is_empty() && !tb.is_empty() {
+        let sig = dsa_stats::nonparametric::significantly_different(&ta, &tb, 0.05);
+        println!("difference significant at 5% (Mann-Whitney): {sig}");
+    }
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N] <id>...
+//!
+//! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
+//!      search all
+//! ```
+//!
+//! Sweep-based experiments (fig2–fig8, table3, birds, corr9010) share a
+//! cached sweep at `<out>/pra-<scale>.csv`; delete it to force a re-run.
+
+use dsa_bench::btfigs;
+use dsa_bench::figures;
+use dsa_bench::gossipfig;
+use dsa_bench::nashdemo;
+use dsa_bench::regress;
+use dsa_bench::scale::Scale;
+use dsa_bench::sweep::SweepData;
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_gametheory::classes::ClassParams;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const ALL_IDS: &[&str] = &[
+    "fig1", "table1", "table2", "nash", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "table3", "churn", "corr9010", "birds", "fig9a", "fig9b", "fig9c", "fig10", "gossip",
+    "search",
+];
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = Scale::lab();
+    let mut seed: Option<u64> = None;
+    let mut out = PathBuf::from("results");
+    let mut threads: Option<usize> = None;
+    let mut ids = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::by_name(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|e| format!("bad seed: {e}"))?);
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = Some(v.parse().map_err(|e| format!("bad thread count: {e}"))?);
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
+                     [--threads N] <id>...\nids: {} all",
+                    ALL_IDS.join(" ")
+                ));
+            }
+            id if id.starts_with('-') => return Err(format!("unknown flag '{id}'")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if let Some(s) = seed {
+        scale.pra.seed = s;
+    }
+    if let Some(t) = threads {
+        scale.pra.threads = t;
+    }
+    if ids.is_empty() {
+        return Err("no experiment ids given (try 'all')".to_string());
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| (*s).to_string()).collect();
+    }
+    Ok(Options {
+        scale,
+        seed: seed.unwrap_or(0x5EED),
+        out,
+        ids,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The sweep is shared by several ids; compute lazily, once.
+    let mut sweep: Option<SweepData> = None;
+    let mut get_sweep = |scale: &Scale, out: &PathBuf| -> Result<SweepData, String> {
+        if let Some(s) = &sweep {
+            return Ok(s.clone());
+        }
+        eprintln!(
+            "[experiments] running PRA sweep at scale '{}' (cached at {}) ...",
+            scale.name,
+            SweepData::cache_path(scale, out).display()
+        );
+        let data = SweepData::load_or_compute(scale, out)?;
+        sweep = Some(data.clone());
+        Ok(data)
+    };
+
+    let params = ClassParams::example_swarm();
+    let bt_cfg = BtConfig::default();
+
+    for id in &opts.ids {
+        let header = format!("==== {id} (scale: {}) ====", opts.scale.name);
+        println!("\n{header}");
+        let body: Result<String, String> = match id.as_str() {
+            "fig1" => Ok(nashdemo::fig1(10.0, 4.0)),
+            "table1" => Ok(nashdemo::table1(&params)),
+            "table2" => Ok(render_table2()),
+            "nash" => Ok(nashdemo::nash_analysis(&params)),
+            "fig2" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig2(&d)),
+            "fig3" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig3_fig4(&d, false)),
+            "fig4" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig3_fig4(&d, true)),
+            "fig5" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig5(&d)),
+            "fig6" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig6_fig7(&d, false)),
+            "fig7" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig6_fig7(&d, true)),
+            "fig8" => get_sweep(&opts.scale, &opts.out).map(|d| figures::fig8(&d)),
+            "table3" => get_sweep(&opts.scale, &opts.out).map(|d| regress::table3(&d).render()),
+            "birds" => get_sweep(&opts.scale, &opts.out).map(|d| figures::birds_placement(&d)),
+            "corr9010" => {
+                get_sweep(&opts.scale, &opts.out).map(|d| figures::corr_9010(&d, &opts.scale))
+            }
+            "churn" => Ok(figures::churn_experiment(&opts.scale)),
+            "fig9a" => Ok(btfigs::fig9(
+                ClientKind::LoyalWhenNeeded,
+                ClientKind::BitTorrent,
+                opts.scale.bt_runs,
+                &bt_cfg,
+                opts.seed,
+            )),
+            "fig9b" => Ok(btfigs::fig9(
+                ClientKind::Birds,
+                ClientKind::BitTorrent,
+                opts.scale.bt_runs,
+                &bt_cfg,
+                opts.seed ^ 0xB,
+            )),
+            "fig9c" => Ok(btfigs::fig9(
+                ClientKind::LoyalWhenNeeded,
+                ClientKind::Birds,
+                opts.scale.bt_runs,
+                &bt_cfg,
+                opts.seed ^ 0xC,
+            )),
+            "fig10" => Ok(btfigs::fig10(opts.scale.bt_runs, &bt_cfg, opts.seed ^ 0x10)),
+            "gossip" => Ok(gossipfig::gossip_dsa(opts.seed)),
+            "search" => Ok(render_search(&opts.scale)),
+            other => Err(format!("unknown experiment id '{other}'")),
+        };
+        match body {
+            Ok(text) => println!("{text}"),
+            Err(msg) => {
+                eprintln!("error in {id}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_table2() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "Table 2: existing protocols mapped to the generic design space\n",
+    );
+    for row in dsa_swarm::presets::table2() {
+        let _ = writeln!(out, "{:<24} stranger: {:<32} selection: {:<36} allocation: {:<28} → nearest actualized: {}",
+            row.system, row.stranger_policy, row.selection_function, row.resource_allocation, row.nearest);
+    }
+    out
+}
+
+/// The §7 future-work demo: heuristic exploration instead of a full sweep.
+fn render_search(scale: &Scale) -> String {
+    use std::fmt::Write as _;
+    let space = dsa_swarm::protocol::design_space();
+    let sim = dsa_swarm::adapter::SwarmSim {
+        config: scale.sim.clone(),
+    };
+    // Objective: homogeneous performance at one seed (cheap proxy).
+    let objective = |idx: usize| {
+        dsa_core::sim::EncounterSim::run_homogeneous(
+            &sim,
+            &dsa_swarm::protocol::SwarmProtocol::from_index(idx),
+            scale.pra.seed,
+        )
+    };
+    let hc = dsa_core::search::hill_climb(&space, objective, 4, 400, scale.pra.seed);
+    let ev = dsa_core::search::evolve(&space, objective, 6, 12, 20, 0.3, 400, scale.pra.seed);
+    let mut out = String::from("Heuristic design-space exploration (§7 future work)\n");
+    let _ = writeln!(
+        out,
+        "hill-climb : best {} (perf proxy {:.1}) in {} evaluations of {}",
+        dsa_swarm::protocol::SwarmProtocol::from_index(hc.best_index),
+        hc.best_value,
+        hc.evaluations,
+        space.size()
+    );
+    let _ = writeln!(
+        out,
+        "evolution  : best {} (perf proxy {:.1}) in {} evaluations of {}",
+        dsa_swarm::protocol::SwarmProtocol::from_index(ev.best_index),
+        ev.best_value,
+        ev.evaluations,
+        space.size()
+    );
+    out
+}

@@ -1,0 +1,102 @@
+//! Figures 9 and 10: the piece-level BitTorrent validation experiments.
+
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::experiment::{fraction_series, homogeneous_runs};
+use dsa_stats::ascii;
+use dsa_stats::ci::ConfidenceInterval;
+use std::fmt::Write as _;
+
+/// One Figure 9 panel: client `a` vs client `b` across mixing fractions.
+#[must_use]
+pub fn fig9(a: ClientKind, b: ClientKind, runs: usize, config: &BtConfig, seed: u64) -> String {
+    let series = fraction_series(a, b, runs, config, seed);
+    let mut out = format!(
+        "Figure 9 panel: {} vs {} — average download times (s), {} runs/point, 95% CI\n",
+        a.name(),
+        b.name(),
+        runs
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>22} {:>22}",
+        "frac(A)",
+        a.name(),
+        b.name()
+    );
+    for p in &series {
+        let fmt_ci = |ci: &Option<ConfidenceInterval>| {
+            ci.map_or("-".to_string(), |c| format!("{:.1} ± {:.1}", c.mean, c.half_width))
+        };
+        let _ = writeln!(
+            out,
+            "{:>10.2} {:>22} {:>22}",
+            p.fraction_a,
+            fmt_ci(&p.a),
+            fmt_ci(&p.b)
+        );
+    }
+    // Headline comparisons the paper draws per panel.
+    if let (Some(all_a), Some(all_b)) = (series.last().and_then(|p| p.a), series.first().and_then(|p| p.b)) {
+        let _ = writeln!(
+            out,
+            "homogeneous swarms: all-{} = {:.1}s, all-{} = {:.1}s{}",
+            a.name(),
+            all_a.mean,
+            b.name(),
+            all_b.mean,
+            if all_a.overlaps(&all_b) {
+                " (CIs overlap)"
+            } else {
+                " (difference significant)"
+            }
+        );
+    }
+    out
+}
+
+/// Figure 10: homogeneous performance of the five §5 clients.
+#[must_use]
+pub fn fig10(runs: usize, config: &BtConfig, seed: u64) -> String {
+    let mut entries = Vec::new();
+    let mut out = String::from("Figure 10: homogeneous average download times (s)\n");
+    for kind in ClientKind::ALL {
+        let times = homogeneous_runs(kind, runs, config, seed);
+        let ci = ConfidenceInterval::ci95(&times);
+        entries.push((kind.name().to_string(), ci.mean, Some(ci.half_width)));
+    }
+    out.push_str(&ascii::bars(&entries, 40));
+    out.push_str("(paper: Sort-S and Birds fare best; Random performs as well as BitTorrent)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_workloads::bandwidth::BandwidthDist;
+
+    fn cfg() -> BtConfig {
+        BtConfig {
+            bandwidth: BandwidthDist::Constant(32.0),
+            ..BtConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn fig9_renders_all_fractions() {
+        let s = fig9(ClientKind::Birds, ClientKind::BitTorrent, 2, &cfg(), 1);
+        for frac in ["0.00", "0.10", "0.25", "0.50", "0.75", "0.90", "1.00"] {
+            assert!(s.contains(frac), "missing {frac}");
+        }
+        assert!(s.contains("Birds"));
+        assert!(s.contains("homogeneous swarms"));
+    }
+
+    #[test]
+    fn fig10_lists_every_client() {
+        let s = fig10(2, &cfg(), 2);
+        for kind in ClientKind::ALL {
+            assert!(s.contains(kind.name()), "missing {}", kind.name());
+        }
+    }
+}

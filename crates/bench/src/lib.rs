@@ -1,0 +1,22 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `figN`/`tableN` module function returns a structured result that
+//! can be rendered as an ASCII figure and serialized as CSV; the
+//! `experiments` binary drives them from the command line, and the
+//! Criterion benches in `benches/` time each experiment at smoke scale so
+//! `cargo bench` exercises every code path.
+//!
+//! The mapping from paper artifact → harness function is indexed in
+//! `DESIGN.md` §4; expected-vs-measured outcomes are recorded in
+//! `EXPERIMENTS.md`.
+
+pub mod btfigs;
+pub mod figures;
+pub mod gossipfig;
+pub mod nashdemo;
+pub mod regress;
+pub mod scale;
+pub mod sweep;
+
+pub use scale::Scale;
+pub use sweep::SweepData;

@@ -1,0 +1,114 @@
+//! Section 2 artifacts: Figure 1, Table 1 and the Appendix equilibrium
+//! analysis, rendered for the terminal.
+
+use dsa_gametheory::analytics;
+use dsa_gametheory::classes::ClassParams;
+use dsa_gametheory::games;
+use dsa_gametheory::nash;
+use std::fmt::Write as _;
+
+/// Figure 1: the BitTorrent Dilemma (a) and Birds (c) payoff matrices with
+/// their dominant strategies.
+#[must_use]
+pub fn fig1(f: f64, s: f64) -> String {
+    let bt = games::bittorrent_dilemma(f, s);
+    let birds = games::birds(f, s);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1(a): {bt}");
+    let _ = writeln!(
+        out,
+        "dominant strategies: fast → {:?}, slow → {:?}",
+        bt.dominant_row().map(|(a, _)| a),
+        bt.dominant_col().map(|(a, _)| a)
+    );
+    let _ = writeln!(out, "\nFigure 1(c): {birds}");
+    let _ = writeln!(
+        out,
+        "dominant strategies: fast → {:?}, slow → {:?}",
+        birds.dominant_row().map(|(a, _)| a),
+        birds.dominant_col().map(|(a, _)| a)
+    );
+    out
+}
+
+/// Table 1 + Section 2.2: the class model and expected game wins.
+#[must_use]
+pub fn table1(params: &ClassParams) -> String {
+    let bt = analytics::bittorrent(params);
+    let birds = analytics::birds(params);
+    let mut out = String::from("Table 1 parameters and §2.2 expected wins per period\n");
+    let _ = writeln!(
+        out,
+        "N_A={} N_B={} N_C={} U_r={} N_r={}",
+        params.n_above,
+        params.n_below,
+        params.n_class,
+        params.unchoke_slots,
+        params.nr()
+    );
+    let _ = writeln!(out, "{:<22} {:>10} {:>10}", "expectation", "BitTorrent", "Birds");
+    let rows = [
+        ("Er[A→c]", bt.recip_above, birds.recip_above),
+        ("E [A→c]", bt.free_above, birds.free_above),
+        ("Er[B→c]", bt.recip_below, birds.recip_below),
+        ("E [B→c]", bt.free_below, birds.free_below),
+        ("Er[C→c]", bt.recip_same, birds.recip_same),
+        ("E [C→c]", bt.free_same, birds.free_same),
+        ("total", bt.total(), birds.total()),
+    ];
+    for (name, b, r) in rows {
+        let _ = writeln!(out, "{name:<22} {b:>10.4} {r:>10.4}");
+    }
+    out
+}
+
+/// The Appendix: deviation outcomes proving BT is not a NE and Birds is.
+#[must_use]
+pub fn nash_analysis(params: &ClassParams) -> String {
+    let bt_swarm = nash::birds_deviant_in_bt_swarm(params);
+    let birds_swarm = nash::bt_deviant_in_birds_swarm(params);
+    let mut out = String::from("Appendix: unilateral deviation analysis\n");
+    let _ = writeln!(
+        out,
+        "Birds deviant in BT swarm    : deviant {:.4} vs incumbent {:.4} → deviation {}",
+        bt_swarm.deviant,
+        bt_swarm.incumbent,
+        if bt_swarm.deviation_pays() { "PAYS (BT is NOT a Nash equilibrium)" } else { "does not pay" }
+    );
+    let _ = writeln!(
+        out,
+        "BT deviant in Birds swarm    : deviant {:.4} vs incumbent {:.4} → deviation {}",
+        birds_swarm.deviant,
+        birds_swarm.incumbent,
+        if birds_swarm.deviation_pays() { "pays" } else { "does NOT pay (Birds IS a Nash equilibrium)" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shows_dominance_flip() {
+        let s = fig1(10.0, 4.0);
+        assert!(s.contains("Figure 1(a)"));
+        assert!(s.contains("slow → Some(Cooperate)"));
+        assert!(s.contains("Figure 1(c)"));
+        assert!(s.contains("slow → Some(Defect)"));
+    }
+
+    #[test]
+    fn table1_renders_expectations() {
+        let s = table1(&ClassParams::example_swarm());
+        assert!(s.contains("Er[C→c]"));
+        assert!(s.contains("N_A=17"));
+    }
+
+    #[test]
+    fn nash_analysis_states_both_results() {
+        let s = nash_analysis(&ClassParams::example_swarm());
+        assert!(s.contains("NOT a Nash equilibrium"));
+        assert!(s.contains("IS a Nash equilibrium"));
+    }
+}

@@ -1,0 +1,130 @@
+//! The PRA sweep over the 3270-protocol space, with CSV caching.
+//!
+//! Figures 2–8 and Table 3 are all views of one sweep, so the harness
+//! computes it once per scale and caches it as
+//! `results/pra-<scale>.csv`; downstream experiments load the cache.
+
+use crate::scale::Scale;
+use dsa_core::pra::{quantify, tournament_rates};
+use dsa_core::results::PraResults;
+use dsa_swarm::adapter::SwarmSim;
+use dsa_swarm::protocol::SwarmProtocol;
+use std::path::{Path, PathBuf};
+
+/// A finished sweep: the protocol list (index order) plus PRA results.
+#[derive(Debug, Clone)]
+pub struct SweepData {
+    /// Every protocol, in design-space index order.
+    pub protocols: Vec<SwarmProtocol>,
+    /// PRA measures per protocol.
+    pub results: PraResults,
+    /// The scale the sweep was run at.
+    pub scale_name: String,
+}
+
+impl SweepData {
+    /// Runs the full sweep at the given scale (no caching).
+    #[must_use]
+    pub fn compute(scale: &Scale) -> Self {
+        let protocols: Vec<SwarmProtocol> = SwarmProtocol::all().collect();
+        let sim = SwarmSim {
+            config: scale.sim.clone(),
+        };
+        let results = quantify(&sim, &protocols, &scale.pra);
+        Self {
+            protocols,
+            results,
+            scale_name: scale.name.to_string(),
+        }
+    }
+
+    /// Loads the cached sweep for a scale, or computes and caches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache exists but cannot be parsed, or the
+    /// cache directory cannot be written.
+    pub fn load_or_compute(scale: &Scale, out_dir: &Path) -> Result<Self, String> {
+        let path = Self::cache_path(scale, out_dir);
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let (results, _names) = PraResults::from_csv(&text)?;
+            if results.len() == dsa_swarm::protocol::SPACE_SIZE {
+                return Ok(Self {
+                    protocols: SwarmProtocol::all().collect(),
+                    results,
+                    scale_name: scale.name.to_string(),
+                });
+            }
+            // Stale/partial cache: recompute.
+        }
+        let data = Self::compute(scale);
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+        let names: Vec<String> = data.protocols.iter().map(|p| p.to_string()).collect();
+        std::fs::write(&path, data.results.to_csv(Some(&names)))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        Ok(data)
+    }
+
+    /// The cache file path for a scale.
+    #[must_use]
+    pub fn cache_path(scale: &Scale, out_dir: &Path) -> PathBuf {
+        out_dir.join(format!("pra-{}.csv", scale.name))
+    }
+
+    /// Runs the 90/10 robustness variant (§4.3.2's validation) and
+    /// returns (50/50 rates, 90/10 rates).
+    #[must_use]
+    pub fn robustness_9010(&self, scale: &Scale) -> (Vec<f64>, Vec<f64>) {
+        let sim = SwarmSim {
+            config: scale.sim.clone(),
+        };
+        let r9010 = tournament_rates(&sim, &self.protocols, 0.9, &scale.pra, 7);
+        (self.results.robustness.clone(), r9010)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A micro-sweep over a protocol subset exercises the plumbing
+    /// without paying for the full space.
+    #[test]
+    fn quantify_micro_subset() {
+        let scale = Scale::smoke();
+        let protocols = vec![
+            dsa_swarm::presets::bittorrent(),
+            dsa_swarm::presets::birds(),
+            dsa_swarm::presets::freerider(),
+        ];
+        let sim = SwarmSim {
+            config: scale.sim.clone(),
+        };
+        let results = quantify(&sim, &protocols, &scale.pra);
+        assert_eq!(results.len(), 3);
+        // The freerider must be the worst performer of the three.
+        assert!(results.performance[2] < results.performance[0]);
+        assert!(results.performance[2] < results.performance[1]);
+    }
+
+    #[test]
+    fn cache_roundtrip(){
+        let dir = std::env::temp_dir().join(format!("dsa-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Shrink the space cost: smoke scale with tiny parameters.
+        let mut scale = Scale::smoke();
+        scale.sim.rounds = 10;
+        scale.sim.peers = 12;
+        scale.pra.performance_runs = 1;
+        scale.pra.encounter_runs = 1;
+        scale.pra.sampling = dsa_core::tournament::OpponentSampling::Sampled(1);
+        let a = SweepData::load_or_compute(&scale, &dir).expect("compute");
+        assert!(SweepData::cache_path(&scale, &dir).exists());
+        let b = SweepData::load_or_compute(&scale, &dir).expect("load");
+        assert_eq!(a.results, b.results);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-variant choking algorithms — the §5 client modifications.
+//!
+//! Each client kind ranks its *interested* neighbors at every rechoke and
+//! unchokes the top `regular_slots`; the optimistic unchoke policy also
+//! varies (BitTorrent rotates unconditionally, Loyal-When-needed only
+//! optimistically unchokes while it has vacant regular slots, Sort-S never
+//! does — the B3 "defect on strangers" analogue).
+
+use crate::peer::Peer;
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling;
+
+/// The client variants evaluated in Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientKind {
+    /// Reference BitTorrent: fastest-first regular unchokes + periodic
+    /// optimistic unchoke.
+    BitTorrent,
+    /// Birds: reciprocate to peers whose rate is closest to one's own
+    /// per-slot upload rate.
+    Birds,
+    /// Loyal-When-needed: longest-standing cooperators first; optimistic
+    /// unchokes only while regular slots are vacant.
+    LoyalWhenNeeded,
+    /// Sort-S: slowest-first, one regular slot, no optimistic unchokes.
+    SortS,
+    /// Sort-Random: random regular unchokes (Leong et al.-style).
+    RandomRank,
+}
+
+impl ClientKind {
+    /// All §5 variants.
+    pub const ALL: [ClientKind; 5] = [
+        ClientKind::BitTorrent,
+        ClientKind::Birds,
+        ClientKind::LoyalWhenNeeded,
+        ClientKind::SortS,
+        ClientKind::RandomRank,
+    ];
+
+    /// Display name used in figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BitTorrent => "BitTorrent",
+            Self::Birds => "Birds",
+            Self::LoyalWhenNeeded => "Loyal-When-needed",
+            Self::SortS => "Sort-S",
+            Self::RandomRank => "Random",
+        }
+    }
+
+    /// Number of regular unchoke slots for this variant.
+    #[must_use]
+    pub fn regular_slots(self, default_slots: usize) -> usize {
+        match self {
+            Self::SortS => 1,
+            _ => default_slots,
+        }
+    }
+
+    /// Whether this variant runs an optimistic unchoke this rechoke, given
+    /// how many regular slots it filled.
+    #[must_use]
+    pub fn optimistic_allowed(self, filled: usize, regular_slots: usize) -> bool {
+        match self {
+            Self::SortS => false,
+            Self::LoyalWhenNeeded => filled < regular_slots,
+            _ => true,
+        }
+    }
+
+    /// Ranks `interested` peer indices best-first for regular unchokes.
+    ///
+    /// `me` is the choosing peer (rates, loyalty), `my_slot_rate` its
+    /// per-slot upload rate (capacity / slots), used by Birds proximity.
+    pub fn rank(
+        self,
+        me: &Peer,
+        my_slot_rate: f64,
+        interested: &[usize],
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<usize> {
+        match self {
+            Self::BitTorrent => {
+                let vals: Vec<f64> = interested.iter().map(|&j| me.rate_estimate[j]).collect();
+                reorder(interested, &sampling::rank_indices(&vals, false))
+            }
+            Self::SortS => {
+                let vals: Vec<f64> = interested.iter().map(|&j| me.rate_estimate[j]).collect();
+                reorder(interested, &sampling::rank_indices(&vals, true))
+            }
+            Self::Birds => {
+                let vals: Vec<f64> = interested
+                    .iter()
+                    .map(|&j| (me.rate_estimate[j] - my_slot_rate).abs())
+                    .collect();
+                reorder(interested, &sampling::rank_indices(&vals, true))
+            }
+            Self::LoyalWhenNeeded => {
+                // Loyalty first; rate breaks loyalty ties.
+                let vals: Vec<f64> = interested
+                    .iter()
+                    .map(|&j| f64::from(me.loyalty[j]) * 1e6 + me.rate_estimate[j].min(1e5))
+                    .collect();
+                reorder(interested, &sampling::rank_indices(&vals, false))
+            }
+            Self::RandomRank => {
+                let mut order: Vec<usize> = (0..interested.len()).collect();
+                sampling::shuffle(&mut order, rng);
+                reorder(interested, &order)
+            }
+        }
+    }
+}
+
+fn reorder(items: &[usize], order: &[usize]) -> Vec<usize> {
+    order.iter().map(|&i| items[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer_with_rates(rates: &[f64]) -> Peer {
+        let mut p = Peer::leecher(40.0, 4, rates.len());
+        p.rate_estimate = rates.to_vec();
+        p
+    }
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(5)
+    }
+
+    #[test]
+    fn bittorrent_ranks_fastest_first() {
+        let me = peer_with_rates(&[1.0, 9.0, 5.0, 0.0]);
+        let ranked = ClientKind::BitTorrent.rank(&me, 10.0, &[0, 1, 2, 3], &mut rng());
+        assert_eq!(ranked, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn sort_s_ranks_slowest_first_with_one_slot() {
+        let me = peer_with_rates(&[1.0, 9.0, 5.0, 0.0]);
+        let ranked = ClientKind::SortS.rank(&me, 10.0, &[0, 1, 2, 3], &mut rng());
+        assert_eq!(ranked, vec![3, 0, 2, 1]);
+        assert_eq!(ClientKind::SortS.regular_slots(3), 1);
+        assert!(!ClientKind::SortS.optimistic_allowed(0, 1));
+    }
+
+    #[test]
+    fn birds_ranks_by_proximity() {
+        let me = peer_with_rates(&[1.0, 9.0, 5.0]);
+        // My slot rate is 5 → peer 2 (rate 5) is closest.
+        let ranked = ClientKind::Birds.rank(&me, 5.0, &[0, 1, 2], &mut rng());
+        assert_eq!(ranked[0], 2);
+    }
+
+    #[test]
+    fn loyal_prefers_streaks_over_rates() {
+        let mut me = peer_with_rates(&[9.0, 1.0]);
+        me.loyalty = vec![0, 5];
+        let ranked = ClientKind::LoyalWhenNeeded.rank(&me, 5.0, &[0, 1], &mut rng());
+        assert_eq!(ranked[0], 1);
+    }
+
+    #[test]
+    fn loyal_when_needed_optimistic_only_when_vacant() {
+        assert!(ClientKind::LoyalWhenNeeded.optimistic_allowed(2, 3));
+        assert!(!ClientKind::LoyalWhenNeeded.optimistic_allowed(3, 3));
+        assert!(ClientKind::BitTorrent.optimistic_allowed(3, 3));
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let me = peer_with_rates(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut r = rng();
+        let ranked = ClientKind::RandomRank.rank(&me, 5.0, &[0, 1, 2, 3, 4], &mut r);
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            ClientKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ClientKind::ALL.len());
+    }
+}

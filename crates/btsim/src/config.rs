@@ -1,0 +1,96 @@
+//! Testbed configuration matching the paper's §5 experimental setup.
+
+use dsa_workloads::bandwidth::BandwidthDist;
+
+/// Parameters of a swarm experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtConfig {
+    /// Number of leechers (paper: 50).
+    pub leechers: usize,
+    /// Seeder upload capacity in KiB/s (paper: 128 KBps).
+    pub seed_upload: f64,
+    /// File size in KiB (paper: 5 MB).
+    pub file_kib: f64,
+    /// Piece size in KiB (BitTorrent default: 256 KiB).
+    pub piece_kib: f64,
+    /// Regular unchoke slots per leecher (BitTorrent default: 3).
+    pub regular_slots: usize,
+    /// Rechoke period in ticks/seconds (BitTorrent default: 10).
+    pub rechoke_period: u64,
+    /// Optimistic-unchoke rotation period (BitTorrent default: 30).
+    pub optimistic_period: u64,
+    /// Leecher upload capacities (paper: Piatek et al.).
+    pub bandwidth: BandwidthDist,
+    /// Whether completed leechers depart immediately (paper: yes).
+    pub leave_on_completion: bool,
+    /// Hard simulation cap in ticks, to bound degenerate swarms.
+    pub max_ticks: u64,
+}
+
+impl Default for BtConfig {
+    fn default() -> Self {
+        Self {
+            leechers: 50,
+            seed_upload: 128.0,
+            file_kib: 5.0 * 1024.0,
+            piece_kib: 256.0,
+            regular_slots: 3,
+            rechoke_period: 10,
+            optimistic_period: 30,
+            bandwidth: BandwidthDist::Piatek,
+            leave_on_completion: true,
+            max_ticks: 3600,
+        }
+    }
+}
+
+impl BtConfig {
+    /// Number of pieces in the file.
+    #[must_use]
+    pub fn pieces(&self) -> usize {
+        (self.file_kib / self.piece_kib).ceil() as usize
+    }
+
+    /// A reduced configuration for unit tests (small file, few peers).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            leechers: 8,
+            seed_upload: 64.0,
+            file_kib: 512.0,
+            piece_kib: 64.0,
+            max_ticks: 1200,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = BtConfig::default();
+        assert_eq!(c.leechers, 50);
+        assert_eq!(c.pieces(), 20);
+        assert_eq!(c.seed_upload, 128.0);
+    }
+
+    #[test]
+    fn pieces_round_up() {
+        let c = BtConfig {
+            file_kib: 100.0,
+            piece_kib: 64.0,
+            ..BtConfig::default()
+        };
+        assert_eq!(c.pieces(), 2);
+    }
+
+    #[test]
+    fn tiny_is_consistent() {
+        let c = BtConfig::tiny();
+        assert_eq!(c.pieces(), 8);
+        assert!(c.leechers >= 2);
+    }
+}

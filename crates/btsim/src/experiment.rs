@@ -1,0 +1,172 @@
+//! The §5 experiments: mixed-fraction encounters (Figure 9) and
+//! homogeneous performance comparisons (Figure 10).
+
+use crate::choker::ClientKind;
+use crate::config::BtConfig;
+use crate::swarm::simulate;
+use dsa_stats::ci::ConfidenceInterval;
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling;
+use dsa_workloads::seeds::SeedSeq;
+
+/// One point of a Figure 9 curve: the mean download time (with 95% CI)
+/// of each client group at a given mixing fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixPoint {
+    /// Fraction of leechers running client A.
+    pub fraction_a: f64,
+    /// Download-time statistics of the A group (`None` when absent).
+    pub a: Option<ConfidenceInterval>,
+    /// Download-time statistics of the B group (`None` when absent).
+    pub b: Option<ConfidenceInterval>,
+}
+
+/// Runs one mixed swarm `runs` times and returns each group's per-run
+/// mean download times.
+///
+/// Client kinds are shuffled over leecher slots each run so that neither
+/// group systematically receives the faster capacity draws.
+pub fn mixed_runs(
+    a: ClientKind,
+    b: ClientKind,
+    fraction_a: f64,
+    runs: usize,
+    config: &BtConfig,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = config.leechers;
+    let count_a = ((fraction_a * n as f64).round() as usize).min(n);
+    let root = SeedSeq::new(seed);
+    let mut times_a = Vec::new();
+    let mut times_b = Vec::new();
+    for r in 0..runs {
+        let node = root.child(r as u64);
+        let mut kinds: Vec<ClientKind> = (0..n)
+            .map(|i| if i < count_a { a } else { b })
+            .collect();
+        let mut shuffle_rng: Xoshiro256pp = node.child(0).rng();
+        sampling::shuffle(&mut kinds, &mut shuffle_rng);
+        let out = simulate(&kinds, config, node.child(1).seed());
+        if count_a > 0 {
+            times_a.push(out.mean_download_time(Some(a)));
+        }
+        if count_a < n {
+            times_b.push(out.mean_download_time(Some(b)));
+        }
+    }
+    (times_a, times_b)
+}
+
+/// Produces a full Figure 9-style series over the paper's mixing
+/// fractions {0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}.
+pub fn fraction_series(
+    a: ClientKind,
+    b: ClientKind,
+    runs: usize,
+    config: &BtConfig,
+    seed: u64,
+) -> Vec<MixPoint> {
+    let fractions = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+    fractions
+        .iter()
+        .enumerate()
+        .map(|(fi, &f)| {
+            let (ta, tb) = mixed_runs(
+                a,
+                b,
+                f,
+                runs,
+                config,
+                SeedSeq::new(seed).child(fi as u64).seed(),
+            );
+            MixPoint {
+                fraction_a: f,
+                a: (!ta.is_empty()).then(|| ConfidenceInterval::ci95(&ta)),
+                b: (!tb.is_empty()).then(|| ConfidenceInterval::ci95(&tb)),
+            }
+        })
+        .collect()
+}
+
+/// Homogeneous mean download times per run (Figure 10 bars).
+pub fn homogeneous_runs(
+    kind: ClientKind,
+    runs: usize,
+    config: &BtConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let (times, _) = mixed_runs(kind, kind, 1.0, runs, config, seed);
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_workloads::bandwidth::BandwidthDist;
+
+    fn cfg() -> BtConfig {
+        BtConfig {
+            bandwidth: BandwidthDist::Constant(32.0),
+            ..BtConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn mixed_runs_partition_population() {
+        let (a, b) = mixed_runs(
+            ClientKind::Birds,
+            ClientKind::BitTorrent,
+            0.5,
+            3,
+            &cfg(),
+            1,
+        );
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        assert!(a.iter().chain(&b).all(|t| *t > 0.0));
+    }
+
+    #[test]
+    fn extreme_fractions_have_one_empty_group() {
+        let (a, b) = mixed_runs(
+            ClientKind::Birds,
+            ClientKind::BitTorrent,
+            0.0,
+            2,
+            &cfg(),
+            2,
+        );
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 2);
+        let (a, b) = mixed_runs(
+            ClientKind::Birds,
+            ClientKind::BitTorrent,
+            1.0,
+            2,
+            &cfg(),
+            3,
+        );
+        assert_eq!(a.len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fraction_series_covers_paper_fractions() {
+        let series = fraction_series(ClientKind::Birds, ClientKind::BitTorrent, 2, &cfg(), 4);
+        assert_eq!(series.len(), 7);
+        assert_eq!(series[0].fraction_a, 0.0);
+        assert!(series[0].a.is_none());
+        assert!(series[6].b.is_none());
+        for p in &series[1..6] {
+            assert!(p.a.is_some() && p.b.is_some());
+        }
+    }
+
+    #[test]
+    fn homogeneous_runs_are_deterministic() {
+        let x = homogeneous_runs(ClientKind::SortS, 2, &cfg(), 5);
+        let y = homogeneous_runs(ClientKind::SortS, 2, &cfg(), 5);
+        assert_eq!(x, y);
+        assert_eq!(x.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Piece-level BitTorrent swarm simulator — the Section 5 validation
+//! substrate.
+//!
+//! The paper validates DSA-discovered protocols by modifying an
+//! instrumented BitTorrent client and running cluster experiments: 50
+//! leechers, one 128 KBps seed, a local tracker, 5 MB files, peers leave
+//! on completion, bandwidths from Piatek et al. This crate reproduces that
+//! testbed as a discrete-time (1 s tick) simulator with real BitTorrent
+//! mechanics:
+//!
+//! * pieces and bitfields, rarest-first piece selection,
+//! * interest/choke state, periodic rechoke (10 s) with per-variant
+//!   ranking, optimistic unchoke rotation (30 s),
+//! * a seeder that serves uniformly (round-robin), as assumed in §2.1,
+//! * departure on completion and per-peer download-time measurement.
+//!
+//! Client variants ([`choker::ClientKind`]) correspond to the §5 clients:
+//! reference BitTorrent, Birds (proximity ranking), Loyal-When-needed,
+//! Sort-S and Sort-Random. [`experiment`] provides the mixed-swarm
+//! encounters of Figures 9–10.
+
+pub mod choker;
+pub mod config;
+pub mod experiment;
+pub mod peer;
+pub mod piece;
+pub mod swarm;
+
+pub use choker::ClientKind;
+pub use config::BtConfig;
+pub use swarm::{simulate, SwarmOutcome};

@@ -1,0 +1,69 @@
+//! Property-based tests of the piece-level swarm's safety properties.
+
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::swarm::simulate;
+use dsa_workloads::bandwidth::BandwidthDist;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = ClientKind> {
+    prop_oneof![
+        Just(ClientKind::BitTorrent),
+        Just(ClientKind::Birds),
+        Just(ClientKind::LoyalWhenNeeded),
+        Just(ClientKind::SortS),
+        Just(ClientKind::RandomRank),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mixed swarm of the §5 clients completes, and no completion
+    /// precedes the seed's single-copy lower bound.
+    #[test]
+    fn mixed_swarms_complete(
+        kinds in proptest::collection::vec(kind_strategy(), 6..=6),
+        seed in any::<u64>(),
+    ) {
+        let cfg = BtConfig {
+            leechers: 6,
+            seed_upload: 64.0,
+            file_kib: 256.0,
+            piece_kib: 64.0,
+            bandwidth: BandwidthDist::Constant(32.0),
+            max_ticks: 2000,
+            ..BtConfig::default()
+        };
+        let out = simulate(&kinds, &cfg, seed);
+        prop_assert!(out.all_completed(), "{:?}", out.completion_ticks);
+        let earliest = out
+            .completion_ticks
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            .unwrap();
+        // At least one piece must travel seed → leecher first.
+        prop_assert!(earliest as f64 >= cfg.piece_kib / cfg.seed_upload);
+    }
+
+    /// Download-time accounting matches the tick horizon.
+    #[test]
+    fn times_bounded_by_horizon(seed in any::<u64>()) {
+        let cfg = BtConfig {
+            leechers: 4,
+            file_kib: 128.0,
+            piece_kib: 64.0,
+            seed_upload: 64.0,
+            bandwidth: BandwidthDist::Constant(16.0),
+            max_ticks: 600,
+            ..BtConfig::default()
+        };
+        let kinds = vec![ClientKind::BitTorrent; 4];
+        let out = simulate(&kinds, &cfg, seed);
+        for t in out.download_times(None) {
+            prop_assert!(t > 0.0 && t <= out.ticks_elapsed as f64);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Design Space Analysis (DSA) — the paper's primary contribution.
+//!
+//! DSA is a simulation-based method for modeling incentives in complex
+//! distributed protocols (Section 3). It "emphasizes the specification and
+//! analysis of a design space, rather than proposing a single protocol":
+//!
+//! 1. **Parameterization** — identify the salient design dimensions
+//!    ([`space::Dimension`]).
+//! 2. **Actualization** — specify concrete implementations per dimension;
+//!    the cartesian product is the design space ([`space::DesignSpace`]).
+//! 3. **Solution concept** — evaluate every protocol in the space. The
+//!    paper's concept is the **PRA quantification** ([`pra`]):
+//!    *Performance* (homogeneous population), *Robustness* (majority vs
+//!    every other protocol at 50/50) and *Aggressiveness* (minority at
+//!    10/90), each normalized to `[0, 1]`.
+//!
+//! The framework is domain-agnostic: anything implementing
+//! [`sim::EncounterSim`] can be quantified. The workspace provides two
+//! domains — `dsa-swarm` (the paper's P2P file-swarming space) and
+//! `dsa-gossip` (the Section 3.1 gossip example).
+//!
+//! [`search`] implements the paper's future-work idea of heuristic
+//! exploration for spaces too large to sweep exhaustively (§7), and
+//! [`parallel`] supplies the deterministic fork-join executor that stands
+//! in for the authors' 50-node cluster.
+
+pub mod parallel;
+pub mod pra;
+pub mod results;
+pub mod search;
+pub mod sim;
+pub mod space;
+pub mod tournament;
+
+pub use pra::{PraConfig, PraPoint};
+pub use results::PraResults;
+pub use sim::EncounterSim;
+pub use space::{Dimension, DesignSpace};
+pub use tournament::OpponentSampling;

@@ -1,0 +1,284 @@
+//! Heuristic design-space exploration — the paper's future work (§7).
+//!
+//! "We would like to explore if a solution concept similar to PRA
+//! quantification could be developed which explores the design space using
+//! a heuristic based approach. This could be needed in situations where a
+//! thorough scan of the design space becomes infeasible due to its size."
+//!
+//! Two standard explorers are provided over any [`DesignSpace`] and a
+//! caller-supplied objective (typically a reduced-fidelity PRA measure):
+//! steepest-ascent hill climbing with random restarts, and a (μ+λ)
+//! evolutionary search with per-dimension mutation. Both track their
+//! evaluation budget so callers can compare "quality per simulation"
+//! against the exhaustive sweep.
+
+use crate::space::DesignSpace;
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::seeds::SeedSeq;
+use std::collections::HashMap;
+
+/// Result of a heuristic exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Best point found (flat design-space index).
+    pub best_index: usize,
+    /// Objective value at the best point.
+    pub best_value: f64,
+    /// Number of *distinct* objective evaluations spent.
+    pub evaluations: usize,
+    /// Best-so-far trajectory, one entry per accepted improvement.
+    pub trajectory: Vec<(usize, f64)>,
+}
+
+/// A memoizing wrapper so explorers never pay twice for the same point —
+/// simulation runs are the only expensive resource here.
+struct Memo<'a> {
+    objective: &'a dyn Fn(usize) -> f64,
+    cache: HashMap<usize, f64>,
+}
+
+impl<'a> Memo<'a> {
+    fn new(objective: &'a dyn Fn(usize) -> f64) -> Self {
+        Self {
+            objective,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn eval(&mut self, idx: usize) -> f64 {
+        *self.cache.entry(idx).or_insert_with(|| (self.objective)(idx))
+    }
+
+    fn evaluations(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Steepest-ascent hill climbing with random restarts.
+///
+/// Each restart begins at a uniform random point and repeatedly moves to
+/// the best single-coordinate neighbor until no neighbor improves or the
+/// evaluation budget is exhausted.
+pub fn hill_climb(
+    space: &DesignSpace,
+    objective: impl Fn(usize) -> f64,
+    restarts: usize,
+    budget: usize,
+    seed: u64,
+) -> SearchOutcome {
+    assert!(restarts > 0, "need at least one restart");
+    let mut memo = Memo::new(&objective);
+    let mut rng: Xoshiro256pp = SeedSeq::new(seed).rng();
+    let mut best_index = 0;
+    let mut best_value = f64::NEG_INFINITY;
+    let mut trajectory = Vec::new();
+
+    'restarts: for _ in 0..restarts {
+        if memo.evaluations() >= budget {
+            break 'restarts;
+        }
+        let mut current = rng.index(space.size());
+        let mut current_val = memo.eval(current);
+        if current_val > best_value {
+            best_value = current_val;
+            best_index = current;
+            trajectory.push((current, current_val));
+        }
+        loop {
+            if memo.evaluations() >= budget {
+                break 'restarts;
+            }
+            let mut improved = false;
+            let mut best_neighbor = current;
+            let mut best_neighbor_val = current_val;
+            for nb in space.neighbors(current) {
+                if memo.evaluations() >= budget {
+                    break;
+                }
+                let v = memo.eval(nb);
+                if v > best_neighbor_val {
+                    best_neighbor = nb;
+                    best_neighbor_val = v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+            current = best_neighbor;
+            current_val = best_neighbor_val;
+            if current_val > best_value {
+                best_value = current_val;
+                best_index = current;
+                trajectory.push((current, current_val));
+            }
+        }
+    }
+
+    SearchOutcome {
+        best_index,
+        best_value,
+        evaluations: memo.evaluations(),
+        trajectory,
+    }
+}
+
+/// (μ+λ) evolutionary search: keep the μ best, breed λ mutants per
+/// generation by re-rolling each coordinate with probability
+/// `mutation_rate`.
+#[allow(clippy::too_many_arguments)]
+pub fn evolve(
+    space: &DesignSpace,
+    objective: impl Fn(usize) -> f64,
+    mu: usize,
+    lambda: usize,
+    generations: usize,
+    mutation_rate: f64,
+    budget: usize,
+    seed: u64,
+) -> SearchOutcome {
+    assert!(mu > 0 && lambda > 0, "need positive mu and lambda");
+    let mut memo = Memo::new(&objective);
+    let mut rng: Xoshiro256pp = SeedSeq::new(seed).child(1).rng();
+    let mut trajectory = Vec::new();
+
+    // Initial population.
+    let mut population: Vec<usize> = (0..mu).map(|_| rng.index(space.size())).collect();
+    let mut best_index = population[0];
+    let mut best_value = f64::NEG_INFINITY;
+
+    for _generation in 0..generations {
+        if memo.evaluations() >= budget {
+            break;
+        }
+        // Breed.
+        let mut offspring = Vec::with_capacity(lambda);
+        for l in 0..lambda {
+            let parent = population[l % population.len()];
+            let mut coords = space.coords(parent);
+            for (d, c) in coords.iter_mut().enumerate() {
+                if rng.chance(mutation_rate) {
+                    *c = rng.index(space.dimensions()[d].len());
+                }
+            }
+            offspring.push(space.index(&coords));
+        }
+        // Select μ best from parents ∪ offspring.
+        let mut pool: Vec<usize> = population.iter().copied().chain(offspring).collect();
+        pool.sort_unstable();
+        pool.dedup();
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(pool.len());
+        for idx in pool {
+            if memo.evaluations() >= budget && !memo.cache.contains_key(&idx) {
+                continue;
+            }
+            scored.push((idx, memo.eval(idx)));
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some(&(idx, val)) = scored.first() {
+            if val > best_value {
+                best_value = val;
+                best_index = idx;
+                trajectory.push((idx, val));
+            }
+        }
+        population = scored.iter().take(mu).map(|&(i, _)| i).collect();
+        if population.is_empty() {
+            break;
+        }
+    }
+
+    SearchOutcome {
+        best_index,
+        best_value,
+        evaluations: memo.evaluations(),
+        trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dimension;
+
+    /// A smooth separable objective with its optimum at the max corner.
+    fn space_and_peak() -> (DesignSpace, impl Fn(usize) -> f64) {
+        let space = DesignSpace::new(
+            "toy",
+            vec![
+                Dimension::new("x", (0..7).map(|i| i.to_string()).collect()),
+                Dimension::new("y", (0..5).map(|i| i.to_string()).collect()),
+                Dimension::new("z", (0..4).map(|i| i.to_string()).collect()),
+            ],
+        );
+        let s2 = space.clone();
+        let obj = move |idx: usize| {
+            let c = s2.coords(idx);
+            c[0] as f64 + 2.0 * c[1] as f64 + 0.5 * c[2] as f64
+        };
+        (space, obj)
+    }
+
+    #[test]
+    fn hill_climb_finds_separable_optimum() {
+        let (space, obj) = space_and_peak();
+        let out = hill_climb(&space, obj, 3, 10_000, 1);
+        assert_eq!(space.coords(out.best_index), vec![6, 4, 3]);
+        assert!((out.best_value - (6.0 + 8.0 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hill_climb_respects_budget() {
+        let (space, obj) = space_and_peak();
+        let out = hill_climb(&space, obj, 10, 5, 2);
+        assert!(out.evaluations <= 5);
+    }
+
+    #[test]
+    fn hill_climb_uses_fewer_evals_than_space() {
+        let (space, obj) = space_and_peak();
+        let out = hill_climb(&space, obj, 2, 10_000, 3);
+        assert!(out.evaluations < space.size());
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let (space, obj) = space_and_peak();
+        let out = hill_climb(&space, obj, 5, 10_000, 4);
+        for w in out.trajectory.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn evolve_finds_separable_optimum() {
+        let (space, obj) = space_and_peak();
+        let out = evolve(&space, obj, 4, 8, 60, 0.3, 10_000, 5);
+        assert_eq!(space.coords(out.best_index), vec![6, 4, 3]);
+    }
+
+    #[test]
+    fn evolve_is_deterministic() {
+        let (space, obj) = space_and_peak();
+        let a = evolve(&space, &obj, 3, 6, 20, 0.25, 1_000, 9);
+        let b = evolve(&space, &obj, 3, 6, 20, 0.25, 1_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evolve_respects_budget() {
+        let (space, obj) = space_and_peak();
+        let out = evolve(&space, obj, 3, 6, 1_000, 0.3, 12, 6);
+        assert!(out.evaluations <= 13, "evals {}", out.evaluations);
+    }
+
+    #[test]
+    fn search_beats_random_point_on_average() {
+        let (space, obj) = space_and_peak();
+        let out = hill_climb(&space, &obj, 2, 200, 8);
+        // Mean objective over the space.
+        let mean: f64 =
+            space.indices().map(&obj).sum::<f64>() / space.size() as f64;
+        assert!(out.best_value > mean);
+    }
+}

@@ -1,0 +1,270 @@
+//! Generic design spaces: named dimensions with named actualizations.
+//!
+//! A [`DesignSpace`] is the cartesian product of its dimensions' levels.
+//! Points are addressed either by per-dimension coordinates or by a flat
+//! mixed-radix index in `0..size()` — the representation the PRA sweep,
+//! the CSV results and the regression encoder all share.
+
+use std::fmt;
+
+/// One design dimension (the paper's "Parameterization" output), e.g.
+/// "Stranger Policy", with its actualized levels, e.g. `["None",
+/// "Periodic×1", ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    /// Dimension name.
+    pub name: String,
+    /// Actualization names, in enumeration order.
+    pub levels: Vec<String>,
+}
+
+impl Dimension {
+    /// Creates a dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no levels are given.
+    #[must_use]
+    pub fn new(name: impl Into<String>, levels: Vec<String>) -> Self {
+        let d = Self {
+            name: name.into(),
+            levels,
+        };
+        assert!(!d.levels.is_empty(), "dimension {} has no levels", d.name);
+        d
+    }
+
+    /// Number of actualizations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the dimension has no levels (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// A full design space: the cartesian product of dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpace {
+    name: String,
+    dimensions: Vec<Dimension>,
+}
+
+impl DesignSpace {
+    /// Creates a design space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no dimensions.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dimensions: Vec<Dimension>) -> Self {
+        assert!(!dimensions.is_empty(), "design space needs dimensions");
+        Self {
+            name: name.into(),
+            dimensions,
+        }
+    }
+
+    /// Space name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimensions.
+    #[must_use]
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Total number of protocols (product of level counts).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.dimensions.iter().map(Dimension::len).product()
+    }
+
+    /// Decodes a flat index into per-dimension coordinates (mixed radix,
+    /// first dimension most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    #[must_use]
+    pub fn coords(&self, index: usize) -> Vec<usize> {
+        assert!(index < self.size(), "index {index} out of {}", self.size());
+        let mut rem = index;
+        let mut out = vec![0; self.dimensions.len()];
+        for (i, d) in self.dimensions.iter().enumerate().rev() {
+            out[i] = rem % d.len();
+            rem /= d.len();
+        }
+        out
+    }
+
+    /// Encodes per-dimension coordinates into the flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    #[must_use]
+    pub fn index(&self, coords: &[usize]) -> usize {
+        assert_eq!(
+            coords.len(),
+            self.dimensions.len(),
+            "coordinate arity mismatch"
+        );
+        let mut idx = 0;
+        for (c, d) in coords.iter().zip(&self.dimensions) {
+            assert!(*c < d.len(), "coordinate {c} out of range for {}", d.name);
+            idx = idx * d.len() + c;
+        }
+        idx
+    }
+
+    /// Human-readable description of the protocol at `index`, e.g.
+    /// `"Stranger=WhenNeeded×2, Ranking=Loyal, k=7, Alloc=PropShare"`.
+    #[must_use]
+    pub fn describe(&self, index: usize) -> String {
+        let coords = self.coords(index);
+        self.dimensions
+            .iter()
+            .zip(&coords)
+            .map(|(d, &c)| format!("{}={}", d.name, d.levels[c]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Iterates all flat indices.
+    pub fn indices(&self) -> impl Iterator<Item = usize> {
+        0..self.size()
+    }
+
+    /// The neighbors of a point: all points differing in exactly one
+    /// coordinate (the move set of [`crate::search`]'s hill climber).
+    #[must_use]
+    pub fn neighbors(&self, index: usize) -> Vec<usize> {
+        let coords = self.coords(index);
+        let mut out = Vec::new();
+        for (i, d) in self.dimensions.iter().enumerate() {
+            for level in 0..d.len() {
+                if level != coords[i] {
+                    let mut c = coords.clone();
+                    c[i] = level;
+                    out.push(self.index(&c));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DesignSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design space '{}' ({} protocols)", self.name, self.size())?;
+        for d in &self.dimensions {
+            writeln!(f, "  {} ({} levels): {}", d.name, d.len(), d.levels.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(
+            "test",
+            vec![
+                Dimension::new("A", vec!["a0".into(), "a1".into(), "a2".into()]),
+                Dimension::new("B", vec!["b0".into(), "b1".into()]),
+                Dimension::new("C", vec!["c0".into(), "c1".into(), "c2".into(), "c3".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn size_is_product() {
+        assert_eq!(space().size(), 24);
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let s = space();
+        for i in s.indices() {
+            assert_eq!(s.index(&s.coords(i)), i);
+        }
+    }
+
+    #[test]
+    fn coords_are_mixed_radix() {
+        let s = space();
+        assert_eq!(s.coords(0), vec![0, 0, 0]);
+        assert_eq!(s.coords(1), vec![0, 0, 1]);
+        assert_eq!(s.coords(4), vec![0, 1, 0]);
+        assert_eq!(s.coords(8), vec![1, 0, 0]);
+        assert_eq!(s.coords(23), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn describe_names_levels() {
+        let s = space();
+        assert_eq!(s.describe(0), "A=a0, B=b0, C=c0");
+        assert_eq!(s.describe(23), "A=a2, B=b1, C=c3");
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_coordinate() {
+        let s = space();
+        let n = s.neighbors(0);
+        // (3−1) + (2−1) + (4−1) = 6 neighbors.
+        assert_eq!(n.len(), 6);
+        for &x in &n {
+            let diff = s
+                .coords(0)
+                .iter()
+                .zip(s.coords(x))
+                .filter(|(a, b)| **a != *b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn coords_out_of_range_panics() {
+        let _ = space().coords(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn index_wrong_arity_panics() {
+        let _ = space().index(&[0, 0]);
+    }
+
+    #[test]
+    fn paper_space_has_3270_points() {
+        // The paper's actualization: 10 stranger policies × 109 selection
+        // policies × 3 allocation policies.
+        let s = DesignSpace::new(
+            "p2p-swarming",
+            vec![
+                Dimension::new("Stranger", (0..10).map(|i| format!("s{i}")).collect()),
+                Dimension::new("Selection", (0..109).map(|i| format!("sel{i}")).collect()),
+                Dimension::new("Allocation", (0..3).map(|i| format!("r{i}")).collect()),
+            ],
+        );
+        assert_eq!(s.size(), 3270);
+    }
+
+    #[test]
+    fn display_lists_dimensions() {
+        let text = format!("{}", space());
+        assert!(text.contains("24 protocols"));
+        assert!(text.contains("A (3 levels)"));
+    }
+}

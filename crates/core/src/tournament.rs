@@ -1,0 +1,199 @@
+//! Tournament scheduling for the Robustness / Aggressiveness phases.
+//!
+//! The paper's methodology (§4.3.2): a *tournament* pits protocol Π against
+//! every other protocol in *encounters* — mixed populations split 50/50
+//! (Robustness) or 10/90 (Aggressiveness) — with 10 runs per encounter;
+//! Π's score is wins / games. On a laptop the full 3270² pairing is
+//! infeasible (the authors used a cluster for ~25 hours), so the schedule
+//! also supports *sampled* tournaments: every protocol meets the same
+//! number of uniformly drawn opponents, preserving the win-rate estimator.
+
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling::sample_indices;
+use dsa_workloads::seeds::SeedSeq;
+
+/// How opponents are chosen for each protocol's tournament.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpponentSampling {
+    /// Every protocol meets every other protocol (the paper's setting).
+    Exhaustive,
+    /// Every protocol meets `n` uniformly sampled distinct opponents
+    /// (laptop-scale estimator of the same win rate).
+    Sampled(usize),
+}
+
+/// One scheduled encounter: `protagonist` (holding `fraction` of the
+/// population) against `opponent`, for `runs` independent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pairing {
+    /// Index of the protocol whose score this encounter contributes to.
+    pub protagonist: usize,
+    /// Index of the opposing protocol.
+    pub opponent: usize,
+}
+
+/// Builds the tournament schedule for `n` protocols.
+///
+/// Every protocol receives the same number of pairings (`n − 1` when
+/// exhaustive, `min(k, n − 1)` when sampled), which keeps win rates
+/// comparable across protocols — the paper's "total number of games ...
+/// is constant for all protocols".
+#[must_use]
+pub fn schedule(n: usize, sampling: OpponentSampling, seed: u64) -> Vec<Pairing> {
+    let mut out = Vec::new();
+    match sampling {
+        OpponentSampling::Exhaustive => {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        out.push(Pairing {
+                            protagonist: i,
+                            opponent: j,
+                        });
+                    }
+                }
+            }
+        }
+        OpponentSampling::Sampled(k) => {
+            let k = k.min(n.saturating_sub(1));
+            let root = SeedSeq::new(seed);
+            for i in 0..n {
+                let mut rng: Xoshiro256pp = root.child(i as u64).rng();
+                // Sample from n−1 "others" and skip over self.
+                let mut opponents = sample_indices(n - 1, k, &mut rng);
+                for o in &mut opponents {
+                    if *o >= i {
+                        *o += 1;
+                    }
+                }
+                for j in opponents {
+                    out.push(Pairing {
+                        protagonist: i,
+                        opponent: j,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Accumulates win/loss records into per-protocol scores.
+#[derive(Debug, Clone)]
+pub struct WinLedger {
+    wins: Vec<u64>,
+    games: Vec<u64>,
+}
+
+impl WinLedger {
+    /// Creates an empty ledger for `n` protocols.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            wins: vec![0; n],
+            games: vec![0; n],
+        }
+    }
+
+    /// Records one game for `protagonist`: a win iff its group utility
+    /// strictly exceeded the opponent group's (ties are losses, per the
+    /// paper's "otherwise we mark it as a Loss").
+    pub fn record(&mut self, protagonist: usize, own_utility: f64, opponent_utility: f64) {
+        self.games[protagonist] += 1;
+        if own_utility > opponent_utility {
+            self.wins[protagonist] += 1;
+        }
+    }
+
+    /// Win rates in `[0, 1]`; protocols with no games score NaN.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        self.wins
+            .iter()
+            .zip(&self.games)
+            .map(|(&w, &g)| if g == 0 { f64::NAN } else { w as f64 / g as f64 })
+            .collect()
+    }
+
+    /// Games played per protocol.
+    #[must_use]
+    pub fn games(&self) -> &[u64] {
+        &self.games
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exhaustive_schedule_covers_all_ordered_pairs() {
+        let s = schedule(5, OpponentSampling::Exhaustive, 0);
+        assert_eq!(s.len(), 20);
+        let set: HashSet<(usize, usize)> =
+            s.iter().map(|p| (p.protagonist, p.opponent)).collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|p| p.protagonist != p.opponent));
+    }
+
+    #[test]
+    fn sampled_schedule_gives_equal_game_counts() {
+        let s = schedule(50, OpponentSampling::Sampled(7), 3);
+        let mut counts = vec![0usize; 50];
+        for p in &s {
+            counts[p.protagonist] += 1;
+            assert_ne!(p.protagonist, p.opponent);
+            assert!(p.opponent < 50);
+        }
+        assert!(counts.iter().all(|&c| c == 7));
+    }
+
+    #[test]
+    fn sampled_opponents_are_distinct_per_protagonist() {
+        let s = schedule(30, OpponentSampling::Sampled(10), 9);
+        for i in 0..30 {
+            let opp: Vec<usize> = s
+                .iter()
+                .filter(|p| p.protagonist == i)
+                .map(|p| p.opponent)
+                .collect();
+            let set: HashSet<usize> = opp.iter().copied().collect();
+            assert_eq!(set.len(), opp.len());
+        }
+    }
+
+    #[test]
+    fn sampling_larger_than_field_degrades_to_exhaustive_count() {
+        let s = schedule(4, OpponentSampling::Sampled(100), 1);
+        assert_eq!(s.len(), 4 * 3);
+    }
+
+    #[test]
+    fn sampled_schedule_is_deterministic() {
+        let a = schedule(20, OpponentSampling::Sampled(5), 42);
+        let b = schedule(20, OpponentSampling::Sampled(5), 42);
+        assert_eq!(a, b);
+        let c = schedule(20, OpponentSampling::Sampled(5), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ledger_counts_wins_and_ties_as_losses() {
+        let mut l = WinLedger::new(2);
+        l.record(0, 1.0, 0.5); // win
+        l.record(0, 0.5, 0.5); // tie → loss
+        l.record(0, 0.2, 0.5); // loss
+        l.record(1, 2.0, 1.0); // win
+        let r = l.rates();
+        assert!((r[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r[1], 1.0);
+        assert_eq!(l.games(), &[3, 1]);
+    }
+
+    #[test]
+    fn ledger_empty_protocol_is_nan() {
+        let l = WinLedger::new(1);
+        assert!(l.rates()[0].is_nan());
+    }
+}

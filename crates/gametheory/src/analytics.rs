@@ -1,0 +1,200 @@
+//! Section 2.2: the analytical model of the BitTorrent Dilemma.
+//!
+//! For a peer `c` with payoffs as in Figure 1(a), the model computes the
+//! expected number of games `c` *wins* per period, split into
+//! reciprocation wins (`Er[X → c]`, a partner unchokes `c` back) and "free
+//! game wins" (`E[X → c]`, another peer optimistically unchokes `c`), for
+//! each class X ∈ {A (above), B (below), C (own)}.
+//!
+//! The formulae are implemented exactly as printed:
+//!
+//! ```text
+//! BitTorrent (TFT):
+//!   Er[A→c] = 0                      E[A→c] = N_A / N_r
+//!   Er[B→c] = N_B / N_r              E[B→c] = N_B / N_r
+//!   Er[C→c] = U_r − E[A→c] − K       K = 1 − ((1 − E[A→c])(1 − 1/U_r))^U_r
+//!   E[C→c]  = (N_C − 1 − Er[C→c]) / N_r
+//!
+//! Birds:
+//!   ErB[A→c] = ErB[B→c] = 0          (free wins unchanged)
+//!   ErB[C→c] = U_r
+//!   EB[C→c]  = (N_C − 1 − U_r) / N_r
+//! ```
+
+use crate::classes::ClassParams;
+
+/// Expected game wins for a peer `c`, by source class and win type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Expectations {
+    /// `Er[A→c]`: reciprocation wins from higher classes.
+    pub recip_above: f64,
+    /// `E[A→c]`: free game wins from higher classes.
+    pub free_above: f64,
+    /// `Er[B→c]`: reciprocation wins from lower classes.
+    pub recip_below: f64,
+    /// `E[B→c]`: free game wins from lower classes.
+    pub free_below: f64,
+    /// `Er[C→c]`: reciprocation wins within `c`'s class.
+    pub recip_same: f64,
+    /// `E[C→c]`: free game wins within `c`'s class.
+    pub free_same: f64,
+}
+
+impl Expectations {
+    /// Total expected wins per period.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.recip_above
+            + self.free_above
+            + self.recip_below
+            + self.free_below
+            + self.recip_same
+            + self.free_same
+    }
+
+    /// Total reciprocation wins.
+    #[must_use]
+    pub fn total_reciprocation(&self) -> f64 {
+        self.recip_above + self.recip_below + self.recip_same
+    }
+
+    /// Total free game wins.
+    #[must_use]
+    pub fn total_free(&self) -> f64 {
+        self.free_above + self.free_below + self.free_same
+    }
+}
+
+/// The partnership-break probability `K` of formula (1):
+/// `K = 1 − ((1 − E[A→c])(1 − 1/U_r))^U_r` — the chance that at least one
+/// of `c`'s current same-class partners is lured away by a free win from a
+/// higher class within the period.
+#[must_use]
+pub fn break_probability_k(params: &ClassParams) -> f64 {
+    let e_a = f64::from(params.n_above) / params.nr();
+    let ur = f64::from(params.unchoke_slots);
+    1.0 - ((1.0 - e_a) * (1.0 - 1.0 / ur)).powf(ur)
+}
+
+/// The Appendix's `K'` variant with exponent `U_r − 1` (used for incumbent
+/// BitTorrent peers when one slot's dynamics are pinned by the deviant).
+#[must_use]
+pub fn break_probability_k_prime(params: &ClassParams) -> f64 {
+    let e_a = f64::from(params.n_above) / params.nr();
+    let ur = f64::from(params.unchoke_slots);
+    1.0 - ((1.0 - e_a) * (1.0 - 1.0 / ur)).powf(ur - 1.0)
+}
+
+/// Expected wins for a peer `c` when *everyone* (including `c`) plays
+/// BitTorrent's TFT, per Section 2.2.
+#[must_use]
+pub fn bittorrent(params: &ClassParams) -> Expectations {
+    let nr = params.nr();
+    let ur = f64::from(params.unchoke_slots);
+    let e_a = f64::from(params.n_above) / nr;
+    let e_b = f64::from(params.n_below) / nr;
+    let k = break_probability_k(params);
+    let recip_same = ur - e_a - k;
+    let free_same = (f64::from(params.n_class) - 1.0 - recip_same) / nr;
+    Expectations {
+        recip_above: 0.0,
+        free_above: e_a,
+        recip_below: e_b,
+        free_below: e_b,
+        recip_same,
+        free_same,
+    }
+}
+
+/// Expected wins for a peer `c` when everyone plays Birds, per Section 2.3.
+#[must_use]
+pub fn birds(params: &ClassParams) -> Expectations {
+    let nr = params.nr();
+    let ur = f64::from(params.unchoke_slots);
+    let e_a = f64::from(params.n_above) / nr;
+    let e_b = f64::from(params.n_below) / nr;
+    Expectations {
+        recip_above: 0.0,
+        free_above: e_a,
+        recip_below: 0.0,
+        free_below: e_b,
+        recip_same: ur,
+        free_same: (f64::from(params.n_class) - 1.0 - ur) / nr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ClassParams {
+        ClassParams::example_swarm()
+    }
+
+    #[test]
+    fn bittorrent_no_reciprocation_from_above() {
+        assert_eq!(bittorrent(&params()).recip_above, 0.0);
+    }
+
+    #[test]
+    fn free_wins_proportional_to_class_sizes() {
+        let p = params();
+        let e = bittorrent(&p);
+        assert!((e.free_above - f64::from(p.n_above) / p.nr()).abs() < 1e-12);
+        assert!((e.free_below - f64::from(p.n_below) / p.nr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_is_a_probability() {
+        for (na, nb, nc, ur) in [(17, 16, 17, 4), (30, 5, 15, 4), (10, 40, 9, 7)] {
+            let p = ClassParams::new(na, nb, nc, ur);
+            let k = break_probability_k(&p);
+            assert!((0.0..=1.0).contains(&k), "K={k} out of range");
+            let kp = break_probability_k_prime(&p);
+            assert!((0.0..=1.0).contains(&kp));
+            // K (exponent U_r) ≥ K' (exponent U_r − 1).
+            assert!(k >= kp);
+        }
+    }
+
+    #[test]
+    fn bittorrent_same_class_reciprocation_below_slot_count() {
+        let e = bittorrent(&params());
+        let ur = f64::from(params().unchoke_slots);
+        assert!(e.recip_same < ur);
+        assert!(e.recip_same > 0.0);
+    }
+
+    #[test]
+    fn birds_keeps_all_slots_in_class() {
+        let p = params();
+        let e = birds(&p);
+        assert_eq!(e.recip_same, f64::from(p.unchoke_slots));
+        assert_eq!(e.recip_below, 0.0);
+    }
+
+    #[test]
+    fn birds_beats_bittorrent_in_reciprocation_within_class() {
+        // Birds peers never break same-class partnerships (no K leakage).
+        let p = params();
+        assert!(birds(&p).recip_same > bittorrent(&p).recip_same);
+    }
+
+    #[test]
+    fn totals_decompose() {
+        for e in [bittorrent(&params()), birds(&params())] {
+            assert!(
+                (e.total() - (e.total_reciprocation() + e.total_free())).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn more_upper_class_pressure_lowers_bt_reciprocation() {
+        // Increasing N_A increases free-win temptation and so K, which
+        // erodes same-class reciprocation for BitTorrent.
+        let small = ClassParams::new(10, 16, 17, 4);
+        let large = ClassParams::new(30, 16, 17, 4);
+        assert!(bittorrent(&large).recip_same < bittorrent(&small).recip_same);
+    }
+}

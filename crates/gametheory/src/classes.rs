@@ -1,0 +1,114 @@
+//! Table 1: the bandwidth-class population parameters.
+//!
+//! The analytical model of Section 2.2 describes a population of TFT
+//! players split into bandwidth classes, seen from the perspective of one
+//! peer `c`: `N_A` players in classes above `c`'s, `N_B` below, `N_C` in
+//! `c`'s own class, and `U_r` regular-unchoke slots per peer. The number of
+//! optimistic-unchoke slots is fixed at 1 "for notational simplicity", as
+//! in the paper.
+
+/// Population parameters of the Section 2.2 analytical model (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassParams {
+    /// `N_A`: number of TFT players in classes above `c`'s class.
+    pub n_above: u32,
+    /// `N_B`: number of TFT players in classes below `c`'s class.
+    pub n_below: u32,
+    /// `N_C`: number of TFT players in `c`'s class (including `c`).
+    pub n_class: u32,
+    /// `U_r`: number of simultaneous reciprocation partners (regular
+    /// unchoke slots).
+    pub unchoke_slots: u32,
+}
+
+impl ClassParams {
+    /// Creates and validates parameters.
+    ///
+    /// The model's derivations assume `N_A > U_r` (higher classes never
+    /// need to reciprocate downwards), at least two peers in `c`'s class
+    /// (so same-class partnerships exist), and a positive `N_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assumptions are violated.
+    #[must_use]
+    pub fn new(n_above: u32, n_below: u32, n_class: u32, unchoke_slots: u32) -> Self {
+        let p = Self {
+            n_above,
+            n_below,
+            n_class,
+            unchoke_slots,
+        };
+        assert!(p.unchoke_slots >= 1, "need at least one unchoke slot");
+        assert!(
+            p.n_above > p.unchoke_slots,
+            "model assumes N_A > U_r (got N_A={n_above}, U_r={unchoke_slots})"
+        );
+        assert!(
+            p.n_class > p.unchoke_slots + 1,
+            "need N_C > U_r + 1 so same-class partner sets can fill"
+        );
+        assert!(p.nr() > 0.0, "N_r must be positive");
+        p
+    }
+
+    /// Total population size `N = N_A + N_B + N_C`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        f64::from(self.n_above + self.n_below + self.n_class)
+    }
+
+    /// `N_r = N_A + N_B + N_C − U_r − 1`, the pool of peers in contention
+    /// for a given peer's optimistic unchoke (everyone except the peer
+    /// itself and its `U_r` regular partners).
+    #[must_use]
+    pub fn nr(&self) -> f64 {
+        self.total() - f64::from(self.unchoke_slots) - 1.0
+    }
+
+    /// The paper's running example scale: a 50-peer swarm ("a good
+    /// approximation of an average BitTorrent swarm-size") split into
+    /// three classes around the middle one, with BitTorrent's default of
+    /// 4 regular unchoke slots.
+    #[must_use]
+    pub fn example_swarm() -> Self {
+        Self::new(17, 16, 17, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nr_formula() {
+        let p = ClassParams::new(10, 10, 10, 4);
+        assert_eq!(p.nr(), 25.0);
+        assert_eq!(p.total(), 30.0);
+    }
+
+    #[test]
+    fn example_swarm_is_fifty_peers() {
+        let p = ClassParams::example_swarm();
+        assert_eq!(p.total(), 50.0);
+        assert_eq!(p.unchoke_slots, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "N_A > U_r")]
+    fn rejects_small_upper_class() {
+        let _ = ClassParams::new(3, 10, 10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "N_C > U_r + 1")]
+    fn rejects_small_own_class() {
+        let _ = ClassParams::new(10, 10, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unchoke slot")]
+    fn rejects_zero_slots() {
+        let _ = ClassParams::new(10, 10, 10, 0);
+    }
+}

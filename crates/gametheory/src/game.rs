@@ -1,0 +1,312 @@
+//! Two-player, two-action normal-form games.
+
+use std::fmt;
+
+/// An action in a 2×2 game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Cooperate (in BitTorrent terms: upload / unchoke).
+    Cooperate,
+    /// Defect (withhold upload / choke).
+    Defect,
+}
+
+impl Action {
+    /// All actions, in a fixed order.
+    pub const ALL: [Action; 2] = [Action::Cooperate, Action::Defect];
+
+    /// Index into payoff arrays: Cooperate = 0, Defect = 1.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Action::Cooperate => 0,
+            Action::Defect => 1,
+        }
+    }
+
+    /// The other action.
+    #[must_use]
+    pub fn other(self) -> Action {
+        match self {
+            Action::Cooperate => Action::Defect,
+            Action::Defect => Action::Cooperate,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Cooperate => write!(f, "C"),
+            Action::Defect => write!(f, "D"),
+        }
+    }
+}
+
+/// How strongly a strategy dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// Strictly better against every opponent action.
+    Strict,
+    /// At least as good against every opponent action, better against one.
+    Weak,
+}
+
+/// A 2×2 bimatrix game.
+///
+/// `payoffs[r][c]` is the `(row, column)` payoff pair when the row player
+/// plays `Action::ALL[r]` and the column player plays `Action::ALL[c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Game2x2 {
+    /// Descriptive name (e.g. `"BitTorrent Dilemma"`).
+    pub name: String,
+    /// Row-player label (e.g. `"fast"`).
+    pub row_label: String,
+    /// Column-player label (e.g. `"slow"`).
+    pub col_label: String,
+    payoffs: [[(f64, f64); 2]; 2],
+}
+
+impl Game2x2 {
+    /// Creates a game from its payoff matrix.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        row_label: impl Into<String>,
+        col_label: impl Into<String>,
+        payoffs: [[(f64, f64); 2]; 2],
+    ) -> Self {
+        Self {
+            name: name.into(),
+            row_label: row_label.into(),
+            col_label: col_label.into(),
+            payoffs,
+        }
+    }
+
+    /// The `(row, column)` payoffs for an action profile.
+    #[must_use]
+    pub fn payoff(&self, row: Action, col: Action) -> (f64, f64) {
+        self.payoffs[row.index()][col.index()]
+    }
+
+    /// The row player's best responses to a column action (ties allowed).
+    #[must_use]
+    pub fn best_responses_row(&self, col: Action) -> Vec<Action> {
+        let c = self.payoff(Action::Cooperate, col).0;
+        let d = self.payoff(Action::Defect, col).0;
+        best_of(c, d)
+    }
+
+    /// The column player's best responses to a row action (ties allowed).
+    #[must_use]
+    pub fn best_responses_col(&self, row: Action) -> Vec<Action> {
+        let c = self.payoff(row, Action::Cooperate).1;
+        let d = self.payoff(row, Action::Defect).1;
+        best_of(c, d)
+    }
+
+    /// The row player's dominant action, if any, with its strength.
+    #[must_use]
+    pub fn dominant_row(&self) -> Option<(Action, Dominance)> {
+        dominant(|mine, theirs| self.payoff(mine, theirs).0)
+    }
+
+    /// The column player's dominant action, if any, with its strength.
+    #[must_use]
+    pub fn dominant_col(&self) -> Option<(Action, Dominance)> {
+        dominant(|mine, theirs| self.payoff(theirs, mine).1)
+    }
+
+    /// Whether the profile is a pure-strategy Nash equilibrium (neither
+    /// player has a strictly profitable unilateral deviation).
+    #[must_use]
+    pub fn is_nash(&self, row: Action, col: Action) -> bool {
+        let (r, c) = self.payoff(row, col);
+        let r_dev = self.payoff(row.other(), col).0;
+        let c_dev = self.payoff(row, col.other()).1;
+        r >= r_dev && c >= c_dev
+    }
+
+    /// All pure-strategy Nash equilibria.
+    #[must_use]
+    pub fn pure_nash(&self) -> Vec<(Action, Action)> {
+        let mut out = Vec::new();
+        for r in Action::ALL {
+            for c in Action::ALL {
+                if self.is_nash(r, c) {
+                    out.push((r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the game is a (symmetric) Prisoner's Dilemma:
+    /// T > R > P > S for both players, with mutual defection the unique
+    /// dominant-strategy equilibrium.
+    #[must_use]
+    pub fn is_prisoners_dilemma(&self) -> bool {
+        let r = self.payoff(Action::Cooperate, Action::Cooperate);
+        let s = self.payoff(Action::Cooperate, Action::Defect);
+        let t = self.payoff(Action::Defect, Action::Cooperate);
+        let p = self.payoff(Action::Defect, Action::Defect);
+        let row_ok = t.0 > r.0 && r.0 > p.0 && p.0 > s.0;
+        let col_ok = s.1 > r.1 && r.1 > p.1 && p.1 > t.1;
+        row_ok && col_ok
+    }
+}
+
+fn best_of(c: f64, d: f64) -> Vec<Action> {
+    if c > d {
+        vec![Action::Cooperate]
+    } else if d > c {
+        vec![Action::Defect]
+    } else {
+        vec![Action::Cooperate, Action::Defect]
+    }
+}
+
+fn dominant(payoff: impl Fn(Action, Action) -> f64) -> Option<(Action, Dominance)> {
+    for mine in Action::ALL {
+        let other = mine.other();
+        let mut at_least_as_good = true;
+        let mut strictly_better_somewhere = false;
+        let mut strictly_better_everywhere = true;
+        for theirs in Action::ALL {
+            let a = payoff(mine, theirs);
+            let b = payoff(other, theirs);
+            if a < b {
+                at_least_as_good = false;
+            }
+            if a > b {
+                strictly_better_somewhere = true;
+            } else {
+                strictly_better_everywhere = false;
+            }
+        }
+        if at_least_as_good && strictly_better_somewhere {
+            let strength = if strictly_better_everywhere {
+                Dominance::Strict
+            } else {
+                Dominance::Weak
+            };
+            return Some((mine, strength));
+        }
+    }
+    None
+}
+
+impl fmt::Display for Game2x2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} vs {})", self.name, self.row_label, self.col_label)?;
+        writeln!(f, "{:>22} {:>14}", "C", "D")?;
+        for r in Action::ALL {
+            write!(f, "{r} ")?;
+            for c in Action::ALL {
+                let (pr, pc) = self.payoff(r, c);
+                write!(f, " ({pr:>5.1},{pc:>5.1})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Standard PD payoffs: R=3, S=0, T=5, P=1.
+    fn pd() -> Game2x2 {
+        Game2x2::new(
+            "PD",
+            "row",
+            "col",
+            [[(3.0, 3.0), (0.0, 5.0)], [(5.0, 0.0), (1.0, 1.0)]],
+        )
+    }
+
+    #[test]
+    fn action_indexing_and_other() {
+        assert_eq!(Action::Cooperate.index(), 0);
+        assert_eq!(Action::Defect.index(), 1);
+        assert_eq!(Action::Cooperate.other(), Action::Defect);
+        assert_eq!(format!("{}", Action::Cooperate), "C");
+    }
+
+    #[test]
+    fn pd_payoffs() {
+        let g = pd();
+        assert_eq!(g.payoff(Action::Defect, Action::Cooperate), (5.0, 0.0));
+        assert_eq!(g.payoff(Action::Cooperate, Action::Cooperate), (3.0, 3.0));
+    }
+
+    #[test]
+    fn pd_defect_is_strictly_dominant() {
+        let g = pd();
+        assert_eq!(g.dominant_row(), Some((Action::Defect, Dominance::Strict)));
+        assert_eq!(g.dominant_col(), Some((Action::Defect, Dominance::Strict)));
+    }
+
+    #[test]
+    fn pd_unique_nash_is_mutual_defection() {
+        let g = pd();
+        assert_eq!(g.pure_nash(), vec![(Action::Defect, Action::Defect)]);
+        assert!(g.is_prisoners_dilemma());
+    }
+
+    #[test]
+    fn best_responses_in_pd() {
+        let g = pd();
+        assert_eq!(g.best_responses_row(Action::Cooperate), vec![Action::Defect]);
+        assert_eq!(g.best_responses_col(Action::Defect), vec![Action::Defect]);
+    }
+
+    #[test]
+    fn coordination_game_has_two_equilibria() {
+        let g = Game2x2::new(
+            "coord",
+            "a",
+            "b",
+            [[(2.0, 2.0), (0.0, 0.0)], [(0.0, 0.0), (1.0, 1.0)]],
+        );
+        let nash = g.pure_nash();
+        assert_eq!(nash.len(), 2);
+        assert!(nash.contains(&(Action::Cooperate, Action::Cooperate)));
+        assert!(nash.contains(&(Action::Defect, Action::Defect)));
+        assert_eq!(g.dominant_row(), None);
+        assert!(!g.is_prisoners_dilemma());
+    }
+
+    #[test]
+    fn weak_dominance_detected() {
+        // Row: D weakly dominates (ties when col defects).
+        let g = Game2x2::new(
+            "weak",
+            "a",
+            "b",
+            [[(1.0, 0.0), (0.0, 0.0)], [(2.0, 0.0), (0.0, 0.0)]],
+        );
+        assert_eq!(g.dominant_row(), Some((Action::Defect, Dominance::Weak)));
+    }
+
+    #[test]
+    fn ties_produce_both_best_responses() {
+        let g = Game2x2::new(
+            "tie",
+            "a",
+            "b",
+            [[(1.0, 1.0), (1.0, 1.0)], [(1.0, 1.0), (1.0, 1.0)]],
+        );
+        assert_eq!(g.best_responses_row(Action::Cooperate).len(), 2);
+        assert_eq!(g.pure_nash().len(), 4);
+    }
+
+    #[test]
+    fn display_contains_name_and_payoffs() {
+        let s = format!("{}", pd());
+        assert!(s.contains("PD"));
+        assert!(s.contains("5.0"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The paper's concrete games (Figure 1) plus classic reference games.
+//!
+//! # Reconstruction note
+//!
+//! Figure 1 renders the BitTorrent Dilemma (a) and the Birds modification
+//! (c) as split-cell bimatrices; the published text pins every entry:
+//!
+//! * Fast peers "always defect on the slow peers" — cooperating costs them
+//!   the opportunity `s − f < 0`, defecting redirects the slot to another
+//!   fast peer for `s` (when the slow peer cooperates) or `0`.
+//! * A slow peer defecting on a cooperating fast peer "gets f from the fast
+//!   peer and can form a relationship with a slow peer, where it gets s − f,
+//!   thus getting a final utility of f + (s − f) = s" — the `(C, D)` slow
+//!   payoff in (a) is exactly `s`, and cooperation yields the sustained `f`,
+//!   making cooperation dominant for the slow player (the Dictator-game
+//!   flavor the paper describes).
+//! * Birds (c) re-prices the slow player's opportunity costs: cooperating
+//!   with a fast peer forfeits a sustained same-class relationship
+//!   (`f − s` becomes the reward, net of the forgone `s`), while defecting
+//!   grabs the optimistic unchoke `f` outright — making defection dominant
+//!   for *both* classes, which is the whole point of the modification.
+
+use crate::game::Game2x2;
+
+/// The classic Prisoner's Dilemma with the canonical T=5, R=3, P=1, S=0
+/// payoffs (both players' dominant strategy is to defect).
+#[must_use]
+pub fn prisoners_dilemma() -> Game2x2 {
+    Game2x2::new(
+        "Prisoner's Dilemma",
+        "row",
+        "col",
+        [[(3.0, 3.0), (0.0, 5.0)], [(5.0, 0.0), (1.0, 1.0)]],
+    )
+}
+
+/// The Dictator game: the row player ("dictator") decides whether to share
+/// a pie of size `pie`; the column player has no strategic input (their
+/// action does not change any payoff). The paper likens BitTorrent's
+/// fast-vs-slow interaction to this game.
+#[must_use]
+pub fn dictator(pie: f64, shared_fraction: f64) -> Game2x2 {
+    let keep = pie * (1.0 - shared_fraction);
+    let give = pie * shared_fraction;
+    Game2x2::new(
+        "Dictator",
+        "dictator",
+        "recipient",
+        [
+            // Cooperate = share; the recipient's action is irrelevant.
+            [(keep, give), (keep, give)],
+            [(pie, 0.0), (pie, 0.0)],
+        ],
+    )
+}
+
+/// The BitTorrent Dilemma (Figure 1a) between a fast peer (row, upload
+/// capacity `f`) and a slow peer (column, upload capacity `s`), `f > s`.
+///
+/// Dominant strategies: fast defects (weakly), slow cooperates (weakly) —
+/// the asymmetric "One-Sided Prisoner's Dilemma" the paper identifies.
+///
+/// # Panics
+///
+/// Panics unless `f > s > 0`.
+#[must_use]
+pub fn bittorrent_dilemma(f: f64, s: f64) -> Game2x2 {
+    assert!(f > s && s > 0.0, "BitTorrent Dilemma requires f > s > 0");
+    Game2x2::new(
+        "BitTorrent Dilemma",
+        "fast",
+        "slow",
+        [
+            // fast C: (vs slow C) fast nets s − f, slow sustains f;
+            //         (vs slow D) fast nets 0, slow grabs f then falls back
+            //         to a slow partner: f + (s − f) = s.
+            [(s - f, f), (0.0, s)],
+            // fast D: (vs slow C) fast redirects its slot for s, slow 0;
+            //         (vs slow D) nothing moves.
+            [(s, 0.0), (0.0, 0.0)],
+        ],
+    )
+}
+
+/// The Birds payoffs (Figure 1c): the slow player's opportunity costs are
+/// corrected so that *both* classes' dominant strategy is to defect on the
+/// other class — peers stick to their own bandwidth class.
+///
+/// # Panics
+///
+/// Panics unless `f > s > 0`.
+#[must_use]
+pub fn birds(f: f64, s: f64) -> Game2x2 {
+    assert!(f > s && s > 0.0, "Birds requires f > s > 0");
+    Game2x2::new(
+        "Birds",
+        "fast",
+        "slow",
+        [
+            // Slow cooperating with fast forfeits a sustained same-class
+            // relationship: net f − s; defecting grabs the unchoke: f.
+            [(s - f, f - s), (0.0, f)],
+            [(s, 0.0), (0.0, 0.0)],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{Action, Dominance};
+
+    const F: f64 = 10.0;
+    const S: f64 = 4.0;
+
+    #[test]
+    fn pd_is_pd() {
+        assert!(prisoners_dilemma().is_prisoners_dilemma());
+    }
+
+    #[test]
+    fn bt_dilemma_is_not_pd() {
+        // The paper: "the Prisoner's Dilemma is not an accurate model for
+        // BitTorrent under heterogeneous classes of peers."
+        assert!(!bittorrent_dilemma(F, S).is_prisoners_dilemma());
+    }
+
+    #[test]
+    fn bt_dilemma_fast_defects_slow_cooperates() {
+        let g = bittorrent_dilemma(F, S);
+        let (fast, _) = g.dominant_row().expect("fast has a dominant strategy");
+        let (slow, _) = g.dominant_col().expect("slow has a dominant strategy");
+        assert_eq!(fast, Action::Defect);
+        assert_eq!(slow, Action::Cooperate);
+    }
+
+    #[test]
+    fn bt_dilemma_equilibrium_is_d_c() {
+        // Fast defects, slow cooperates: the "regular unchoke flows from
+        // slow to fast" outcome of Figure 1(b).
+        let g = bittorrent_dilemma(F, S);
+        assert!(g.is_nash(Action::Defect, Action::Cooperate));
+    }
+
+    #[test]
+    fn bt_dilemma_slow_defection_payoff_is_s() {
+        // The text's f + (s − f) = s bookkeeping.
+        let g = bittorrent_dilemma(F, S);
+        assert_eq!(g.payoff(Action::Cooperate, Action::Defect).1, S);
+    }
+
+    #[test]
+    fn bt_dilemma_fast_cooperation_is_negative() {
+        let g = bittorrent_dilemma(F, S);
+        assert!(g.payoff(Action::Cooperate, Action::Cooperate).0 < 0.0);
+    }
+
+    #[test]
+    fn birds_both_defect() {
+        let g = birds(F, S);
+        let (fast, _) = g.dominant_row().expect("fast dominant");
+        let (slow, _) = g.dominant_col().expect("slow dominant");
+        assert_eq!(fast, Action::Defect);
+        assert_eq!(slow, Action::Defect);
+        assert!(g.is_nash(Action::Defect, Action::Defect));
+    }
+
+    #[test]
+    fn birds_slow_defection_beats_cooperation_against_fast_c() {
+        let g = birds(F, S);
+        let coop = g.payoff(Action::Cooperate, Action::Cooperate).1;
+        let defect = g.payoff(Action::Cooperate, Action::Defect).1;
+        assert_eq!(coop, F - S);
+        assert_eq!(defect, F);
+        assert!(defect > coop);
+    }
+
+    #[test]
+    fn dilemmas_hold_across_bandwidth_gaps() {
+        for (f, s) in [(2.0, 1.0), (100.0, 1.0), (10.0, 9.5)] {
+            let a = bittorrent_dilemma(f, s);
+            assert_eq!(a.dominant_row().unwrap().0, Action::Defect, "f={f} s={s}");
+            assert_eq!(
+                a.dominant_col().unwrap().0,
+                Action::Cooperate,
+                "f={f} s={s}"
+            );
+            let c = birds(f, s);
+            assert_eq!(c.dominant_col().unwrap().0, Action::Defect, "f={f} s={s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "f > s > 0")]
+    fn bt_dilemma_requires_fast_faster() {
+        let _ = bittorrent_dilemma(4.0, 10.0);
+    }
+
+    #[test]
+    fn dictator_recipient_has_no_influence() {
+        let g = dictator(10.0, 0.3);
+        for r in Action::ALL {
+            assert_eq!(
+                g.payoff(r, Action::Cooperate),
+                g.payoff(r, Action::Defect),
+                "recipient action changed payoffs"
+            );
+        }
+        // Keeping everything strictly dominates sharing.
+        assert_eq!(
+            g.dominant_row(),
+            Some((Action::Defect, Dominance::Strict))
+        );
+    }
+}

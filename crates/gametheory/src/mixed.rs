@@ -1,0 +1,163 @@
+//! Mixed-strategy equilibria of 2×2 games.
+//!
+//! Completes the equilibrium toolkit: besides the pure-strategy analysis
+//! in [`crate::game`], a 2×2 game can have an interior mixed equilibrium
+//! (each player randomizes to make the other indifferent). The BitTorrent
+//! Dilemma and Birds have dominant strategies so their equilibria are
+//! pure; this module exists so the library covers the general case (e.g.
+//! the hawk-dove-like interactions that appear when payoffs are perturbed
+//! by measurement noise).
+
+use crate::game::{Action, Game2x2};
+
+/// A mixed-strategy profile: each player's probability of cooperating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedProfile {
+    /// Row player's probability of playing Cooperate.
+    pub row_p_cooperate: f64,
+    /// Column player's probability of playing Cooperate.
+    pub col_p_cooperate: f64,
+}
+
+impl MixedProfile {
+    /// Expected payoffs `(row, col)` under this profile.
+    #[must_use]
+    pub fn expected_payoffs(&self, game: &Game2x2) -> (f64, f64) {
+        let probs = [
+            (Action::Cooperate, self.row_p_cooperate),
+            (Action::Defect, 1.0 - self.row_p_cooperate),
+        ];
+        let cols = [
+            (Action::Cooperate, self.col_p_cooperate),
+            (Action::Defect, 1.0 - self.col_p_cooperate),
+        ];
+        let mut row = 0.0;
+        let mut col = 0.0;
+        for &(ra, rp) in &probs {
+            for &(ca, cp) in &cols {
+                let (pr, pc) = game.payoff(ra, ca);
+                row += rp * cp * pr;
+                col += rp * cp * pc;
+            }
+        }
+        (row, col)
+    }
+}
+
+/// Finds the interior mixed-strategy Nash equilibrium, if one exists.
+///
+/// The equilibrium mixes make the *opponent* indifferent:
+/// `q* = (d_D − d_C) / (d_CC − d_CD − d_DC + d_DD)` style ratios. Returns
+/// `None` when the required probabilities fall outside `(0, 1)` (e.g.
+/// when a player has a dominant strategy) or the game is degenerate.
+#[must_use]
+pub fn interior_mixed_nash(game: &Game2x2) -> Option<MixedProfile> {
+    // Column player indifferent ⇒ determines row's mix p over C/D:
+    //   p·c(C,C) + (1−p)·c(D,C) = p·c(C,D) + (1−p)·c(D,D)
+    let c_cc = game.payoff(Action::Cooperate, Action::Cooperate).1;
+    let c_cd = game.payoff(Action::Cooperate, Action::Defect).1;
+    let c_dc = game.payoff(Action::Defect, Action::Cooperate).1;
+    let c_dd = game.payoff(Action::Defect, Action::Defect).1;
+    let denom_row = c_cc - c_cd - c_dc + c_dd;
+    if denom_row.abs() < 1e-12 {
+        return None;
+    }
+    let p = (c_dd - c_dc) / denom_row;
+
+    // Row player indifferent ⇒ determines column's mix q:
+    let r_cc = game.payoff(Action::Cooperate, Action::Cooperate).0;
+    let r_cd = game.payoff(Action::Cooperate, Action::Defect).0;
+    let r_dc = game.payoff(Action::Defect, Action::Cooperate).0;
+    let r_dd = game.payoff(Action::Defect, Action::Defect).0;
+    let denom_col = r_cc - r_cd - r_dc + r_dd;
+    if denom_col.abs() < 1e-12 {
+        return None;
+    }
+    let q = (r_dd - r_cd) / denom_col;
+
+    let interior = |x: f64| x > 1e-9 && x < 1.0 - 1e-9;
+    if interior(p) && interior(q) {
+        Some(MixedProfile {
+            row_p_cooperate: p,
+            col_p_cooperate: q,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games;
+
+    /// Matching-pennies-like game with a unique interior equilibrium.
+    fn hawk_dove() -> Game2x2 {
+        // Hawk-Dove with V=4, C=6: (C=dove, D=hawk).
+        Game2x2::new(
+            "hawk-dove",
+            "r",
+            "c",
+            [[(2.0, 2.0), (0.0, 4.0)], [(4.0, 0.0), (-1.0, -1.0)]],
+        )
+    }
+
+    #[test]
+    fn hawk_dove_interior_equilibrium() {
+        let g = hawk_dove();
+        let m = interior_mixed_nash(&g).expect("interior NE exists");
+        // Symmetric game: both mix identically; dove share = 1 − V/C = 1/3.
+        assert!((m.row_p_cooperate - 1.0 / 3.0).abs() < 1e-9);
+        assert!((m.col_p_cooperate - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_mix_makes_opponent_indifferent() {
+        let g = hawk_dove();
+        let m = interior_mixed_nash(&g).unwrap();
+        // Row's payoff must be equal whether it plays C or D against the
+        // column mix.
+        let against = |row_p: f64| {
+            MixedProfile {
+                row_p_cooperate: row_p,
+                col_p_cooperate: m.col_p_cooperate,
+            }
+            .expected_payoffs(&g)
+            .0
+        };
+        assert!((against(1.0) - against(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominance_games_have_no_interior_equilibrium() {
+        assert!(interior_mixed_nash(&games::prisoners_dilemma()).is_none());
+        assert!(interior_mixed_nash(&games::bittorrent_dilemma(10.0, 4.0)).is_none());
+        assert!(interior_mixed_nash(&games::birds(10.0, 4.0)).is_none());
+    }
+
+    #[test]
+    fn expected_payoffs_pure_corners_match_game() {
+        let g = hawk_dove();
+        let pure_cc = MixedProfile {
+            row_p_cooperate: 1.0,
+            col_p_cooperate: 1.0,
+        };
+        assert_eq!(pure_cc.expected_payoffs(&g), (2.0, 2.0));
+        let pure_dd = MixedProfile {
+            row_p_cooperate: 0.0,
+            col_p_cooperate: 0.0,
+        };
+        assert_eq!(pure_dd.expected_payoffs(&g), (-1.0, -1.0));
+    }
+
+    #[test]
+    fn degenerate_game_returns_none() {
+        let flat = Game2x2::new(
+            "flat",
+            "r",
+            "c",
+            [[(1.0, 1.0), (1.0, 1.0)], [(1.0, 1.0), (1.0, 1.0)]],
+        );
+        assert!(interior_mixed_nash(&flat).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! The Appendix deviation analysis: BitTorrent is not a Nash equilibrium,
+//! Birds is.
+//!
+//! Both proofs compare the expected game wins of a single *deviant* peer
+//! against the *incumbent* majority in the deviant's own bandwidth class
+//! (wins against other classes are identical for both and cancel):
+//!
+//! * **Birds deviant in a BitTorrent swarm** — the deviant refuses to
+//!   reciprocate upward, so it never sacrifices a same-class slot to a
+//!   higher class; it out-wins the BT incumbents ⇒ BT is **not** a NE.
+//! * **BitTorrent deviant in a Birds swarm** — the deviant wastes slots
+//!   reciprocating to higher classes that never reciprocate back; the Birds
+//!   incumbents out-win it ⇒ unilateral deviation does not pay ⇒ Birds
+//!   **is** a NE (the paper proves the TFT-deviation case and notes the
+//!   other class-based deviations are analogous).
+
+use crate::analytics::{break_probability_k, break_probability_k_prime};
+use crate::classes::ClassParams;
+
+/// Expected per-period wins of the deviant and of an average incumbent in
+/// the deviant's class (within-class wins plus the class-external terms,
+/// which are equal for both and included for completeness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationOutcome {
+    /// Total expected wins of the single deviant peer.
+    pub deviant: f64,
+    /// Total expected wins of an average incumbent peer in the same class.
+    pub incumbent: f64,
+}
+
+impl DeviationOutcome {
+    /// Whether deviating is strictly profitable.
+    #[must_use]
+    pub fn deviation_pays(&self) -> bool {
+        self.deviant > self.incumbent
+    }
+}
+
+/// Class-external win terms shared by deviant and incumbent: free wins
+/// from above (`N_A/N_r`) and both win kinds from below (`2·N_B/N_r` for
+/// TFT-style bookkeeping; the Appendix notes these "do not change").
+fn shared_external(params: &ClassParams) -> f64 {
+    let nr = params.nr();
+    f64::from(params.n_above) / nr + 2.0 * f64::from(params.n_below) / nr
+}
+
+/// One Birds deviant inside an otherwise all-BitTorrent swarm
+/// (Appendix, first part).
+#[must_use]
+pub fn birds_deviant_in_bt_swarm(params: &ClassParams) -> DeviationOutcome {
+    let nr = params.nr();
+    let ur = f64::from(params.unchoke_slots);
+    let nc = f64::from(params.n_class);
+    let nc_prime = nc - 1.0;
+    let e_a = f64::from(params.n_above) / nr;
+    let k = break_probability_k(params);
+    let k_prime = break_probability_k_prime(params);
+
+    // Reciprocation wins in class C.
+    // Deviant (Birds): keeps every slot in class, loses only to partners
+    // lured upward: ErB[C→c]' = U_r − K.
+    let recip_deviant = ur - k;
+    // Incumbent (BT): additionally leaks E[A→c] itself and suffers the
+    // mixed-neighbour correction: Er[C→c]' = U_r − K − E[A→c]
+    //   − (U_r/N_C')(K + K').
+    let recip_incumbent = ur - k - e_a - (ur / nc_prime) * (k + k_prime);
+
+    // Free game wins in class C (Appendix formulae).
+    // EB[C→c]' = (N_C'/N_C)(N_C − Er[C→c]')/N_r.
+    let free_deviant = (nc_prime / nc) * (nc - recip_incumbent) / nr;
+    // E[C→c]'  = EB[C→c]' + (N_C − ErB[C→c]')/(N_C·N_r).
+    let free_incumbent = free_deviant + (nc - recip_deviant) / (nc * nr);
+
+    let ext = shared_external(params);
+    DeviationOutcome {
+        deviant: ext + recip_deviant + free_deviant,
+        incumbent: ext + recip_incumbent + free_incumbent,
+    }
+}
+
+/// One BitTorrent deviant inside an otherwise all-Birds swarm
+/// (Appendix, second part).
+#[must_use]
+pub fn bt_deviant_in_birds_swarm(params: &ClassParams) -> DeviationOutcome {
+    let nr = params.nr();
+    let ur = f64::from(params.unchoke_slots);
+    let nc = f64::from(params.n_class);
+    let nc_prime = nc - 1.0;
+    let e_a = f64::from(params.n_above) / nr;
+
+    // Reciprocation wins in class C.
+    // Incumbent (Birds): ErB[C→c]'' = U_r − (U_r/N_C')·E[A→c].
+    let recip_incumbent = ur - (ur / nc_prime) * e_a;
+    // Deviant (BT): Er[C→c]'' = U_r − E[A→c] (it burns slots upward).
+    let recip_deviant = ur - e_a;
+
+    // Free game wins (Appendix; N − U_r − 1 = N_r).
+    // E[C→c]'' = (N_C'/N_C) · (N_C' − ErB[C→c]) / N_r, with ErB[C→c] the
+    // homogeneous-Birds value U_r.
+    let free_deviant = (nc_prime / nc) * (nc_prime - ur) / nr;
+    // EB[C→c]'' = E[C→c]'' + (N_C' − Er[C→c]) / (N_C'·N_r), with Er[C→c]
+    // the homogeneous-BT value.
+    let bt_homogeneous_recip = crate::analytics::bittorrent(params).recip_same;
+    let free_incumbent = free_deviant + (nc_prime - bt_homogeneous_recip) / (nc_prime * nr);
+
+    let ext = shared_external(params);
+    DeviationOutcome {
+        deviant: ext + recip_deviant + free_deviant,
+        incumbent: ext + recip_incumbent + free_incumbent,
+    }
+}
+
+/// Whether BitTorrent's TFT is a Nash equilibrium under the Section 2
+/// abstraction (it is not: a Birds deviant profits).
+#[must_use]
+pub fn bittorrent_is_nash(params: &ClassParams) -> bool {
+    !birds_deviant_in_bt_swarm(params).deviation_pays()
+}
+
+/// Whether Birds is a Nash equilibrium against a BitTorrent deviation
+/// (it is: the deviant loses).
+#[must_use]
+pub fn birds_is_nash(params: &ClassParams) -> bool {
+    !bt_deviant_in_birds_swarm(params).deviation_pays()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_params() -> Vec<ClassParams> {
+        vec![
+            ClassParams::example_swarm(),
+            ClassParams::new(17, 16, 17, 4),
+            ClassParams::new(10, 10, 10, 4),
+            ClassParams::new(30, 30, 40, 4),
+            ClassParams::new(8, 20, 22, 6),
+            ClassParams::new(100, 100, 100, 4),
+            ClassParams::new(12, 3, 10, 2),
+        ]
+    }
+
+    #[test]
+    fn bittorrent_is_not_a_nash_equilibrium() {
+        for p in all_params() {
+            let out = birds_deviant_in_bt_swarm(&p);
+            assert!(
+                out.deviation_pays(),
+                "Birds deviant should profit in BT swarm for {p:?}: {out:?}"
+            );
+            assert!(!bittorrent_is_nash(&p));
+        }
+    }
+
+    #[test]
+    fn birds_is_a_nash_equilibrium() {
+        for p in all_params() {
+            let out = bt_deviant_in_birds_swarm(&p);
+            assert!(
+                !out.deviation_pays(),
+                "BT deviant should not profit in Birds swarm for {p:?}: {out:?}"
+            );
+            assert!(birds_is_nash(&p));
+        }
+    }
+
+    #[test]
+    fn birds_deviant_reciprocation_exceeds_incumbent() {
+        // The Appendix inequality ErB[C→c]' > Er[C→c]' in isolation: the
+        // deviant's within-class reciprocation advantage.
+        let p = ClassParams::example_swarm();
+        let nr = p.nr();
+        let ur = f64::from(p.unchoke_slots);
+        let e_a = f64::from(p.n_above) / nr;
+        let k = break_probability_k(&p);
+        let recip_deviant = ur - k;
+        let recip_incumbent_upper_bound = ur - k - e_a;
+        assert!(recip_deviant > recip_incumbent_upper_bound);
+    }
+
+    #[test]
+    fn bt_incumbent_free_wins_exceed_deviant_in_bt_swarm() {
+        // The Appendix also notes E[C→c]' > EB[C→c]' (incumbents get more
+        // free wins) — yet the deviant's total still wins.
+        let p = ClassParams::example_swarm();
+        let out = birds_deviant_in_bt_swarm(&p);
+        assert!(out.deviant > out.incumbent);
+    }
+
+    #[test]
+    fn deviation_gap_grows_with_upper_class_size() {
+        // More fast peers ⇒ more wasted upward reciprocation by BT ⇒
+        // larger Birds advantage.
+        let small = ClassParams::new(10, 16, 17, 4);
+        let large = ClassParams::new(40, 16, 17, 4);
+        let gap = |p: &ClassParams| {
+            let o = birds_deviant_in_bt_swarm(p);
+            o.deviant - o.incumbent
+        };
+        assert!(gap(&large) > gap(&small));
+    }
+
+    #[test]
+    fn outcomes_are_finite_and_positive() {
+        for p in all_params() {
+            for o in [birds_deviant_in_bt_swarm(&p), bt_deviant_in_birds_swarm(&p)] {
+                assert!(o.deviant.is_finite() && o.deviant > 0.0, "{p:?}");
+                assert!(o.incumbent.is_finite() && o.incumbent > 0.0, "{p:?}");
+            }
+        }
+    }
+}

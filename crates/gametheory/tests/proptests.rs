@@ -1,0 +1,81 @@
+//! Property-based tests over the game-theoretic substrate.
+
+use dsa_gametheory::analytics::{bittorrent, birds, break_probability_k};
+use dsa_gametheory::classes::ClassParams;
+use dsa_gametheory::game::{Action, Game2x2};
+use dsa_gametheory::games;
+use dsa_gametheory::nash;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = ClassParams> {
+    // Respect the model preconditions: N_A > U_r, N_C > U_r + 1.
+    (2u32..8).prop_flat_map(|ur| {
+        (
+            (ur + 1)..60,
+            1u32..60,
+            (ur + 2)..60,
+            Just(ur),
+        )
+            .prop_map(|(na, nb, nc, ur)| ClassParams::new(na, nb, nc, ur))
+    })
+}
+
+proptest! {
+    /// The Section 2 dilemma structure holds for any bandwidth gap:
+    /// fast defects / slow cooperates in (a); both defect in (c).
+    #[test]
+    fn dilemma_structure_universal(s in 0.1f64..100.0, gap in 0.01f64..100.0) {
+        let f = s + gap;
+        let bt = games::bittorrent_dilemma(f, s);
+        prop_assert_eq!(bt.dominant_row().map(|(a, _)| a), Some(Action::Defect));
+        prop_assert_eq!(bt.dominant_col().map(|(a, _)| a), Some(Action::Cooperate));
+        let b = games::birds(f, s);
+        prop_assert_eq!(b.dominant_row().map(|(a, _)| a), Some(Action::Defect));
+        prop_assert_eq!(b.dominant_col().map(|(a, _)| a), Some(Action::Defect));
+    }
+
+    /// Dominant-strategy profiles are always Nash equilibria.
+    #[test]
+    fn dominance_implies_nash(payoffs in proptest::collection::vec(-10.0f64..10.0, 8)) {
+        let g = Game2x2::new(
+            "random",
+            "r",
+            "c",
+            [
+                [(payoffs[0], payoffs[1]), (payoffs[2], payoffs[3])],
+                [(payoffs[4], payoffs[5]), (payoffs[6], payoffs[7])],
+            ],
+        );
+        if let (Some((r, _)), Some((c, _))) = (g.dominant_row(), g.dominant_col()) {
+            prop_assert!(g.is_nash(r, c));
+        }
+    }
+
+    /// K is a probability and the expected-win totals are positive and
+    /// finite over the whole admissible parameter range.
+    #[test]
+    fn analytics_well_formed(p in arb_params()) {
+        let k = break_probability_k(&p);
+        prop_assert!((0.0..=1.0).contains(&k));
+        for e in [bittorrent(&p), birds(&p)] {
+            prop_assert!(e.total().is_finite());
+            prop_assert!(e.total() > 0.0);
+            prop_assert!(e.free_above >= 0.0);
+        }
+    }
+
+    /// The Appendix results are not knife-edge: they hold across the
+    /// whole admissible parameter range.
+    #[test]
+    fn nash_claims_universal(p in arb_params()) {
+        prop_assert!(!nash::bittorrent_is_nash(&p), "{:?}", p);
+        prop_assert!(nash::birds_is_nash(&p), "{:?}", p);
+    }
+
+    /// Birds' within-class reciprocation dominates BitTorrent's for any
+    /// admissible population (no K leakage).
+    #[test]
+    fn birds_reciprocation_dominates(p in arb_params()) {
+        prop_assert!(birds(&p).recip_same >= bittorrent(&p).recip_same);
+    }
+}

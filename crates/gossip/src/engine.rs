@@ -1,0 +1,307 @@
+//! Push-gossip rumor dissemination simulator.
+//!
+//! One item is injected at a uniformly random node each round. Nodes
+//! periodically push a bounded batch of held items to selected partners.
+//! Utility = number of item deliveries received (a node's coverage), the
+//! application-defined performance measure for this domain.
+
+use crate::protocol::{Filter, GossipProtocol, Memory, Selection};
+use dsa_core::sim::EncounterSim;
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of rounds (= items injected).
+    pub rounds: usize,
+    /// Exchange partners per initiation.
+    pub fanout: usize,
+    /// Items pushed per exchange.
+    pub batch: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 40,
+            rounds: 120,
+            fanout: 2,
+            batch: 4,
+        }
+    }
+}
+
+/// Per-node state.
+struct Node {
+    /// Items held, newest last (bounded by the memory policy).
+    items: Vec<u32>,
+    /// Deliveries received from each peer in the last window.
+    received_from: Vec<f64>,
+    /// Delivery streaks per peer (for Loyal selection).
+    streak: Vec<u32>,
+    /// Total novel deliveries (the utility).
+    deliveries: f64,
+}
+
+impl Node {
+    fn has(&self, item: u32) -> bool {
+        self.items.contains(&item)
+    }
+
+    fn insert(&mut self, item: u32, memory: Memory) -> bool {
+        if self.has(item) {
+            return false;
+        }
+        self.items.push(item);
+        if let Some(cap) = memory.capacity() {
+            while self.items.len() > cap {
+                self.items.remove(0);
+            }
+        }
+        true
+    }
+}
+
+/// Runs one gossip simulation; returns per-node utilities.
+pub fn run(
+    protocols: &[GossipProtocol],
+    assignment: &[usize],
+    config: &GossipConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let n = config.nodes;
+    assert!(n >= 2, "need at least two nodes");
+    assert_eq!(assignment.len(), n, "assignment must cover every node");
+
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|_| Node {
+            items: Vec::new(),
+            received_from: vec![0.0; n],
+            streak: vec![0; n],
+            deliveries: 0.0,
+        })
+        .collect();
+
+    for round in 0..config.rounds {
+        // Inject this round's item at a random node.
+        let source = rng.index(n);
+        let item = round as u32;
+        let mem = protocols[assignment[source]].memory;
+        if nodes[source].insert(item, mem) {
+            nodes[source].deliveries += 1.0;
+        }
+
+        // Window bookkeeping for Best/Loyal selections: streaks update
+        // every 4 rounds.
+        let window_closes = round % 4 == 3;
+
+        for i in 0..n {
+            let proto = &protocols[assignment[i]];
+            if round as u64 % proto.periodicity.period() != 0 {
+                continue;
+            }
+            if proto.filter == Filter::None {
+                continue;
+            }
+            // Select partners.
+            let partners: Vec<usize> = match proto.selection {
+                Selection::Random => sampling::sample_indices(n - 1, config.fanout, &mut rng)
+                    .into_iter()
+                    .map(|x| if x >= i { x + 1 } else { x })
+                    .collect(),
+                Selection::Best => {
+                    top_partners(i, n, config.fanout, &mut rng, |j| nodes[i].received_from[j])
+                }
+                Selection::Loyal => {
+                    top_partners(i, n, config.fanout, &mut rng, |j| f64::from(nodes[i].streak[j]))
+                }
+                Selection::Similarity => {
+                    let mine = &nodes[i].items;
+                    top_partners(i, n, config.fanout, &mut rng, |j| {
+                        nodes[j].items.iter().filter(|it| mine.contains(it)).count() as f64
+                    })
+                }
+            };
+
+            // Build the outgoing batch.
+            let batch: Vec<u32> = match proto.filter {
+                Filter::NewestFirst => nodes[i]
+                    .items
+                    .iter()
+                    .rev()
+                    .take(config.batch)
+                    .copied()
+                    .collect(),
+                Filter::RandomItems => {
+                    let idx =
+                        sampling::sample_indices(nodes[i].items.len(), config.batch, &mut rng);
+                    idx.into_iter().map(|x| nodes[i].items[x]).collect()
+                }
+                Filter::None => Vec::new(),
+            };
+
+            // Deliver.
+            for &j in &partners {
+                let mem = protocols[assignment[j]].memory;
+                for &item in &batch {
+                    if nodes[j].insert(item, mem) {
+                        nodes[j].deliveries += 1.0;
+                        nodes[j].received_from[i] += 1.0;
+                    }
+                }
+            }
+        }
+
+        if window_closes {
+            for node in &mut nodes {
+                for j in 0..n {
+                    if node.received_from[j] > 0.0 {
+                        node.streak[j] += 1;
+                    } else {
+                        node.streak[j] = 0;
+                    }
+                    node.received_from[j] = 0.0;
+                }
+            }
+        }
+    }
+
+    nodes.iter().map(|nd| nd.deliveries).collect()
+}
+
+/// Top-`fanout` peers by score; ties resolve randomly (a shared
+/// deterministic tie-break would concentrate the whole population's
+/// pushes on the lowest-indexed nodes).
+fn top_partners(
+    me: usize,
+    n: usize,
+    fanout: usize,
+    rng: &mut Xoshiro256pp,
+    score: impl Fn(usize) -> f64,
+) -> Vec<usize> {
+    let mut others: Vec<usize> = (0..n).filter(|&j| j != me).collect();
+    sampling::shuffle(&mut others, rng);
+    let values: Vec<f64> = others.iter().map(|&j| score(j)).collect();
+    sampling::rank_indices(&values, false)
+        .into_iter()
+        .take(fanout)
+        .map(|x| others[x])
+        .collect()
+}
+
+/// The gossip domain as an [`EncounterSim`].
+#[derive(Debug, Clone, Default)]
+pub struct GossipSim {
+    /// Shared simulation parameters.
+    pub config: GossipConfig,
+}
+
+impl EncounterSim for GossipSim {
+    type Protocol = GossipProtocol;
+
+    fn run_homogeneous(&self, protocol: &GossipProtocol, seed: u64) -> f64 {
+        let u = run(
+            &[*protocol],
+            &vec![0; self.config.nodes],
+            &self.config,
+            seed,
+        );
+        u.iter().sum::<f64>() / u.len() as f64
+    }
+
+    fn run_encounter(
+        &self,
+        a: &GossipProtocol,
+        b: &GossipProtocol,
+        fraction_a: f64,
+        seed: u64,
+    ) -> (f64, f64) {
+        let n = self.config.nodes;
+        let count_a = ((fraction_a * n as f64).round() as usize).clamp(1, n - 1);
+        let assignment: Vec<usize> = (0..n).map(|i| usize::from(i >= count_a)).collect();
+        let u = run(&[*a, *b], &assignment, &self.config, seed);
+        let mean = |lo: usize, hi: usize| {
+            u[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        };
+        (mean(0, count_a), mean(count_a, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Periodicity;
+
+    fn homog(p: GossipProtocol, seed: u64) -> f64 {
+        let cfg = GossipConfig::default();
+        let u = run(&[p], &vec![0; cfg.nodes], &cfg, seed);
+        u.iter().sum::<f64>() / u.len() as f64
+    }
+
+    #[test]
+    fn baseline_disseminates() {
+        let u = homog(GossipProtocol::baseline(), 1);
+        // Far more deliveries than the bare injections (120/40 per node).
+        assert!(u > 10.0, "utility {u}");
+    }
+
+    #[test]
+    fn silent_population_only_gets_injections() {
+        let mut p = GossipProtocol::baseline();
+        p.filter = crate::protocol::Filter::None;
+        let u = homog(p, 2);
+        // Only the injected items count: 120 items over 40 nodes.
+        assert!((u - 3.0).abs() < 1.0, "utility {u}");
+    }
+
+    #[test]
+    fn slower_periodicity_reduces_coverage() {
+        let every = homog(GossipProtocol::baseline(), 3);
+        let mut p = GossipProtocol::baseline();
+        p.periodicity = Periodicity::EveryFourth;
+        let fourth = homog(p, 3);
+        assert!(fourth < every, "every={every} fourth={fourth}");
+    }
+
+    #[test]
+    fn tiny_memory_hurts() {
+        let big = homog(GossipProtocol::baseline(), 4);
+        let mut p = GossipProtocol::baseline();
+        p.memory = Memory::Lru16;
+        let small = homog(p, 4);
+        assert!(small <= big, "big={big} small={small}");
+    }
+
+    #[test]
+    fn freeriders_exploit_random_but_not_best() {
+        let sim = GossipSim::default();
+        let pusher = GossipProtocol::baseline();
+        let mut silent = pusher;
+        silent.filter = Filter::None;
+        // Against Random selection, the silent minority still receives.
+        let (s_random, p_random) = sim.run_encounter(&silent, &pusher, 0.25, 5);
+        assert!(s_random > 3.0, "silent got {s_random}");
+        // Best selection (service-based) starves them relative to pushers.
+        let mut best = pusher;
+        best.selection = Selection::Best;
+        let (s_best, p_best) = sim.run_encounter(&silent, &best, 0.25, 6);
+        let ratio_random = s_random / p_random;
+        let ratio_best = s_best / p_best;
+        assert!(
+            ratio_best < ratio_random,
+            "Best should discriminate: {ratio_best} vs {ratio_random}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = GossipSim::default();
+        let a = sim.run_homogeneous(&GossipProtocol::baseline(), 9);
+        let b = sim.run_homogeneous(&GossipProtocol::baseline(), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! A second DSA domain: gossip-based dissemination protocols.
+//!
+//! Section 3.1 illustrates design-space specification with gossip
+//! protocols: "the Parameterization phase of the design space for Gossip
+//! Protocols could result in the following salient dimensions: i)
+//! Selection function for choosing partners ..., ii) Periodicity of data
+//! exchange, iii) Filtering function for determining data to exchange,
+//! iv) Record maintenance policy in local database" — and §7 lists
+//! "domains other than P2P [file swarming]" as future work.
+//!
+//! This crate actualizes exactly those four dimensions over a push-gossip
+//! rumor-dissemination simulator and plugs the result into the same
+//! [`dsa_core`] machinery (the PRA quantification, tournaments, heuristic
+//! search) used for file swarming — demonstrating that the framework is
+//! domain-agnostic.
+
+pub mod engine;
+pub mod presets;
+pub mod protocol;
+
+pub use engine::{GossipConfig, GossipSim};
+pub use protocol::{Filter, GossipProtocol, Memory, Periodicity, Selection};

@@ -1,0 +1,74 @@
+//! Named gossip protocols used by examples and docs.
+
+use crate::protocol::{Filter, GossipProtocol, Memory, Periodicity, Selection};
+
+/// The classic random push gossip: random partners, every round, newest
+/// items first, unbounded store.
+#[must_use]
+pub fn random_push() -> GossipProtocol {
+    GossipProtocol::baseline()
+}
+
+/// A reciprocity-enforcing variant: pushes to the peers that served it
+/// best (the BarterCast-flavored point of this space).
+#[must_use]
+pub fn reciprocal() -> GossipProtocol {
+    GossipProtocol {
+        selection: Selection::Best,
+        ..GossipProtocol::baseline()
+    }
+}
+
+/// A lazy participant: gossips rarely with a tiny cache — the kind of
+/// under-provisioned node record-maintenance policies must tolerate.
+#[must_use]
+pub fn lazy() -> GossipProtocol {
+    GossipProtocol {
+        periodicity: Periodicity::EveryFourth,
+        memory: Memory::Lru16,
+        ..GossipProtocol::baseline()
+    }
+}
+
+/// A pure free-rider: receives but never pushes.
+#[must_use]
+pub fn silent() -> GossipProtocol {
+    GossipProtocol {
+        filter: Filter::None,
+        ..GossipProtocol::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, GossipConfig};
+
+    #[test]
+    fn presets_are_distinct_points() {
+        let set: std::collections::HashSet<usize> = [random_push(), reciprocal(), lazy(), silent()]
+            .iter()
+            .map(GossipProtocol::index)
+            .collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn lazy_underperforms_baseline() {
+        let cfg = GossipConfig::default();
+        let mean = |p: GossipProtocol| {
+            let u = run(&[p], &vec![0; cfg.nodes], &cfg, 3);
+            u.iter().sum::<f64>() / u.len() as f64
+        };
+        assert!(mean(lazy()) < mean(random_push()));
+    }
+
+    #[test]
+    fn silent_is_the_floor() {
+        let cfg = GossipConfig::default();
+        let u = run(&[silent()], &vec![0; cfg.nodes], &cfg, 4);
+        let mean = u.iter().sum::<f64>() / u.len() as f64;
+        // Only injections reach anyone.
+        assert!(mean < 4.0);
+    }
+}

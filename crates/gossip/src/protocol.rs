@@ -1,0 +1,242 @@
+//! The gossip design space: the four §3.1 dimensions, actualized.
+
+use std::fmt;
+
+/// Partner-selection function (§3.1's example actualizations: Random,
+/// Best, Loyal, Similarity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Selection {
+    /// Choose exchange partners uniformly at random.
+    Random,
+    /// Choose the partners who delivered the most items recently.
+    Best,
+    /// Choose the partners with the longest delivery streaks.
+    Loyal,
+    /// Choose the partners whose item sets most resemble one's own.
+    Similarity,
+}
+
+impl Selection {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Selection; 4] = [
+        Selection::Random,
+        Selection::Best,
+        Selection::Loyal,
+        Selection::Similarity,
+    ];
+}
+
+/// How often a node initiates exchanges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Periodicity {
+    /// Every round.
+    EveryRound,
+    /// Every second round.
+    EverySecond,
+    /// Every fourth round.
+    EveryFourth,
+}
+
+impl Periodicity {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Periodicity; 3] = [
+        Periodicity::EveryRound,
+        Periodicity::EverySecond,
+        Periodicity::EveryFourth,
+    ];
+
+    /// The period in rounds.
+    #[must_use]
+    pub fn period(self) -> u64 {
+        match self {
+            Self::EveryRound => 1,
+            Self::EverySecond => 2,
+            Self::EveryFourth => 4,
+        }
+    }
+}
+
+/// Filtering function: which items to push per exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Filter {
+    /// Push the newest items first.
+    NewestFirst,
+    /// Push a random sample of held items.
+    RandomItems,
+    /// Push nothing (the gossip free-rider — nodes can still receive).
+    None,
+}
+
+impl Filter {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Filter; 3] = [Filter::NewestFirst, Filter::RandomItems, Filter::None];
+}
+
+/// Record-maintenance policy for the local item database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Memory {
+    /// Keep everything.
+    Unbounded,
+    /// Keep at most 64 items, evicting the oldest.
+    Lru64,
+    /// Keep at most 16 items, evicting the oldest.
+    Lru16,
+}
+
+impl Memory {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Memory; 3] = [Memory::Unbounded, Memory::Lru64, Memory::Lru16];
+
+    /// Capacity limit, if any.
+    #[must_use]
+    pub fn capacity(self) -> Option<usize> {
+        match self {
+            Self::Unbounded => None,
+            Self::Lru64 => Some(64),
+            Self::Lru16 => Some(16),
+        }
+    }
+}
+
+/// A complete gossip protocol: one actualization per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GossipProtocol {
+    /// Partner selection.
+    pub selection: Selection,
+    /// Exchange periodicity.
+    pub periodicity: Periodicity,
+    /// Item filter.
+    pub filter: Filter,
+    /// Record maintenance.
+    pub memory: Memory,
+}
+
+/// Size of the actualized gossip space (4 × 3 × 3 × 3).
+pub const GOSSIP_SPACE_SIZE: usize = 108;
+
+impl GossipProtocol {
+    /// Flat index in `0..GOSSIP_SPACE_SIZE`.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        let s = Selection::ALL.iter().position(|x| x == &self.selection).expect("in ALL");
+        let p = Periodicity::ALL
+            .iter()
+            .position(|x| x == &self.periodicity)
+            .expect("in ALL");
+        let f = Filter::ALL.iter().position(|x| x == &self.filter).expect("in ALL");
+        let m = Memory::ALL.iter().position(|x| x == &self.memory).expect("in ALL");
+        ((s * 3 + p) * 3 + f) * 3 + m
+    }
+
+    /// Decodes a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < GOSSIP_SPACE_SIZE, "gossip index out of range");
+        let m = index % 3;
+        let f = (index / 3) % 3;
+        let p = (index / 9) % 3;
+        let s = index / 27;
+        Self {
+            selection: Selection::ALL[s],
+            periodicity: Periodicity::ALL[p],
+            filter: Filter::ALL[f],
+            memory: Memory::ALL[m],
+        }
+    }
+
+    /// Iterates the whole space.
+    pub fn all() -> impl Iterator<Item = GossipProtocol> {
+        (0..GOSSIP_SPACE_SIZE).map(Self::from_index)
+    }
+
+    /// The baseline "push newest to random partners every round, keep
+    /// everything" protocol.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            selection: Selection::Random,
+            periodicity: Periodicity::EveryRound,
+            filter: Filter::NewestFirst,
+            memory: Memory::Unbounded,
+        }
+    }
+}
+
+impl fmt::Display for GossipProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}/{:?}/{:?}/{:?}",
+            self.selection, self.periodicity, self.filter, self.memory
+        )
+    }
+}
+
+/// The generic design-space descriptor for this domain.
+#[must_use]
+pub fn design_space() -> dsa_core::DesignSpace {
+    let names = |v: Vec<String>| v;
+    dsa_core::DesignSpace::new(
+        "gossip",
+        vec![
+            dsa_core::Dimension::new(
+                "Selection",
+                names(Selection::ALL.iter().map(|s| format!("{s:?}")).collect()),
+            ),
+            dsa_core::Dimension::new(
+                "Periodicity",
+                names(Periodicity::ALL.iter().map(|s| format!("{s:?}")).collect()),
+            ),
+            dsa_core::Dimension::new(
+                "Filter",
+                names(Filter::ALL.iter().map(|s| format!("{s:?}")).collect()),
+            ),
+            dsa_core::Dimension::new(
+                "Memory",
+                names(Memory::ALL.iter().map(|s| format!("{s:?}")).collect()),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn space_size_and_roundtrip() {
+        assert_eq!(GossipProtocol::all().count(), GOSSIP_SPACE_SIZE);
+        for i in 0..GOSSIP_SPACE_SIZE {
+            assert_eq!(GossipProtocol::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn protocols_distinct() {
+        let set: HashSet<GossipProtocol> = GossipProtocol::all().collect();
+        assert_eq!(set.len(), GOSSIP_SPACE_SIZE);
+    }
+
+    #[test]
+    fn descriptor_matches() {
+        assert_eq!(design_space().size(), GOSSIP_SPACE_SIZE);
+    }
+
+    #[test]
+    fn periods_and_capacities() {
+        assert_eq!(Periodicity::EveryFourth.period(), 4);
+        assert_eq!(Memory::Lru16.capacity(), Some(16));
+        assert_eq!(Memory::Unbounded.capacity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_bounds() {
+        let _ = GossipProtocol::from_index(GOSSIP_SPACE_SIZE);
+    }
+}

@@ -1,0 +1,229 @@
+//! ASCII renderings of the paper's plot types.
+//!
+//! The experiment harness "prints the figure": scatter plots (Figures 2, 8),
+//! shaded frequency maps (Figures 3–4), CCDF step curves (Figure 5),
+//! grouped distributions (Figures 6–7) and bar charts with error bars
+//! (Figures 9–10) all render to a terminal grid so that a reproduction run
+//! is inspectable without any plotting toolchain.
+
+/// Shade ramp from empty to dense, used by scatter and frequency maps.
+const RAMP: &[char] = &[' ', '.', ':', '+', 'x', 'X', '#', '@'];
+
+/// Renders a scatter plot of `(x, y)` points in `[0,1]²` as a
+/// `height`-row grid, densest regions darkest, with axis labels.
+#[must_use]
+pub fn scatter_unit(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![0u32; width]; height];
+    for &(x, y) in points {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        let cx = ((x.clamp(0.0, 1.0)) * (width - 1) as f64).round() as usize;
+        let cy = ((y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] += 1;
+    }
+    let max = grid.iter().flatten().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let ylab = if i == 0 {
+            "1.0"
+        } else if i == height - 1 {
+            "0.0"
+        } else {
+            "   "
+        };
+        out.push_str(ylab);
+        out.push('|');
+        for &c in row {
+            out.push(shade(c, max));
+        }
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("    0.0{:>width$}\n", "1.0", width = width - 3));
+    out
+}
+
+/// Renders a per-row frequency map (Figures 3–4): rows are value intervals
+/// (top = highest), columns are categories, shading is the row-normalized
+/// frequency.
+#[must_use]
+pub fn frequency_map(rows: &[Vec<f64>], col_labels: &[String]) -> String {
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate().rev() {
+        let hi = (i + 1) as f64 / rows.len() as f64;
+        out.push_str(&format!("{hi:4.1} |"));
+        for &f in row {
+            let c = shade((f * 1000.0) as u32, 1000);
+            out.push(' ');
+            out.push(c);
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(col_labels.len() * 3));
+    out.push('\n');
+    out.push_str("      ");
+    for l in col_labels {
+        out.push_str(&format!("{l:>2} "));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders one or more CCDF curves on a shared grid; each series is drawn
+/// with its own glyph and listed in a legend.
+#[must_use]
+pub fn ccdf_curves(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        // Evaluate the step function across the full x range.
+        for cx in 0..width {
+            let x = cx as f64 / (width - 1) as f64;
+            // P(X > x): the last point with px <= x carries the value.
+            let mut p = 1.0;
+            for &(px, pp) in pts {
+                if px <= x {
+                    p = pp;
+                } else {
+                    break;
+                }
+            }
+            let cy = (p.clamp(0.0, 1.0) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let ylab = if i == 0 {
+            "1.0"
+        } else if i == height - 1 {
+            "0.0"
+        } else {
+            "   "
+        };
+        out.push_str(ylab);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (s, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {}\n", GLYPHS[s % GLYPHS.len()], name));
+    }
+    out
+}
+
+/// Renders a horizontal bar chart with optional ± error terms.
+#[must_use]
+pub fn bars(entries: &[(String, f64, Option<f64>)], max_width: usize) -> String {
+    let max_val = entries
+        .iter()
+        .map(|e| e.1)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = entries.iter().map(|e| e.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value, err) in entries {
+        let w = ((value / max_val) * max_width as f64).round() as usize;
+        out.push_str(&format!("{name:>label_w$} |{}", "#".repeat(w)));
+        match err {
+            Some(e) => out.push_str(&format!(" {value:.2} ± {e:.2}\n")),
+            None => out.push_str(&format!(" {value:.2}\n")),
+        }
+    }
+    out
+}
+
+fn shade(count: u32, max: u32) -> char {
+    if count == 0 || max == 0 {
+        return RAMP[0];
+    }
+    let idx = 1 + ((count as f64 / max as f64) * (RAMP.len() - 2) as f64).round() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_places_corner_points() {
+        let s = scatter_unit(&[(0.0, 0.0), (1.0, 1.0)], 20, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // Top row must contain a mark near the right edge.
+        assert!(lines[0].trim_end().ends_with(|c| c != '|' && c != ' '));
+        // Bottom data row (row height-1) must contain a mark just after axis.
+        assert!(lines[9].contains(|c: char| RAMP[1..].contains(&c)));
+        assert!(s.contains("0.0"));
+        assert!(s.contains("1.0"));
+    }
+
+    #[test]
+    fn scatter_ignores_nan() {
+        let s = scatter_unit(&[(f64::NAN, 0.5)], 10, 5);
+        // Every grid row (the lines carrying a '|' axis) must be empty.
+        for line in s.lines().filter(|l| l.contains('|')) {
+            let grid = line.split_once('|').unwrap().1;
+            assert!(grid.chars().all(|c| c == ' '), "unexpected mark in {line:?}");
+        }
+    }
+
+    #[test]
+    fn frequency_map_shades_dense_cells() {
+        let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let labels = vec!["0".to_string(), "1".to_string()];
+        let m = frequency_map(&rows, &labels);
+        assert!(m.contains('@'));
+        assert!(m.lines().count() >= 4);
+    }
+
+    #[test]
+    fn ccdf_renders_legend_and_curve() {
+        let series = vec![(
+            "Defect".to_string(),
+            vec![(0.0, 1.0), (0.5, 0.5), (1.0, 0.0)],
+        )];
+        let s = ccdf_curves(&series, 30, 10);
+        assert!(s.contains("o Defect"));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let entries = vec![
+            ("BT".to_string(), 100.0, Some(5.0)),
+            ("Birds".to_string(), 50.0, None),
+        ];
+        let b = bars(&entries, 20);
+        let lines: Vec<&str> = b.lines().collect();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(count(lines[0]), 20);
+        assert_eq!(count(lines[1]), 10);
+        assert!(lines[0].contains("± 5.00"));
+    }
+
+    #[test]
+    fn bars_empty_input() {
+        assert_eq!(bars(&[], 10), "");
+    }
+
+    #[test]
+    fn shade_is_monotone() {
+        let max = 100;
+        let mut last = RAMP[0];
+        for c in [0, 1, 10, 50, 100] {
+            let s = shade(c, max);
+            let pos = |ch| RAMP.iter().position(|&r| r == ch).unwrap();
+            assert!(pos(s) >= pos(last));
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Complementary cumulative distribution functions.
+//!
+//! Figure 5 plots `P(X > x)` of robustness for each stranger policy. A
+//! CCDF here is the empirical curve: for each observed value `x`, the
+//! fraction of observations strictly greater than `x`.
+
+/// An empirical complementary CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ccdf {
+    /// Sorted distinct sample values.
+    xs: Vec<f64>,
+    /// `ps[i] = P(X > xs[i])`.
+    ps: Vec<f64>,
+}
+
+impl Ccdf {
+    /// Builds the empirical CCDF of a sample. NaNs are dropped.
+    #[must_use]
+    pub fn of(sample: &[f64]) -> Self {
+        let mut vals: Vec<f64> = sample.iter().copied().filter(|x| !x.is_nan()).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = vals.len();
+        let mut xs = Vec::new();
+        let mut ps = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = vals[i];
+            let mut j = i;
+            while j + 1 < n && vals[j + 1] == v {
+                j += 1;
+            }
+            xs.push(v);
+            // Strictly greater than v.
+            ps.push((n - 1 - j) as f64 / n as f64);
+            i = j + 1;
+        }
+        Self { xs, ps }
+    }
+
+    /// Evaluates `P(X > x)` at an arbitrary point (step function).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return f64::NAN;
+        }
+        // Number of sample values > x, via binary search over distinct values.
+        match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => self.ps[i],
+            Err(0) => 1.0,
+            Err(i) => self.ps[i - 1],
+        }
+    }
+
+    /// The curve as `(x, P(X > x))` points, suitable for plotting.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.xs.iter().copied().zip(self.ps.iter().copied()).collect()
+    }
+
+    /// Fraction of the sample strictly above a threshold — the headline
+    /// statistic of Figure 5 ("only When-needed protocols reach robustness
+    /// greater than 0.99").
+    #[must_use]
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        self.eval(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sample() {
+        let c = Ccdf::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 1.0);
+        assert_eq!(c.eval(1.0), 0.75);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 0.0);
+        assert_eq!(c.eval(9.0), 0.0);
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        let c = Ccdf::of(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(c.points().len(), 2);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(0.9), 1.0);
+    }
+
+    #[test]
+    fn nan_dropped_empty_is_nan() {
+        let c = Ccdf::of(&[f64::NAN]);
+        assert!(c.eval(0.0).is_nan());
+        let c = Ccdf::of(&[f64::NAN, 5.0]);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn curve_is_nonincreasing() {
+        let sample = [0.3, 0.9, 0.1, 0.5, 0.5, 0.99, 0.75];
+        let c = Ccdf::of(&sample);
+        let pts = c.points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn fraction_above_matches_count() {
+        let sample = [0.1, 0.5, 0.995, 0.999, 1.0];
+        let c = Ccdf::of(&sample);
+        assert!((c.fraction_above(0.99) - 3.0 / 5.0).abs() < 1e-12);
+        assert!((c.fraction_above(0.999) - 1.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Correlation coefficients.
+//!
+//! The paper uses Pearson's r three times: Figure 8 (robustness vs
+//! aggressiveness, r ≈ 0.96), the 50/50-vs-90/10 robustness validation
+//! (r ≈ 0.97, §4.3.2), and implicitly in the Figure 2 discussion. Spearman's
+//! rank correlation is provided as a robustness check on those claims (an
+//! extension beyond the paper).
+
+use crate::describe::mean;
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `NaN` if either sample has zero variance or fewer than two
+/// observations.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation: Pearson on the rank-transformed samples,
+/// with average ranks for ties.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) with ties sharing the mean of their positions.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_intermediate_value() {
+        // Hand-checked small sample.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&xs, &ys);
+        assert!((r - 0.8).abs() < 1e-12, "r={r}");
+    }
+
+    #[test]
+    fn zero_variance_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+        assert!(pearson(&[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_shift_invariant() {
+        let xs = [0.3, 1.7, 2.9, 0.1, 4.4];
+        let ys = [1.1, 0.2, 3.3, 2.4, 3.9];
+        let r = pearson(&xs, &ys);
+        assert!((pearson(&ys, &xs) - r).abs() < 1e-12);
+        let shifted: Vec<f64> = xs.iter().map(|x| 10.0 + 3.0 * x).collect();
+        assert!((pearson(&shifted, &ys) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+        assert_eq!(ranks(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

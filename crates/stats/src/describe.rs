@@ -1,0 +1,248 @@
+//! Descriptive statistics: means, variances, quantiles, summaries.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); `NaN` for fewer than two
+/// observations.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population variance (n denominator); `NaN` for an empty slice.
+///
+/// The paper quotes "maximum variance in the runs" for performance and
+/// robustness (§4.4) — a population-style spread over a fixed set of runs.
+#[must_use]
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean.
+#[must_use]
+pub fn std_error(xs: &[f64]) -> f64 {
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Minimum over a slice, ignoring NaNs; `NaN` if empty.
+#[must_use]
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::NAN, |a, b| if a.is_nan() || b < a { b } else { a })
+}
+
+/// Maximum over a slice, ignoring NaNs; `NaN` if empty.
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::NAN, |a, b| if a.is_nan() || b > a { b } else { a })
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default).
+///
+/// `q` is clamped to `[0, 1]`. Returns `NaN` for an empty slice.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Min/max normalization of a slice into `[0, 1]`.
+///
+/// This is how the paper normalizes Performance "over the entire protocol
+/// design space" so that the best protocol scores 1. If all values are
+/// equal the result is all zeros (there is no spread to express).
+#[must_use]
+pub fn normalize_unit(xs: &[f64]) -> Vec<f64> {
+    let lo = min(xs);
+    let hi = max(xs);
+    let span = hi - lo;
+    if !(span > 0.0) {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / span).collect()
+}
+
+/// Normalization by the maximum (best = 1, preserving zero).
+///
+/// Matches the paper's convention "P = 1 indicates the best performance";
+/// zero throughput maps to zero rather than to the minimum observed.
+#[must_use]
+pub fn normalize_by_max(xs: &[f64]) -> Vec<f64> {
+    let hi = max(xs);
+    if !(hi > 0.0) {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x / hi).clamp(0.0, 1.0)).collect()
+}
+
+/// A five-number-plus-moments summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: min(xs),
+            q1: quantile(xs, 0.25),
+            median: median(xs),
+            q3: quantile(xs, 0.75),
+            max: max(xs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_clamps() {
+        let xs = [5.0, 10.0];
+        assert_eq!(quantile(&xs, -1.0), 5.0);
+        assert_eq!(quantile(&xs, 2.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn normalize_unit_spans() {
+        let xs = [2.0, 4.0, 6.0];
+        assert_eq!(normalize_unit(&xs), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_constant_input() {
+        assert_eq!(normalize_unit(&[3.0, 3.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize_unit(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn normalize_by_max_preserves_zero() {
+        let xs = [0.0, 5.0, 10.0];
+        assert_eq!(normalize_by_max(&xs), vec![0.0, 0.5, 1.0]);
+        assert_eq!(normalize_by_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn std_error_scales_with_n() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let se = std_error(&xs);
+        assert!((se - std_dev(&xs) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+    }
+}

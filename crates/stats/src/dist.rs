@@ -1,0 +1,167 @@
+//! Probability distributions: Student-t and standard normal.
+//!
+//! Table 3 reports t-values and flags terms significant at p < 0.001;
+//! Figures 9–10 use 95% confidence intervals over ≥10 runs. Both need the
+//! Student-t CDF and its inverse (quantile), built here on the regularized
+//! incomplete beta function.
+
+use crate::special::{beta_inc, erf};
+
+/// CDF of the standard normal distribution.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df <= 0`.
+#[must_use]
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_cdf requires df > 0, got {df}");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided p-value for a t-statistic with `df` degrees of freedom:
+/// `P(|T| >= |t|)`.
+#[must_use]
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_two_sided_p requires df > 0");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    beta_inc(df / 2.0, 0.5, x).min(1.0)
+}
+
+/// Quantile (inverse CDF) of the Student-t distribution, by bisection on
+/// the CDF. Accuracy ~1e-10, more than enough for confidence intervals.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `p` is outside `(0, 1)`.
+#[must_use]
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_quantile requires df > 0");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "student_t_quantile requires p in (0,1), got {p}"
+    );
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    // Bracket: t quantiles for p in (1e-12, 1-1e-12) and df >= 1 are well
+    // within ±1e8.
+    let (mut lo, mut hi) = (-1e8, 1e8);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * (1.0 + mid.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        // Bounded by the ~1e-7 error of the erf approximation.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_cdf_symmetry() {
+        for df in [1.0, 5.0, 30.0] {
+            for t in [0.3, 1.0, 2.5] {
+                let a = student_t_cdf(t, df);
+                let b = student_t_cdf(-t, df);
+                assert!((a + b - 1.0).abs() < 1e-10, "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_cdf_df1_is_cauchy() {
+        // For df=1 the t distribution is Cauchy: CDF = 1/2 + atan(t)/π.
+        for t in [-3.0f64, -0.5, 0.0, 1.0, 4.0] {
+            let want = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((student_t_cdf(t, 1.0) - want).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn t_cdf_converges_to_normal() {
+        for t in [-2.0, -1.0, 0.5, 1.5] {
+            let tcdf = student_t_cdf(t, 1e6);
+            assert!((tcdf - normal_cdf(t)).abs() < 1e-4, "t={t}");
+        }
+    }
+
+    #[test]
+    fn t_cdf_infinite_arguments() {
+        assert_eq!(student_t_cdf(f64::INFINITY, 5.0), 1.0);
+        assert_eq!(student_t_cdf(f64::NEG_INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    fn two_sided_p_matches_cdf_tails() {
+        for df in [3.0, 10.0, 100.0] {
+            for t in [0.5, 1.5, 3.0] {
+                let p = student_t_two_sided_p(t, df);
+                let want = 2.0 * (1.0 - student_t_cdf(t, df));
+                assert!((p - want).abs() < 1e-9, "df={df} t={t}: {p} vs {want}");
+                // Symmetric in t.
+                assert!((student_t_two_sided_p(-t, df) - p).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for df in [2.0, 9.0, 49.0] {
+            for p in [0.025, 0.5, 0.975, 0.999] {
+                let q = student_t_quantile(p, df);
+                assert!((student_t_cdf(q, df) - p).abs() < 1e-8, "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_known_critical_values() {
+        // Standard table: t_{0.975, 9} = 2.262, t_{0.975, 49} ≈ 2.010.
+        assert!((student_t_quantile(0.975, 9.0) - 2.262).abs() < 1e-3);
+        assert!((student_t_quantile(0.975, 49.0) - 2.010).abs() < 2e-3);
+        // Median is zero.
+        assert_eq!(student_t_quantile(0.5, 7.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_p_one() {
+        let _ = student_t_quantile(1.0, 5.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Design-matrix encoding: dummy variables and standardization.
+//!
+//! Table 3 regresses the PRA measures on the design dimensions: numerical
+//! `h` and `k` enter as standardized logs (the paper's `log(h̃)`,
+//! `log(k̃)`), while the categorical policies (stranger B, candidate C,
+//! ranking I, allocation R) are "substituted by dummy variables" with the
+//! first actualization as the baseline (the table has no B1/C1/I1/R1 rows).
+
+/// Z-score standardization: `(x − mean) / std`, using the sample standard
+/// deviation. If the spread is zero the column is returned as all zeros.
+#[must_use]
+pub fn standardize(xs: &[f64]) -> Vec<f64> {
+    let m = crate::describe::mean(xs);
+    let s = crate::describe::std_dev(xs);
+    if !(s > 0.0) {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// The paper's `log(x̃)` transform for the slot counts `h` and `k`:
+/// `log(x + 1)` (the space legitimately contains h = 0 and k = 0
+/// protocols), then z-scored.
+#[must_use]
+pub fn log1p_standardized(xs: &[f64]) -> Vec<f64> {
+    let logged: Vec<f64> = xs.iter().map(|x| (x + 1.0).ln()).collect();
+    standardize(&logged)
+}
+
+/// Dummy coding for a categorical column with `levels` levels.
+///
+/// Returns `levels − 1` indicator columns; level 0 is the baseline and has
+/// no column (all its indicators are zero). Column `j` is the indicator for
+/// level `j + 1`.
+///
+/// # Panics
+///
+/// Panics if `levels < 1` or any observation is out of range.
+#[must_use]
+pub fn dummy_code(values: &[usize], levels: usize) -> Vec<Vec<f64>> {
+    assert!(levels >= 1, "dummy_code: need at least one level");
+    let mut cols = vec![vec![0.0; values.len()]; levels - 1];
+    for (row, &v) in values.iter().enumerate() {
+        assert!(v < levels, "dummy_code: value {v} out of {levels} levels");
+        if v > 0 {
+            cols[v - 1][row] = 1.0;
+        }
+    }
+    cols
+}
+
+/// A named column for assembling regression design matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedColumn {
+    /// Column label, e.g. `"log(k~)"` or `"B3"`.
+    pub name: String,
+    /// Column values, one per observation.
+    pub values: Vec<f64>,
+}
+
+impl NamedColumn {
+    /// Creates a named column.
+    #[must_use]
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// Builds named dummy columns for a categorical variable.
+///
+/// `level_names` must contain one name per level; the first level is the
+/// baseline and gets no column.
+///
+/// # Panics
+///
+/// Panics if `level_names` is empty or observations are out of range.
+#[must_use]
+pub fn dummy_columns(values: &[usize], level_names: &[&str]) -> Vec<NamedColumn> {
+    let cols = dummy_code(values, level_names.len());
+    cols.into_iter()
+        .enumerate()
+        .map(|(j, col)| NamedColumn::new(level_names[j + 1], col))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardize_has_zero_mean_unit_sd() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let z = standardize(&xs);
+        let m = crate::describe::mean(&z);
+        let s = crate::describe::std_dev(&z);
+        assert!(m.abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_column_is_zero() {
+        assert_eq!(standardize(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn log1p_standardized_handles_zero() {
+        let xs = [0.0, 1.0, 3.0, 9.0];
+        let z = log1p_standardized(&xs);
+        assert_eq!(z.len(), 4);
+        assert!(z.iter().all(|v| v.is_finite()));
+        // Monotone in the input.
+        assert!(z.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dummy_code_baseline_is_all_zero() {
+        let values = [0usize, 1, 2, 0, 2];
+        let cols = dummy_code(&values, 3);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], vec![0.0, 1.0, 0.0, 0.0, 0.0]); // level 1
+        assert_eq!(cols[1], vec![0.0, 0.0, 1.0, 0.0, 1.0]); // level 2
+    }
+
+    #[test]
+    fn dummy_code_single_level_yields_no_columns() {
+        let cols = dummy_code(&[0, 0, 0], 1);
+        assert!(cols.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn dummy_code_rejects_out_of_range() {
+        let _ = dummy_code(&[3], 3);
+    }
+
+    #[test]
+    fn dummy_columns_are_named_after_non_baseline_levels() {
+        let values = [0usize, 1, 2];
+        let cols = dummy_columns(&values, &["B1", "B2", "B3"]);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].name, "B2");
+        assert_eq!(cols[1].name, "B3");
+        assert_eq!(cols[1].values, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn each_row_has_at_most_one_indicator_set() {
+        let values = [2usize, 1, 0, 2, 1, 1];
+        let cols = dummy_code(&values, 3);
+        for row in 0..values.len() {
+            let set: f64 = cols.iter().map(|c| c[row]).sum();
+            assert!(set <= 1.0);
+            assert_eq!(set == 0.0, values[row] == 0);
+        }
+    }
+}

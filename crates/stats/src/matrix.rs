@@ -1,0 +1,440 @@
+//! Dense column-major matrices with just enough linear algebra for OLS.
+//!
+//! The regression in Table 3 has ~3270 rows and 13 columns, so the normal
+//! equations `XᵀX β = Xᵀy` with a Cholesky solve are numerically entirely
+//! adequate (the design matrix is dummy-coded and standardized; its Gram
+//! matrix is well conditioned). We keep the implementation deliberately
+//! small and well tested rather than general.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `f64`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_rows: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds a matrix whose rows are the given slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or there are no rows.
+    #[must_use]
+    pub fn from_row_slices(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_row_slices: no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of one row.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * self`, the Gram matrix, computed without materializing the
+    /// transpose (the hot operation of OLS).
+    #[must_use]
+    pub fn gram(&self) -> Self {
+        let mut g = Self::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * v` for a vector `v` of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    #[must_use]
+    pub fn t_vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "t_vec_mul: vector length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let vr = v[r];
+            if vr == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x * vr;
+            }
+        }
+        out
+    }
+
+    /// `self * v` for a vector `v` of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    #[must_use]
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vec_mul: vector length mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Cholesky factorization `self = L Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower-triangular factor, or `None` if the matrix
+    /// is not (numerically) positive definite.
+    #[must_use]
+    pub fn cholesky(&self) -> Option<Self> {
+        assert_eq!(self.rows, self.cols, "cholesky: matrix must be square");
+        let n = self.rows;
+        let mut l = Self::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solves `self * x = b` for symmetric positive-definite `self` via
+    /// Cholesky. Returns `None` if the factorization fails.
+    #[must_use]
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let l = self.cholesky()?;
+        Some(l.cholesky_solve(b))
+    }
+
+    /// Inverse of a symmetric positive-definite matrix via Cholesky.
+    #[must_use]
+    pub fn inverse_spd(&self) -> Option<Self> {
+        let l = self.cholesky()?;
+        let n = self.rows;
+        let mut inv = Self::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = l.cholesky_solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Some(inv)
+    }
+
+    /// Given the lower Cholesky factor `L` (self), solves `L Lᵀ x = b` by
+    /// forward then backward substitution.
+    fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        debug_assert_eq!(b.len(), n);
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * y[k];
+            }
+            y[i] = sum / self[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3[(0, 0)], 1.0);
+        assert_eq!(i3[(0, 1)], 0.0);
+        assert_eq!(i3.rows(), 3);
+        assert_eq!(i3.cols(), 3);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(2, 2, &[19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(2, 3, &[1.0, -2.0, 0.5, 3.0, 4.0, -1.0]);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn gram_equals_explicit_transpose_product() {
+        let m = Matrix::from_rows(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 0.5, 0.5, 2.0, -2.0, 0.0]);
+        let explicit = m.transpose().matmul(&m);
+        assert!(m.gram().max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn t_vec_mul_matches_transpose_matmul() {
+        let m = Matrix::from_rows(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = [1.0, -1.0, 2.0];
+        let got = m.t_vec_mul(&v);
+        assert_eq!(got, vec![1.0 - 3.0 + 10.0, 2.0 - 4.0 + 12.0]);
+    }
+
+    #[test]
+    fn vec_mul_basic() {
+        let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.vec_mul(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // [[4, 2], [2, 3]] = L Lᵀ with L = [[2, 0], [1, sqrt(2)]].
+        let m = Matrix::from_rows(2, 2, &[4.0, 2.0, 2.0, 3.0]);
+        let l = m.cholesky().expect("SPD");
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        assert!(m.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.vec_mul(&x_true);
+        let x = a.solve_spd(&b).expect("solvable");
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_spd_times_self_is_identity() {
+        let a = Matrix::from_rows(3, 3, &[5.0, 1.0, 1.0, 1.0, 4.0, 0.5, 1.0, 0.5, 3.0]);
+        let inv = a.inverse_spd().expect("SPD");
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn from_row_slices_builds() {
+        let m = Matrix::from_row_slices(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn display_formats_rows() {
+        let m = Matrix::identity(2);
+        let s = format!("{m}");
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Nonparametric significance tests.
+//!
+//! Figures 9–10 make significance claims from overlapping/non-overlapping
+//! 95% confidence intervals. Download-time distributions are skewed, so
+//! the harness backs those claims with a Mann-Whitney U test (a.k.a.
+//! Wilcoxon rank-sum) — the standard distribution-free two-sample test —
+//! using the normal approximation with tie correction (sample sizes here
+//! are ≥ 10 runs, where the approximation is accurate).
+
+use crate::dist::normal_cdf;
+
+/// Result of a two-sided Mann-Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Standardized z value under H0.
+    pub z: f64,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+}
+
+/// Runs the test on two independent samples.
+///
+/// Returns `None` when either sample is empty or all values are tied
+/// (no ordering information).
+#[must_use]
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
+    let n1 = xs.len();
+    let n2 = ys.len();
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    // Joint ranking with average ranks for ties.
+    let mut all: Vec<(f64, usize)> = xs
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(ys.iter().map(|&v| (v, 1usize)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let n = all.len();
+    let mut rank_sum_x = 0.0;
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let count = (j - i + 1) as f64;
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &all[i..=j] {
+            if item.1 == 0 {
+                rank_sum_x += avg_rank;
+            }
+        }
+        tie_correction += count * count * count - count;
+        i = j + 1;
+    }
+
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u = rank_sum_x - n1f * (n1f + 1.0) / 2.0;
+    let mean_u = n1f * n2f / 2.0;
+    let nf = n as f64;
+    let variance =
+        n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    if variance <= 0.0 {
+        return None; // every observation tied
+    }
+    let z = (u - mean_u) / variance.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(MannWhitney {
+        u,
+        z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Convenience: whether the two samples differ at the given significance
+/// level (two-sided). Ties or empty samples report `false`.
+#[must_use]
+pub fn significantly_different(xs: &[f64], ys: &[f64], alpha: f64) -> bool {
+    mann_whitney_u(xs, ys).is_some_and(|t| t.p_value < alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_shifted_samples_are_significant() {
+        let xs: Vec<f64> = (0..20).map(|i| 10.0 + f64::from(i)).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 100.0 + f64::from(i)).collect();
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(t.p_value < 1e-6, "p={}", t.p_value);
+        assert!(significantly_different(&xs, &ys, 0.05));
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        let xs: Vec<f64> = (0..30).map(|i| f64::from(i % 10)).collect();
+        let ys = xs.clone();
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(t.p_value > 0.9, "p={}", t.p_value);
+        assert!(!significantly_different(&xs, &ys, 0.05));
+    }
+
+    #[test]
+    fn symmetric_in_samples() {
+        let xs = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let a = mann_whitney_u(&xs, &ys).unwrap();
+        let b = mann_whitney_u(&ys, &xs).unwrap();
+        assert!((a.p_value - b.p_value).abs() < 1e-10);
+        assert!((a.z + b.z).abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_statistic_known_small_case() {
+        // xs = {1,2}, ys = {3,4}: xs ranks = 1,2 ⇒ U = 3 − 3 = 0.
+        let t = mann_whitney_u(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(t.u, 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+        // All tied: no variance, no decision.
+        assert!(mann_whitney_u(&[5.0, 5.0], &[5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn moderate_overlap_is_borderline() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(t.p_value > 0.01 && t.p_value < 0.5, "p={}", t.p_value);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the numerical kernels.
+
+use dsa_stats::dist::{student_t_cdf, student_t_quantile, student_t_two_sided_p};
+use dsa_stats::matrix::Matrix;
+use dsa_stats::special::{beta_inc, erf, ln_gamma};
+use proptest::prelude::*;
+
+proptest! {
+    /// Cholesky-based solves actually solve: ‖Ax − b‖ small for random
+    /// SPD matrices A = MᵀM + I.
+    #[test]
+    fn spd_solve_residual(entries in proptest::collection::vec(-3.0f64..3.0, 16), b in proptest::collection::vec(-10.0f64..10.0, 4)) {
+        let m = Matrix::from_rows(4, 4, &entries);
+        let mut a = m.gram();
+        for i in 0..4 {
+            a[(i, i)] += 1.0; // guarantee positive definiteness
+        }
+        let x = a.solve_spd(&b).expect("SPD by construction");
+        let ax = a.vec_mul(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6, "residual {} vs {}", l, r);
+        }
+    }
+
+    /// The SPD inverse really inverts.
+    #[test]
+    fn spd_inverse_identity(entries in proptest::collection::vec(-2.0f64..2.0, 9)) {
+        let m = Matrix::from_rows(3, 3, &entries);
+        let mut a = m.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let inv = a.inverse_spd().expect("SPD");
+        let prod = a.matmul(&inv);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-8);
+    }
+
+    /// ln_gamma satisfies the recurrence Γ(x+1) = xΓ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x={}", x);
+    }
+
+    /// The regularized incomplete beta stays in [0,1] and respects its
+    /// symmetry identity.
+    #[test]
+    fn beta_inc_bounds_and_symmetry(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..1.0) {
+        let v = beta_inc(a, b, x);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        let sym = 1.0 - beta_inc(b, a, 1.0 - x);
+        prop_assert!((v - sym).abs() < 1e-8);
+    }
+
+    /// erf is odd and bounded.
+    #[test]
+    fn erf_odd_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0 + 1e-12);
+    }
+
+    /// The t CDF is monotone in its argument.
+    #[test]
+    fn t_cdf_monotone(df in 1.0f64..100.0, a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(student_t_cdf(lo, df) <= student_t_cdf(hi, df) + 1e-12);
+    }
+
+    /// Quantile inverts the CDF across the usable range.
+    #[test]
+    fn t_quantile_inverts(df in 1.0f64..60.0, p in 0.01f64..0.99) {
+        let q = student_t_quantile(p, df);
+        prop_assert!((student_t_cdf(q, df) - p).abs() < 1e-6);
+    }
+
+    /// Two-sided p-values live in [0,1] and shrink with |t|.
+    #[test]
+    fn p_value_monotone_in_t(df in 1.0f64..60.0, t1 in 0.0f64..6.0, t2 in 0.0f64..6.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let p_lo = student_t_two_sided_p(lo, df);
+        let p_hi = student_t_two_sided_p(hi, df);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!(p_hi <= p_lo + 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Plugs the cycle simulator into the DSA framework.
+
+use crate::engine::{run, SimConfig};
+use crate::protocol::SwarmProtocol;
+use dsa_core::sim::EncounterSim;
+
+/// The file-swarming domain as an [`EncounterSim`], ready for
+/// [`dsa_core::pra::quantify`].
+#[derive(Debug, Clone)]
+pub struct SwarmSim {
+    /// Simulation parameters shared by every run of the sweep.
+    pub config: SimConfig,
+}
+
+impl SwarmSim {
+    /// Creates the adapter with the paper's §4.3.1 parameters.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Creates the adapter with the reduced laptop-scale parameters.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            config: SimConfig::fast(),
+        }
+    }
+}
+
+impl EncounterSim for SwarmSim {
+    type Protocol = SwarmProtocol;
+
+    fn run_homogeneous(&self, protocol: &SwarmProtocol, seed: u64) -> f64 {
+        let assignment = vec![0usize; self.config.peers];
+        run(&[*protocol], &assignment, &self.config, seed).throughput
+    }
+
+    fn run_encounter(
+        &self,
+        a: &SwarmProtocol,
+        b: &SwarmProtocol,
+        fraction_a: f64,
+        seed: u64,
+    ) -> (f64, f64) {
+        let n = self.config.peers;
+        // At least one peer on each side; the paper's splits (50/50, 10/90,
+        // 90/10) land exactly on integers for n = 50.
+        let count_a = ((fraction_a * n as f64).round() as usize).clamp(1, n - 1);
+        let assignment: Vec<usize> = (0..n).map(|i| usize::from(i >= count_a)).collect();
+        let out = run(&[*a, *b], &assignment, &self.config, seed);
+        (out.group_means[0], out.group_means[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use dsa_workloads::bandwidth::BandwidthDist;
+    use dsa_workloads::churn::ChurnModel;
+
+    fn sim() -> SwarmSim {
+        SwarmSim {
+            config: SimConfig {
+                peers: 20,
+                rounds: 80,
+                bandwidth: BandwidthDist::Constant(10.0),
+                churn: ChurnModel::None,
+                aspiration_gain: 0.1,
+                stratified_bandwidth: true,
+            },
+        }
+    }
+
+    #[test]
+    fn homogeneous_matches_engine() {
+        let s = sim();
+        let via_trait = s.run_homogeneous(&presets::bittorrent(), 5);
+        let direct = run(
+            &[presets::bittorrent()],
+            &vec![0; s.config.peers],
+            &s.config,
+            5,
+        )
+        .throughput;
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn encounter_splits_population() {
+        let s = sim();
+        let (coop, free) = s.run_encounter(&presets::bittorrent(), &presets::freerider(), 0.5, 6);
+        assert!(coop.is_finite() && free.is_finite());
+        assert!(coop > free, "cooperators should beat freeriders");
+    }
+
+    #[test]
+    fn extreme_fractions_keep_one_peer() {
+        let s = sim();
+        // fraction so small it would round to zero peers.
+        let (a, b) = s.run_encounter(&presets::bittorrent(), &presets::bittorrent(), 0.001, 7);
+        assert!(a.is_finite());
+        assert!(b.is_finite());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = sim();
+        let x = s.run_encounter(&presets::birds(), &presets::bittorrent(), 0.5, 11);
+        let y = s.run_encounter(&presets::birds(), &presets::bittorrent(), 0.5, 11);
+        assert_eq!(x, y);
+    }
+}

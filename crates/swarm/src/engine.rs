@@ -1,0 +1,565 @@
+//! The cycle-based simulation engine (§4.3.1).
+//!
+//! Time is rounds. Each round every peer, based on *last* round's
+//! interactions (all decisions are simultaneous):
+//!
+//! 1. builds its candidate list (C1: peers that contacted it last round;
+//!    C2: in either of the last two rounds),
+//! 2. ranks candidates (I1–I6) and selects its top `k` as partners,
+//! 3. contacts strangers per its stranger policy (B1/B2/B3, `h` slots),
+//! 4. divides its upload capacity: the capacity is split into per-slot
+//!    quanta `capacity / reserved_slots`; partners receive quanta per the
+//!    allocation policy (R1–R3), cooperating strangers receive one quantum
+//!    each. **Unfilled slots waste their quantum** — the utilization
+//!    mechanism behind the paper's low-`k`-wins-performance finding.
+//!
+//! Downloads are tallied, loyalty streaks and adaptive aspirations are
+//! updated, then churn (if any) replaces departing peers with fresh ones.
+
+use crate::history::{Ledger, Loyalty};
+use crate::protocol::{Allocation, CandidateList, Ranking, StrangerPolicy, SwarmProtocol};
+use dsa_workloads::bandwidth::BandwidthDist;
+use dsa_workloads::churn::ChurnModel;
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling;
+
+/// Simulation parameters (§4.3.1 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Population size (paper: 50, "a good approximation of an average
+    /// BitTorrent swarm-size").
+    pub peers: usize,
+    /// Number of rounds (paper: 500).
+    pub rounds: usize,
+    /// Upload-capacity distribution (paper: Piatek et al.).
+    pub bandwidth: BandwidthDist,
+    /// Churn process (paper default: none; §4.4 re-runs with 0.01/0.1).
+    pub churn: ChurnModel,
+    /// Multiplicative step of the adaptive aspiration level (I4).
+    pub aspiration_gain: f64,
+    /// Draw the population's capacities deterministically at the
+    /// distribution's n-quantiles (shuffled over peer slots per run)
+    /// instead of i.i.d. sampling. This mirrors the paper's testbed — one
+    /// fixed 50-host bandwidth assignment — and removes capacity-luck
+    /// variance that would otherwise swamp protocol effects under the
+    /// heavy-tailed Piatek distribution (the paper reports per-protocol
+    /// performance variance of only 0.0014, which implies a fixed
+    /// population).
+    pub stratified_bandwidth: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            peers: 50,
+            rounds: 500,
+            bandwidth: BandwidthDist::Piatek,
+            churn: ChurnModel::None,
+            aspiration_gain: 0.1,
+            stratified_bandwidth: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A reduced-scale configuration for tests and laptop sweeps: fewer
+    /// rounds, same population. The transient dynamics that decide the
+    /// orderings play out well within 150 rounds.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            rounds: 150,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Mean download per round, per peer slot.
+    pub utilities: Vec<f64>,
+    /// Upload capacity per peer slot (for class-based analyses).
+    pub capacities: Vec<f64>,
+    /// Protocol-group index per peer slot.
+    pub assignment: Vec<usize>,
+    /// Mean of `utilities` — the population throughput.
+    pub throughput: f64,
+    /// Mean utility per protocol group (NaN for empty groups).
+    pub group_means: Vec<f64>,
+}
+
+/// Per-peer mutable state outside the ledgers.
+struct PeerState {
+    capacity: f64,
+    /// The per-slot bandwidth quantum (capacity / reserved slots).
+    quantum: f64,
+    /// Aspiration level for the I4 ranking.
+    aspiration: f64,
+    /// Last round's total download (drives aspiration adaptation).
+    last_download: f64,
+    /// Remaining session length (session churn only).
+    session: f64,
+}
+
+/// Runs the simulator.
+///
+/// `assignment[i]` selects which of `protocols` peer slot `i` executes.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics on an empty/too-small population or inconsistent assignment.
+pub fn run(
+    protocols: &[SwarmProtocol],
+    assignment: &[usize],
+    config: &SimConfig,
+    seed: u64,
+) -> RunOutcome {
+    let n = config.peers;
+    assert!(n >= 2, "need at least two peers");
+    assert_eq!(assignment.len(), n, "assignment must cover every peer");
+    assert!(!protocols.is_empty(), "need at least one protocol");
+    assert!(
+        assignment.iter().all(|&a| a < protocols.len()),
+        "assignment references missing protocol"
+    );
+    assert!(config.rounds > 0, "need at least one round");
+
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let capacities: Vec<f64> = if config.stratified_bandwidth {
+        // Fixed population at the distribution's quantiles; placement is
+        // shuffled per run so mixed-population groups are capacity-fair.
+        let mut v = config.bandwidth.stratified_n(n);
+        sampling::shuffle(&mut v, &mut rng);
+        v
+    } else {
+        config.bandwidth.sample_n(n, &mut rng)
+    };
+    let mut peers: Vec<PeerState> = (0..n)
+        .map(|i| {
+            let capacity = capacities[i];
+            let proto = &protocols[assignment[i]];
+            let quantum = capacity / f64::from(proto.reserved_slots());
+            PeerState {
+                capacity,
+                quantum,
+                aspiration: quantum,
+                last_download: 0.0,
+                session: config.churn.initial_session(&mut rng),
+            }
+        })
+        .collect();
+
+    let mut prev = Ledger::new(n);
+    let mut prev2 = Ledger::new(n);
+    let mut next = Ledger::new(n);
+    let mut loyalty = Loyalty::new(n);
+    let mut total_download = vec![0.0f64; n];
+    // Last round's selected partner sets. When a peer learns nothing new
+    // (empty candidate list) it keeps these selections — BitTorrent does
+    // not drop unchokes in the absence of new information, and this is
+    // what lets a displaced Sort-Slowest peer re-enter within one round
+    // (§4.4's "peers rarely find themselves without a fully occupied
+    // partner set").
+    let mut prev_partners: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // Reusable scratch buffers.
+    let mut candidates: Vec<usize> = Vec::with_capacity(n);
+    let mut values: Vec<f64> = Vec::with_capacity(n);
+    let mut selected = vec![false; n];
+
+    for _round in 0..config.rounds {
+        next.clear();
+
+        for i in 0..n {
+            let proto = &protocols[assignment[i]];
+            let k = usize::from(proto.partner_slots);
+            let h = usize::from(proto.stranger_slots);
+            let remembers_two = proto.candidates == CandidateList::Tf2t;
+
+            // 1. Candidate list: peers that contacted me within my window.
+            candidates.clear();
+            values.clear();
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                if prev.contacted(i, j) {
+                    candidates.push(j);
+                    values.push(prev.amount(i, j));
+                } else if remembers_two && prev2.contacted(i, j) {
+                    candidates.push(j);
+                    values.push(prev2.amount(i, j));
+                }
+            }
+            // No new information: keep last round's selections as
+            // candidates (at their observed — possibly zero — rates).
+            if candidates.is_empty() && !prev_partners[i].is_empty() {
+                for &j in &prev_partners[i] {
+                    candidates.push(j);
+                    values.push(prev.amount(i, j));
+                }
+            }
+
+            // 2. Rank and select up to k partners.
+            let partner_count = k.min(candidates.len());
+            let order: Vec<usize> = if k == 0 || candidates.is_empty() {
+                Vec::new()
+            } else {
+                match proto.ranking {
+                    Ranking::Fastest => sampling::rank_indices(&values, false),
+                    Ranking::Slowest => sampling::rank_indices(&values, true),
+                    Ranking::Proximity => {
+                        let me = peers[i].quantum;
+                        let d: Vec<f64> = values.iter().map(|v| (v - me).abs()).collect();
+                        sampling::rank_indices(&d, true)
+                    }
+                    Ranking::Adaptive => {
+                        let asp = peers[i].aspiration;
+                        let d: Vec<f64> = values.iter().map(|v| (v - asp).abs()).collect();
+                        sampling::rank_indices(&d, true)
+                    }
+                    Ranking::Loyal => {
+                        let s: Vec<f64> = candidates
+                            .iter()
+                            .map(|&j| f64::from(loyalty.streak(i, j)))
+                            .collect();
+                        sampling::rank_indices(&s, false)
+                    }
+                    Ranking::Random => {
+                        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+                        sampling::shuffle(&mut idx, &mut rng);
+                        idx
+                    }
+                }
+            };
+
+            selected.fill(false);
+            let mut partners: Vec<(usize, f64)> = Vec::with_capacity(partner_count);
+            for &ci in order.iter().take(partner_count) {
+                let j = candidates[ci];
+                selected[j] = true;
+                partners.push((j, values[ci]));
+            }
+
+            // 3. Stranger contacts.
+            let stranger_quota = match proto.stranger_policy {
+                _ if h == 0 => 0,
+                StrangerPolicy::Periodic | StrangerPolicy::Defect => h,
+                StrangerPolicy::WhenNeeded => {
+                    if partners.len() < k {
+                        h.min(k - partners.len())
+                    } else {
+                        0
+                    }
+                }
+            };
+            let strangers: Vec<usize> = if stranger_quota == 0 {
+                Vec::new()
+            } else {
+                // Eligible: not me, not selected, outside my memory window.
+                let eligible: Vec<usize> = (0..n)
+                    .filter(|&j| {
+                        j != i
+                            && !selected[j]
+                            && !prev.contacted(i, j)
+                            && !(remembers_two && prev2.contacted(i, j))
+                    })
+                    .collect();
+                sampling::sample_indices(eligible.len(), stranger_quota, &mut rng)
+                    .into_iter()
+                    .map(|e| eligible[e])
+                    .collect()
+            };
+
+            // 4. Allocation over per-slot quanta.
+            let q = peers[i].quantum;
+            match proto.allocation {
+                Allocation::EqualSplit => {
+                    for &(j, _) in &partners {
+                        next.record(j, i, q);
+                    }
+                }
+                Allocation::PropShare => {
+                    let budget = q * partners.len() as f64;
+                    let total: f64 = partners.iter().map(|&(_, v)| v).sum();
+                    if total > 0.0 {
+                        for &(j, v) in &partners {
+                            next.record(j, i, budget * v / total);
+                        }
+                    } else {
+                        // Nothing received last round ⇒ nothing proportional
+                        // to give — the bootstrap failure the paper notes.
+                        for &(j, _) in &partners {
+                            next.record(j, i, 0.0);
+                        }
+                    }
+                }
+                Allocation::Freeride => {
+                    for &(j, _) in &partners {
+                        next.record(j, i, 0.0);
+                    }
+                }
+            }
+            let stranger_amount = match proto.stranger_policy {
+                StrangerPolicy::Defect => 0.0,
+                StrangerPolicy::Periodic | StrangerPolicy::WhenNeeded => q,
+            };
+            for &j in &strangers {
+                next.record(j, i, stranger_amount);
+            }
+
+            prev_partners[i].clear();
+            prev_partners[i].extend(partners.iter().map(|&(j, _)| j));
+        }
+
+        // Tally downloads, update adaptive state.
+        for i in 0..n {
+            let dl = next.received_total(i);
+            total_download[i] += dl;
+            let p = &mut peers[i];
+            if dl >= p.last_download {
+                p.aspiration *= 1.0 + config.aspiration_gain;
+            } else {
+                p.aspiration *= 1.0 - config.aspiration_gain;
+            }
+            p.aspiration = p.aspiration.clamp(1e-3, p.capacity * 2.0 + 1e-3);
+            p.last_download = dl;
+        }
+        loyalty.update(&next);
+
+        // Rotate ledgers: next becomes prev, prev becomes prev2.
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut next);
+
+        // Churn: replace departing peers with fresh ones.
+        if !config.churn.is_none() {
+            for i in 0..n {
+                peers[i].session -= 1.0;
+                if config.churn.departs(peers[i].session, &mut rng) {
+                    prev.forget_peer(i);
+                    prev2.forget_peer(i);
+                    loyalty.forget_peer(i);
+                    prev_partners[i].clear();
+                    for partners in prev_partners.iter_mut() {
+                        partners.retain(|&j| j != i);
+                    }
+                    let capacity = config.bandwidth.sample(&mut rng);
+                    let proto = &protocols[assignment[i]];
+                    let quantum = capacity / f64::from(proto.reserved_slots());
+                    peers[i] = PeerState {
+                        capacity,
+                        quantum,
+                        aspiration: quantum,
+                        last_download: 0.0,
+                        session: config.churn.initial_session(&mut rng),
+                    };
+                }
+            }
+        }
+    }
+
+    let utilities: Vec<f64> = total_download
+        .iter()
+        .map(|&d| d / config.rounds as f64)
+        .collect();
+    let throughput = utilities.iter().sum::<f64>() / n as f64;
+    let mut group_sum = vec![0.0f64; protocols.len()];
+    let mut group_count = vec![0usize; protocols.len()];
+    for (i, &g) in assignment.iter().enumerate() {
+        group_sum[g] += utilities[i];
+        group_count[g] += 1;
+    }
+    let group_means: Vec<f64> = group_sum
+        .iter()
+        .zip(&group_count)
+        .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+        .collect();
+
+    RunOutcome {
+        utilities,
+        capacities: peers.iter().map(|p| p.capacity).collect(),
+        assignment: assignment.to_vec(),
+        throughput,
+        group_means,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn small() -> SimConfig {
+        SimConfig {
+            peers: 20,
+            rounds: 100,
+            bandwidth: BandwidthDist::Constant(10.0),
+            churn: ChurnModel::None,
+            aspiration_gain: 0.1,
+            stratified_bandwidth: true,
+        }
+    }
+
+    fn homogeneous(p: SwarmProtocol, config: &SimConfig, seed: u64) -> RunOutcome {
+        run(&[p], &vec![0; config.peers], config, seed)
+    }
+
+    #[test]
+    fn bittorrent_like_population_bootstraps() {
+        let out = homogeneous(presets::bittorrent(), &small(), 1);
+        assert!(out.throughput > 0.0, "no data flowed: {out:?}");
+    }
+
+    #[test]
+    fn throughput_bounded_by_capacity() {
+        // Nobody can download more than the population uploads.
+        let out = homogeneous(presets::bittorrent(), &small(), 2);
+        assert!(out.throughput <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn no_strangers_never_bootstraps() {
+        // h = 0: nobody ever makes first contact, so no data ever flows.
+        let mut p = presets::bittorrent();
+        p.stranger_slots = 0;
+        let out = homogeneous(p, &small(), 3);
+        assert_eq!(out.throughput, 0.0);
+    }
+
+    #[test]
+    fn full_freeriders_with_defect_strangers_transfer_nothing() {
+        let p = SwarmProtocol {
+            stranger_policy: StrangerPolicy::Defect,
+            stranger_slots: 1,
+            candidates: CandidateList::Tft,
+            ranking: Ranking::Fastest,
+            partner_slots: 4,
+            allocation: Allocation::Freeride,
+        };
+        let out = homogeneous(p, &small(), 4);
+        assert_eq!(out.throughput, 0.0);
+    }
+
+    #[test]
+    fn freeriders_with_periodic_strangers_get_some_throughput() {
+        // R3 + B1: only stranger slots carry data (the paper's ≈0.3 cap
+        // for stranger-cooperating freeriders).
+        let p = SwarmProtocol {
+            stranger_policy: StrangerPolicy::Periodic,
+            stranger_slots: 1,
+            candidates: CandidateList::Tft,
+            ranking: Ranking::Fastest,
+            partner_slots: 4,
+            allocation: Allocation::Freeride,
+        };
+        let out = homogeneous(p, &small(), 5);
+        assert!(out.throughput > 0.0);
+        // Far below a cooperative protocol's throughput.
+        let coop = homogeneous(presets::bittorrent(), &small(), 5);
+        assert!(out.throughput < coop.throughput * 0.5);
+    }
+
+    #[test]
+    fn sort_slowest_single_partner_defectors_fill_capacity() {
+        // The paper's counter-intuitive top performer: B3 strangers,
+        // Sort Slowest, k=1, Equal Split reaches (near-)full utilization.
+        let out = homogeneous(presets::sort_s(), &small(), 6);
+        assert!(
+            out.throughput > 0.9 * 10.0,
+            "Sort-S throughput {} below 90% of capacity",
+            out.throughput
+        );
+    }
+
+    #[test]
+    fn sort_s_beats_bittorrent_homogeneously() {
+        let cfg = small();
+        let sort_s = homogeneous(presets::sort_s(), &cfg, 7);
+        let bt = homogeneous(presets::bittorrent(), &cfg, 7);
+        assert!(
+            sort_s.throughput >= bt.throughput,
+            "Sort-S {} vs BT {}",
+            sort_s.throughput,
+            bt.throughput
+        );
+    }
+
+    #[test]
+    fn prop_share_population_fails_to_bootstrap_with_defect_strangers() {
+        // §4.4: "It is imperative ... that the resource allocation method
+        // should not be Prop Share" for the B3 protocol family — nobody
+        // ever receives anything, so proportional gives nothing.
+        let p = SwarmProtocol {
+            allocation: Allocation::PropShare,
+            ..presets::sort_s()
+        };
+        let out = homogeneous(p, &small(), 8);
+        assert_eq!(out.throughput, 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = homogeneous(presets::bittorrent(), &small(), 42);
+        let b = homogeneous(presets::bittorrent(), &small(), 42);
+        assert_eq!(a, b);
+        let c = homogeneous(presets::bittorrent(), &small(), 43);
+        assert_ne!(a.utilities, c.utilities);
+    }
+
+    #[test]
+    fn mixed_population_group_means() {
+        let cfg = small();
+        let protos = [presets::bittorrent(), presets::freerider()];
+        let assignment: Vec<usize> = (0..cfg.peers).map(|i| usize::from(i >= 10)).collect();
+        let out = run(&protos, &assignment, &cfg, 9);
+        assert_eq!(out.group_means.len(), 2);
+        assert!(out.group_means[0].is_finite());
+        assert!(out.group_means[1].is_finite());
+        // Cooperators outperform freeriders in a half-half split.
+        assert!(out.group_means[0] > out.group_means[1]);
+    }
+
+    #[test]
+    fn churn_reduces_but_does_not_kill_throughput() {
+        let mut cfg = small();
+        let base = homogeneous(presets::bittorrent(), &cfg, 10);
+        cfg.churn = ChurnModel::PerRound { rate: 0.1 };
+        let churned = homogeneous(presets::bittorrent(), &cfg, 10);
+        assert!(churned.throughput > 0.0);
+        assert!(churned.throughput < base.throughput);
+    }
+
+    #[test]
+    fn utilities_are_nonnegative_and_sized() {
+        let cfg = small();
+        let out = homogeneous(presets::loyal_when_needed(), &cfg, 11);
+        assert_eq!(out.utilities.len(), cfg.peers);
+        assert!(out.utilities.iter().all(|&u| u >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover")]
+    fn bad_assignment_length_panics() {
+        let cfg = small();
+        let _ = run(&[presets::bittorrent()], &[0; 3], &cfg, 1);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_with_piatek() {
+        let cfg = SimConfig {
+            peers: 50,
+            rounds: 60,
+            bandwidth: BandwidthDist::Piatek,
+            churn: ChurnModel::None,
+            aspiration_gain: 0.1,
+            stratified_bandwidth: true,
+        };
+        let out = homogeneous(presets::bittorrent(), &cfg, 12);
+        let lo = out.capacities.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = out.capacities.iter().cloned().fold(0.0, f64::max);
+        assert!(hi / lo > 3.0, "Piatek population should be heterogeneous");
+        assert!(out.throughput > 0.0);
+    }
+}

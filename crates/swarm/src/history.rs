@@ -1,0 +1,243 @@
+//! Interaction history: the per-round contact/transfer ledger and the
+//! loyalty counters.
+//!
+//! A *contact* is a directed interaction `giver → receiver` carrying an
+//! amount ≥ 0. Zero-amount contacts exist (B3 defect contacts, R3
+//! free-riding toward partners) and still register in the receiver's
+//! history — this is what lets Sort-Slowest peers adopt 0-givers as
+//! partners, the mechanism behind the paper's top-performance protocol
+//! (§4.4; `DESIGN.md` §5).
+
+/// One round's dense contact ledger for an `n`-peer population.
+///
+/// Indexed `(receiver, giver)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    n: usize,
+    contact: Vec<bool>,
+    amount: Vec<f64>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            contact: vec![false; n * n],
+            amount: vec![0.0; n * n],
+        }
+    }
+
+    /// Clears all entries (reused between rounds to avoid reallocation).
+    pub fn clear(&mut self) {
+        self.contact.fill(false);
+        self.amount.fill(0.0);
+    }
+
+    /// Records a contact `giver → receiver` transferring `amount ≥ 0`.
+    /// Repeated records accumulate the amount.
+    #[inline]
+    pub fn record(&mut self, receiver: usize, giver: usize, amount: f64) {
+        debug_assert!(amount >= 0.0, "negative transfer");
+        let idx = receiver * self.n + giver;
+        self.contact[idx] = true;
+        self.amount[idx] += amount;
+    }
+
+    /// Whether `giver` contacted `receiver` this round.
+    #[inline]
+    #[must_use]
+    pub fn contacted(&self, receiver: usize, giver: usize) -> bool {
+        self.contact[receiver * self.n + giver]
+    }
+
+    /// Amount received by `receiver` from `giver` this round (0 if no
+    /// contact).
+    #[inline]
+    #[must_use]
+    pub fn amount(&self, receiver: usize, giver: usize) -> f64 {
+        self.amount[receiver * self.n + giver]
+    }
+
+    /// Total received by `receiver` this round.
+    #[must_use]
+    pub fn received_total(&self, receiver: usize) -> f64 {
+        self.amount[receiver * self.n..(receiver + 1) * self.n]
+            .iter()
+            .sum()
+    }
+
+    /// Erases all state involving peer `p` (both as receiver and giver);
+    /// used when churn replaces a peer.
+    pub fn forget_peer(&mut self, p: usize) {
+        for j in 0..self.n {
+            let as_recv = p * self.n + j;
+            self.contact[as_recv] = false;
+            self.amount[as_recv] = 0.0;
+            let as_giver = j * self.n + p;
+            self.contact[as_giver] = false;
+            self.amount[as_giver] = 0.0;
+        }
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if sized for zero peers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Consecutive-cooperation counters: `loyalty(i, j)` = number of
+/// consecutive rounds, up to and including the last, in which `j` gave `i`
+/// a *positive* amount. Zero-amount contacts break loyalty (they are
+/// defections), which is why Sort-Loyal protocols form stable productive
+/// partnerships rather than latching onto 0-givers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loyalty {
+    n: usize,
+    streak: Vec<u32>,
+}
+
+impl Loyalty {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            streak: vec![0; n * n],
+        }
+    }
+
+    /// Updates all counters from a finished round's ledger.
+    pub fn update(&mut self, round: &Ledger) {
+        debug_assert_eq!(round.len(), self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let idx = i * self.n + j;
+                if round.amount(i, j) > 0.0 {
+                    self.streak[idx] += 1;
+                } else {
+                    self.streak[idx] = 0;
+                }
+            }
+        }
+    }
+
+    /// The current streak of `j` giving to `i`.
+    #[inline]
+    #[must_use]
+    pub fn streak(&self, receiver: usize, giver: usize) -> u32 {
+        self.streak[receiver * self.n + giver]
+    }
+
+    /// Erases all streaks involving peer `p` (churn replacement).
+    pub fn forget_peer(&mut self, p: usize) {
+        for j in 0..self.n {
+            self.streak[p * self.n + j] = 0;
+            self.streak[j * self.n + p] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut l = Ledger::new(3);
+        l.record(0, 1, 5.0);
+        assert!(l.contacted(0, 1));
+        assert!(!l.contacted(1, 0));
+        assert_eq!(l.amount(0, 1), 5.0);
+        assert_eq!(l.amount(0, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_amount_contact_registers() {
+        let mut l = Ledger::new(2);
+        l.record(1, 0, 0.0);
+        assert!(l.contacted(1, 0));
+        assert_eq!(l.amount(1, 0), 0.0);
+    }
+
+    #[test]
+    fn amounts_accumulate() {
+        let mut l = Ledger::new(2);
+        l.record(0, 1, 2.0);
+        l.record(0, 1, 3.0);
+        assert_eq!(l.amount(0, 1), 5.0);
+    }
+
+    #[test]
+    fn received_total_sums_givers() {
+        let mut l = Ledger::new(3);
+        l.record(0, 1, 2.0);
+        l.record(0, 2, 4.0);
+        assert_eq!(l.received_total(0), 6.0);
+        assert_eq!(l.received_total(1), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = Ledger::new(2);
+        l.record(0, 1, 2.0);
+        l.clear();
+        assert!(!l.contacted(0, 1));
+        assert_eq!(l.received_total(0), 0.0);
+    }
+
+    #[test]
+    fn forget_peer_erases_both_directions() {
+        let mut l = Ledger::new(3);
+        l.record(0, 1, 2.0);
+        l.record(1, 2, 3.0);
+        l.forget_peer(1);
+        assert!(!l.contacted(0, 1));
+        assert!(!l.contacted(1, 2));
+    }
+
+    #[test]
+    fn loyalty_counts_consecutive_positive_rounds() {
+        let mut loy = Loyalty::new(2);
+        let mut round = Ledger::new(2);
+        round.record(0, 1, 1.0);
+        loy.update(&round);
+        loy.update(&round);
+        assert_eq!(loy.streak(0, 1), 2);
+        assert_eq!(loy.streak(1, 0), 0);
+    }
+
+    #[test]
+    fn loyalty_broken_by_zero_contact() {
+        let mut loy = Loyalty::new(2);
+        let mut giving = Ledger::new(2);
+        giving.record(0, 1, 1.0);
+        loy.update(&giving);
+        assert_eq!(loy.streak(0, 1), 1);
+        // Next round j contacts but gives 0: streak resets.
+        let mut stingy = Ledger::new(2);
+        stingy.record(0, 1, 0.0);
+        loy.update(&stingy);
+        assert_eq!(loy.streak(0, 1), 0);
+    }
+
+    #[test]
+    fn loyalty_forget_peer() {
+        let mut loy = Loyalty::new(2);
+        let mut round = Ledger::new(2);
+        round.record(0, 1, 1.0);
+        round.record(1, 0, 1.0);
+        loy.update(&round);
+        loy.forget_peer(0);
+        assert_eq!(loy.streak(0, 1), 0);
+        assert_eq!(loy.streak(1, 0), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Post-run analysis helpers: utilization, class breakdowns.
+
+use crate::engine::RunOutcome;
+
+/// Population utilization: throughput as a fraction of the mean upload
+/// capacity. 1.0 means every uploaded byte found a recipient slot and no
+/// quantum was wasted.
+#[must_use]
+pub fn utilization(outcome: &RunOutcome) -> f64 {
+    let mean_capacity =
+        outcome.capacities.iter().sum::<f64>() / outcome.capacities.len().max(1) as f64;
+    if mean_capacity <= 0.0 {
+        return 0.0;
+    }
+    outcome.throughput / mean_capacity
+}
+
+/// Mean utility of peers whose capacity is at or above the population
+/// median ("fast"), and of those below ("slow") — the Section 2 class
+/// split, measured empirically.
+#[must_use]
+pub fn fast_slow_split(outcome: &RunOutcome) -> (f64, f64) {
+    let median = dsa_stats::describe::median(&outcome.capacities);
+    let mut fast = Vec::new();
+    let mut slow = Vec::new();
+    for (u, c) in outcome.utilities.iter().zip(&outcome.capacities) {
+        if *c >= median {
+            fast.push(*u);
+        } else {
+            slow.push(*u);
+        }
+    }
+    (
+        dsa_stats::describe::mean(&fast),
+        dsa_stats::describe::mean(&slow),
+    )
+}
+
+/// Jain's fairness index over per-peer utilities: 1 = perfectly equal,
+/// 1/n = maximally concentrated. An extension metric beyond the paper,
+/// useful for characterizing what the high-throughput protocols trade
+/// away.
+#[must_use]
+pub fn jain_fairness(outcome: &RunOutcome) -> f64 {
+    let xs = &outcome.utilities;
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 0.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(utilities: Vec<f64>, capacities: Vec<f64>) -> RunOutcome {
+        let n = utilities.len();
+        let throughput = utilities.iter().sum::<f64>() / n as f64;
+        RunOutcome {
+            utilities,
+            capacities,
+            assignment: vec![0; n],
+            throughput,
+            group_means: vec![throughput],
+        }
+    }
+
+    #[test]
+    fn utilization_full_and_half() {
+        let full = outcome(vec![10.0, 10.0], vec![10.0, 10.0]);
+        assert!((utilization(&full) - 1.0).abs() < 1e-12);
+        let half = outcome(vec![5.0, 5.0], vec![10.0, 10.0]);
+        assert!((utilization(&half) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_slow_split_separates_classes() {
+        let o = outcome(vec![1.0, 2.0, 8.0, 9.0], vec![1.0, 2.0, 10.0, 12.0]);
+        let (fast, slow) = fast_slow_split(&o);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        let equal = outcome(vec![3.0, 3.0, 3.0], vec![3.0; 3]);
+        assert!((jain_fairness(&equal) - 1.0).abs() < 1e-12);
+        let concentrated = outcome(vec![9.0, 0.0, 0.0], vec![3.0; 3]);
+        assert!((jain_fairness(&concentrated) - 1.0 / 3.0).abs() < 1e-12);
+        let dead = outcome(vec![0.0, 0.0], vec![3.0; 2]);
+        assert_eq!(jain_fairness(&dead), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the cycle simulator's conservation laws and
+//! the protocol space encoding.
+
+use dsa_swarm::engine::{run, SimConfig};
+use dsa_swarm::protocol::{Allocation, StrangerPolicy, SwarmProtocol, SPACE_SIZE};
+use dsa_workloads::bandwidth::BandwidthDist;
+use proptest::prelude::*;
+
+fn tiny_config() -> SimConfig {
+    SimConfig {
+        peers: 10,
+        rounds: 20,
+        bandwidth: BandwidthDist::Constant(6.0),
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: total downloads never exceed total possible uploads.
+    #[test]
+    fn no_data_from_nowhere(idx in 0usize..SPACE_SIZE, seed in any::<u64>()) {
+        let cfg = tiny_config();
+        let p = SwarmProtocol::from_index(idx);
+        let out = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        let total: f64 = out.utilities.iter().sum();
+        prop_assert!(total <= cfg.peers as f64 * 6.0 + 1e-9);
+    }
+
+    /// Freeriders that defect on strangers produce exactly zero flow.
+    #[test]
+    fn dead_protocols_are_dead(idx in 0usize..SPACE_SIZE, seed in any::<u64>()) {
+        let p = SwarmProtocol::from_index(idx);
+        prop_assume!(p.allocation == Allocation::Freeride);
+        prop_assume!(p.stranger_slots == 0 || p.stranger_policy == StrangerPolicy::Defect);
+        let cfg = tiny_config();
+        let out = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        prop_assert_eq!(out.throughput, 0.0);
+    }
+
+    /// Group means are consistent with per-peer utilities.
+    #[test]
+    fn group_means_consistent(split in 1usize..9, seed in any::<u64>()) {
+        let cfg = tiny_config();
+        let protos = [
+            dsa_swarm::presets::bittorrent(),
+            dsa_swarm::presets::birds(),
+        ];
+        let assignment: Vec<usize> = (0..cfg.peers).map(|i| usize::from(i >= split)).collect();
+        let out = run(&protos, &assignment, &cfg, seed);
+        for g in 0..2 {
+            let members: Vec<f64> = out
+                .utilities
+                .iter()
+                .zip(&out.assignment)
+                .filter(|(_, a)| **a == g)
+                .map(|(u, _)| *u)
+                .collect();
+            let mean = members.iter().sum::<f64>() / members.len() as f64;
+            prop_assert!((out.group_means[g] - mean).abs() < 1e-9);
+        }
+    }
+
+    /// The flat protocol index is a bijection onto the struct space.
+    #[test]
+    fn index_bijection(a in 0usize..SPACE_SIZE, b in 0usize..SPACE_SIZE) {
+        prop_assume!(a != b);
+        prop_assert_ne!(SwarmProtocol::from_index(a), SwarmProtocol::from_index(b));
+    }
+
+    /// Churn never breaks conservation or determinism.
+    #[test]
+    fn churn_safe(rate in 0.0f64..0.3, seed in any::<u64>()) {
+        let mut cfg = tiny_config();
+        cfg.churn = dsa_workloads::churn::ChurnModel::PerRound { rate };
+        let p = dsa_swarm::presets::loyal_when_needed();
+        let a = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        let b = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.throughput <= 6.0 + 1e-9);
+    }
+}

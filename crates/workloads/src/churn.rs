@@ -1,0 +1,131 @@
+//! Peer churn (arrival/departure) models.
+//!
+//! The paper runs the whole-space performance sweep "under churn rates of
+//! 0.01 and 0.1 per round" (§4.4) and finds the low-partner-count result is
+//! stable. [`ChurnModel::PerRound`] implements exactly that process: each
+//! round each peer is independently replaced with the given probability,
+//! wiping its interaction history (a replacement is a *new* peer that
+//! happens to reuse the slot).
+//!
+//! [`ChurnModel::Session`] is a session-length model for the piece-level
+//! simulator: peers stay for an exponentially distributed number of rounds
+//! and are then replaced. It is provided for fault-injection style stress
+//! tests beyond the paper's sweep.
+
+use crate::rng::Xoshiro256pp;
+
+/// A churn process generating per-round replacement decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnModel {
+    /// No churn; the population is static (the paper's default setting).
+    None,
+    /// Each peer is independently replaced each round with probability
+    /// `rate` (the paper's §4.4 churn experiment; rates 0.01 and 0.1).
+    PerRound {
+        /// Per-peer, per-round replacement probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Peers have exponentially distributed session lengths with the given
+    /// mean (in rounds); a peer whose session expires is replaced.
+    Session {
+        /// Mean session length in rounds; must be positive.
+        mean_rounds: f64,
+    },
+}
+
+impl ChurnModel {
+    /// Returns `true` if this model can never replace a peer.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        match self {
+            Self::None => true,
+            Self::PerRound { rate } => *rate <= 0.0,
+            Self::Session { mean_rounds } => !mean_rounds.is_finite(),
+        }
+    }
+
+    /// Draws an initial remaining-session length for a fresh peer.
+    ///
+    /// Only meaningful for [`ChurnModel::Session`]; other models return
+    /// `f64::INFINITY` (the per-round decision is made by [`Self::departs`]).
+    pub fn initial_session(&self, rng: &mut Xoshiro256pp) -> f64 {
+        match self {
+            Self::Session { mean_rounds } => rng.exponential(*mean_rounds).max(1.0),
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Decides whether a peer departs this round.
+    ///
+    /// `remaining_session` is the peer's session budget for
+    /// [`ChurnModel::Session`] (decremented by the caller each round);
+    /// it is ignored by the other variants.
+    pub fn departs(&self, remaining_session: f64, rng: &mut Xoshiro256pp) -> bool {
+        match self {
+            Self::None => false,
+            Self::PerRound { rate } => rng.chance(*rate),
+            Self::Session { .. } => remaining_session <= 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_departs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let m = ChurnModel::None;
+        assert!(m.is_none());
+        for _ in 0..1000 {
+            assert!(!m.departs(0.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn per_round_rate_respected() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let m = ChurnModel::PerRound { rate: 0.1 };
+        let n = 100_000;
+        let gone = (0..n)
+            .filter(|_| m.departs(f64::INFINITY, &mut rng))
+            .count();
+        let p = gone as f64 / n as f64;
+        assert!((p - 0.1).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn per_round_zero_rate_is_none() {
+        assert!(ChurnModel::PerRound { rate: 0.0 }.is_none());
+        assert!(!ChurnModel::PerRound { rate: 0.01 }.is_none());
+    }
+
+    #[test]
+    fn session_departs_on_exhaustion() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let m = ChurnModel::Session { mean_rounds: 10.0 };
+        assert!(!m.departs(5.0, &mut rng));
+        assert!(m.departs(0.0, &mut rng));
+        assert!(m.departs(-1.0, &mut rng));
+    }
+
+    #[test]
+    fn session_lengths_have_requested_mean() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let m = ChurnModel::Session { mean_rounds: 20.0 };
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| m.initial_session(&mut rng)).sum::<f64>() / n as f64;
+        // max(1.0) truncation raises the mean slightly above 20.
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn sessions_are_at_least_one_round() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let m = ChurnModel::Session { mean_rounds: 0.5 };
+        for _ in 0..1000 {
+            assert!(m.initial_session(&mut rng) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload substrate for the DSA reproduction.
+//!
+//! This crate provides the deterministic building blocks every simulator in
+//! the workspace is built on:
+//!
+//! * [`rng`] — a small, portable, seed-stable PRNG (xoshiro256++ seeded via
+//!   splitmix64). Experiment outputs are recorded artifacts; we need the
+//!   stream to be identical across releases and platforms, which `rand`'s
+//!   `StdRng` explicitly does not guarantee.
+//! * [`seeds`] — hierarchical seed derivation so that every run / encounter /
+//!   peer gets an independent, reproducible stream.
+//! * [`bandwidth`] — upload-capacity distributions, including an empirical
+//!   approximation of the measured BitTorrent host distribution of
+//!   Piatek et al. (NSDI'07) that the paper initializes peers with.
+//! * [`churn`] — peer arrival/departure processes (the paper's §4.4
+//!   churn-rate experiments, and session dynamics for the piece-level
+//!   simulator).
+//! * [`sampling`] — shuffles, partial samples and weighted choice used by
+//!   stranger policies, optimistic unchokes and tournament subsampling.
+
+pub mod bandwidth;
+pub mod churn;
+pub mod rng;
+pub mod sampling;
+pub mod seeds;
+
+pub use bandwidth::BandwidthDist;
+pub use churn::ChurnModel;
+pub use rng::Xoshiro256pp;
+pub use seeds::SeedSeq;

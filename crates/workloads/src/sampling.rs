@@ -1,0 +1,233 @@
+//! Sampling primitives shared by the simulators and the tournament driver.
+//!
+//! These are the operations that appear in protocol inner loops — picking
+//! random strangers to optimistically unchoke, shuffling candidate lists for
+//! the Random ranking function, subsampling tournament opponents — so they
+//! are implemented directly on [`Xoshiro256pp`] streams to keep the hot path
+//! allocation-light and deterministic.
+
+use crate::rng::Xoshiro256pp;
+
+/// Fisher–Yates shuffle in place.
+pub fn shuffle<T>(items: &mut [T], rng: &mut Xoshiro256pp) {
+    for i in (1..items.len()).rev() {
+        let j = rng.index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Draws `k` distinct indices uniformly from `0..n` (partial Fisher–Yates).
+///
+/// Returns fewer than `k` indices if `k > n`. The result order is random.
+pub fn sample_indices(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<usize> {
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    // For small k relative to n, Floyd's algorithm avoids materializing 0..n.
+    if k * 8 < n {
+        let mut chosen = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = rng.index(j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        shuffle(&mut chosen, rng);
+        chosen
+    } else {
+        let mut all: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + rng.index(n - i);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    }
+}
+
+/// Chooses one element uniformly; `None` on an empty slice.
+pub fn choose<'a, T>(items: &'a [T], rng: &mut Xoshiro256pp) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.index(items.len())])
+    }
+}
+
+/// Chooses an index with probability proportional to `weights[i]`.
+///
+/// Non-finite and negative weights are treated as zero. Returns `None` if
+/// the weights are empty or all (effectively) zero.
+pub fn weighted_choice(weights: &[f64], rng: &mut Xoshiro256pp) -> Option<usize> {
+    let clean = |w: f64| if w.is_finite() && w > 0.0 { w } else { 0.0 };
+    let total: f64 = weights.iter().copied().map(clean).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.next_f64() * total;
+    let mut last_positive = None;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = clean(w);
+        if w > 0.0 {
+            last_positive = Some(i);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    // Floating-point slack: fall back to the last positive-weight index.
+    last_positive
+}
+
+/// Sorts indices `0..values.len()` by `values` with a deterministic
+/// tie-break (index order), ascending or descending.
+///
+/// The simulators rank peers by observed transfer amounts; ties are common
+/// (e.g. many 0-transfers) and the tie-break must not depend on allocation
+/// addresses or hash ordering, or runs stop being reproducible.
+#[must_use]
+pub fn rank_indices(values: &[f64], ascending: bool) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let ord = values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal);
+        let ord = if ascending { ord } else { ord.reverse() };
+        ord.then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(123)
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = rng();
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_uniformity_spot_check() {
+        // Position of element 0 after shuffling [0,1,2] should be uniform.
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let mut v = [0, 1, 2];
+            shuffle(&mut v, &mut r);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            assert!((f64::from(c) - 10_000.0).abs() < 500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_handles_trivial_sizes() {
+        let mut r = rng();
+        let mut empty: Vec<u8> = vec![];
+        shuffle(&mut empty, &mut r);
+        let mut one = vec![7u8];
+        shuffle(&mut one, &mut r);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = rng();
+        for (n, k) in [(50, 3), (50, 50), (10, 0), (1000, 5), (4, 10)] {
+            let s = sample_indices(n, k, &mut r);
+            assert_eq!(s.len(), k.min(n));
+            let set: HashSet<usize> = s.iter().copied().collect();
+            assert_eq!(set.len(), s.len(), "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_indices_covers_all_elements() {
+        let mut r = rng();
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            for i in sample_indices(20, 2, &mut r) {
+                seen.insert(i);
+            }
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn sample_indices_floyd_path_uniform() {
+        // n=1000, k=3 exercises the Floyd branch; element 0 should appear
+        // with probability 3/1000.
+        let mut r = rng();
+        let trials = 200_000;
+        let hits = (0..trials)
+            .filter(|_| sample_indices(1000, 3, &mut r).contains(&0))
+            .count();
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.003).abs() < 0.0008, "p={p}");
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = rng();
+        let empty: [u8; 0] = [];
+        assert!(choose(&empty, &mut r).is_none());
+        assert_eq!(choose(&[42], &mut r), Some(&42));
+    }
+
+    #[test]
+    fn weighted_choice_proportional() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[weighted_choice(&weights, &mut r).unwrap()] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let p1 = f64::from(counts[1]) / f64::from(n);
+        assert!((p1 - 0.3).abs() < 0.01, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_choice_rejects_degenerate() {
+        let mut r = rng();
+        assert_eq!(weighted_choice(&[], &mut r), None);
+        assert_eq!(weighted_choice(&[0.0, 0.0], &mut r), None);
+        assert_eq!(weighted_choice(&[-1.0, f64::NAN], &mut r), None);
+        assert_eq!(weighted_choice(&[0.0, 5.0], &mut r), Some(1));
+    }
+
+    #[test]
+    fn rank_indices_orders_and_breaks_ties_by_index() {
+        let vals = [3.0, 1.0, 3.0, 2.0];
+        assert_eq!(rank_indices(&vals, true), vec![1, 3, 0, 2]);
+        assert_eq!(rank_indices(&vals, false), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn rank_indices_handles_nan_without_panicking() {
+        let vals = [f64::NAN, 1.0, 0.5];
+        let idx = rank_indices(&vals, true);
+        assert_eq!(idx.len(), 3);
+        let set: HashSet<usize> = idx.into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

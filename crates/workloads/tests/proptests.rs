@@ -1,0 +1,76 @@
+//! Property-based tests of the workload substrate.
+
+use dsa_workloads::bandwidth::BandwidthDist;
+use dsa_workloads::churn::ChurnModel;
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling::weighted_choice;
+use proptest::prelude::*;
+
+proptest! {
+    /// Piatek samples stay within the encoded support.
+    #[test]
+    fn piatek_support(seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..32 {
+            let v = BandwidthDist::Piatek.sample(&mut rng);
+            prop_assert!(v >= 40.0 / 8.0 - 1e-9);
+            prop_assert!(v <= 40_000.0 / 8.0 + 1e-9);
+        }
+    }
+
+    /// Quantiles are monotone for every built-in distribution.
+    #[test]
+    fn quantiles_monotone(q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        for dist in [
+            BandwidthDist::Piatek,
+            BandwidthDist::Constant(5.0),
+            BandwidthDist::Uniform { lo: 1.0, hi: 9.0 },
+            BandwidthDist::TwoClass { fast: 100.0, slow: 10.0, fast_fraction: 0.3 },
+        ] {
+            prop_assert!(dist.quantile(lo) <= dist.quantile(hi) + 1e-12);
+        }
+    }
+
+    /// Stratified populations are deterministic, sorted and sized.
+    #[test]
+    fn stratified_properties(n in 1usize..200) {
+        let a = BandwidthDist::Piatek.stratified_n(n);
+        let b = BandwidthDist::Piatek.stratified_n(n);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Weighted choice only ever returns positive-weight indices.
+    #[test]
+    fn weighted_choice_valid(seed in any::<u64>(), weights in proptest::collection::vec(-1.0f64..5.0, 1..20)) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        match weighted_choice(&weights, &mut rng) {
+            Some(i) => prop_assert!(weights[i] > 0.0),
+            None => prop_assert!(weights.iter().all(|&w| !(w > 0.0))),
+        }
+    }
+
+    /// Session churn draws are at least one round and scale with the
+    /// requested mean.
+    #[test]
+    fn session_draws_sane(seed in any::<u64>(), mean in 0.1f64..500.0) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let m = ChurnModel::Session { mean_rounds: mean };
+        for _ in 0..16 {
+            let s = m.initial_session(&mut rng);
+            prop_assert!(s >= 1.0);
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    /// Forked RNG streams never mirror their parent over a window.
+    #[test]
+    fn fork_diverges(seed in any::<u64>()) {
+        let mut parent = Xoshiro256pp::seed_from_u64(seed);
+        let mut child = parent.fork();
+        let same = (0..32).filter(|_| parent.next_u64() == child.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+}

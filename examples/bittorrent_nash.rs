@@ -1,0 +1,71 @@
+//! Section 2 walkthrough: the BitTorrent Dilemma, the analytical class
+//! model, and the Appendix equilibrium results.
+//!
+//! ```sh
+//! cargo run --release --example bittorrent_nash
+//! ```
+
+use dsa_gametheory::analytics;
+use dsa_gametheory::classes::ClassParams;
+use dsa_gametheory::game::Action;
+use dsa_gametheory::games;
+use dsa_gametheory::nash;
+
+fn main() {
+    let (f, s) = (10.0, 4.0);
+
+    // Figure 1(a): the BitTorrent Dilemma between a fast and a slow peer.
+    let bt = games::bittorrent_dilemma(f, s);
+    println!("{bt}");
+    println!(
+        "fast dominant strategy: {:?}; slow dominant strategy: {:?}",
+        bt.dominant_row().map(|(a, _)| a),
+        bt.dominant_col().map(|(a, _)| a),
+    );
+    println!(
+        "⇒ equilibrium outcome (fast defects, slow cooperates) is Nash: {}\n",
+        bt.is_nash(Action::Defect, Action::Cooperate)
+    );
+
+    // Figure 1(c): Birds re-prices the slow peer's opportunity costs.
+    let birds = games::birds(f, s);
+    println!("{birds}");
+    println!(
+        "now both defect on the other class: {}\n",
+        birds.is_nash(Action::Defect, Action::Defect)
+    );
+
+    // Section 2.2: expected game wins in a 50-peer swarm.
+    let params = ClassParams::example_swarm();
+    let bt_exp = analytics::bittorrent(&params);
+    let birds_exp = analytics::birds(&params);
+    println!(
+        "expected wins per period (N={} U_r={}):",
+        params.total(),
+        params.unchoke_slots
+    );
+    println!("  BitTorrent: {:.3} (reciprocation {:.3}, free {:.3})",
+        bt_exp.total(), bt_exp.total_reciprocation(), bt_exp.total_free());
+    println!("  Birds     : {:.3} (reciprocation {:.3}, free {:.3})\n",
+        birds_exp.total(), birds_exp.total_reciprocation(), birds_exp.total_free());
+
+    // Appendix: deviation analysis.
+    let d1 = nash::birds_deviant_in_bt_swarm(&params);
+    println!(
+        "one Birds deviant among BitTorrent peers: deviant wins {:.3} vs incumbent {:.3}",
+        d1.deviant, d1.incumbent
+    );
+    println!(
+        "⇒ BitTorrent is{} a Nash equilibrium",
+        if nash::bittorrent_is_nash(&params) { "" } else { " NOT" }
+    );
+    let d2 = nash::bt_deviant_in_birds_swarm(&params);
+    println!(
+        "one BitTorrent deviant among Birds peers : deviant wins {:.3} vs incumbent {:.3}",
+        d2.deviant, d2.incumbent
+    );
+    println!(
+        "⇒ Birds is{} a Nash equilibrium",
+        if nash::birds_is_nash(&params) { "" } else { " NOT" }
+    );
+}

@@ -1,0 +1,54 @@
+//! Fault injection: how do the named protocols hold up under peer churn?
+//!
+//! The paper re-ran the whole-space performance sweep under churn rates
+//! 0.01 and 0.1 per round (§4.4); this example stresses the named clients
+//! across a wider range, including session-length churn.
+//!
+//! ```sh
+//! cargo run --release --example churn_stress
+//! ```
+
+use dsa_swarm::engine::{run, SimConfig};
+use dsa_swarm::metrics::utilization;
+use dsa_swarm::presets;
+use dsa_workloads::churn::ChurnModel;
+
+fn main() {
+    let protocols = [
+        ("BitTorrent", presets::bittorrent()),
+        ("Birds", presets::birds()),
+        ("Loyal-When-needed", presets::loyal_when_needed()),
+        ("Sort-S", presets::sort_s()),
+    ];
+    let churns = [
+        ("none", ChurnModel::None),
+        ("0.01/round", ChurnModel::PerRound { rate: 0.01 }),
+        ("0.1/round", ChurnModel::PerRound { rate: 0.1 }),
+        ("session~50", ChurnModel::Session { mean_rounds: 50.0 }),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>12}",
+        "protocol", churns[0].0, churns[1].0, churns[2].0, churns[3].0
+    );
+    for (name, proto) in protocols {
+        let mut row = format!("{name:<20}");
+        for (_, churn) in churns {
+            let config = SimConfig {
+                churn,
+                rounds: 300,
+                ..SimConfig::default()
+            };
+            // Average utilization over three seeds.
+            let mean: f64 = (0..3)
+                .map(|seed| {
+                    utilization(&run(&[proto], &vec![0; config.peers], &config, seed))
+                })
+                .sum::<f64>()
+                / 3.0;
+            row.push_str(&format!(" {mean:>12.3}"));
+        }
+        println!("{row}");
+    }
+    println!("\n(values are population utilization: throughput / mean capacity)");
+}

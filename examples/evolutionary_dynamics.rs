@@ -1,0 +1,59 @@
+//! Evolutionary justification of the Section 2 equilibria: replicator
+//! dynamics and Moran fixation over the BitTorrent Dilemma.
+//!
+//! The paper's equilibrium claims are static; Mailath [19] (cited in §1)
+//! asks when evolutionary dynamics actually select Nash equilibria. Here
+//! we treat "slow peer cooperates" vs "slow peer defects" as competing
+//! behaviors in the slow class and watch which one spreads under the
+//! Figure 1 payoffs.
+//!
+//! ```sh
+//! cargo run --release --example evolutionary_dynamics
+//! ```
+
+use dsa_gametheory::evolution::{moran_fixation, replicator_trajectory};
+use dsa_gametheory::game::Action;
+use dsa_gametheory::games;
+use dsa_workloads::rng::Xoshiro256pp;
+
+fn main() {
+    let (f, s) = (10.0, 4.0);
+
+    // Column-player (slow peer) payoff matrices against a fast class that
+    // plays its dominant strategy (Defect): under Fig 1(a) pricing the
+    // slow peers' C-vs-D competition has payoffs from the slow column...
+    // We instead compare slow-peer behaviors within each pricing directly.
+    for (label, game) in [
+        ("Figure 1(a) pricing (BitTorrent Dilemma)", games::bittorrent_dilemma(f, s)),
+        ("Figure 1(c) pricing (Birds)", games::birds(f, s)),
+    ] {
+        // Payoff of slow behavior X against slow behavior Y is evaluated
+        // against the fast class's dominant response, plus the same-class
+        // fallback the paper describes: cooperators pair with cooperators.
+        let coop = game.payoff(Action::Defect, Action::Cooperate).1; // slow C vs defecting fast
+        let defect = game.payoff(Action::Cooperate, Action::Defect).1; // slow D grabbing optimistic unchokes
+        // 2x2 population game between slow-cooperators and slow-defectors.
+        let payoff = vec![vec![coop, coop], vec![defect, defect]];
+
+        let trajectory = replicator_trajectory(&payoff, &[0.99, 0.01], 200);
+        let final_defector_share = trajectory.last().unwrap()[1];
+        println!("{label}:");
+        println!("  slow-C payoff {coop:.1}, slow-D payoff {defect:.1}");
+        println!(
+            "  replicator: 1% defector seed grows to {:.1}% after 200 generations",
+            final_defector_share * 100.0
+        );
+
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let fixation = moran_fixation(&payoff, 25, 2000, &mut rng);
+        println!(
+            "  Moran (n=25): single defector mutant fixes with probability {fixation:.3}\n"
+        );
+    }
+
+    println!(
+        "Under (a) the defecting slow peer is selected for — BitTorrent's slow-peer \
+         cooperation is evolutionarily unstable, matching the Appendix result that a \
+         Birds deviant profits. Under (c) defection is already the incumbent behavior."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: apply the PRA quantification to a handful of file-swarming
+//! protocols and print their Performance / Robustness / Aggressiveness.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dsa_core::pra::{quantify, PraConfig};
+use dsa_core::tournament::OpponentSampling;
+use dsa_swarm::adapter::SwarmSim;
+use dsa_swarm::engine::SimConfig;
+use dsa_swarm::presets;
+
+fn main() {
+    // 1. Pick the domain simulator: the paper's cycle-based file-swarming
+    //    model (50 peers, Piatek et al. bandwidths).
+    let sim = SwarmSim {
+        config: SimConfig {
+            rounds: 150, // laptop-friendly; the paper uses 500
+            ..SimConfig::default()
+        },
+    };
+
+    // 2. Choose the protocols to analyze — here the named §5 clients plus
+    //    a free-rider.
+    let protocols = vec![
+        presets::bittorrent(),
+        presets::birds(),
+        presets::loyal_when_needed(),
+        presets::sort_s(),
+        presets::random_rank(),
+        presets::freerider(),
+    ];
+    let names = ["BitTorrent", "Birds", "Loyal-When-needed", "Sort-S", "Random", "Freerider"];
+
+    // 3. Run the PRA quantification. With six protocols the tournament is
+    //    exhaustive: every protocol meets every other.
+    let config = PraConfig {
+        performance_runs: 5,
+        encounter_runs: 3,
+        sampling: OpponentSampling::Exhaustive,
+        threads: 0,
+        seed: 42,
+        ..PraConfig::default()
+    };
+    let results = quantify(&sim, &protocols, &config);
+
+    // 4. Inspect the PRA cube.
+    println!("{:<20} {:>12} {:>11} {:>15}", "protocol", "Performance", "Robustness", "Aggressiveness");
+    for (i, name) in names.iter().enumerate() {
+        let p = results.point(i);
+        println!(
+            "{:<20} {:>12.3} {:>11.3} {:>15.3}",
+            name, p.performance, p.robustness, p.aggressiveness
+        );
+    }
+
+    let best_perf = results.ranked_by(|p| p.performance)[0];
+    let best_rob = results.ranked_by(|p| p.robustness)[0];
+    println!("\nbest performance : {}", names[best_perf]);
+    println!("best robustness  : {}", names[best_rob]);
+}

@@ -1,0 +1,38 @@
+//! Section 5 in miniature: pit DSA-discovered clients against the
+//! reference BitTorrent implementation in the piece-level swarm
+//! simulator and report download times.
+//!
+//! ```sh
+//! cargo run --release --example swarm_validation
+//! ```
+
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::experiment::{homogeneous_runs, mixed_runs};
+use dsa_stats::ci::ConfidenceInterval;
+
+fn main() {
+    let config = BtConfig::default(); // 50 leechers, 128 KBps seed, 5 MB file
+    let runs = 5;
+
+    println!("homogeneous swarms ({} runs each):", runs);
+    for kind in ClientKind::ALL {
+        let times = homogeneous_runs(kind, runs, &config, 1);
+        let ci = ConfidenceInterval::ci95(&times);
+        println!("  {:<20} {:>7.1} s ± {:.1}", kind.name(), ci.mean, ci.half_width);
+    }
+
+    println!("\n50/50 encounters against reference BitTorrent:");
+    for kind in [ClientKind::Birds, ClientKind::LoyalWhenNeeded, ClientKind::SortS] {
+        let (variant, bt) = mixed_runs(kind, ClientKind::BitTorrent, 0.5, runs, &config, 2);
+        let vc = ConfidenceInterval::ci95(&variant);
+        let bc = ConfidenceInterval::ci95(&bt);
+        println!(
+            "  {:<20} {:>7.1} s vs BitTorrent {:>7.1} s → {}",
+            kind.name(),
+            vc.mean,
+            bc.mean,
+            if vc.mean < bc.mean { "variant faster" } else { "BitTorrent faster" }
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full DSA reproduction stack.
+//!
+//! See the individual crates for documentation:
+//! [`dsa_core`], [`dsa_swarm`], [`dsa_gametheory`], [`dsa_btsim`],
+//! [`dsa_stats`], [`dsa_workloads`], [`dsa_gossip`].
+
+pub use dsa_btsim as btsim;
+pub use dsa_core as core;
+pub use dsa_gametheory as gametheory;
+pub use dsa_gossip as gossip;
+pub use dsa_stats as stats;
+pub use dsa_swarm as swarm;
+pub use dsa_workloads as workloads;

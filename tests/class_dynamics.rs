@@ -1,0 +1,100 @@
+//! Cross-validation between the Section 2 theory and the Section 4
+//! simulator: the analytical claims about bandwidth classes should be
+//! visible in the cycle-based simulation dynamics.
+
+use dsa_swarm::engine::{run, SimConfig};
+use dsa_swarm::metrics::fast_slow_split;
+use dsa_swarm::presets;
+use dsa_workloads::bandwidth::BandwidthDist;
+
+fn two_class_config() -> SimConfig {
+    SimConfig {
+        peers: 40,
+        rounds: 300,
+        bandwidth: BandwidthDist::TwoClass {
+            fast: 100.0,
+            slow: 10.0,
+            fast_fraction: 0.5,
+        },
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn bittorrent_clusters_by_class() {
+    // §2.1: under TFT/fastest-first, fast peers keep their reciprocation
+    // within the fast class ("the dominant strategy for fast peers is to
+    // always defect on the slow peers") — so fast peers must earn a
+    // disproportionate share of throughput.
+    let cfg = two_class_config();
+    let mut fast_adv = 0.0;
+    for seed in 0..3 {
+        let out = run(&[presets::bittorrent()], &vec![0; cfg.peers], &cfg, seed);
+        let (fast, slow) = fast_slow_split(&out);
+        fast_adv += fast / slow.max(1e-9);
+    }
+    fast_adv /= 3.0;
+    assert!(
+        fast_adv > 2.0,
+        "fast/slow utility ratio {fast_adv} too small for class clustering"
+    );
+}
+
+#[test]
+fn birds_also_assorts_by_class() {
+    // Birds peers deliberately stick to their own class; fast peers still
+    // do better in absolute terms (their class has more capacity).
+    let cfg = two_class_config();
+    let out = run(&[presets::birds()], &vec![0; cfg.peers], &cfg, 7);
+    let (fast, slow) = fast_slow_split(&out);
+    assert!(fast > slow, "fast {fast} vs slow {slow}");
+    // And slow peers are not starved to zero: they trade within their
+    // own class.
+    assert!(slow > 0.0);
+}
+
+#[test]
+fn slow_peers_fare_relatively_better_under_random_ranking() {
+    // Random ranking ignores rates, so it redistributes toward slow peers
+    // compared to fastest-first — the intuition behind Leong et al. [15]
+    // ("winner doesn't have to take all"), which the paper's I6 encodes.
+    let cfg = two_class_config();
+    let ratio = |p, seed| {
+        let out = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        let (fast, slow) = fast_slow_split(&out);
+        slow / fast.max(1e-9)
+    };
+    let mut random_share = 0.0;
+    let mut fastest_share = 0.0;
+    for seed in 0..3 {
+        random_share += ratio(presets::random_rank(), seed);
+        fastest_share += ratio(presets::bittorrent(), seed);
+    }
+    assert!(
+        random_share > fastest_share,
+        "random {random_share} should favor slow peers over fastest {fastest_share}"
+    );
+}
+
+#[test]
+fn freeriding_minority_exploits_bittorrent_optimism() {
+    // Locher et al. [17]: free riding in BitTorrent is cheap. A 10%
+    // free-riding minority still downloads (optimistic unchokes feed it),
+    // though far less than the cooperators.
+    let cfg = SimConfig {
+        peers: 40,
+        rounds: 300,
+        ..SimConfig::default()
+    };
+    let protos = [presets::bittorrent(), presets::freerider()];
+    // Group 1 (freeriders) occupies the first 4 slots.
+    let assignment: Vec<usize> = (0..cfg.peers).map(|i| usize::from(i < 4)).collect();
+    let out = run(&protos, &assignment, &cfg, 11);
+    let freerider_mean = out.group_means[1];
+    let cooperator_mean = out.group_means[0];
+    assert!(freerider_mean > 0.0, "optimistic unchokes should leak data");
+    assert!(
+        cooperator_mean > freerider_mean,
+        "cooperators {cooperator_mean} must beat freeriders {freerider_mean}"
+    );
+}

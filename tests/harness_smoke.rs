@@ -1,0 +1,58 @@
+//! Smoke tests of the experiment harness: every paper artifact's
+//! generation path runs end-to-end at miniature scale and produces
+//! plausible output.
+
+use dsa_bench::scale::Scale;
+use dsa_bench::{btfigs, gossipfig, nashdemo};
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_gametheory::classes::ClassParams;
+use dsa_workloads::bandwidth::BandwidthDist;
+
+#[test]
+fn section2_artifacts_render() {
+    let s = nashdemo::fig1(10.0, 4.0);
+    assert!(s.contains("BitTorrent Dilemma"));
+    let s = nashdemo::table1(&ClassParams::example_swarm());
+    assert!(s.contains("total"));
+    let s = nashdemo::nash_analysis(&ClassParams::example_swarm());
+    assert!(s.contains("Nash"));
+}
+
+#[test]
+fn fig9_and_fig10_render_at_tiny_scale() {
+    let cfg = BtConfig {
+        bandwidth: BandwidthDist::Constant(32.0),
+        ..BtConfig::tiny()
+    };
+    let s = btfigs::fig9(ClientKind::Birds, ClientKind::BitTorrent, 2, &cfg, 3);
+    assert!(s.contains("0.50"));
+    let s = btfigs::fig10(2, &cfg, 4);
+    assert!(s.contains("Sort-S"));
+}
+
+#[test]
+fn gossip_dsa_renders() {
+    let s = gossipfig::gossip_dsa(5);
+    assert!(s.contains("108 protocols"));
+}
+
+#[test]
+fn scales_exist_for_cli() {
+    for name in ["smoke", "lab", "paper"] {
+        assert!(Scale::by_name(name).is_some());
+    }
+}
+
+#[test]
+fn churn_experiment_runs_at_smoke_scale() {
+    // The churn experiment re-runs the performance phase over the whole
+    // 3270-protocol space; smoke scale keeps that tractable in a test.
+    let mut scale = Scale::smoke();
+    scale.sim.rounds = 25;
+    scale.sim.peers = 16;
+    scale.pra.performance_runs = 1;
+    let s = dsa_bench::figures::churn_experiment(&scale);
+    assert!(s.contains("churn=0.1"));
+    assert!(s.contains("top performer"));
+}

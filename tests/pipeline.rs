@@ -1,0 +1,111 @@
+//! End-to-end integration: design space → PRA quantification →
+//! statistics → regression, across crates, at miniature scale.
+
+use dsa_core::pra::{quantify, PraConfig};
+use dsa_core::tournament::OpponentSampling;
+use dsa_swarm::adapter::SwarmSim;
+use dsa_swarm::engine::SimConfig;
+use dsa_swarm::presets;
+use dsa_swarm::protocol::SwarmProtocol;
+use dsa_workloads::bandwidth::BandwidthDist;
+
+fn mini_sim() -> SwarmSim {
+    SwarmSim {
+        config: SimConfig {
+            peers: 24,
+            rounds: 80,
+            bandwidth: BandwidthDist::Piatek,
+            ..SimConfig::default()
+        },
+    }
+}
+
+fn mini_config() -> PraConfig {
+    PraConfig {
+        performance_runs: 2,
+        encounter_runs: 1,
+        sampling: OpponentSampling::Exhaustive,
+        threads: 0,
+        seed: 99,
+        ..PraConfig::default()
+    }
+}
+
+#[test]
+fn pra_separates_cooperators_from_freeriders() {
+    let protocols = vec![
+        presets::bittorrent(),
+        presets::loyal_when_needed(),
+        presets::freerider(),
+    ];
+    let results = quantify(&mini_sim(), &protocols, &mini_config());
+
+    // Freerider: bottom performance and bottom robustness.
+    assert!(results.performance[2] < results.performance[0]);
+    assert!(results.performance[2] < results.performance[1]);
+    assert!(results.robustness[2] <= results.robustness[0]);
+    assert!(results.robustness[2] <= results.robustness[1]);
+}
+
+#[test]
+fn csv_roundtrip_preserves_sweep() {
+    let protocols = vec![presets::bittorrent(), presets::birds()];
+    let results = quantify(&mini_sim(), &protocols, &mini_config());
+    let names: Vec<String> = protocols.iter().map(|p| p.to_string()).collect();
+    let csv = results.to_csv(Some(&names));
+    let (back, back_names) = dsa_core::results::PraResults::from_csv(&csv).expect("parse");
+    assert_eq!(back, results);
+    assert_eq!(back_names, names);
+}
+
+#[test]
+fn regression_runs_on_real_micro_sweep() {
+    // A stride coprime to the space size (3270 = 2·3·5·109) walks through
+    // all residues, so every dummy column varies and the design matrix
+    // stays full-rank.
+    let protocols: Vec<SwarmProtocol> = (0..120)
+        .map(|i| SwarmProtocol::from_index((i * 41 + 7) % dsa_swarm::protocol::SPACE_SIZE))
+        .collect();
+    let results = quantify(&mini_sim(), &protocols, &mini_config());
+
+    let cols = dsa_bench::regress::predictors(&protocols);
+    let fit = dsa_stats::ols::fit(&cols, &results.performance).expect("fit");
+    assert_eq!(fit.terms.len(), 13); // intercept + 12 predictors
+    assert!(fit.r_squared.is_finite());
+}
+
+#[test]
+fn search_agrees_with_sweep_on_micro_space() {
+    // Hill-climb over a 2-dimension slice and verify it finds something
+    // at least as good as the median of an exhaustive scan.
+    let sim = mini_sim();
+    let space = dsa_core::space::DesignSpace::new(
+        "slice",
+        vec![
+            dsa_core::space::Dimension::new(
+                "ranking",
+                (0..6).map(|i| format!("I{}", i + 1)).collect(),
+            ),
+            dsa_core::space::Dimension::new("k", (1..=9).map(|k| k.to_string()).collect()),
+        ],
+    );
+    let proto_at = |idx: usize| {
+        let c = space.coords(idx);
+        SwarmProtocol {
+            ranking: dsa_swarm::protocol::Ranking::ALL[c[0]],
+            partner_slots: (c[1] + 1) as u8,
+            ..presets::bittorrent()
+        }
+    };
+    let objective = |idx: usize| {
+        dsa_core::sim::EncounterSim::run_homogeneous(&sim, &proto_at(idx), 5)
+    };
+    let all: Vec<f64> = space.indices().map(objective).collect();
+    let median = dsa_stats::describe::median(&all);
+    let found = dsa_core::search::hill_climb(&space, objective, 2, 30, 3);
+    assert!(
+        found.best_value >= median,
+        "search {} below median {median}",
+        found.best_value
+    );
+}

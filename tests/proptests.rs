@@ -1,0 +1,159 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use dsa_stats::ccdf::Ccdf;
+use dsa_stats::describe;
+use dsa_swarm::protocol::{SwarmProtocol, SPACE_SIZE};
+use dsa_workloads::rng::Xoshiro256pp;
+use dsa_workloads::sampling;
+use dsa_workloads::seeds::SeedSeq;
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemire rejection sampling never exceeds its bound and hits the
+    /// whole range.
+    #[test]
+    fn rng_below_respects_bound(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// next_f64 stays in the unit interval for arbitrary seeds.
+    #[test]
+    fn rng_f64_unit_interval(seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// Seed-tree children never collide with each other for distinct
+    /// indices (within a sampled window).
+    #[test]
+    fn seed_children_distinct(master in any::<u64>(), a in 0u64..5_000, b in 0u64..5_000) {
+        prop_assume!(a != b);
+        let root = SeedSeq::new(master);
+        prop_assert_ne!(root.child(a).seed(), root.child(b).seed());
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in proptest::collection::vec(0u32..1000, 0..100)) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut original = v.clone();
+        sampling::shuffle(&mut v, &mut rng);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+
+    /// Partial sampling yields distinct, in-range indices of the right
+    /// count.
+    #[test]
+    fn sample_indices_invariants(seed in any::<u64>(), n in 0usize..200, k in 0usize..250) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let s = sampling::sample_indices(n, k, &mut rng);
+        prop_assert_eq!(s.len(), k.min(n));
+        let set: std::collections::HashSet<usize> = s.iter().copied().collect();
+        prop_assert_eq!(set.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// rank_indices returns a permutation ordered by the requested
+    /// direction.
+    #[test]
+    fn rank_indices_sorted_permutation(values in proptest::collection::vec(-1e6f64..1e6, 0..60), asc in any::<bool>()) {
+        let idx = sampling::rank_indices(&values, asc);
+        prop_assert_eq!(idx.len(), values.len());
+        let set: std::collections::HashSet<usize> = idx.iter().copied().collect();
+        prop_assert_eq!(set.len(), idx.len());
+        for w in idx.windows(2) {
+            if asc {
+                prop_assert!(values[w[0]] <= values[w[1]]);
+            } else {
+                prop_assert!(values[w[0]] >= values[w[1]]);
+            }
+        }
+    }
+
+    /// Every protocol index round-trips and canonicalization is
+    /// idempotent.
+    #[test]
+    fn protocol_roundtrip(idx in 0usize..SPACE_SIZE) {
+        let p = SwarmProtocol::from_index(idx);
+        prop_assert_eq!(p.index(), idx);
+        prop_assert_eq!(p.canonical(), p.canonical().canonical());
+    }
+
+    /// Quantiles are bounded by the sample extremes and monotone in q.
+    #[test]
+    fn quantile_bounded_monotone(xs in proptest::collection::vec(-1e9f64..1e9, 1..80), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let lo = describe::min(&xs);
+        let hi = describe::max(&xs);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let va = describe::quantile(&xs, qa);
+        let vb = describe::quantile(&xs, qb);
+        prop_assert!(va >= lo - 1e-9 && vb <= hi + 1e-9);
+        prop_assert!(va <= vb + 1e-9);
+    }
+
+    /// CCDF evaluates within [0,1], is 1 below the minimum and 0 at/above
+    /// the maximum.
+    #[test]
+    fn ccdf_range_and_extremes(xs in proptest::collection::vec(-1e6f64..1e6, 1..60), probe in -1e7f64..1e7) {
+        let c = Ccdf::of(&xs);
+        let p = c.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let lo = describe::min(&xs);
+        let hi = describe::max(&xs);
+        prop_assert_eq!(c.eval(lo - 1.0), 1.0);
+        prop_assert_eq!(c.eval(hi), 0.0);
+    }
+
+    /// Unit normalization lands in [0,1] with the extremes attained.
+    #[test]
+    fn normalize_unit_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 2..60)) {
+        let z = describe::normalize_unit(&xs);
+        prop_assert!(z.iter().all(|v| (0.0..=1.0).contains(v)));
+        let spread = describe::max(&xs) - describe::min(&xs);
+        if spread > 0.0 {
+            prop_assert!(z.iter().any(|&v| v == 0.0));
+            prop_assert!(z.iter().any(|&v| v == 1.0));
+        }
+    }
+
+    /// Pearson correlation is bounded and exactly ±1 on affine data.
+    #[test]
+    fn pearson_bounds(xs in proptest::collection::vec(-1e3f64..1e3, 3..50), a in -5.0f64..5.0, b in -100.0f64..100.0) {
+        prop_assume!(a.abs() > 1e-6);
+        // Require genuine variance in xs.
+        let spread = describe::max(&xs) - describe::min(&xs);
+        prop_assume!(spread > 1e-6);
+        let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let r = dsa_stats::correlation::pearson(&xs, &ys);
+        prop_assert!((r.abs() - 1.0).abs() < 1e-6, "r={}", r);
+    }
+
+    /// The cycle simulator never manufactures data: per-peer utility is
+    /// bounded by the maximum capacity in the population.
+    #[test]
+    fn swarm_utility_bounded_by_capacity(seed in any::<u64>(), proto_idx in 0usize..SPACE_SIZE) {
+        let cfg = dsa_swarm::engine::SimConfig {
+            peers: 12,
+            rounds: 25,
+            bandwidth: dsa_workloads::bandwidth::BandwidthDist::Constant(8.0),
+            ..dsa_swarm::engine::SimConfig::default()
+        };
+        let p = SwarmProtocol::from_index(proto_idx);
+        let out = dsa_swarm::engine::run(&[p], &vec![0; 12], &cfg, seed);
+        // Each peer can receive at most what everyone else uploads: with
+        // equal capacities, inbound ≤ (n−1) × capacity; the practical
+        // bound we assert is population conservation.
+        let total_in: f64 = out.utilities.iter().sum::<f64>();
+        prop_assert!(total_in <= 12.0 * 8.0 + 1e-9);
+        prop_assert!(out.utilities.iter().all(|&u| u >= 0.0));
+    }
+}
