@@ -42,6 +42,20 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| simulate(black_box(&kinds), black_box(&bt_cfg), 3))
     });
 
+    // Reputation simulator: one default-scale community run.
+    let rep_cfg = dsa_reputation::engine::RepConfig::default();
+    let rep_assignment = vec![0usize; rep_cfg.peers];
+    c.bench_function("rep_run_24peers_80rounds", |b| {
+        b.iter(|| {
+            dsa_reputation::engine::run(
+                black_box(&[dsa_reputation::presets::bartercast()]),
+                black_box(&rep_assignment),
+                black_box(&rep_cfg),
+                7,
+            )
+        })
+    });
+
     // PRNG throughput.
     c.bench_function("rng_1k_draws", |b| {
         let mut rng = Xoshiro256pp::seed_from_u64(1);

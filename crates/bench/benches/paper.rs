@@ -94,14 +94,18 @@ fn bench_paper(c: &mut Criterion) {
 
     // The analysis/rendering path of every sweep figure.
     let sweep = synthetic_sweep();
-    c.bench_function("fig2_scatter_render", |b| b.iter(|| figures::fig2(black_box(&sweep))));
+    c.bench_function("fig2_scatter_render", |b| {
+        b.iter(|| figures::fig2(black_box(&sweep)))
+    });
     c.bench_function("fig3_partner_histogram", |b| {
         b.iter(|| figures::fig3_fig4(black_box(&sweep), false))
     });
     c.bench_function("fig4_partner_histogram", |b| {
         b.iter(|| figures::fig3_fig4(black_box(&sweep), true))
     });
-    c.bench_function("fig5_stranger_ccdf", |b| b.iter(|| figures::fig5(black_box(&sweep))));
+    c.bench_function("fig5_stranger_ccdf", |b| {
+        b.iter(|| figures::fig5(black_box(&sweep)))
+    });
     c.bench_function("fig6_allocation_groups", |b| {
         b.iter(|| figures::fig6_fig7(black_box(&sweep), false))
     });
@@ -140,9 +144,7 @@ fn bench_paper(c: &mut Criterion) {
     c.bench_function("gossip_homogeneous_run", |b| {
         let sim = dsa_gossip::engine::GossipSim::default();
         let p = dsa_gossip::protocol::GossipProtocol::baseline();
-        b.iter(|| {
-            dsa_core::sim::EncounterSim::run_homogeneous(black_box(&sim), black_box(&p), 11)
-        })
+        b.iter(|| dsa_core::sim::EncounterSim::run_homogeneous(black_box(&sim), black_box(&p), 11))
     });
 }
 

@@ -10,10 +10,17 @@
 //! dsa encounter <a> <b> [--frac F] [--runs N] [--seed N]
 //! dsa pra <p1> <p2> [...]            PRA over an ad-hoc protocol set
 //! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]
+//! dsa rep protocols [filter]         the reputation domain's protocol list
+//! dsa rep describe <index|preset>
+//! dsa rep simulate <index|preset> [--rounds N] [--peers N] [--seed N] [--churn R]
+//! dsa rep encounter <a> <b> [--frac F] [--runs N] [--seed N]
+//! dsa rep pra [<p1> <p2> ... | --all] [--seed N] [--sample K]
 //! ```
 //!
 //! Presets: bittorrent, birds, loyal, sorts, random, freerider.
 //! BT kinds: bittorrent, birds, loyal, sorts, random.
+//! Rep presets: baseline, tft, bartercast, elitist, prober, freerider,
+//! whitewasher.
 
 use dsa_btsim::choker::ClientKind;
 use dsa_btsim::config::BtConfig;
@@ -21,6 +28,9 @@ use dsa_btsim::experiment::mixed_runs;
 use dsa_core::pra::{quantify, PraConfig};
 use dsa_core::sim::EncounterSim;
 use dsa_core::tournament::OpponentSampling;
+use dsa_reputation::adapter::RepSim;
+use dsa_reputation::presets as rep_presets;
+use dsa_reputation::protocol::{RepProtocol, REP_SPACE_SIZE};
 use dsa_stats::ci::ConfidenceInterval;
 use dsa_swarm::adapter::SwarmSim;
 use dsa_swarm::engine::SimConfig;
@@ -39,6 +49,7 @@ fn main() -> ExitCode {
         Some("encounter") => cmd_encounter(&args[1..]),
         Some("pra") => cmd_pra(&args[1..]),
         Some("bt") => cmd_bt(&args[1..]),
+        Some("rep") => cmd_rep(&args[1..]),
         Some("--help" | "-h") | None => {
             eprintln!("{}", HELP);
             return ExitCode::SUCCESS;
@@ -55,7 +66,8 @@ fn main() -> ExitCode {
 }
 
 const HELP: &str = "dsa — Design Space Analysis toolkit
-commands: protocols, describe, simulate, encounter, pra, bt (see crate docs)";
+commands: protocols, describe, simulate, encounter, pra, bt,
+          rep {protocols|describe|simulate|encounter|pra} (see crate docs)";
 
 fn parse_protocol(token: &str) -> Result<SwarmProtocol, String> {
     match token {
@@ -88,17 +100,18 @@ fn parse_kind(token: &str) -> Result<ClientKind, String> {
     }
 }
 
+/// Parsed `--flag value` pairs.
+type Flags = Vec<(String, String)>;
+
 /// Pulls `--flag value` pairs out of an argument list; returns
 /// (positional, lookup).
-fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.push((name.to_string(), value.clone()));
         } else {
             positional.push(a.clone());
@@ -140,7 +153,10 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
     let p = parse_protocol(token)?;
     println!("index      : {}", p.index());
     println!("code       : {p}");
-    println!("stranger   : {:?} × {}", p.stranger_policy, p.stranger_slots);
+    println!(
+        "stranger   : {:?} × {}",
+        p.stranger_policy, p.stranger_slots
+    );
     println!("candidates : {:?}", p.candidates);
     println!("ranking    : {:?}", p.ranking);
     println!("partners   : {}", p.partner_slots);
@@ -235,7 +251,10 @@ fn cmd_pra(args: &[String]) -> Result<(), String> {
         ..PraConfig::default()
     };
     let results = quantify(&sim, &protocols, &config);
-    println!("{:<24} {:>11} {:>10} {:>14}", "protocol", "Performance", "Robustness", "Aggressiveness");
+    println!(
+        "{:<24} {:>11} {:>10} {:>14}",
+        "protocol", "Performance", "Robustness", "Aggressiveness"
+    );
     for (i, p) in protocols.iter().enumerate() {
         let pt = results.point(i);
         println!(
@@ -267,6 +286,203 @@ fn cmd_bt(args: &[String]) -> Result<(), String> {
     if !ta.is_empty() && !tb.is_empty() {
         let sig = dsa_stats::nonparametric::significantly_different(&ta, &tb, 0.05);
         println!("difference significant at 5% (Mann-Whitney): {sig}");
+    }
+    Ok(())
+}
+
+// ---- the reputation domain ------------------------------------------------
+
+fn parse_rep_protocol(token: &str) -> Result<RepProtocol, String> {
+    match token {
+        "baseline" => Ok(RepProtocol::baseline()),
+        "tft" => Ok(rep_presets::private_tft()),
+        "bartercast" | "bc" => Ok(rep_presets::bartercast()),
+        "elitist" => Ok(rep_presets::elitist()),
+        "prober" => Ok(rep_presets::prober()),
+        "freerider" => Ok(rep_presets::freerider()),
+        "whitewasher" | "ww" => Ok(rep_presets::whitewasher()),
+        other => {
+            let idx: usize = other
+                .parse()
+                .map_err(|_| format!("'{other}' is neither a rep preset nor an index"))?;
+            if idx >= REP_SPACE_SIZE {
+                return Err(format!("index {idx} out of 0..{REP_SPACE_SIZE}"));
+            }
+            Ok(RepProtocol::from_index(idx))
+        }
+    }
+}
+
+fn cmd_rep(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("protocols") => cmd_rep_protocols(&args[1..]),
+        Some("describe") => cmd_rep_describe(&args[1..]),
+        Some("simulate") => cmd_rep_simulate(&args[1..]),
+        Some("encounter") => cmd_rep_encounter(&args[1..]),
+        Some("pra") => cmd_rep_pra(&args[1..]),
+        Some(other) => Err(format!("unknown rep command '{other}' (try --help)")),
+        None => Err("rep needs a subcommand: protocols, describe, simulate, encounter, pra".into()),
+    }
+}
+
+fn cmd_rep_protocols(args: &[String]) -> Result<(), String> {
+    let filter = args.first().cloned().unwrap_or_default();
+    let mut count = 0;
+    for p in RepProtocol::all() {
+        let code = p.to_string();
+        if code.contains(&filter) {
+            println!("{:>5}  {code}", p.index());
+            count += 1;
+        }
+    }
+    eprintln!("({count} of {REP_SPACE_SIZE} protocols)");
+    Ok(())
+}
+
+fn cmd_rep_describe(args: &[String]) -> Result<(), String> {
+    let token = args.first().ok_or("rep describe needs a protocol")?;
+    let p = parse_rep_protocol(token)?;
+    println!("index       : {}", p.index());
+    println!("code        : {p}");
+    println!("source      : {:?}", p.source);
+    println!("maintenance : {:?}", p.maintenance);
+    println!("stranger    : {:?}", p.stranger);
+    println!("response    : {:?}", p.response);
+    println!("identity    : {:?}", p.identity);
+    Ok(())
+}
+
+fn rep_config(flags: &[(String, String)]) -> Result<dsa_reputation::engine::RepConfig, String> {
+    let mut config = dsa_reputation::engine::RepConfig::default();
+    config.rounds = flag(flags, "rounds", config.rounds)?;
+    config.peers = flag(flags, "peers", config.peers)?;
+    if config.peers < 2 {
+        return Err(format!("--peers must be at least 2, got {}", config.peers));
+    }
+    let churn = flag(flags, "churn", 0.0f64)?;
+    if churn > 0.0 {
+        config.churn = ChurnModel::PerRound { rate: churn };
+    }
+    Ok(config)
+}
+
+fn cmd_rep_simulate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let token = pos.first().ok_or("rep simulate needs a protocol")?;
+    let p = parse_rep_protocol(token)?;
+    let seed = flag(&flags, "seed", 1u64)?;
+    let config = rep_config(&flags)?;
+    let u = dsa_reputation::engine::run(&[p], &vec![0; config.peers], &config, seed);
+    let mean = u.iter().sum::<f64>() / u.len() as f64;
+    let mut sorted = u.clone();
+    sorted.sort_by(f64::total_cmp);
+    println!("protocol      : {p}");
+    println!("mean utility  : {mean:.2} service units/peer");
+    println!(
+        "min / median / max : {:.2} / {:.2} / {:.2}",
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() - 1]
+    );
+    Ok(())
+}
+
+fn cmd_rep_encounter(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if pos.len() < 2 {
+        return Err("rep encounter needs two protocols".into());
+    }
+    let a = parse_rep_protocol(&pos[0])?;
+    let b = parse_rep_protocol(&pos[1])?;
+    let frac = flag(&flags, "frac", 0.5f64)?;
+    let runs = flag(&flags, "runs", 5usize)?;
+    let seed = flag(&flags, "seed", 1u64)?;
+    let sim = RepSim {
+        config: rep_config(&flags)?,
+    };
+    let mut wins = 0;
+    let mut ua = Vec::new();
+    let mut ub = Vec::new();
+    for r in 0..runs {
+        let (x, y) = sim.run_encounter(&a, &b, frac, seed.wrapping_add(r as u64));
+        if x > y {
+            wins += 1;
+        }
+        ua.push(x);
+        ub.push(y);
+    }
+    println!("{a} ({:.0}% of community) vs {b}", frac * 100.0);
+    println!("  group A mean utility: {}", ConfidenceInterval::ci95(&ua));
+    println!("  group B mean utility: {}", ConfidenceInterval::ci95(&ub));
+    println!("  A wins {wins}/{runs} runs");
+    Ok(())
+}
+
+fn cmd_rep_pra(args: &[String]) -> Result<(), String> {
+    // `--all` is a bare switch; strip it before the `--flag value` parse
+    // so it does not swallow the next token.
+    let explicit_all = args.iter().any(|a| a == "--all");
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--all")
+        .cloned()
+        .collect();
+    let (pos, flags) = split_flags(&args)?;
+    let seed = flag(&flags, "seed", 0x5EEDu64)?;
+    let sample = flag(&flags, "sample", 20usize)?;
+    let all = explicit_all || pos.is_empty();
+    let protocols: Vec<RepProtocol> = if all {
+        RepProtocol::all().collect()
+    } else {
+        pos.iter()
+            .map(|t| parse_rep_protocol(t))
+            .collect::<Result<_, _>>()?
+    };
+    if protocols.len() < 2 {
+        return Err("rep pra needs at least two protocols (or none for the full space)".into());
+    }
+    let sim = RepSim {
+        config: dsa_reputation::engine::RepConfig::fast(),
+    };
+    let config = PraConfig {
+        performance_runs: 3,
+        encounter_runs: 2,
+        sampling: if all {
+            OpponentSampling::Sampled(sample)
+        } else {
+            OpponentSampling::Exhaustive
+        },
+        seed,
+        ..PraConfig::default()
+    };
+    let results = quantify(&sim, &protocols, &config);
+    println!(
+        "{:<55} {:>11} {:>10} {:>14}",
+        "protocol", "Performance", "Robustness", "Aggressiveness"
+    );
+    // For the full space print the 10 strongest by robustness; an ad-hoc
+    // set prints in the order given.
+    let order: Vec<usize> = if all {
+        results
+            .ranked_by(|p| p.robustness)
+            .into_iter()
+            .take(10)
+            .collect()
+    } else {
+        (0..protocols.len()).collect()
+    };
+    for i in order {
+        let pt = results.point(i);
+        println!(
+            "{:<55} {:>11.3} {:>10.3} {:>14.3}",
+            protocols[i].to_string(),
+            pt.performance,
+            pt.robustness,
+            pt.aggressiveness
+        );
+    }
+    if all {
+        println!("(top 10 of {} by robustness)", protocols.len());
     }
     Ok(())
 }

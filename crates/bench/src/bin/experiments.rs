@@ -5,7 +5,7 @@
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
-//!      search all
+//!      rep whitewash search all
 //! ```
 //!
 //! Sweep-based experiments (fig2–fig8, table3, birds, corr9010) share a
@@ -16,6 +16,7 @@ use dsa_bench::figures;
 use dsa_bench::gossipfig;
 use dsa_bench::nashdemo;
 use dsa_bench::regress;
+use dsa_bench::repfig;
 use dsa_bench::scale::Scale;
 use dsa_bench::sweep::SweepData;
 use dsa_btsim::choker::ClientKind;
@@ -25,8 +26,28 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const ALL_IDS: &[&str] = &[
-    "fig1", "table1", "table2", "nash", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "table3", "churn", "corr9010", "birds", "fig9a", "fig9b", "fig9c", "fig10", "gossip",
+    "fig1",
+    "table1",
+    "table2",
+    "nash",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table3",
+    "churn",
+    "corr9010",
+    "birds",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig10",
+    "gossip",
+    "rep",
+    "whitewash",
     "search",
 ];
 
@@ -165,6 +186,8 @@ fn main() -> ExitCode {
             )),
             "fig10" => Ok(btfigs::fig10(opts.scale.bt_runs, &bt_cfg, opts.seed ^ 0x10)),
             "gossip" => Ok(gossipfig::gossip_dsa(opts.seed)),
+            "rep" => Ok(repfig::reputation_dsa(opts.seed)),
+            "whitewash" => Ok(repfig::whitewash_attack(opts.seed ^ 0x3E9)),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };
@@ -181,12 +204,17 @@ fn main() -> ExitCode {
 
 fn render_table2() -> String {
     use std::fmt::Write as _;
-    let mut out = String::from(
-        "Table 2: existing protocols mapped to the generic design space\n",
-    );
+    let mut out = String::from("Table 2: existing protocols mapped to the generic design space\n");
     for row in dsa_swarm::presets::table2() {
-        let _ = writeln!(out, "{:<24} stranger: {:<32} selection: {:<36} allocation: {:<28} → nearest actualized: {}",
-            row.system, row.stranger_policy, row.selection_function, row.resource_allocation, row.nearest);
+        let _ = writeln!(
+            out,
+            "{:<24} stranger: {:<32} selection: {:<36} allocation: {:<28} → nearest actualized: {}",
+            row.system,
+            row.stranger_policy,
+            row.selection_function,
+            row.resource_allocation,
+            row.nearest
+        );
     }
     out
 }

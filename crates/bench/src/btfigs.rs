@@ -17,16 +17,12 @@ pub fn fig9(a: ClientKind, b: ClientKind, runs: usize, config: &BtConfig, seed: 
         b.name(),
         runs
     );
-    let _ = writeln!(
-        out,
-        "{:>10} {:>22} {:>22}",
-        "frac(A)",
-        a.name(),
-        b.name()
-    );
+    let _ = writeln!(out, "{:>10} {:>22} {:>22}", "frac(A)", a.name(), b.name());
     for p in &series {
         let fmt_ci = |ci: &Option<ConfidenceInterval>| {
-            ci.map_or("-".to_string(), |c| format!("{:.1} ± {:.1}", c.mean, c.half_width))
+            ci.map_or("-".to_string(), |c| {
+                format!("{:.1} ± {:.1}", c.mean, c.half_width)
+            })
         };
         let _ = writeln!(
             out,
@@ -37,7 +33,10 @@ pub fn fig9(a: ClientKind, b: ClientKind, runs: usize, config: &BtConfig, seed: 
         );
     }
     // Headline comparisons the paper draws per panel.
-    if let (Some(all_a), Some(all_b)) = (series.last().and_then(|p| p.a), series.first().and_then(|p| p.b)) {
+    if let (Some(all_a), Some(all_b)) = (
+        series.last().and_then(|p| p.a),
+        series.first().and_then(|p| p.b),
+    ) {
         let _ = writeln!(
             out,
             "homogeneous swarms: all-{} = {:.1}s, all-{} = {:.1}s{}",

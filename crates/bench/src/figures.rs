@@ -48,7 +48,10 @@ pub fn fig2(data: &SweepData) -> String {
         .filter(|(p, _)| p.is_freerider())
         .map(|(_, &perf)| perf)
         .fold(0.0f64, f64::max);
-    let _ = writeln!(out, "\nMax performance among freeriders (R3): {freeriders_low:.2} (paper: 0.31)");
+    let _ = writeln!(
+        out,
+        "\nMax performance among freeriders (R3): {freeriders_low:.2} (paper: 0.31)"
+    );
     let best = data.results.ranked_by(|p| p.performance)[0];
     let _ = writeln!(
         out,
@@ -72,7 +75,11 @@ pub fn fig3_fig4(data: &SweepData, robustness: bool) -> String {
         h.add(usize::from(proto.partner_slots), m);
     }
     let labels: Vec<String> = (0..10).map(|k| k.to_string()).collect();
-    let name = if robustness { "4: Robustness" } else { "3: Performance" };
+    let name = if robustness {
+        "4: Robustness"
+    } else {
+        "3: Performance"
+    };
     let mut out = format!("Figure {name} by number of partners (columns: k = 0..9)\n");
     out.push_str(&ascii::frequency_map(&h.row_frequencies(), &labels));
 
@@ -251,10 +258,27 @@ pub fn birds_placement(data: &SweepData) -> String {
     let (pi, pv, pr) = birds_best(&|p| p.performance);
     let (ri, rv, rr) = birds_best(&|p| p.robustness);
     let (ai, av, ar) = birds_best(&|p| p.aggressiveness);
-    let mut out = String::from("Birds family placement (paper: perf 0.83 rank 30; rob 0.76 rank 714; agg 0.74 rank 630)\n");
-    let _ = writeln!(out, "best perf : {} = {pv:.2}, rank {pr}/{}", data.protocols[pi], data.results.len());
-    let _ = writeln!(out, "best rob  : {} = {rv:.2}, rank {rr}/{}", data.protocols[ri], data.results.len());
-    let _ = writeln!(out, "best agg  : {} = {av:.2}, rank {ar}/{}", data.protocols[ai], data.results.len());
+    let mut out = String::from(
+        "Birds family placement (paper: perf 0.83 rank 30; rob 0.76 rank 714; agg 0.74 rank 630)\n",
+    );
+    let _ = writeln!(
+        out,
+        "best perf : {} = {pv:.2}, rank {pr}/{}",
+        data.protocols[pi],
+        data.results.len()
+    );
+    let _ = writeln!(
+        out,
+        "best rob  : {} = {rv:.2}, rank {rr}/{}",
+        data.protocols[ri],
+        data.results.len()
+    );
+    let _ = writeln!(
+        out,
+        "best agg  : {} = {av:.2}, rank {ar}/{}",
+        data.protocols[ai],
+        data.results.len()
+    );
     out
 }
 
@@ -274,7 +298,11 @@ pub fn churn_experiment(scale: &Scale) -> String {
         let sim = SwarmSim { config: sim_cfg };
         let perf = performance_phase(&sim, &protocols, &scale.pra);
         let mut idx: Vec<usize> = (0..protocols.len()).collect();
-        idx.sort_by(|&a, &b| perf[b].partial_cmp(&perf[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            perf[b]
+                .partial_cmp(&perf[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mean_k: f64 = idx
             .iter()
             .take(15)

@@ -15,6 +15,7 @@ pub mod figures;
 pub mod gossipfig;
 pub mod nashdemo;
 pub mod regress;
+pub mod repfig;
 pub mod scale;
 pub mod sweep;
 

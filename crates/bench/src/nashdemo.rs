@@ -46,7 +46,11 @@ pub fn table1(params: &ClassParams) -> String {
         params.unchoke_slots,
         params.nr()
     );
-    let _ = writeln!(out, "{:<22} {:>10} {:>10}", "expectation", "BitTorrent", "Birds");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10}",
+        "expectation", "BitTorrent", "Birds"
+    );
     let rows = [
         ("Er[A→c]", bt.recip_above, birds.recip_above),
         ("E [A→c]", bt.free_above, birds.free_above),
@@ -73,14 +77,22 @@ pub fn nash_analysis(params: &ClassParams) -> String {
         "Birds deviant in BT swarm    : deviant {:.4} vs incumbent {:.4} → deviation {}",
         bt_swarm.deviant,
         bt_swarm.incumbent,
-        if bt_swarm.deviation_pays() { "PAYS (BT is NOT a Nash equilibrium)" } else { "does not pay" }
+        if bt_swarm.deviation_pays() {
+            "PAYS (BT is NOT a Nash equilibrium)"
+        } else {
+            "does not pay"
+        }
     );
     let _ = writeln!(
         out,
         "BT deviant in Birds swarm    : deviant {:.4} vs incumbent {:.4} → deviation {}",
         birds_swarm.deviant,
         birds_swarm.incumbent,
-        if birds_swarm.deviation_pays() { "pays" } else { "does NOT pay (Birds IS a Nash equilibrium)" }
+        if birds_swarm.deviation_pays() {
+            "pays"
+        } else {
+            "does NOT pay (Birds IS a Nash equilibrium)"
+        }
     );
     out
 }

@@ -15,8 +15,14 @@ use std::fmt::Write as _;
 /// Builds the paper's 12 predictor columns from the protocol list.
 #[must_use]
 pub fn predictors(protocols: &[SwarmProtocol]) -> Vec<NamedColumn> {
-    let k: Vec<f64> = protocols.iter().map(|p| f64::from(p.partner_slots)).collect();
-    let h: Vec<f64> = protocols.iter().map(|p| f64::from(p.stranger_slots)).collect();
+    let k: Vec<f64> = protocols
+        .iter()
+        .map(|p| f64::from(p.partner_slots))
+        .collect();
+    let h: Vec<f64> = protocols
+        .iter()
+        .map(|p| f64::from(p.stranger_slots))
+        .collect();
 
     let mut cols = vec![
         NamedColumn::new("log(k~)", log1p_standardized(&k)),
@@ -25,12 +31,19 @@ pub fn predictors(protocols: &[SwarmProtocol]) -> Vec<NamedColumn> {
 
     // Stranger-policy dummies (baseline B1; h = 0 rows are all-zero, i.e.
     // treated as baseline-policy absences).
-    for (policy, name) in [(StrangerPolicy::WhenNeeded, "B2"), (StrangerPolicy::Defect, "B3")] {
+    for (policy, name) in [
+        (StrangerPolicy::WhenNeeded, "B2"),
+        (StrangerPolicy::Defect, "B3"),
+    ] {
         cols.push(NamedColumn::new(
             name,
             protocols
                 .iter()
-                .map(|p| f64::from(u8::from(p.stranger_slots > 0 && p.stranger_policy == policy)))
+                .map(|p| {
+                    f64::from(u8::from(
+                        p.stranger_slots > 0 && p.stranger_policy == policy,
+                    ))
+                })
                 .collect(),
         ));
     }
@@ -39,7 +52,11 @@ pub fn predictors(protocols: &[SwarmProtocol]) -> Vec<NamedColumn> {
         "C2",
         protocols
             .iter()
-            .map(|p| f64::from(u8::from(p.partner_slots > 0 && p.candidates == CandidateList::Tf2t)))
+            .map(|p| {
+                f64::from(u8::from(
+                    p.partner_slots > 0 && p.candidates == CandidateList::Tf2t,
+                ))
+            })
             .collect(),
     ));
     // Ranking dummies (baseline I1).
@@ -114,7 +131,9 @@ impl Table3 {
         let _ = writeln!(
             out,
             "{:<12} | adj.R2 = {:<17.2} | adj.R2 = {:<16.2} | adj.R2 = {:.2}",
-            "", self.performance.adj_r_squared, self.robustness.adj_r_squared,
+            "",
+            self.performance.adj_r_squared,
+            self.robustness.adj_r_squared,
             self.aggressiveness.adj_r_squared
         );
         for i in 0..self.performance.terms.len() {
@@ -233,7 +252,16 @@ mod tests {
     fn render_contains_all_rows() {
         let t3 = table3(&synthetic());
         let s = t3.render();
-        for term in ["(intercept)", "log(k~)", "log(h~)", "B2", "B3", "C2", "I5", "R3"] {
+        for term in [
+            "(intercept)",
+            "log(k~)",
+            "log(h~)",
+            "B2",
+            "B3",
+            "C2",
+            "I5",
+            "R3",
+        ] {
             assert!(s.contains(term), "missing {term} in\n{s}");
         }
         assert!(s.contains("adj.R2"));

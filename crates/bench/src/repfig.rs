@@ -1,0 +1,141 @@
+//! The reputation-domain DSA demonstration (the third domain; §7's
+//! "domains other than P2P" future work applied to trust systems).
+
+use dsa_core::pra::{quantify, PraConfig};
+use dsa_core::sim::EncounterSim;
+use dsa_core::tournament::OpponentSampling;
+use dsa_reputation::adapter::RepSim;
+use dsa_reputation::engine::RepConfig;
+use dsa_reputation::presets;
+use dsa_reputation::protocol::RepProtocol;
+use std::fmt::Write as _;
+
+/// Runs the PRA quantification over the 216-protocol reputation space
+/// and reports the extremes plus where the canonical attackers land.
+#[must_use]
+pub fn reputation_dsa(seed: u64) -> String {
+    let sim = RepSim {
+        config: RepConfig::fast(),
+    };
+    let protocols: Vec<RepProtocol> = RepProtocol::all().collect();
+    let config = PraConfig {
+        performance_runs: 3,
+        encounter_runs: 1,
+        sampling: OpponentSampling::Sampled(20),
+        threads: 0,
+        seed,
+        ..PraConfig::default()
+    };
+    let results = quantify(&sim, &protocols, &config);
+    let mut out =
+        String::from("DSA on the reputation design space (3 × 3 × 3 × 4 × 2 = 216 protocols)\n");
+    let by_perf = results.ranked_by(|p| p.performance);
+    let by_rob = results.ranked_by(|p| p.robustness);
+    let _ = writeln!(out, "top performance:");
+    for &i in by_perf.iter().take(3) {
+        let _ = writeln!(
+            out,
+            "  {:<55} P={:.2} R={:.2} A={:.2}",
+            protocols[i].to_string(),
+            results.performance[i],
+            results.robustness[i],
+            results.aggressiveness[i]
+        );
+    }
+    let _ = writeln!(out, "top robustness:");
+    for &i in by_rob.iter().take(3) {
+        let _ = writeln!(
+            out,
+            "  {:<55} P={:.2} R={:.2} A={:.2}",
+            protocols[i].to_string(),
+            results.performance[i],
+            results.robustness[i],
+            results.aggressiveness[i]
+        );
+    }
+    for (name, p) in [
+        ("freerider", presets::freerider()),
+        ("whitewasher", presets::whitewasher()),
+        ("bartercast", presets::bartercast()),
+        ("private-tft", presets::private_tft()),
+    ] {
+        let i = p.index();
+        let _ = writeln!(
+            out,
+            "{name:<12} ranks {:>3}/216 by performance, {:>3}/216 by robustness",
+            results.rank_of(i, |pt| pt.performance),
+            results.rank_of(i, |pt| pt.robustness),
+        );
+    }
+    let r = dsa_stats::correlation::pearson(&results.robustness, &results.aggressiveness);
+    let _ = writeln!(out, "robustness/aggressiveness Pearson r = {r:.3}");
+    out
+}
+
+/// The whitewashing-attack figure: each host preset faces a 10% minority
+/// of free-riders and of whitewashers; the attacker's per-peer take
+/// relative to the host's measures how well the mechanism resists
+/// identity churn.
+#[must_use]
+pub fn whitewash_attack(seed: u64) -> String {
+    let sim = RepSim {
+        config: RepConfig::default(),
+    };
+    let mut out =
+        String::from("Whitewashing attack: attacker/host utility ratio at a 90/10 split\n");
+    let _ = writeln!(
+        out,
+        "{:<62} {:>10} {:>12} {:>9}",
+        "host protocol", "freerider", "whitewasher", "amplif."
+    );
+    for (name, host) in [
+        ("private-tft", presets::private_tft()),
+        ("bartercast", presets::bartercast()),
+        ("elitist", presets::elitist()),
+        ("baseline", RepProtocol::baseline()),
+    ] {
+        let ratio = |attacker: RepProtocol, tag: u64| {
+            let runs = 5;
+            let mut acc = 0.0;
+            for r in 0..runs {
+                let (h, a) = sim.run_encounter(
+                    &host,
+                    &attacker,
+                    0.9,
+                    seed.wrapping_add(tag).wrapping_add(r),
+                );
+                acc += if h > 0.0 { a / h } else { 0.0 };
+            }
+            acc / runs as f64
+        };
+        let fr = ratio(presets::freerider(), 0x1000);
+        let ww = ratio(presets::whitewasher(), 0x2000);
+        let amplification = if fr > 1e-12 { ww / fr } else { f64::INFINITY };
+        let _ = writeln!(
+            out,
+            "{:<62} {fr:>10.3} {ww:>12.3} {amplification:>8.2}x",
+            format!("{name} ({host})"),
+        );
+    }
+    out.push_str("(amplif. > 1: shedding identity beats honest free-riding against that host)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reputation_dsa_runs_and_reports() {
+        let s = super::reputation_dsa(3);
+        assert!(s.contains("top performance"));
+        assert!(s.contains("whitewasher"));
+        assert!(s.contains("Pearson"));
+    }
+
+    #[test]
+    fn whitewash_attack_renders_all_hosts() {
+        let s = super::whitewash_attack(5);
+        assert!(s.contains("private-tft"));
+        assert!(s.contains("bartercast"));
+        assert!(s.contains("amplif"));
+    }
+}

@@ -111,7 +111,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_roundtrip(){
+    fn cache_roundtrip() {
         let dir = std::env::temp_dir().join(format!("dsa-sweep-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         // Shrink the space cost: smoke scale with tiny parameters.

@@ -41,9 +41,7 @@ pub fn mixed_runs(
     let mut times_b = Vec::new();
     for r in 0..runs {
         let node = root.child(r as u64);
-        let mut kinds: Vec<ClientKind> = (0..n)
-            .map(|i| if i < count_a { a } else { b })
-            .collect();
+        let mut kinds: Vec<ClientKind> = (0..n).map(|i| if i < count_a { a } else { b }).collect();
         let mut shuffle_rng: Xoshiro256pp = node.child(0).rng();
         sampling::shuffle(&mut kinds, &mut shuffle_rng);
         let out = simulate(&kinds, config, node.child(1).seed());
@@ -89,12 +87,7 @@ pub fn fraction_series(
 }
 
 /// Homogeneous mean download times per run (Figure 10 bars).
-pub fn homogeneous_runs(
-    kind: ClientKind,
-    runs: usize,
-    config: &BtConfig,
-    seed: u64,
-) -> Vec<f64> {
+pub fn homogeneous_runs(kind: ClientKind, runs: usize, config: &BtConfig, seed: u64) -> Vec<f64> {
     let (times, _) = mixed_runs(kind, kind, 1.0, runs, config, seed);
     times
 }
@@ -113,14 +106,7 @@ mod tests {
 
     #[test]
     fn mixed_runs_partition_population() {
-        let (a, b) = mixed_runs(
-            ClientKind::Birds,
-            ClientKind::BitTorrent,
-            0.5,
-            3,
-            &cfg(),
-            1,
-        );
+        let (a, b) = mixed_runs(ClientKind::Birds, ClientKind::BitTorrent, 0.5, 3, &cfg(), 1);
         assert_eq!(a.len(), 3);
         assert_eq!(b.len(), 3);
         assert!(a.iter().chain(&b).all(|t| *t > 0.0));
@@ -128,24 +114,10 @@ mod tests {
 
     #[test]
     fn extreme_fractions_have_one_empty_group() {
-        let (a, b) = mixed_runs(
-            ClientKind::Birds,
-            ClientKind::BitTorrent,
-            0.0,
-            2,
-            &cfg(),
-            2,
-        );
+        let (a, b) = mixed_runs(ClientKind::Birds, ClientKind::BitTorrent, 0.0, 2, &cfg(), 2);
         assert!(a.is_empty());
         assert_eq!(b.len(), 2);
-        let (a, b) = mixed_runs(
-            ClientKind::Birds,
-            ClientKind::BitTorrent,
-            1.0,
-            2,
-            &cfg(),
-            3,
-        );
+        let (a, b) = mixed_runs(ClientKind::Birds, ClientKind::BitTorrent, 1.0, 2, &cfg(), 3);
         assert_eq!(a.len(), 2);
         assert!(b.is_empty());
     }

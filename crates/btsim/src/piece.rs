@@ -86,12 +86,12 @@ impl Bitfield {
 #[must_use]
 pub fn continue_piece(wanting: &Bitfield, source: &Bitfield, progress: &[f64]) -> Option<usize> {
     let mut best: Option<(f64, usize)> = None;
-    for p in 0..wanting.len() {
-        if wanting.has(p) || !source.has(p) || progress[p] <= 0.0 {
+    for (p, &prog) in progress.iter().enumerate().take(wanting.len()) {
+        if wanting.has(p) || !source.has(p) || prog <= 0.0 {
             continue;
         }
-        if best.is_none_or(|(bp, _)| progress[p] > bp) {
-            best = Some((progress[p], p));
+        if best.is_none_or(|(bp, _)| prog > bp) {
+            best = Some((prog, p));
         }
     }
     best.map(|(_, p)| p)
@@ -190,7 +190,10 @@ mod tests {
         let src = Bitfield::full(3);
         let avail = [5, 1, 3];
         let in_flight = [false; 3];
-        assert_eq!(rarest_first(&want, &src, &avail, &in_flight, &mut rng()), Some(1));
+        assert_eq!(
+            rarest_first(&want, &src, &avail, &in_flight, &mut rng()),
+            Some(1)
+        );
     }
 
     #[test]
@@ -203,7 +206,10 @@ mod tests {
         let avail = [0, 1, 9];
         let in_flight = [false; 3];
         // Only piece 2 is useful (0 not at source, 1 owned).
-        assert_eq!(rarest_first(&want, &src, &avail, &in_flight, &mut rng()), Some(2));
+        assert_eq!(
+            rarest_first(&want, &src, &avail, &in_flight, &mut rng()),
+            Some(2)
+        );
     }
 
     #[test]
@@ -213,11 +219,17 @@ mod tests {
         let avail = [1, 2];
         // The rarest piece is already being fetched elsewhere.
         let in_flight = [true, false];
-        assert_eq!(rarest_first(&want, &src, &avail, &in_flight, &mut rng()), Some(1));
+        assert_eq!(
+            rarest_first(&want, &src, &avail, &in_flight, &mut rng()),
+            Some(1)
+        );
         // ... unless it is the only option.
         let mut want2 = Bitfield::empty(2);
         want2.set(1);
-        assert_eq!(rarest_first(&want2, &src, &avail, &in_flight, &mut rng()), Some(0));
+        assert_eq!(
+            rarest_first(&want2, &src, &avail, &in_flight, &mut rng()),
+            Some(0)
+        );
     }
 
     #[test]

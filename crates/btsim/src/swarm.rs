@@ -231,9 +231,9 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
                 peers[j].completed_at = Some(tick + 1);
                 if config.leave_on_completion {
                     peers[j].departed = true;
-                    for p in 0..pieces {
+                    for (p, avail) in availability.iter_mut().enumerate().take(pieces) {
                         if peers[j].bitfield.has(p) {
-                            availability[p] -= 1;
+                            *avail -= 1;
                         }
                     }
                 }

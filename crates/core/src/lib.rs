@@ -15,9 +15,11 @@
 //!    10/90), each normalized to `[0, 1]`.
 //!
 //! The framework is domain-agnostic: anything implementing
-//! [`sim::EncounterSim`] can be quantified. The workspace provides two
-//! domains — `dsa-swarm` (the paper's P2P file-swarming space) and
-//! `dsa-gossip` (the Section 3.1 gossip example).
+//! [`sim::EncounterSim`] can be quantified. The workspace provides three
+//! domains — `dsa-swarm` (the paper's P2P file-swarming space),
+//! `dsa-gossip` (the Section 3.1 gossip example) and `dsa-reputation`
+//! (reputation-mediated sharing, the §7 "domains other than P2P" future
+//! work).
 //!
 //! [`search`] implements the paper's future-work idea of heuristic
 //! exploration for spaces too large to sweep exhaustively (§7), and
@@ -35,5 +37,5 @@ pub mod tournament;
 pub use pra::{PraConfig, PraPoint};
 pub use results::PraResults;
 pub use sim::EncounterSim;
-pub use space::{Dimension, DesignSpace};
+pub use space::{DesignSpace, Dimension};
 pub use tournament::OpponentSampling;

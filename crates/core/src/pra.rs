@@ -134,7 +134,11 @@ pub fn tournament_rates<S: EncounterSim>(
         "protagonist share must be in (0,1), got {protagonist_share}"
     );
     let n = protocols.len();
-    let pairings = schedule(n, config.sampling, SeedSeq::new(config.seed).child(99).seed());
+    let pairings = schedule(
+        n,
+        config.sampling,
+        SeedSeq::new(config.seed).child(99).seed(),
+    );
     let root = SeedSeq::new(config.seed).child(phase_tag);
     let runs = config.encounter_runs.max(1);
 

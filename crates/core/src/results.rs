@@ -84,7 +84,10 @@ impl PraResults {
     /// "Birds ... ranks at 30 among all 3270 protocols").
     #[must_use]
     pub fn rank_of(&self, i: usize, measure: impl Fn(&PraPoint) -> f64) -> usize {
-        self.ranked_by(measure).iter().position(|&x| x == i).map_or(0, |p| p + 1)
+        self.ranked_by(measure)
+            .iter()
+            .position(|&x| x == i)
+            .map_or(0, |p| p + 1)
     }
 
     /// Serializes to CSV with an `index` column and optional names.
@@ -97,9 +100,8 @@ impl PraResults {
         if let Some(n) = names {
             assert_eq!(n.len(), self.len(), "names length mismatch");
         }
-        let mut out = String::from(
-            "index,name,performance_raw,performance,robustness,aggressiveness\n",
-        );
+        let mut out =
+            String::from("index,name,performance_raw,performance,robustness,aggressiveness\n");
         for i in 0..self.len() {
             let name = names.map_or(String::new(), |n| quote_csv(&n[i]));
             // `{}` on f64 prints the shortest representation that parses

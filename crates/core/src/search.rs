@@ -46,7 +46,10 @@ impl<'a> Memo<'a> {
     }
 
     fn eval(&mut self, idx: usize) -> f64 {
-        *self.cache.entry(idx).or_insert_with(|| (self.objective)(idx))
+        *self
+            .cache
+            .entry(idx)
+            .or_insert_with(|| (self.objective)(idx))
     }
 
     fn evaluations(&self) -> usize {
@@ -277,8 +280,7 @@ mod tests {
         let (space, obj) = space_and_peak();
         let out = hill_climb(&space, &obj, 2, 200, 8);
         // Mean objective over the space.
-        let mean: f64 =
-            space.indices().map(&obj).sum::<f64>() / space.size() as f64;
+        let mean: f64 = space.indices().map(&obj).sum::<f64>() / space.size() as f64;
         assert!(out.best_value > mean);
     }
 }

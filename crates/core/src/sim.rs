@@ -34,6 +34,24 @@ pub trait EncounterSim: Sync {
     ) -> (f64, f64);
 }
 
+/// Splits an `n`-peer population into a protagonist group holding a
+/// `fraction_a` share and returns `(group size, per-peer assignment)`
+/// with assignment value 0 for protagonists and 1 for the rest.
+///
+/// Every adapter's `run_encounter` needs the same split; keeping it here
+/// pins the shared invariant that both groups hold at least one peer
+/// (the paper's splits land on integers, arbitrary fractions round).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn split_population(n: usize, fraction_a: f64) -> (usize, Vec<usize>) {
+    assert!(n >= 2, "a mixed population needs at least two peers");
+    let count_a = ((fraction_a * n as f64).round() as usize).clamp(1, n - 1);
+    (count_a, (0..n).map(|i| usize::from(i >= count_a)).collect())
+}
+
 #[cfg(test)]
 pub(crate) mod testsim {
     //! A tiny analytic domain used by the framework's own tests: protocols

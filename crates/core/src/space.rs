@@ -164,9 +164,20 @@ impl DesignSpace {
 
 impl fmt::Display for DesignSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "design space '{}' ({} protocols)", self.name, self.size())?;
+        writeln!(
+            f,
+            "design space '{}' ({} protocols)",
+            self.name,
+            self.size()
+        )?;
         for d in &self.dimensions {
-            writeln!(f, "  {} ({} levels): {}", d.name, d.len(), d.levels.join(", "))?;
+            writeln!(
+                f,
+                "  {} ({} levels): {}",
+                d.name,
+                d.len(),
+                d.levels.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -182,7 +193,10 @@ mod tests {
             vec![
                 Dimension::new("A", vec!["a0".into(), "a1".into(), "a2".into()]),
                 Dimension::new("B", vec!["b0".into(), "b1".into()]),
-                Dimension::new("C", vec!["c0".into(), "c1".into(), "c2".into(), "c3".into()]),
+                Dimension::new(
+                    "C",
+                    vec!["c0".into(), "c1".into(), "c2".into(), "c3".into()],
+                ),
             ],
         )
     }

@@ -111,7 +111,13 @@ impl WinLedger {
         self.wins
             .iter()
             .zip(&self.games)
-            .map(|(&w, &g)| if g == 0 { f64::NAN } else { w as f64 / g as f64 })
+            .map(|(&w, &g)| {
+                if g == 0 {
+                    f64::NAN
+                } else {
+                    w as f64 / g as f64
+                }
+            })
             .collect()
     }
 
@@ -131,8 +137,7 @@ mod tests {
     fn exhaustive_schedule_covers_all_ordered_pairs() {
         let s = schedule(5, OpponentSampling::Exhaustive, 0);
         assert_eq!(s.len(), 20);
-        let set: HashSet<(usize, usize)> =
-            s.iter().map(|p| (p.protagonist, p.opponent)).collect();
+        let set: HashSet<(usize, usize)> = s.iter().map(|p| (p.protagonist, p.opponent)).collect();
         assert_eq!(set.len(), 20);
         assert!(s.iter().all(|p| p.protagonist != p.opponent));
     }

@@ -183,9 +183,7 @@ mod tests {
     #[test]
     fn totals_decompose() {
         for e in [bittorrent(&params()), birds(&params())] {
-            assert!(
-                (e.total() - (e.total_reciprocation() + e.total_free())).abs() < 1e-12
-            );
+            assert!((e.total() - (e.total_reciprocation() + e.total_free())).abs() < 1e-12);
         }
     }
 

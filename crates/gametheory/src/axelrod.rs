@@ -75,11 +75,7 @@ pub fn round_robin(
                 // schedule deterministic regardless of iteration order.
                 let mut field_a = make_field();
                 let mut field_b = make_field();
-                let mut rng = root
-                    .child(i as u64)
-                    .child(j as u64)
-                    .child(rep as u64)
-                    .rng();
+                let mut rng = root.child(i as u64).child(j as u64).child(rep as u64).rng();
                 let out = play_match(
                     game,
                     field_a[i].as_mut(),

@@ -61,11 +61,7 @@ pub fn replicator_step(payoff: &[Vec<f64>], shares: &[f64]) -> Vec<f64> {
 /// Iterates the replicator dynamic and returns the trajectory (including
 /// the initial state).
 #[must_use]
-pub fn replicator_trajectory(
-    payoff: &[Vec<f64>],
-    initial: &[f64],
-    steps: usize,
-) -> Vec<Vec<f64>> {
+pub fn replicator_trajectory(payoff: &[Vec<f64>], initial: &[f64], steps: usize) -> Vec<Vec<f64>> {
     let mut out = Vec::with_capacity(steps + 1);
     out.push(initial.to_vec());
     let mut current = initial.to_vec();
@@ -94,12 +90,7 @@ pub fn is_rest_point(payoff: &[Vec<f64>], shares: &[f64], tolerance: f64) -> boo
 ///
 /// Panics unless `n >= 2` and `trials >= 1`.
 #[must_use]
-pub fn moran_fixation(
-    payoff: &[Vec<f64>],
-    n: usize,
-    trials: usize,
-    rng: &mut Xoshiro256pp,
-) -> f64 {
+pub fn moran_fixation(payoff: &[Vec<f64>], n: usize, trials: usize, rng: &mut Xoshiro256pp) -> f64 {
     assert!(n >= 2, "population too small");
     assert!(trials >= 1, "need at least one trial");
     assert_eq!(payoff.len(), 2, "moran_fixation is two-strategy");
@@ -116,11 +107,9 @@ pub fn moran_fixation(
             }
             let residents = n - mutants;
             // Expected payoffs with self-exclusion.
-            let f_res = (payoff[0][0] * (residents - 1) as f64
-                + payoff[0][1] * mutants as f64)
+            let f_res = (payoff[0][0] * (residents - 1) as f64 + payoff[0][1] * mutants as f64)
                 / (n - 1) as f64;
-            let f_mut = (payoff[1][0] * residents as f64
-                + payoff[1][1] * (mutants - 1) as f64)
+            let f_mut = (payoff[1][0] * residents as f64 + payoff[1][1] * (mutants - 1) as f64)
                 / (n - 1) as f64;
             // Shift positive for selection weights.
             let base = f_res.min(f_mut);

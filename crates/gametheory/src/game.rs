@@ -199,7 +199,11 @@ fn dominant(payoff: impl Fn(Action, Action) -> f64) -> Option<(Action, Dominance
 
 impl fmt::Display for Game2x2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} vs {})", self.name, self.row_label, self.col_label)?;
+        writeln!(
+            f,
+            "{} ({} vs {})",
+            self.name, self.row_label, self.col_label
+        )?;
         writeln!(f, "{:>22} {:>14}", "C", "D")?;
         for r in Action::ALL {
             write!(f, "{r} ")?;
@@ -259,7 +263,10 @@ mod tests {
     #[test]
     fn best_responses_in_pd() {
         let g = pd();
-        assert_eq!(g.best_responses_row(Action::Cooperate), vec![Action::Defect]);
+        assert_eq!(
+            g.best_responses_row(Action::Cooperate),
+            vec![Action::Defect]
+        );
         assert_eq!(g.best_responses_col(Action::Defect), vec![Action::Defect]);
     }
 

@@ -207,9 +207,6 @@ mod tests {
             );
         }
         // Keeping everything strictly dominates sharing.
-        assert_eq!(
-            g.dominant_row(),
-            Some((Action::Defect, Dominance::Strict))
-        );
+        assert_eq!(g.dominant_row(), Some((Action::Defect, Dominance::Strict)));
     }
 }

@@ -358,8 +358,7 @@ mod tests {
         let n = 50_000;
         let coop = (0..n)
             .filter(|_| {
-                s.next_move(Action::Cooperate, Action::Cooperate, 1.0, &mut r)
-                    == Action::Cooperate
+                s.next_move(Action::Cooperate, Action::Cooperate, 1.0, &mut r) == Action::Cooperate
             })
             .count();
         let p = coop as f64 / f64::from(n);

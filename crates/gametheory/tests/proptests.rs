@@ -1,6 +1,6 @@
 //! Property-based tests over the game-theoretic substrate.
 
-use dsa_gametheory::analytics::{bittorrent, birds, break_probability_k};
+use dsa_gametheory::analytics::{birds, bittorrent, break_probability_k};
 use dsa_gametheory::classes::ClassParams;
 use dsa_gametheory::game::{Action, Game2x2};
 use dsa_gametheory::games;
@@ -10,12 +10,7 @@ use proptest::prelude::*;
 fn arb_params() -> impl Strategy<Value = ClassParams> {
     // Respect the model preconditions: N_A > U_r, N_C > U_r + 1.
     (2u32..8).prop_flat_map(|ur| {
-        (
-            (ur + 1)..60,
-            1u32..60,
-            (ur + 2)..60,
-            Just(ur),
-        )
+        ((ur + 1)..60, 1u32..60, (ur + 2)..60, Just(ur))
             .prop_map(|(na, nb, nc, ur)| ClassParams::new(na, nb, nc, ur))
     })
 }

@@ -101,7 +101,7 @@ pub fn run(
 
         for i in 0..n {
             let proto = &protocols[assignment[i]];
-            if round as u64 % proto.periodicity.period() != 0 {
+            if !(round as u64).is_multiple_of(proto.periodicity.period()) {
                 continue;
             }
             if proto.filter == Filter::None {
@@ -116,9 +116,9 @@ pub fn run(
                 Selection::Best => {
                     top_partners(i, n, config.fanout, &mut rng, |j| nodes[i].received_from[j])
                 }
-                Selection::Loyal => {
-                    top_partners(i, n, config.fanout, &mut rng, |j| f64::from(nodes[i].streak[j]))
-                }
+                Selection::Loyal => top_partners(i, n, config.fanout, &mut rng, |j| {
+                    f64::from(nodes[i].streak[j])
+                }),
                 Selection::Similarity => {
                     let mine = &nodes[i].items;
                     top_partners(i, n, config.fanout, &mut rng, |j| {
@@ -221,12 +221,9 @@ impl EncounterSim for GossipSim {
         seed: u64,
     ) -> (f64, f64) {
         let n = self.config.nodes;
-        let count_a = ((fraction_a * n as f64).round() as usize).clamp(1, n - 1);
-        let assignment: Vec<usize> = (0..n).map(|i| usize::from(i >= count_a)).collect();
+        let (count_a, assignment) = dsa_core::sim::split_population(n, fraction_a);
         let u = run(&[*a, *b], &assignment, &self.config, seed);
-        let mean = |lo: usize, hi: usize| {
-            u[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
-        };
+        let mean = |lo: usize, hi: usize| u[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
         (mean(0, count_a), mean(count_a, n))
     }
 }

@@ -118,13 +118,22 @@ impl GossipProtocol {
     /// Flat index in `0..GOSSIP_SPACE_SIZE`.
     #[must_use]
     pub fn index(&self) -> usize {
-        let s = Selection::ALL.iter().position(|x| x == &self.selection).expect("in ALL");
+        let s = Selection::ALL
+            .iter()
+            .position(|x| x == &self.selection)
+            .expect("in ALL");
         let p = Periodicity::ALL
             .iter()
             .position(|x| x == &self.periodicity)
             .expect("in ALL");
-        let f = Filter::ALL.iter().position(|x| x == &self.filter).expect("in ALL");
-        let m = Memory::ALL.iter().position(|x| x == &self.memory).expect("in ALL");
+        let f = Filter::ALL
+            .iter()
+            .position(|x| x == &self.filter)
+            .expect("in ALL");
+        let m = Memory::ALL
+            .iter()
+            .position(|x| x == &self.memory)
+            .expect("in ALL");
         ((s * 3 + p) * 3 + f) * 3 + m
     }
 

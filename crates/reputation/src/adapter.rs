@@ -1,0 +1,80 @@
+//! Plugs the reputation simulator into the DSA framework.
+
+use crate::engine::{run, RepConfig};
+use crate::protocol::RepProtocol;
+use dsa_core::sim::EncounterSim;
+
+/// The reputation domain as an [`EncounterSim`], ready for
+/// [`dsa_core::pra::quantify`], tournament sampling and heuristic search.
+#[derive(Debug, Clone, Default)]
+pub struct RepSim {
+    /// Simulation parameters shared by every run of the sweep.
+    pub config: RepConfig,
+}
+
+impl EncounterSim for RepSim {
+    type Protocol = RepProtocol;
+
+    fn run_homogeneous(&self, protocol: &RepProtocol, seed: u64) -> f64 {
+        let u = run(
+            &[*protocol],
+            &vec![0; self.config.peers],
+            &self.config,
+            seed,
+        );
+        u.iter().sum::<f64>() / u.len() as f64
+    }
+
+    fn run_encounter(
+        &self,
+        a: &RepProtocol,
+        b: &RepProtocol,
+        fraction_a: f64,
+        seed: u64,
+    ) -> (f64, f64) {
+        let n = self.config.peers;
+        let (count_a, assignment) = dsa_core::sim::split_population(n, fraction_a);
+        let u = run(&[*a, *b], &assignment, &self.config, seed);
+        let mean = |lo: usize, hi: usize| u[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        (mean(0, count_a), mean(count_a, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn homogeneous_matches_engine() {
+        let sim = RepSim::default();
+        let p = RepProtocol::baseline();
+        let via_trait = sim.run_homogeneous(&p, 5);
+        let u = run(&[p], &vec![0; sim.config.peers], &sim.config, 5);
+        assert_eq!(via_trait, u.iter().sum::<f64>() / u.len() as f64);
+    }
+
+    #[test]
+    fn cooperators_beat_freeriders_at_even_split() {
+        let sim = RepSim::default();
+        let (coop, free) =
+            sim.run_encounter(&presets::private_tft(), &presets::freerider(), 0.5, 6);
+        assert!(coop > free, "coop {coop} free {free}");
+    }
+
+    #[test]
+    fn extreme_fractions_keep_one_peer() {
+        let sim = RepSim::default();
+        let (a, b) =
+            sim.run_encounter(&RepProtocol::baseline(), &RepProtocol::baseline(), 0.001, 7);
+        assert!(a.is_finite() && b.is_finite());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let sim = RepSim::default();
+        let x = sim.run_encounter(&presets::bartercast(), &presets::whitewasher(), 0.5, 11);
+        let y = sim.run_encounter(&presets::bartercast(), &presets::whitewasher(), 0.5, 11);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,135 @@
+//! Named reputation protocols used by the CLI, examples and docs.
+
+use crate::protocol::{Identity, Maintenance, RepProtocol, Response, Source, Stranger};
+
+/// Pure private-history tit-for-tat: serve whoever has served you,
+/// judged over a sliding window, with an optimistic bootstrap.
+#[must_use]
+pub fn private_tft() -> RepProtocol {
+    RepProtocol {
+        source: Source::Private,
+        maintenance: Maintenance::Window,
+        stranger: Stranger::Optimistic,
+        response: Response::ThresholdBan,
+        identity: Identity::Stable,
+    }
+}
+
+/// BarterCast-flavored: transitive reputation through intermediaries,
+/// exponentially decayed, proportional allocation.
+#[must_use]
+pub fn bartercast() -> RepProtocol {
+    RepProtocol {
+        source: Source::Transitive,
+        maintenance: Maintenance::Decay,
+        stranger: Stranger::Optimistic,
+        response: Response::Proportional,
+        identity: Identity::Stable,
+    }
+}
+
+/// A gossip-informed elitist: pools one-hop opinions and serves only the
+/// top-ranked half of its requesters, never strangers.
+#[must_use]
+pub fn elitist() -> RepProtocol {
+    RepProtocol {
+        source: Source::Gossiped,
+        maintenance: Maintenance::Keep,
+        stranger: Stranger::Deny,
+        response: Response::RankBased,
+        identity: Identity::Stable,
+    }
+}
+
+/// A cautious prober: private history, probabilistic stranger admission.
+#[must_use]
+pub fn prober() -> RepProtocol {
+    RepProtocol {
+        source: Source::Private,
+        maintenance: Maintenance::Decay,
+        stranger: Stranger::Probabilistic,
+        response: Response::Proportional,
+        identity: Identity::Stable,
+    }
+}
+
+/// The pure free-rider: requests service, never serves.
+#[must_use]
+pub fn freerider() -> RepProtocol {
+    RepProtocol {
+        source: Source::Private,
+        maintenance: Maintenance::Keep,
+        stranger: Stranger::Deny,
+        response: Response::Freeride,
+        identity: Identity::Stable,
+    }
+}
+
+/// The whitewashing attacker: free-rides *and* periodically re-enters
+/// under a fresh identity to shed the bad record.
+#[must_use]
+pub fn whitewasher() -> RepProtocol {
+    RepProtocol {
+        response: Response::Freeride,
+        identity: Identity::Whitewash,
+        ..freerider()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, RepConfig};
+
+    #[test]
+    fn presets_are_distinct_points() {
+        let set: std::collections::HashSet<usize> = [
+            private_tft(),
+            bartercast(),
+            elitist(),
+            prober(),
+            freerider(),
+            whitewasher(),
+        ]
+        .iter()
+        .map(RepProtocol::index)
+        .collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn cooperative_presets_sustain_service() {
+        let cfg = RepConfig::default();
+        for p in [private_tft(), bartercast(), prober()] {
+            let u = run(&[p], &vec![0; cfg.peers], &cfg, 3);
+            let mean = u.iter().sum::<f64>() / u.len() as f64;
+            assert!(mean > 0.0, "{p} produced no service");
+        }
+    }
+
+    #[test]
+    fn attacker_presets_self_destruct_homogeneously() {
+        // A population consisting only of attackers serves nothing.
+        let cfg = RepConfig::default();
+        for p in [freerider(), whitewasher()] {
+            let u = run(&[p], &vec![0; cfg.peers], &cfg, 4);
+            assert!(u.iter().all(|&x| x == 0.0), "{p} should starve");
+        }
+    }
+
+    #[test]
+    fn whitewasher_outlasts_freerider_against_bartercast() {
+        // Against a reputation-keeping majority with optimistic
+        // bootstrap, shedding identity re-opens the stranger channel, so
+        // the whitewasher should receive at least as much as the honest
+        // free-rider.
+        let cfg = RepConfig::default();
+        let sim = crate::adapter::RepSim { config: cfg };
+        let host = bartercast();
+        let (_, fr) =
+            dsa_core::sim::EncounterSim::run_encounter(&sim, &host, &freerider(), 0.75, 8);
+        let (_, ww) =
+            dsa_core::sim::EncounterSim::run_encounter(&sim, &host, &whitewasher(), 0.75, 8);
+        assert!(ww >= fr, "whitewasher {ww} vs freerider {fr}");
+    }
+}

@@ -1,0 +1,291 @@
+//! The reputation design space: five dimensions, actualized.
+//!
+//! Parameterization (the §3 method applied to reputation systems):
+//!
+//! 1. **Reputation source** — which records feed a serving decision:
+//!    private history, one-hop gossip, or transitive (BarterCast-style)
+//!    inference through intermediaries.
+//! 2. **Record maintenance** — how records age: kept forever, decayed
+//!    exponentially, or truncated to a sliding window.
+//! 3. **Stranger policy** — how peers with no interaction record are
+//!    bootstrapped: denied, served optimistically, or served with a coin
+//!    flip.
+//! 4. **Response function** — how scores map to service: threshold ban,
+//!    proportional allocation, rank-based selection, or never serving
+//!    (the free-rider actualization).
+//! 5. **Identity policy** — whether a peer keeps a stable identity or
+//!    periodically *whitewashes* (re-enters under a fresh pseudonym,
+//!    escaping its accumulated record).
+//!
+//! 3 × 3 × 3 × 4 × 2 = **216** protocols.
+
+use std::fmt;
+
+/// Where the serving decision's reputation score comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Only the server's own interaction history.
+    Private,
+    /// Own history plus one-hop gossiped opinions of sampled peers.
+    Gossiped,
+    /// Own history plus transitive inference: an intermediary's opinion
+    /// counts up to the trust placed in the intermediary (BarterCast).
+    Transitive,
+}
+
+impl Source {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Source; 3] = [Source::Private, Source::Gossiped, Source::Transitive];
+}
+
+/// How reputation records age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Maintenance {
+    /// Records accumulate forever.
+    Keep,
+    /// Records decay exponentially each round.
+    Decay,
+    /// Only the last few rounds of contributions count.
+    Window,
+}
+
+impl Maintenance {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Maintenance; 3] = [Maintenance::Keep, Maintenance::Decay, Maintenance::Window];
+}
+
+/// How requests from unknown peers are bootstrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stranger {
+    /// Never serve strangers.
+    Deny,
+    /// Always admit strangers at the baseline weight.
+    Optimistic,
+    /// Admit each stranger request with a configured probability.
+    Probabilistic,
+}
+
+impl Stranger {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Stranger; 3] = [
+        Stranger::Deny,
+        Stranger::Optimistic,
+        Stranger::Probabilistic,
+    ];
+}
+
+/// How scores map to allocated service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Response {
+    /// Serve every requester above the score threshold equally; ban the
+    /// rest.
+    ThresholdBan,
+    /// Split capacity proportionally to requester scores.
+    Proportional,
+    /// Serve the top half of requesters ranked by score, equally.
+    RankBased,
+    /// Never serve anyone (the free-rider actualization).
+    Freeride,
+}
+
+impl Response {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Response; 4] = [
+        Response::ThresholdBan,
+        Response::Proportional,
+        Response::RankBased,
+        Response::Freeride,
+    ];
+}
+
+/// Whether a peer keeps its identity or periodically whitewashes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Identity {
+    /// One identity for the whole session.
+    Stable,
+    /// Re-enter under a fresh pseudonym every few rounds: every other
+    /// peer's record of this peer is wiped (the whitewashing attack).
+    Whitewash,
+}
+
+impl Identity {
+    /// All actualizations, enumeration order.
+    pub const ALL: [Identity; 2] = [Identity::Stable, Identity::Whitewash];
+}
+
+/// A complete reputation protocol: one actualization per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RepProtocol {
+    /// Reputation source.
+    pub source: Source,
+    /// Record maintenance.
+    pub maintenance: Maintenance,
+    /// Stranger bootstrap policy.
+    pub stranger: Stranger,
+    /// Response function.
+    pub response: Response,
+    /// Identity policy.
+    pub identity: Identity,
+}
+
+/// Size of the actualized reputation space (3 × 3 × 3 × 4 × 2).
+pub const REP_SPACE_SIZE: usize = 216;
+
+impl RepProtocol {
+    /// Flat index in `0..REP_SPACE_SIZE` (mixed radix, [`Source`] most
+    /// significant).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        let s = Source::ALL
+            .iter()
+            .position(|x| x == &self.source)
+            .expect("in ALL");
+        let m = Maintenance::ALL
+            .iter()
+            .position(|x| x == &self.maintenance)
+            .expect("in ALL");
+        let st = Stranger::ALL
+            .iter()
+            .position(|x| x == &self.stranger)
+            .expect("in ALL");
+        let r = Response::ALL
+            .iter()
+            .position(|x| x == &self.response)
+            .expect("in ALL");
+        let id = Identity::ALL
+            .iter()
+            .position(|x| x == &self.identity)
+            .expect("in ALL");
+        (((s * 3 + m) * 3 + st) * 4 + r) * 2 + id
+    }
+
+    /// Decodes a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < REP_SPACE_SIZE, "reputation index out of range");
+        let id = index % 2;
+        let r = (index / 2) % 4;
+        let st = (index / 8) % 3;
+        let m = (index / 24) % 3;
+        let s = index / 72;
+        Self {
+            source: Source::ALL[s],
+            maintenance: Maintenance::ALL[m],
+            stranger: Stranger::ALL[st],
+            response: Response::ALL[r],
+            identity: Identity::ALL[id],
+        }
+    }
+
+    /// Iterates the whole space in index order.
+    pub fn all() -> impl Iterator<Item = RepProtocol> {
+        (0..REP_SPACE_SIZE).map(Self::from_index)
+    }
+
+    /// The baseline "private history, kept forever, optimistic bootstrap,
+    /// proportional allocation, stable identity" protocol.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            source: Source::Private,
+            maintenance: Maintenance::Keep,
+            stranger: Stranger::Optimistic,
+            response: Response::Proportional,
+            identity: Identity::Stable,
+        }
+    }
+}
+
+impl fmt::Display for RepProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}/{:?}/{:?}/{:?}/{:?}",
+            self.source, self.maintenance, self.stranger, self.response, self.identity
+        )
+    }
+}
+
+/// The generic design-space descriptor for this domain.
+#[must_use]
+pub fn design_space() -> dsa_core::DesignSpace {
+    dsa_core::DesignSpace::new(
+        "reputation",
+        vec![
+            dsa_core::Dimension::new(
+                "Source",
+                Source::ALL.iter().map(|s| format!("{s:?}")).collect(),
+            ),
+            dsa_core::Dimension::new(
+                "Maintenance",
+                Maintenance::ALL.iter().map(|s| format!("{s:?}")).collect(),
+            ),
+            dsa_core::Dimension::new(
+                "Stranger",
+                Stranger::ALL.iter().map(|s| format!("{s:?}")).collect(),
+            ),
+            dsa_core::Dimension::new(
+                "Response",
+                Response::ALL.iter().map(|s| format!("{s:?}")).collect(),
+            ),
+            dsa_core::Dimension::new(
+                "Identity",
+                Identity::ALL.iter().map(|s| format!("{s:?}")).collect(),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn space_size_and_roundtrip() {
+        assert_eq!(RepProtocol::all().count(), REP_SPACE_SIZE);
+        for i in 0..REP_SPACE_SIZE {
+            assert_eq!(RepProtocol::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn protocols_distinct() {
+        let set: HashSet<RepProtocol> = RepProtocol::all().collect();
+        assert_eq!(set.len(), REP_SPACE_SIZE);
+    }
+
+    #[test]
+    fn descriptor_matches_flat_encoding() {
+        let space = design_space();
+        assert_eq!(space.size(), REP_SPACE_SIZE);
+        // The DesignSpace mixed-radix order must agree with index():
+        // coordinates of a flat index name the same actualizations.
+        for i in [0, 1, 17, 99, REP_SPACE_SIZE - 1] {
+            let p = RepProtocol::from_index(i);
+            let coords = space.coords(i);
+            assert_eq!(Source::ALL[coords[0]], p.source);
+            assert_eq!(Maintenance::ALL[coords[1]], p.maintenance);
+            assert_eq!(Stranger::ALL[coords[2]], p.stranger);
+            assert_eq!(Response::ALL[coords[3]], p.response);
+            assert_eq!(Identity::ALL[coords[4]], p.identity);
+        }
+    }
+
+    #[test]
+    fn space_exceeds_hundred_protocols() {
+        let space = design_space();
+        assert!(space.size() >= 100);
+        assert!(space.dimensions().len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_bounds() {
+        let _ = RepProtocol::from_index(REP_SPACE_SIZE);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the reputation simulator's conservation laws
+//! and the protocol-space encoding, mirroring the other domain crates.
+
+use dsa_reputation::engine::{run, RepConfig};
+use dsa_reputation::protocol::{RepProtocol, Response, Stranger, REP_SPACE_SIZE};
+use dsa_workloads::bandwidth::BandwidthDist;
+use proptest::prelude::*;
+
+fn tiny_config() -> RepConfig {
+    RepConfig {
+        peers: 10,
+        rounds: 20,
+        capacity: BandwidthDist::Constant(6.0),
+        ..RepConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: total service received never exceeds total offered
+    /// capacity, and utilities are non-negative.
+    #[test]
+    fn no_service_from_nowhere(idx in 0usize..REP_SPACE_SIZE, seed in any::<u64>()) {
+        let cfg = tiny_config();
+        let p = RepProtocol::from_index(idx);
+        let u = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        let total: f64 = u.iter().sum();
+        prop_assert!(total <= (cfg.peers * cfg.rounds) as f64 * 6.0 + 1e-9);
+        prop_assert!(u.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    /// Free-riding populations produce exactly zero flow, as do
+    /// deny-strangers populations (nothing can ever bootstrap).
+    #[test]
+    fn dead_protocols_are_dead(idx in 0usize..REP_SPACE_SIZE, seed in any::<u64>()) {
+        let p = RepProtocol::from_index(idx);
+        prop_assume!(p.response == Response::Freeride || p.stranger == Stranger::Deny);
+        let cfg = tiny_config();
+        let u = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        prop_assert_eq!(u.iter().sum::<f64>(), 0.0);
+    }
+
+    /// The flat protocol index is a bijection onto the struct space.
+    #[test]
+    fn index_bijection(a in 0usize..REP_SPACE_SIZE, b in 0usize..REP_SPACE_SIZE) {
+        prop_assume!(a != b);
+        prop_assert_ne!(RepProtocol::from_index(a), RepProtocol::from_index(b));
+    }
+
+    /// Same seed ⇒ bit-identical runs, under churn and whitewashing.
+    #[test]
+    fn runs_are_reproducible(idx in 0usize..REP_SPACE_SIZE, seed in any::<u64>(), rate in 0.0f64..0.3) {
+        let mut cfg = tiny_config();
+        cfg.churn = dsa_workloads::churn::ChurnModel::PerRound { rate };
+        let p = RepProtocol::from_index(idx);
+        let a = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        let b = run(&[p], &vec![0; cfg.peers], &cfg, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Mixed populations: every peer's utility is finite and the group
+    /// split covers the population.
+    #[test]
+    fn mixed_runs_are_well_formed(a in 0usize..REP_SPACE_SIZE, b in 0usize..REP_SPACE_SIZE, split in 1usize..9, seed in any::<u64>()) {
+        let cfg = tiny_config();
+        let protos = [RepProtocol::from_index(a), RepProtocol::from_index(b)];
+        let assignment: Vec<usize> = (0..cfg.peers).map(|i| usize::from(i >= split)).collect();
+        let u = run(&protos, &assignment, &cfg, seed);
+        prop_assert_eq!(u.len(), cfg.peers);
+        prop_assert!(u.iter().all(|&x| x.is_finite() && x >= 0.0));
+    }
+}

@@ -82,7 +82,9 @@ pub fn ccdf_curves(series: &[(String, Vec<(f64, f64)>)], width: usize, height: u
     let mut grid = vec![vec![' '; width]; height];
     for (s, (_, pts)) in series.iter().enumerate() {
         let glyph = GLYPHS[s % GLYPHS.len()];
-        // Evaluate the step function across the full x range.
+        // Evaluate the step function across the full x range. The target
+        // row depends on the evaluated value, so this stays an index loop.
+        #[allow(clippy::needless_range_loop)]
         for cx in 0..width {
             let x = cx as f64 / (width - 1) as f64;
             // P(X > x): the last point with px <= x carries the value.
@@ -172,7 +174,10 @@ mod tests {
         // Every grid row (the lines carrying a '|' axis) must be empty.
         for line in s.lines().filter(|l| l.contains('|')) {
             let grid = line.split_once('|').unwrap().1;
-            assert!(grid.chars().all(|c| c == ' '), "unexpected mark in {line:?}");
+            assert!(
+                grid.chars().all(|c| c == ' '),
+                "unexpected mark in {line:?}"
+            );
         }
     }
 

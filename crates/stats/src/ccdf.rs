@@ -57,7 +57,11 @@ impl Ccdf {
     /// The curve as `(x, P(X > x))` points, suitable for plotting.
     #[must_use]
     pub fn points(&self) -> Vec<(f64, f64)> {
-        self.xs.iter().copied().zip(self.ps.iter().copied()).collect()
+        self.xs
+            .iter()
+            .copied()
+            .zip(self.ps.iter().copied())
+            .collect()
     }
 
     /// Fraction of the sample strictly above a threshold — the headline

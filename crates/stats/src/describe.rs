@@ -101,7 +101,7 @@ pub fn normalize_unit(xs: &[f64]) -> Vec<f64> {
     let lo = min(xs);
     let hi = max(xs);
     let span = hi - lo;
-    if !(span > 0.0) {
+    if span.is_nan() || span <= 0.0 {
         return vec![0.0; xs.len()];
     }
     xs.iter().map(|x| (x - lo) / span).collect()
@@ -114,7 +114,7 @@ pub fn normalize_unit(xs: &[f64]) -> Vec<f64> {
 #[must_use]
 pub fn normalize_by_max(xs: &[f64]) -> Vec<f64> {
     let hi = max(xs);
-    if !(hi > 0.0) {
+    if hi.is_nan() || hi <= 0.0 {
         return vec![0.0; xs.len()];
     }
     xs.iter().map(|x| (x / hi).clamp(0.0, 1.0)).collect()

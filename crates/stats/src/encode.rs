@@ -12,7 +12,7 @@
 pub fn standardize(xs: &[f64]) -> Vec<f64> {
     let m = crate::describe::mean(xs);
     let s = crate::describe::std_dev(xs);
-    if !(s > 0.0) {
+    if s.is_nan() || s <= 0.0 {
         return vec![0.0; xs.len()];
     }
     xs.iter().map(|x| (x - m) / s).collect()

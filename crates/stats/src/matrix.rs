@@ -169,9 +169,8 @@ impl Matrix {
     pub fn t_vec_mul(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "t_vec_mul: vector length mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &vr) in v.iter().enumerate() {
             let row = self.row(r);
-            let vr = v[r];
             if vr == 0.0 {
                 continue;
             }
@@ -362,7 +361,11 @@ mod tests {
 
     #[test]
     fn gram_equals_explicit_transpose_product() {
-        let m = Matrix::from_rows(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 0.5, 0.5, 2.0, -2.0, 0.0]);
+        let m = Matrix::from_rows(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 0.5, 0.5, 2.0, -2.0, 0.0],
+        );
         let explicit = m.transpose().matmul(&m);
         assert!(m.gram().max_abs_diff(&explicit) < 1e-12);
     }

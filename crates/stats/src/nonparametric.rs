@@ -64,8 +64,7 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
     let u = rank_sum_x - n1f * (n1f + 1.0) / 2.0;
     let mean_u = n1f * n2f / 2.0;
     let nf = n as f64;
-    let variance =
-        n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    let variance = n1f * n2f / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
     if variance <= 0.0 {
         return None; // every observation tied
     }

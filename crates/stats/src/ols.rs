@@ -127,7 +127,11 @@ pub fn fit(predictors: &[NamedColumn], y: &[f64]) -> Result<OlsFit, OlsError> {
     }
     let df_residual = n - (p + 1);
     let sigma2 = ss_res / df_residual as f64;
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { f64::NAN };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        f64::NAN
+    };
     let adj_r_squared = if ss_tot > 0.0 {
         1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / df_residual as f64
     } else {
@@ -218,7 +222,9 @@ mod tests {
         // Deterministic "noise" via a fixed pattern keeps the test stable.
         let n = 200;
         let x: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
-        let noise: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64 - 5.0) / 50.0).collect();
+        let noise: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) / 50.0)
+            .collect();
         let y: Vec<f64> = (0..n).map(|i| 1.0 + 0.5 * x[i] + noise[i]).collect();
         let f = fit(&[col("x", &x)], &y).unwrap();
         assert!((f.terms[1].estimate - 0.5).abs() < 0.01);

@@ -46,10 +46,9 @@ impl EncounterSim for SwarmSim {
         seed: u64,
     ) -> (f64, f64) {
         let n = self.config.peers;
-        // At least one peer on each side; the paper's splits (50/50, 10/90,
-        // 90/10) land exactly on integers for n = 50.
-        let count_a = ((fraction_a * n as f64).round() as usize).clamp(1, n - 1);
-        let assignment: Vec<usize> = (0..n).map(|i| usize::from(i >= count_a)).collect();
+        // The paper's splits (50/50, 10/90, 90/10) land exactly on
+        // integers for n = 50.
+        let (_, assignment) = dsa_core::sim::split_population(n, fraction_a);
         let out = run(&[*a, *b], &assignment, &self.config, seed);
         (out.group_means[0], out.group_means[1])
     }

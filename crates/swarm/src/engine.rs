@@ -264,7 +264,7 @@ pub fn run(
                         j != i
                             && !selected[j]
                             && !prev.contacted(i, j)
-                            && !(remembers_two && prev2.contacted(i, j))
+                            && (!remembers_two || !prev2.contacted(i, j))
                     })
                     .collect();
                 sampling::sample_indices(eligible.len(), stranger_quota, &mut rng)

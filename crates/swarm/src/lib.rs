@@ -35,6 +35,4 @@ pub mod protocol;
 
 pub use adapter::SwarmSim;
 pub use engine::{run, RunOutcome, SimConfig};
-pub use protocol::{
-    Allocation, CandidateList, Ranking, StrangerPolicy, SwarmProtocol, SPACE_SIZE,
-};
+pub use protocol::{Allocation, CandidateList, Ranking, StrangerPolicy, SwarmProtocol, SPACE_SIZE};

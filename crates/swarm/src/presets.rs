@@ -216,7 +216,10 @@ mod tests {
         ] {
             assert!(p.index() < SPACE_SIZE);
             // Round-trip through the index must preserve the protocol.
-            assert_eq!(SwarmProtocol::from_index(p.index()).canonical(), p.canonical());
+            assert_eq!(
+                SwarmProtocol::from_index(p.index()).canonical(),
+                p.canonical()
+            );
         }
     }
 

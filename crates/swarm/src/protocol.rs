@@ -424,8 +424,7 @@ mod tests {
 
     #[test]
     fn dimension_counts_match_paper() {
-        let strangers: HashSet<usize> =
-            SwarmProtocol::all().map(|p| p.stranger_index()).collect();
+        let strangers: HashSet<usize> = SwarmProtocol::all().map(|p| p.stranger_index()).collect();
         let selections: HashSet<usize> =
             SwarmProtocol::all().map(|p| p.selection_index()).collect();
         assert_eq!(strangers.len(), 10);

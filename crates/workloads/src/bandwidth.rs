@@ -158,7 +158,11 @@ fn empirical_quantile(table: &[(f64, f64)], q: f64, log_interp: bool) -> f64 {
         debug_assert!(cur.0 >= prev.0, "CDF probabilities must be nondecreasing");
         if q <= cur.0 {
             let span = cur.0 - prev.0;
-            let t = if span <= 0.0 { 1.0 } else { (q - prev.0) / span };
+            let t = if span <= 0.0 {
+                1.0
+            } else {
+                (q - prev.0) / span
+            };
             return if log_interp {
                 (prev.1.ln() + t * (cur.1.ln() - prev.1.ln())).exp()
             } else {

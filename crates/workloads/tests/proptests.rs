@@ -48,7 +48,7 @@ proptest! {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         match weighted_choice(&weights, &mut rng) {
             Some(i) => prop_assert!(weights[i] > 0.0),
-            None => prop_assert!(weights.iter().all(|&w| !(w > 0.0))),
+            None => prop_assert!(weights.iter().all(|&w| w.is_nan() || w <= 0.0)),
         }
     }
 

@@ -44,10 +44,18 @@ fn main() {
         params.total(),
         params.unchoke_slots
     );
-    println!("  BitTorrent: {:.3} (reciprocation {:.3}, free {:.3})",
-        bt_exp.total(), bt_exp.total_reciprocation(), bt_exp.total_free());
-    println!("  Birds     : {:.3} (reciprocation {:.3}, free {:.3})\n",
-        birds_exp.total(), birds_exp.total_reciprocation(), birds_exp.total_free());
+    println!(
+        "  BitTorrent: {:.3} (reciprocation {:.3}, free {:.3})",
+        bt_exp.total(),
+        bt_exp.total_reciprocation(),
+        bt_exp.total_free()
+    );
+    println!(
+        "  Birds     : {:.3} (reciprocation {:.3}, free {:.3})\n",
+        birds_exp.total(),
+        birds_exp.total_reciprocation(),
+        birds_exp.total_free()
+    );
 
     // Appendix: deviation analysis.
     let d1 = nash::birds_deviant_in_bt_swarm(&params);
@@ -57,7 +65,11 @@ fn main() {
     );
     println!(
         "⇒ BitTorrent is{} a Nash equilibrium",
-        if nash::bittorrent_is_nash(&params) { "" } else { " NOT" }
+        if nash::bittorrent_is_nash(&params) {
+            ""
+        } else {
+            " NOT"
+        }
     );
     let d2 = nash::bt_deviant_in_birds_swarm(&params);
     println!(
@@ -66,6 +78,10 @@ fn main() {
     );
     println!(
         "⇒ Birds is{} a Nash equilibrium",
-        if nash::birds_is_nash(&params) { "" } else { " NOT" }
+        if nash::birds_is_nash(&params) {
+            ""
+        } else {
+            " NOT"
+        }
     );
 }

@@ -41,9 +41,7 @@ fn main() {
             };
             // Average utilization over three seeds.
             let mean: f64 = (0..3)
-                .map(|seed| {
-                    utilization(&run(&[proto], &vec![0; config.peers], &config, seed))
-                })
+                .map(|seed| utilization(&run(&[proto], &vec![0; config.peers], &config, seed)))
                 .sum::<f64>()
                 / 3.0;
             row.push_str(&format!(" {mean:>12.3}"));

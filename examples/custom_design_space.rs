@@ -43,8 +43,7 @@ fn main() {
     // Heuristic exploration: find a good protocol with a fraction of the
     // evaluations an exhaustive sweep needs.
     let space = design_space();
-    let objective =
-        |idx: usize| sim.run_homogeneous(&GossipProtocol::from_index(idx), config.seed);
+    let objective = |idx: usize| sim.run_homogeneous(&GossipProtocol::from_index(idx), config.seed);
     let outcome = search::hill_climb(&space, objective, 3, 60, 11);
     println!(
         "hill-climb found {} with {} evaluations (space size {})",

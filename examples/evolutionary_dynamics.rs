@@ -24,7 +24,10 @@ fn main() {
     // slow peers' C-vs-D competition has payoffs from the slow column...
     // We instead compare slow-peer behaviors within each pricing directly.
     for (label, game) in [
-        ("Figure 1(a) pricing (BitTorrent Dilemma)", games::bittorrent_dilemma(f, s)),
+        (
+            "Figure 1(a) pricing (BitTorrent Dilemma)",
+            games::bittorrent_dilemma(f, s),
+        ),
         ("Figure 1(c) pricing (Birds)", games::birds(f, s)),
     ] {
         // Payoff of slow behavior X against slow behavior Y is evaluated
@@ -32,7 +35,7 @@ fn main() {
         // fallback the paper describes: cooperators pair with cooperators.
         let coop = game.payoff(Action::Defect, Action::Cooperate).1; // slow C vs defecting fast
         let defect = game.payoff(Action::Cooperate, Action::Defect).1; // slow D grabbing optimistic unchokes
-        // 2x2 population game between slow-cooperators and slow-defectors.
+                                                                       // 2x2 population game between slow-cooperators and slow-defectors.
         let payoff = vec![vec![coop, coop], vec![defect, defect]];
 
         let trajectory = replicator_trajectory(&payoff, &[0.99, 0.01], 200);
@@ -46,9 +49,7 @@ fn main() {
 
         let mut rng = Xoshiro256pp::seed_from_u64(7);
         let fixation = moran_fixation(&payoff, 25, 2000, &mut rng);
-        println!(
-            "  Moran (n=25): single defector mutant fixes with probability {fixation:.3}\n"
-        );
+        println!("  Moran (n=25): single defector mutant fixes with probability {fixation:.3}\n");
     }
 
     println!(

@@ -31,7 +31,14 @@ fn main() {
         presets::random_rank(),
         presets::freerider(),
     ];
-    let names = ["BitTorrent", "Birds", "Loyal-When-needed", "Sort-S", "Random", "Freerider"];
+    let names = [
+        "BitTorrent",
+        "Birds",
+        "Loyal-When-needed",
+        "Sort-S",
+        "Random",
+        "Freerider",
+    ];
 
     // 3. Run the PRA quantification. With six protocols the tournament is
     //    exhaustive: every protocol meets every other.
@@ -46,7 +53,10 @@ fn main() {
     let results = quantify(&sim, &protocols, &config);
 
     // 4. Inspect the PRA cube.
-    println!("{:<20} {:>12} {:>11} {:>15}", "protocol", "Performance", "Robustness", "Aggressiveness");
+    println!(
+        "{:<20} {:>12} {:>11} {:>15}",
+        "protocol", "Performance", "Robustness", "Aggressiveness"
+    );
     for (i, name) in names.iter().enumerate() {
         let p = results.point(i);
         println!(

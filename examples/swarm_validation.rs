@@ -19,11 +19,20 @@ fn main() {
     for kind in ClientKind::ALL {
         let times = homogeneous_runs(kind, runs, &config, 1);
         let ci = ConfidenceInterval::ci95(&times);
-        println!("  {:<20} {:>7.1} s ± {:.1}", kind.name(), ci.mean, ci.half_width);
+        println!(
+            "  {:<20} {:>7.1} s ± {:.1}",
+            kind.name(),
+            ci.mean,
+            ci.half_width
+        );
     }
 
     println!("\n50/50 encounters against reference BitTorrent:");
-    for kind in [ClientKind::Birds, ClientKind::LoyalWhenNeeded, ClientKind::SortS] {
+    for kind in [
+        ClientKind::Birds,
+        ClientKind::LoyalWhenNeeded,
+        ClientKind::SortS,
+    ] {
         let (variant, bt) = mixed_runs(kind, ClientKind::BitTorrent, 0.5, runs, &config, 2);
         let vc = ConfidenceInterval::ci95(&variant);
         let bc = ConfidenceInterval::ci95(&bt);
@@ -32,7 +41,11 @@ fn main() {
             kind.name(),
             vc.mean,
             bc.mean,
-            if vc.mean < bc.mean { "variant faster" } else { "BitTorrent faster" }
+            if vc.mean < bc.mean {
+                "variant faster"
+            } else {
+                "BitTorrent faster"
+            }
         );
     }
 }

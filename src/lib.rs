@@ -2,12 +2,19 @@
 //!
 //! See the individual crates for documentation:
 //! [`dsa_core`], [`dsa_swarm`], [`dsa_gametheory`], [`dsa_btsim`],
-//! [`dsa_stats`], [`dsa_workloads`], [`dsa_gossip`].
+//! [`dsa_stats`], [`dsa_workloads`], [`dsa_gossip`],
+//! [`dsa_reputation`].
+//!
+//! Three DSA domains are provided: file swarming ([`swarm`], the paper's
+//! space), gossip dissemination ([`gossip`], §3.1's example) and
+//! reputation-mediated sharing ([`reputation`], the §7 "other domains"
+//! future work).
 
 pub use dsa_btsim as btsim;
 pub use dsa_core as core;
 pub use dsa_gametheory as gametheory;
 pub use dsa_gossip as gossip;
+pub use dsa_reputation as reputation;
 pub use dsa_stats as stats;
 pub use dsa_swarm as swarm;
 pub use dsa_workloads as workloads;

@@ -71,6 +71,64 @@ fn engine_bitwise_reproducible() {
 }
 
 #[test]
+fn reputation_engine_bitwise_reproducible() {
+    // Same seed ⇒ bit-identical results for the third domain too, under
+    // churn (whitewashing's blunt cousin) and an actual whitewasher in
+    // the population.
+    let cfg = dsa_reputation::engine::RepConfig {
+        peers: 18,
+        rounds: 60,
+        churn: dsa_workloads::churn::ChurnModel::PerRound { rate: 0.05 },
+        ..dsa_reputation::engine::RepConfig::default()
+    };
+    let protos = [
+        dsa_reputation::presets::bartercast(),
+        dsa_reputation::presets::whitewasher(),
+    ];
+    let assignment: Vec<usize> = (0..18).map(|i| usize::from(i >= 12)).collect();
+    let a = dsa_reputation::engine::run(&protos, &assignment, &cfg, 777);
+    let b = dsa_reputation::engine::run(&protos, &assignment, &cfg, 777);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reputation_pra_full_space_deterministic() {
+    // The PRA quantification over the entire 216-protocol reputation
+    // space is a pure function of the seed, thread count included.
+    let protocols: Vec<dsa_reputation::protocol::RepProtocol> =
+        dsa_reputation::protocol::RepProtocol::all().collect();
+    assert!(protocols.len() >= 100);
+    let sim = dsa_reputation::adapter::RepSim {
+        config: dsa_reputation::engine::RepConfig {
+            peers: 10,
+            rounds: 20,
+            ..dsa_reputation::engine::RepConfig::default()
+        },
+    };
+    let mk = |threads| PraConfig {
+        performance_runs: 1,
+        encounter_runs: 1,
+        sampling: OpponentSampling::Sampled(4),
+        threads,
+        seed: 31337,
+        ..PraConfig::default()
+    };
+    let one = quantify(&sim, &protocols, &mk(1));
+    let many = quantify(&sim, &protocols, &mk(8));
+    assert_eq!(one, many);
+    // And the measures are sane: every value in [0,1], with the
+    // free-rider family pinned to zero performance.
+    assert!(one
+        .performance
+        .iter()
+        .chain(&one.robustness)
+        .chain(&one.aggressiveness)
+        .all(|&x| (0.0..=1.0).contains(&x)));
+    let freerider = dsa_reputation::presets::freerider().index();
+    assert_eq!(one.performance_raw[freerider], 0.0);
+}
+
+#[test]
 fn btsim_bitwise_reproducible() {
     let cfg = dsa_btsim::config::BtConfig::tiny();
     let kinds = vec![dsa_btsim::choker::ClientKind::LoyalWhenNeeded; cfg.leechers];
@@ -88,8 +146,8 @@ fn stratified_population_is_identical_across_seeds() {
         rounds: 10,
         ..SimConfig::default()
     };
-    let mut a = run(&[presets::bittorrent()], &vec![0; 25], &cfg, 1).capacities;
-    let mut b = run(&[presets::bittorrent()], &vec![0; 25], &cfg, 2).capacities;
+    let mut a = run(&[presets::bittorrent()], &[0; 25], &cfg, 1).capacities;
+    let mut b = run(&[presets::bittorrent()], &[0; 25], &cfg, 2).capacities;
     a.sort_by(f64::total_cmp);
     b.sort_by(f64::total_cmp);
     assert_eq!(a, b);

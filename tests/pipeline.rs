@@ -97,9 +97,8 @@ fn search_agrees_with_sweep_on_micro_space() {
             ..presets::bittorrent()
         }
     };
-    let objective = |idx: usize| {
-        dsa_core::sim::EncounterSim::run_homogeneous(&sim, &proto_at(idx), 5)
-    };
+    let objective =
+        |idx: usize| dsa_core::sim::EncounterSim::run_homogeneous(&sim, &proto_at(idx), 5);
     let all: Vec<f64> = space.indices().map(objective).collect();
     let median = dsa_stats::describe::median(&all);
     let found = dsa_core::search::hill_climb(&space, objective, 2, 30, 3);

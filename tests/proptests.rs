@@ -120,8 +120,8 @@ proptest! {
         prop_assert!(z.iter().all(|v| (0.0..=1.0).contains(v)));
         let spread = describe::max(&xs) - describe::min(&xs);
         if spread > 0.0 {
-            prop_assert!(z.iter().any(|&v| v == 0.0));
-            prop_assert!(z.iter().any(|&v| v == 1.0));
+            prop_assert!(z.contains(&0.0));
+            prop_assert!(z.contains(&1.0));
         }
     }
 
@@ -148,7 +148,7 @@ proptest! {
             ..dsa_swarm::engine::SimConfig::default()
         };
         let p = SwarmProtocol::from_index(proto_idx);
-        let out = dsa_swarm::engine::run(&[p], &vec![0; 12], &cfg, seed);
+        let out = dsa_swarm::engine::run(&[p], &[0; 12], &cfg, seed);
         // Each peer can receive at most what everyone else uploads: with
         // equal capacities, inbound ≤ (n−1) × capacity; the practical
         // bound we assert is population conservation.

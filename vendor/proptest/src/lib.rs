@@ -1,0 +1,119 @@
+//! Minimal offline stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the subset of the real crate used by this workspace:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with range, tuple, [`strategy::Just`],
+//!   [`strategy::any`], `prop_map`, `prop_flat_map` and [`prop_oneof!`],
+//! * [`collection::vec`] with `usize` / `Range` / `RangeInclusive` sizes,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`,
+//! * [`test_runner::ProptestConfig`].
+//!
+//! Unlike the real crate there is no shrinking and no persistence file:
+//! inputs are drawn from a splitmix64 stream seeded deterministically from
+//! the test's module path and name, so failures are reproducible run to
+//! run. Assertions panic directly (the enclosing `#[test]` reports them);
+//! `prop_assume!` rejects the current case and draws a fresh one.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]` function that evaluates the body over
+/// [`test_runner::ProptestConfig::cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands the individual test items of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(1024);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| {
+                        { $body }
+                        Ok(())
+                    })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+            assert!(
+                accepted > 0,
+                "prop_assume! rejected every generated input ({attempts} attempts)"
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Asserts inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Rejects the current generated case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed_gen($strategy) ),+
+        ])
+    };
+}

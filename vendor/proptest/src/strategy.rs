@@ -1,0 +1,297 @@
+//! Input-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a follow-up strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {
+        $(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    #[allow(clippy::cast_possible_wrap)]
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Strategy for the whole domain of `T` (the real crate's `any::<T>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+/// Creates the whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )+
+    };
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+            }
+        )+
+    };
+}
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.next_f64() as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Boxed generator function; the element type of [`Union`].
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Erases a strategy into a boxed generator (used by `prop_oneof!`).
+pub fn boxed_gen<S>(strategy: S) -> BoxedGen<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| strategy.generate(rng))
+}
+
+/// Uniform choice among same-typed strategies (the `prop_oneof!` macro).
+pub struct Union<V> {
+    variants: Vec<BoxedGen<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over the given variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no variants are given.
+    #[must_use]
+    pub fn new(variants: Vec<BoxedGen<V>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        Self { variants }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.variants.len() as u64) as usize;
+        (self.variants[pick])(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (-2.0f64..5.0).generate(&mut rng);
+            assert!((-2.0..5.0).contains(&y));
+            let z = (-5i32..-1).generate(&mut rng);
+            assert!((-5..-1).contains(&z));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::new(2);
+        let doubled = (1u32..5).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+        let dependent = (1usize..4).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..100 {
+            let (n, k) = dependent.generate(&mut rng);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_variant() {
+        let mut rng = TestRng::new(3);
+        let u = Union::new(vec![boxed_gen(Just(1u8)), boxed_gen(Just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}
