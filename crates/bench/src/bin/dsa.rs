@@ -1,60 +1,60 @@
 //! `dsa` — interactive command-line front end to the library.
 //!
 //! Where `experiments` regenerates the paper, `dsa` answers ad-hoc
-//! questions about individual protocols:
+//! questions about individual protocols. Every registered domain gets
+//! the same command family through one generic dispatcher:
 //!
 //! ```text
-//! dsa protocols [filter]             list protocols (substring filter on the code)
-//! dsa describe <index|preset>        decode a protocol
-//! dsa simulate <index|preset> [--rounds N] [--peers N] [--seed N] [--churn R]
-//! dsa encounter <a> <b> [--frac F] [--runs N] [--seed N]
-//! dsa pra <p1> <p2> [...]            PRA over an ad-hoc protocol set
-//! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]
-//! dsa rep protocols [filter]         the reputation domain's protocol list
-//! dsa rep describe <index|preset>
-//! dsa rep simulate <index|preset> [--rounds N] [--peers N] [--seed N] [--churn R]
-//! dsa rep encounter <a> <b> [--frac F] [--runs N] [--seed N]
-//! dsa rep pra [<p1> <p2> ... | --all] [--seed N] [--sample K]
+//! dsa <domain> protocols [filter]        list protocols (substring filter on the code)
+//! dsa <domain> describe <index|preset>   decode a protocol
+//! dsa <domain> simulate <index|preset> [--seed N] [--churn R] [--effort smoke|lab|paper]
+//! dsa <domain> encounter <a> <b> [--frac F] [--runs N] [--seed N] [--effort E]
+//! dsa <domain> pra [<p1> <p2> ... | --all] [--seed N] [--sample K] [--effort E]
+//! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]   (piece-level BitTorrent, swarm-only)
 //! ```
 //!
-//! Presets: bittorrent, birds, loyal, sorts, random, freerider.
+//! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (216).
+//! A bare command (`dsa protocols ...`) defaults to the swarm domain.
+//!
+//! Presets: swarm has bittorrent, birds, loyal, sorts, random,
+//! freerider; gossip has random-push, reciprocal, lazy, silent; rep has
+//! baseline, tft, bartercast, elitist, prober, freerider, whitewasher.
 //! BT kinds: bittorrent, birds, loyal, sorts, random.
-//! Rep presets: baseline, tft, bartercast, elitist, prober, freerider,
-//! whitewasher.
 
 use dsa_btsim::choker::ClientKind;
 use dsa_btsim::config::BtConfig;
 use dsa_btsim::experiment::mixed_runs;
-use dsa_core::pra::{quantify, PraConfig};
-use dsa_core::sim::EncounterSim;
+use dsa_core::domain::{DynDomain, Effort};
+use dsa_core::pra::PraConfig;
 use dsa_core::tournament::OpponentSampling;
-use dsa_reputation::adapter::RepSim;
-use dsa_reputation::presets as rep_presets;
-use dsa_reputation::protocol::{RepProtocol, REP_SPACE_SIZE};
 use dsa_stats::ci::ConfidenceInterval;
-use dsa_swarm::adapter::SwarmSim;
-use dsa_swarm::engine::SimConfig;
-use dsa_swarm::metrics;
-use dsa_swarm::presets;
-use dsa_swarm::protocol::{SwarmProtocol, SPACE_SIZE};
-use dsa_workloads::churn::ChurnModel;
 use std::process::ExitCode;
 
+/// The generic per-domain subcommands.
+const DOMAIN_COMMANDS: [&str; 5] = ["protocols", "describe", "simulate", "encounter", "pra"];
+
 fn main() -> ExitCode {
+    dsa_bench::register_domains();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("protocols") => cmd_protocols(&args[1..]),
-        Some("describe") => cmd_describe(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
-        Some("encounter") => cmd_encounter(&args[1..]),
-        Some("pra") => cmd_pra(&args[1..]),
         Some("bt") => cmd_bt(&args[1..]),
-        Some("rep") => cmd_rep(&args[1..]),
         Some("--help" | "-h") | None => {
-            eprintln!("{}", HELP);
+            eprintln!("{}", help());
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+        Some(name) => {
+            if let Some(domain) = dsa_core::domain::lookup(name) {
+                dispatch(&*domain, &args[1..])
+            } else if DOMAIN_COMMANDS.contains(&name) {
+                // Bare commands default to the paper's own domain.
+                match dsa_core::domain::lookup("swarm") {
+                    Some(domain) => dispatch(&*domain, &args),
+                    None => Err("swarm domain not registered".into()),
+                }
+            } else {
+                Err(format!("unknown domain or command '{name}' (try --help)"))
+            }
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -65,38 +65,39 @@ fn main() -> ExitCode {
     }
 }
 
-const HELP: &str = "dsa — Design Space Analysis toolkit
-commands: protocols, describe, simulate, encounter, pra, bt,
-          rep {protocols|describe|simulate|encounter|pra} (see crate docs)";
-
-fn parse_protocol(token: &str) -> Result<SwarmProtocol, String> {
-    match token {
-        "bittorrent" | "bt" => Ok(presets::bittorrent()),
-        "birds" => Ok(presets::birds()),
-        "loyal" => Ok(presets::loyal_when_needed()),
-        "sorts" | "sort-s" => Ok(presets::sort_s()),
-        "random" => Ok(presets::random_rank()),
-        "freerider" => Ok(presets::freerider()),
-        other => {
-            let idx: usize = other
-                .parse()
-                .map_err(|_| format!("'{other}' is neither a preset nor an index"))?;
-            if idx >= SPACE_SIZE {
-                return Err(format!("index {idx} out of 0..{SPACE_SIZE}"));
-            }
-            Ok(SwarmProtocol::from_index(idx))
-        }
-    }
+fn help() -> String {
+    let domains: Vec<String> = dsa_core::domain::registry()
+        .iter()
+        .map(|d| format!("{} ({} protocols)", d.name(), d.size()))
+        .collect();
+    format!(
+        "dsa — Design Space Analysis toolkit\n\
+         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra}} [...]\n\
+         \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
+         domains: {}\n\
+         (bare commands default to the swarm domain; see crate docs for flags)",
+        domains.join(", ")
+    )
 }
 
-fn parse_kind(token: &str) -> Result<ClientKind, String> {
-    match token {
-        "bittorrent" | "bt" => Ok(ClientKind::BitTorrent),
-        "birds" => Ok(ClientKind::Birds),
-        "loyal" => Ok(ClientKind::LoyalWhenNeeded),
-        "sorts" | "sort-s" => Ok(ClientKind::SortS),
-        "random" => Ok(ClientKind::RandomRank),
-        other => Err(format!("unknown client kind '{other}'")),
+/// Routes one generic subcommand to its implementation.
+fn dispatch(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("protocols") => cmd_protocols(domain, &args[1..]),
+        Some("describe") => cmd_describe(domain, &args[1..]),
+        Some("simulate") => cmd_simulate(domain, &args[1..]),
+        Some("encounter") => cmd_encounter(domain, &args[1..]),
+        Some("pra") => cmd_pra(domain, &args[1..]),
+        Some(other) => Err(format!(
+            "unknown {} command '{other}' (expected one of: {})",
+            domain.name(),
+            DOMAIN_COMMANDS.join(", ")
+        )),
+        None => Err(format!(
+            "{} needs a subcommand: {}",
+            domain.name(),
+            DOMAIN_COMMANDS.join(", ")
+        )),
     }
 }
 
@@ -134,142 +135,199 @@ where
     }
 }
 
-fn cmd_protocols(args: &[String]) -> Result<(), String> {
+/// Rejects flags outside a command's accepted set. Silently ignoring a
+/// mistyped or unsupported flag would run a different configuration than
+/// the user asked for and still exit 0.
+fn check_flags(flags: &Flags, allowed: &[&str]) -> Result<(), String> {
+    for (name, _) in flags {
+        if !allowed.contains(&name.as_str()) {
+            let accepted: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+            return Err(format!(
+                "unknown flag --{name} (accepted: {})",
+                accepted.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn effort_flag(flags: &Flags) -> Result<Effort, String> {
+    let name: String = flag(flags, "effort", "smoke".to_string())?;
+    Effort::by_name(&name).ok_or_else(|| format!("unknown --effort '{name}' (smoke|lab|paper)"))
+}
+
+fn churn_flag(domain: &dyn DynDomain, flags: &Flags) -> Result<f64, String> {
+    let churn = flag(flags, "churn", 0.0f64)?;
+    if churn > 0.0 && !domain.supports_churn() {
+        return Err(format!(
+            "the {} domain's simulator has no churn model",
+            domain.name()
+        ));
+    }
+    Ok(churn)
+}
+
+fn cmd_protocols(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
     let filter = args.first().cloned().unwrap_or_default();
     let mut count = 0;
-    for p in SwarmProtocol::all() {
-        let code = p.to_string();
+    for (i, code) in domain.codes().iter().enumerate() {
         if code.contains(&filter) {
-            println!("{:>5}  {code}", p.index());
+            println!("{i:>5}  {code}");
             count += 1;
         }
     }
-    eprintln!("({count} of {SPACE_SIZE} protocols)");
+    eprintln!("({count} of {} {} protocols)", domain.size(), domain.name());
     Ok(())
 }
 
-fn cmd_describe(args: &[String]) -> Result<(), String> {
+fn cmd_describe(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
     let token = args.first().ok_or("describe needs a protocol")?;
-    let p = parse_protocol(token)?;
-    println!("index      : {}", p.index());
-    println!("code       : {p}");
-    println!(
-        "stranger   : {:?} × {}",
-        p.stranger_policy, p.stranger_slots
-    );
-    println!("candidates : {:?}", p.candidates);
-    println!("ranking    : {:?}", p.ranking);
-    println!("partners   : {}", p.partner_slots);
-    println!("allocation : {:?}", p.allocation);
-    println!("birds-like : {}", p.is_birds_family());
+    let index = domain.parse(token)?;
+    println!("domain     : {}", domain.name());
+    println!("index      : {index}");
+    println!("code       : {}", domain.code(index));
+    for part in domain.describe(index).split(", ") {
+        match part.split_once('=') {
+            Some((dim, level)) => println!("{dim:<11}: {level}"),
+            None => println!("{part}"),
+        }
+    }
+    if let Some((name, _)) = domain.presets().iter().find(|(_, i)| *i == index) {
+        println!("preset     : {name}");
+    }
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["seed", "churn", "effort"])?;
     let token = pos.first().ok_or("simulate needs a protocol")?;
-    let p = parse_protocol(token)?;
-    let rounds = flag(&flags, "rounds", 300usize)?;
-    let peers = flag(&flags, "peers", 50usize)?;
+    let index = domain.parse(token)?;
     let seed = flag(&flags, "seed", 1u64)?;
-    let churn = flag(&flags, "churn", 0.0f64)?;
-    let config = SimConfig {
-        peers,
-        rounds,
-        churn: if churn > 0.0 {
-            ChurnModel::PerRound { rate: churn }
-        } else {
-            ChurnModel::None
-        },
-        ..SimConfig::default()
-    };
-    let out = dsa_swarm::engine::run(&[p], &vec![0; peers], &config, seed);
-    println!("protocol    : {p}");
-    println!("throughput  : {:.2} KiB/round/peer", out.throughput);
-    println!("utilization : {:.3}", metrics::utilization(&out));
-    println!("fairness    : {:.3} (Jain)", metrics::jain_fairness(&out));
-    let (fast, slow) = metrics::fast_slow_split(&out);
-    println!("fast / slow : {fast:.2} / {slow:.2}");
+    let effort = effort_flag(&flags)?;
+    let churn = churn_flag(domain, &flags)?;
+    print!("{}", domain.simulate_report(index, effort, churn, seed));
     Ok(())
 }
 
-fn cmd_encounter(args: &[String]) -> Result<(), String> {
+fn cmd_encounter(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["frac", "runs", "seed", "effort"])?;
     if pos.len() < 2 {
         return Err("encounter needs two protocols".into());
     }
-    let a = parse_protocol(&pos[0])?;
-    let b = parse_protocol(&pos[1])?;
+    let a = domain.parse(&pos[0])?;
+    let b = domain.parse(&pos[1])?;
     let frac = flag(&flags, "frac", 0.5f64)?;
     let runs = flag(&flags, "runs", 5usize)?;
     let seed = flag(&flags, "seed", 1u64)?;
-    let sim = SwarmSim {
-        config: SimConfig {
-            rounds: 200,
-            ..SimConfig::default()
-        },
-    };
+    let effort = effort_flag(&flags)?;
     let mut wins = 0;
     let mut ua = Vec::new();
     let mut ub = Vec::new();
     for r in 0..runs {
-        let (x, y) = sim.run_encounter(&a, &b, frac, seed.wrapping_add(r as u64));
+        let (x, y) = domain.run_encounter(a, b, frac, effort, seed.wrapping_add(r as u64));
         if x > y {
             wins += 1;
         }
         ua.push(x);
         ub.push(y);
     }
-    println!("{a} ({frac:.0}% of swarm) vs {b}");
+    println!(
+        "{} ({:.0}% of population) vs {}",
+        domain.code(a),
+        frac * 100.0,
+        domain.code(b)
+    );
     println!("  group A mean utility: {}", ConfidenceInterval::ci95(&ua));
     println!("  group B mean utility: {}", ConfidenceInterval::ci95(&ub));
     println!("  A wins {wins}/{runs} runs");
     Ok(())
 }
 
-fn cmd_pra(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
-    if pos.len() < 2 {
-        return Err("pra needs at least two protocols".into());
-    }
-    let protocols: Vec<SwarmProtocol> = pos
+fn cmd_pra(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    // `--all` is a bare switch; strip it before the `--flag value` parse
+    // so it does not swallow the next token.
+    let explicit_all = args.iter().any(|a| a == "--all");
+    let args: Vec<String> = args
         .iter()
-        .map(|t| parse_protocol(t))
-        .collect::<Result<_, _>>()?;
+        .filter(|a| a.as_str() != "--all")
+        .cloned()
+        .collect();
+    let (pos, flags) = split_flags(&args)?;
+    check_flags(&flags, &["seed", "sample", "effort"])?;
     let seed = flag(&flags, "seed", 0x5EEDu64)?;
-    let sim = SwarmSim {
-        config: SimConfig {
-            rounds: 150,
-            ..SimConfig::default()
-        },
+    let sample = flag(&flags, "sample", 20usize)?;
+    let effort = effort_flag(&flags)?;
+    let all = explicit_all || pos.is_empty();
+    let indices: Vec<usize> = if all {
+        (0..domain.size()).collect()
+    } else {
+        pos.iter()
+            .map(|t| domain.parse(t))
+            .collect::<Result<_, _>>()?
     };
+    if indices.len() < 2 {
+        return Err("pra needs at least two protocols (or none for the full space)".into());
+    }
     let config = PraConfig {
         performance_runs: 3,
         encounter_runs: 2,
-        sampling: OpponentSampling::Exhaustive,
+        sampling: if all {
+            OpponentSampling::Sampled(sample)
+        } else {
+            OpponentSampling::Exhaustive
+        },
         seed,
         ..PraConfig::default()
     };
-    let results = quantify(&sim, &protocols, &config);
+    let results = domain.quantify(&indices, effort, &config);
+    let codes: Vec<String> = indices.iter().map(|&i| domain.code(i)).collect();
+    let width = codes.iter().map(String::len).max().unwrap_or(8).max(8);
     println!(
-        "{:<24} {:>11} {:>10} {:>14}",
+        "{:<width$} {:>11} {:>10} {:>14}",
         "protocol", "Performance", "Robustness", "Aggressiveness"
     );
-    for (i, p) in protocols.iter().enumerate() {
+    // For the full space print the 10 strongest by robustness; an ad-hoc
+    // set prints in the order given.
+    let order: Vec<usize> = if all {
+        results
+            .ranked_by(|p| p.robustness)
+            .into_iter()
+            .take(10)
+            .collect()
+    } else {
+        (0..indices.len()).collect()
+    };
+    for i in order {
         let pt = results.point(i);
         println!(
-            "{:<24} {:>11.3} {:>10.3} {:>14.3}",
-            p.to_string(),
-            pt.performance,
-            pt.robustness,
-            pt.aggressiveness
+            "{:<width$} {:>11.3} {:>10.3} {:>14.3}",
+            codes[i], pt.performance, pt.robustness, pt.aggressiveness
         );
+    }
+    if all {
+        println!("(top 10 of {} by robustness)", indices.len());
     }
     Ok(())
 }
 
+// ---- the piece-level BitTorrent experiment (swarm-domain extra) -----------
+
+fn parse_kind(token: &str) -> Result<ClientKind, String> {
+    match token {
+        "bittorrent" | "bt" => Ok(ClientKind::BitTorrent),
+        "birds" => Ok(ClientKind::Birds),
+        "loyal" => Ok(ClientKind::LoyalWhenNeeded),
+        "sorts" | "sort-s" => Ok(ClientKind::SortS),
+        "random" => Ok(ClientKind::RandomRank),
+        other => Err(format!("unknown client kind '{other}'")),
+    }
+}
+
 fn cmd_bt(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["frac", "runs", "seed"])?;
     let a = parse_kind(pos.first().ok_or("bt needs a client kind")?)?;
     let b = pos.get(1).map(|t| parse_kind(t)).transpose()?.unwrap_or(a);
     let frac = flag(&flags, "frac", if pos.len() > 1 { 0.5 } else { 1.0 })?;
@@ -286,203 +344,6 @@ fn cmd_bt(args: &[String]) -> Result<(), String> {
     if !ta.is_empty() && !tb.is_empty() {
         let sig = dsa_stats::nonparametric::significantly_different(&ta, &tb, 0.05);
         println!("difference significant at 5% (Mann-Whitney): {sig}");
-    }
-    Ok(())
-}
-
-// ---- the reputation domain ------------------------------------------------
-
-fn parse_rep_protocol(token: &str) -> Result<RepProtocol, String> {
-    match token {
-        "baseline" => Ok(RepProtocol::baseline()),
-        "tft" => Ok(rep_presets::private_tft()),
-        "bartercast" | "bc" => Ok(rep_presets::bartercast()),
-        "elitist" => Ok(rep_presets::elitist()),
-        "prober" => Ok(rep_presets::prober()),
-        "freerider" => Ok(rep_presets::freerider()),
-        "whitewasher" | "ww" => Ok(rep_presets::whitewasher()),
-        other => {
-            let idx: usize = other
-                .parse()
-                .map_err(|_| format!("'{other}' is neither a rep preset nor an index"))?;
-            if idx >= REP_SPACE_SIZE {
-                return Err(format!("index {idx} out of 0..{REP_SPACE_SIZE}"));
-            }
-            Ok(RepProtocol::from_index(idx))
-        }
-    }
-}
-
-fn cmd_rep(args: &[String]) -> Result<(), String> {
-    match args.first().map(String::as_str) {
-        Some("protocols") => cmd_rep_protocols(&args[1..]),
-        Some("describe") => cmd_rep_describe(&args[1..]),
-        Some("simulate") => cmd_rep_simulate(&args[1..]),
-        Some("encounter") => cmd_rep_encounter(&args[1..]),
-        Some("pra") => cmd_rep_pra(&args[1..]),
-        Some(other) => Err(format!("unknown rep command '{other}' (try --help)")),
-        None => Err("rep needs a subcommand: protocols, describe, simulate, encounter, pra".into()),
-    }
-}
-
-fn cmd_rep_protocols(args: &[String]) -> Result<(), String> {
-    let filter = args.first().cloned().unwrap_or_default();
-    let mut count = 0;
-    for p in RepProtocol::all() {
-        let code = p.to_string();
-        if code.contains(&filter) {
-            println!("{:>5}  {code}", p.index());
-            count += 1;
-        }
-    }
-    eprintln!("({count} of {REP_SPACE_SIZE} protocols)");
-    Ok(())
-}
-
-fn cmd_rep_describe(args: &[String]) -> Result<(), String> {
-    let token = args.first().ok_or("rep describe needs a protocol")?;
-    let p = parse_rep_protocol(token)?;
-    println!("index       : {}", p.index());
-    println!("code        : {p}");
-    println!("source      : {:?}", p.source);
-    println!("maintenance : {:?}", p.maintenance);
-    println!("stranger    : {:?}", p.stranger);
-    println!("response    : {:?}", p.response);
-    println!("identity    : {:?}", p.identity);
-    Ok(())
-}
-
-fn rep_config(flags: &[(String, String)]) -> Result<dsa_reputation::engine::RepConfig, String> {
-    let mut config = dsa_reputation::engine::RepConfig::default();
-    config.rounds = flag(flags, "rounds", config.rounds)?;
-    config.peers = flag(flags, "peers", config.peers)?;
-    if config.peers < 2 {
-        return Err(format!("--peers must be at least 2, got {}", config.peers));
-    }
-    let churn = flag(flags, "churn", 0.0f64)?;
-    if churn > 0.0 {
-        config.churn = ChurnModel::PerRound { rate: churn };
-    }
-    Ok(config)
-}
-
-fn cmd_rep_simulate(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
-    let token = pos.first().ok_or("rep simulate needs a protocol")?;
-    let p = parse_rep_protocol(token)?;
-    let seed = flag(&flags, "seed", 1u64)?;
-    let config = rep_config(&flags)?;
-    let u = dsa_reputation::engine::run(&[p], &vec![0; config.peers], &config, seed);
-    let mean = u.iter().sum::<f64>() / u.len() as f64;
-    let mut sorted = u.clone();
-    sorted.sort_by(f64::total_cmp);
-    println!("protocol      : {p}");
-    println!("mean utility  : {mean:.2} service units/peer");
-    println!(
-        "min / median / max : {:.2} / {:.2} / {:.2}",
-        sorted[0],
-        sorted[sorted.len() / 2],
-        sorted[sorted.len() - 1]
-    );
-    Ok(())
-}
-
-fn cmd_rep_encounter(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
-    if pos.len() < 2 {
-        return Err("rep encounter needs two protocols".into());
-    }
-    let a = parse_rep_protocol(&pos[0])?;
-    let b = parse_rep_protocol(&pos[1])?;
-    let frac = flag(&flags, "frac", 0.5f64)?;
-    let runs = flag(&flags, "runs", 5usize)?;
-    let seed = flag(&flags, "seed", 1u64)?;
-    let sim = RepSim {
-        config: rep_config(&flags)?,
-    };
-    let mut wins = 0;
-    let mut ua = Vec::new();
-    let mut ub = Vec::new();
-    for r in 0..runs {
-        let (x, y) = sim.run_encounter(&a, &b, frac, seed.wrapping_add(r as u64));
-        if x > y {
-            wins += 1;
-        }
-        ua.push(x);
-        ub.push(y);
-    }
-    println!("{a} ({:.0}% of community) vs {b}", frac * 100.0);
-    println!("  group A mean utility: {}", ConfidenceInterval::ci95(&ua));
-    println!("  group B mean utility: {}", ConfidenceInterval::ci95(&ub));
-    println!("  A wins {wins}/{runs} runs");
-    Ok(())
-}
-
-fn cmd_rep_pra(args: &[String]) -> Result<(), String> {
-    // `--all` is a bare switch; strip it before the `--flag value` parse
-    // so it does not swallow the next token.
-    let explicit_all = args.iter().any(|a| a == "--all");
-    let args: Vec<String> = args
-        .iter()
-        .filter(|a| a.as_str() != "--all")
-        .cloned()
-        .collect();
-    let (pos, flags) = split_flags(&args)?;
-    let seed = flag(&flags, "seed", 0x5EEDu64)?;
-    let sample = flag(&flags, "sample", 20usize)?;
-    let all = explicit_all || pos.is_empty();
-    let protocols: Vec<RepProtocol> = if all {
-        RepProtocol::all().collect()
-    } else {
-        pos.iter()
-            .map(|t| parse_rep_protocol(t))
-            .collect::<Result<_, _>>()?
-    };
-    if protocols.len() < 2 {
-        return Err("rep pra needs at least two protocols (or none for the full space)".into());
-    }
-    let sim = RepSim {
-        config: dsa_reputation::engine::RepConfig::fast(),
-    };
-    let config = PraConfig {
-        performance_runs: 3,
-        encounter_runs: 2,
-        sampling: if all {
-            OpponentSampling::Sampled(sample)
-        } else {
-            OpponentSampling::Exhaustive
-        },
-        seed,
-        ..PraConfig::default()
-    };
-    let results = quantify(&sim, &protocols, &config);
-    println!(
-        "{:<55} {:>11} {:>10} {:>14}",
-        "protocol", "Performance", "Robustness", "Aggressiveness"
-    );
-    // For the full space print the 10 strongest by robustness; an ad-hoc
-    // set prints in the order given.
-    let order: Vec<usize> = if all {
-        results
-            .ranked_by(|p| p.robustness)
-            .into_iter()
-            .take(10)
-            .collect()
-    } else {
-        (0..protocols.len()).collect()
-    };
-    for i in order {
-        let pt = results.point(i);
-        println!(
-            "{:<55} {:>11.3} {:>10.3} {:>14.3}",
-            protocols[i].to_string(),
-            pt.performance,
-            pt.robustness,
-            pt.aggressiveness
-        );
-    }
-    if all {
-        println!("(top 10 of {} by robustness)", protocols.len());
     }
     Ok(())
 }

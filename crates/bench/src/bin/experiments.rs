@@ -5,16 +5,21 @@
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
-//!      rep whitewash search all
+//!      rep whitewash cross search all
 //! ```
 //!
-//! Sweep-based experiments (fig2–fig8, table3, birds, corr9010) share a
-//! cached sweep at `<out>/pra-<scale>.csv`; delete it to force a re-run.
+//! Sweep-based experiments share content-addressed caches at
+//! `<out>/pra-<domain>-<scale>.csv` — the swarm sweep feeds fig2–fig8,
+//! table3, birds and corr9010; the gossip and reputation sweeps feed
+//! `gossip`, `rep` and the cross-domain comparison (`cross`). A cache
+//! stamped with a different space hash, scale or seed is recomputed
+//! automatically; delete the file to force a re-run.
 
 use dsa_bench::btfigs;
 use dsa_bench::figures;
 use dsa_bench::gossipfig;
 use dsa_bench::nashdemo;
+use dsa_bench::prafig;
 use dsa_bench::regress;
 use dsa_bench::repfig;
 use dsa_bench::scale::Scale;
@@ -48,6 +53,7 @@ const ALL_IDS: &[&str] = &[
     "gossip",
     "rep",
     "whitewash",
+    "cross",
     "search",
 ];
 
@@ -185,9 +191,10 @@ fn main() -> ExitCode {
                 opts.seed ^ 0xC,
             )),
             "fig10" => Ok(btfigs::fig10(opts.scale.bt_runs, &bt_cfg, opts.seed ^ 0x10)),
-            "gossip" => Ok(gossipfig::gossip_dsa(opts.seed)),
-            "rep" => Ok(repfig::reputation_dsa(opts.seed)),
+            "gossip" => gossipfig::gossip_dsa(&opts.scale, &opts.out),
+            "rep" => repfig::reputation_dsa(&opts.scale, &opts.out),
             "whitewash" => Ok(repfig::whitewash_attack(opts.seed ^ 0x3E9)),
+            "cross" => prafig::cross_domain(&opts.scale, &opts.out),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };

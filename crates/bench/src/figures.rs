@@ -1,5 +1,6 @@
 //! Figures 2–8 and the §4.4 follow-up experiments, as views of the sweep.
 
+use crate::prafig::rank_desc;
 use crate::scale::Scale;
 use crate::sweep::SweepData;
 use dsa_core::pra::performance_phase;
@@ -11,6 +12,17 @@ use dsa_swarm::adapter::SwarmSim;
 use dsa_swarm::protocol::{Allocation, Ranking, StrangerPolicy, SwarmProtocol};
 use dsa_workloads::churn::ChurnModel;
 use std::fmt::Write as _;
+
+/// Mean partner count `k` over protocol indices (the quantity Figures
+/// 3–4 and the churn experiment all summarize).
+fn mean_partner_k(protocols: &[SwarmProtocol], indices: impl IntoIterator<Item = usize>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for i in indices {
+        sum += f64::from(protocols[i].partner_slots);
+        n += 1;
+    }
+    sum / n.max(1) as f64
+}
 
 /// Figure 2: scatter of all protocols, Robustness (x) vs Performance (y),
 /// with marginal histograms.
@@ -96,14 +108,8 @@ pub fn fig3_fig4(data: &SweepData, robustness: bool) -> String {
         .take(15)
         .map(|&i| data.protocols[i].partner_slots)
         .collect();
-    let mean_top: f64 = top.iter().map(|&k| f64::from(k)).sum::<f64>() / top.len() as f64;
-    let bottom_mean: f64 = ranked
-        .iter()
-        .rev()
-        .take(15)
-        .map(|&i| f64::from(data.protocols[i].partner_slots))
-        .sum::<f64>()
-        / 15.0;
+    let mean_top = mean_partner_k(&data.protocols, ranked.iter().take(15).copied());
+    let bottom_mean = mean_partner_k(&data.protocols, ranked.iter().rev().take(15).copied());
     let _ = writeln!(
         out,
         "mean k of top-15: {mean_top:.1}   mean k of bottom-15: {bottom_mean:.1}"
@@ -297,18 +303,8 @@ pub fn churn_experiment(scale: &Scale) -> String {
         };
         let sim = SwarmSim { config: sim_cfg };
         let perf = performance_phase(&sim, &protocols, &scale.pra);
-        let mut idx: Vec<usize> = (0..protocols.len()).collect();
-        idx.sort_by(|&a, &b| {
-            perf[b]
-                .partial_cmp(&perf[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mean_k: f64 = idx
-            .iter()
-            .take(15)
-            .map(|&i| f64::from(protocols[i].partner_slots))
-            .sum::<f64>()
-            / 15.0;
+        let idx = rank_desc(&perf);
+        let mean_k = mean_partner_k(&protocols, idx.iter().take(15).copied());
         let _ = writeln!(
             out,
             "churn={rate:<5} top performer: {:<22} mean k of top-15: {mean_k:.2}",

@@ -1,63 +1,41 @@
 //! The gossip-domain DSA demonstration (Section 3.1's example space,
 //! §7's "domains other than P2P" future work).
+//!
+//! All the sweep/report plumbing is the generic pipeline in
+//! [`crate::prafig`]; this module just binds it to the gossip domain.
 
-use dsa_core::pra::{quantify, PraConfig};
-use dsa_core::tournament::OpponentSampling;
-use dsa_gossip::engine::GossipSim;
-use dsa_gossip::protocol::GossipProtocol;
-use std::fmt::Write as _;
+use crate::prafig;
+use crate::scale::Scale;
+use dsa_core::cache::DomainSweep;
+use std::path::Path;
 
-/// Runs the PRA quantification over the 108-protocol gossip space and
-/// reports the extremes.
-#[must_use]
-pub fn gossip_dsa(seed: u64) -> String {
-    let sim = GossipSim::default();
-    let protocols: Vec<GossipProtocol> = GossipProtocol::all().collect();
-    let config = PraConfig {
-        performance_runs: 3,
-        encounter_runs: 1,
-        sampling: OpponentSampling::Sampled(20),
-        threads: 0,
-        seed,
-        ..PraConfig::default()
-    };
-    let results = quantify(&sim, &protocols, &config);
-    let mut out = String::from("DSA on the gossip design space (4 × 3 × 3 × 3 = 108 protocols)\n");
-    let by_perf = results.ranked_by(|p| p.performance);
-    let by_rob = results.ranked_by(|p| p.robustness);
-    let _ = writeln!(out, "top performance:");
-    for &i in by_perf.iter().take(3) {
-        let _ = writeln!(
-            out,
-            "  {:<55} P={:.2} R={:.2} A={:.2}",
-            protocols[i].to_string(),
-            results.performance[i],
-            results.robustness[i],
-            results.aggressiveness[i]
-        );
-    }
-    let _ = writeln!(out, "top robustness:");
-    for &i in by_rob.iter().take(3) {
-        let _ = writeln!(
-            out,
-            "  {:<55} P={:.2} R={:.2} A={:.2}",
-            protocols[i].to_string(),
-            results.performance[i],
-            results.robustness[i],
-            results.aggressiveness[i]
-        );
-    }
-    let r = dsa_stats::correlation::pearson(&results.robustness, &results.aggressiveness);
-    let _ = writeln!(out, "robustness/aggressiveness Pearson r = {r:.3}");
-    out
+/// Runs (or loads from `results/`) the PRA sweep over the 108-protocol
+/// gossip space and reports the extremes and preset ranks.
+///
+/// # Errors
+///
+/// Returns an error when the sweep cache is corrupt or unwritable.
+pub fn gossip_dsa(scale: &Scale, out_dir: &Path) -> Result<String, String> {
+    let domain = dsa_gossip::adapter::register();
+    let sweep =
+        DomainSweep::load_or_compute(&*domain, scale.effort(), &scale.pra, scale.name, out_dir)?;
+    Ok(prafig::domain_dsa(&*domain, &sweep, out_dir))
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
-    fn gossip_dsa_runs_and_reports() {
-        let s = super::gossip_dsa(3);
+    fn gossip_dsa_runs_caches_and_reports() {
+        let dir = std::env::temp_dir().join(format!("dsa-gossipfig-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scale = Scale::smoke();
+        let s = gossip_dsa(&scale, &dir).expect("sweep");
         assert!(s.contains("top performance"));
         assert!(s.contains("Pearson"));
+        let s2 = gossip_dsa(&scale, &dir).expect("cached sweep");
+        assert!(s2.contains("loaded from cache"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,6 +14,7 @@ pub mod btfigs;
 pub mod figures;
 pub mod gossipfig;
 pub mod nashdemo;
+pub mod prafig;
 pub mod regress;
 pub mod repfig;
 pub mod scale;
@@ -21,3 +22,18 @@ pub mod sweep;
 
 pub use scale::Scale;
 pub use sweep::SweepData;
+
+use dsa_core::domain::DynDomain;
+use std::sync::Arc;
+
+/// Registers the three built-in domains (swarm, gossip, reputation) in
+/// [`dsa_core::domain`]'s global registry — idempotently — and returns
+/// them in registration order. Both binaries and the cross-domain
+/// experiment call this before dispatching on domain names.
+pub fn register_domains() -> Vec<Arc<dyn DynDomain>> {
+    vec![
+        dsa_swarm::adapter::register(),
+        dsa_gossip::adapter::register(),
+        dsa_reputation::adapter::register(),
+    ]
+}

@@ -1,0 +1,330 @@
+//! Generic PRA figure plumbing, shared by every registered domain.
+//!
+//! Before the domain registry, each domain crate re-implemented the same
+//! report: configure a simulator, quantify, rank, print the top
+//! protocols and the robustness/aggressiveness correlation. This module
+//! writes that pipeline once against [`DynDomain`], adds the cached
+//! sweep underneath ([`DomainSweep`]), and implements the cross-domain
+//! PRA cube comparison the paper's "domain-agnostic" claim calls for.
+
+use crate::scale::Scale;
+use dsa_core::cache::DomainSweep;
+use dsa_core::domain::DynDomain;
+use dsa_core::results::PraResults;
+use dsa_stats::correlation::pearson;
+use dsa_stats::hull::convex_hull_volume;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders the space arithmetic, e.g. `"3 × 3 × 3 × 4 × 2 = 216"`.
+#[must_use]
+pub fn space_arithmetic(domain: &dyn DynDomain) -> String {
+    let factors: Vec<String> = domain
+        .space()
+        .dimensions()
+        .iter()
+        .map(|d| d.len().to_string())
+        .collect();
+    format!("{} = {}", factors.join(" × "), domain.size())
+}
+
+/// Indices sorted descending by value (ties broken by index, so the
+/// order is deterministic).
+#[must_use]
+pub fn rank_desc(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// The "top performance / top robustness" block every domain report
+/// shares.
+#[must_use]
+pub fn top_block(names: &[String], results: &PraResults, take: usize) -> String {
+    let mut out = String::new();
+    for (label, measure) in [
+        ("top performance:", &results.performance),
+        ("top robustness:", &results.robustness),
+    ] {
+        let _ = writeln!(out, "{label}");
+        for &i in rank_desc(measure).iter().take(take) {
+            let _ = writeln!(
+                out,
+                "  {:<55} P={:.2} R={:.2} A={:.2}",
+                names[i], results.performance[i], results.robustness[i], results.aggressiveness[i]
+            );
+        }
+    }
+    out
+}
+
+/// Where each preset (and thereby each canonical attacker) ranks in the
+/// space, by performance and by robustness.
+#[must_use]
+pub fn preset_ranks(domain: &dyn DynDomain, results: &PraResults) -> String {
+    let n = results.len();
+    let mut out = String::new();
+    for (name, index) in domain.presets() {
+        let _ = writeln!(
+            out,
+            "{name:<12} ranks {:>4}/{n} by performance, {:>4}/{n} by robustness",
+            results.rank_of(index, |p| p.performance),
+            results.rank_of(index, |p| p.robustness),
+        );
+    }
+    out
+}
+
+/// The robustness/aggressiveness correlation line (paper: 0.96 for the
+/// swarm space).
+#[must_use]
+pub fn pearson_line(results: &PraResults) -> String {
+    let r = pearson(&results.robustness, &results.aggressiveness);
+    format!("robustness/aggressiveness Pearson r = {r:.3}\n")
+}
+
+/// The full single-domain DSA report over a cached sweep: space
+/// arithmetic, top protocols, preset/attacker ranks, R/A correlation and
+/// cache provenance.
+#[must_use]
+pub fn domain_dsa(domain: &dyn DynDomain, sweep: &DomainSweep, out_dir: &Path) -> String {
+    let mut out = format!(
+        "DSA on the {} design space ({} protocols)\n",
+        domain.name(),
+        space_arithmetic(domain)
+    );
+    out.push_str(&top_block(&sweep.names, &sweep.results, 3));
+    out.push_str(&preset_ranks(domain, &sweep.results));
+    out.push_str(&pearson_line(&sweep.results));
+    let _ = writeln!(
+        out,
+        "(sweep {}: {})",
+        if sweep.from_cache {
+            "loaded from cache"
+        } else {
+            "computed and cached"
+        },
+        sweep.key.cache_path(out_dir).display()
+    );
+    out
+}
+
+/// Shape statistics of one domain's PRA point cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeStats {
+    /// Number of protocols.
+    pub n: usize,
+    /// Pearson correlation of Performance and Robustness.
+    pub corr_pr: f64,
+    /// Pearson correlation of Robustness and Aggressiveness.
+    pub corr_ra: f64,
+    /// Convex hull volume of the (P, R, A) cloud in the unit cube.
+    pub hull_volume: f64,
+    /// Mean (P, R, A).
+    pub mean: [f64; 3],
+    /// Corner occupancy: protocol counts per octant of the cube, split
+    /// at 0.5 per axis. Index bits: `P > 0.5` (4), `R > 0.5` (2),
+    /// `A > 0.5` (1).
+    pub octants: [usize; 8],
+}
+
+/// Octant labels in index order (`m` = measure ≤ 0.5, `p` = > 0.5;
+/// letter order P, R, A).
+pub const OCTANT_LABELS: [&str; 8] = ["mmm", "mmp", "mpm", "mpp", "pmm", "pmp", "ppm", "ppp"];
+
+/// Computes the cube statistics of a sweep.
+#[must_use]
+pub fn cube_stats(results: &PraResults) -> CubeStats {
+    let n = results.len();
+    let points: Vec<[f64; 3]> = (0..n)
+        .map(|i| {
+            [
+                results.performance[i],
+                results.robustness[i],
+                results.aggressiveness[i],
+            ]
+        })
+        .collect();
+    let mut octants = [0usize; 8];
+    let mut mean = [0.0f64; 3];
+    for p in &points {
+        let idx =
+            usize::from(p[0] > 0.5) << 2 | usize::from(p[1] > 0.5) << 1 | usize::from(p[2] > 0.5);
+        octants[idx] += 1;
+        for (m, c) in mean.iter_mut().zip(p) {
+            *m += c;
+        }
+    }
+    for m in &mut mean {
+        *m /= n.max(1) as f64;
+    }
+    CubeStats {
+        n,
+        corr_pr: pearson(&results.performance, &results.robustness),
+        corr_ra: pearson(&results.robustness, &results.aggressiveness),
+        hull_volume: convex_hull_volume(&points),
+        mean,
+        octants,
+    }
+}
+
+/// The cross-domain experiment: one cached sweep per registered domain,
+/// PRA cube summary statistics side by side, and a CSV at
+/// `<out>/cross-<scale>.csv` — the direct check of the paper's claim
+/// that the quantification is domain-agnostic.
+///
+/// # Errors
+///
+/// Returns an error when a sweep cache is corrupt or the CSV cannot be
+/// written.
+pub fn cross_domain(scale: &Scale, out_dir: &Path) -> Result<String, String> {
+    let domains = crate::register_domains();
+    let mut out = format!("Cross-domain PRA cube comparison (scale: {})\n", scale.name);
+    let mut csv = String::from("domain,n,corr_pr,corr_ra,hull_volume,mean_perf,mean_rob,mean_agg");
+    for label in OCTANT_LABELS {
+        let _ = write!(csv, ",oct_{label}");
+    }
+    csv.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<8} {:>5} {:>7} {:>7} {:>9}  {:>14}",
+        "domain", "n", "P-R r", "R-A r", "hull vol", "mean P/R/A"
+    );
+    let mut occupancy = String::from("corner occupancy (share of protocols per octant, split at 0.5; letters = P,R,A high/low):\n");
+    let _ = writeln!(
+        occupancy,
+        "{:<8} {}",
+        "domain",
+        OCTANT_LABELS.map(|l| format!("{l:>7}")).join(" ")
+    );
+    for domain in &domains {
+        let sweep = DomainSweep::load_or_compute(
+            &**domain,
+            scale.effort(),
+            &scale.pra,
+            scale.name,
+            out_dir,
+        )?;
+        let stats = cube_stats(&sweep.results);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>5} {:>7.3} {:>7.3} {:>9.4}  {:.2}/{:.2}/{:.2}",
+            domain.name(),
+            stats.n,
+            stats.corr_pr,
+            stats.corr_ra,
+            stats.hull_volume,
+            stats.mean[0],
+            stats.mean[1],
+            stats.mean[2],
+        );
+        let _ = writeln!(
+            occupancy,
+            "{:<8} {}",
+            domain.name(),
+            stats
+                .octants
+                .map(|c| format!("{:>6.1}%", 100.0 * c as f64 / stats.n as f64))
+                .join(" ")
+        );
+        let _ = write!(
+            csv,
+            "{},{},{},{},{},{},{},{}",
+            domain.name(),
+            stats.n,
+            stats.corr_pr,
+            stats.corr_ra,
+            stats.hull_volume,
+            stats.mean[0],
+            stats.mean[1],
+            stats.mean[2],
+        );
+        for c in stats.octants {
+            let _ = write!(csv, ",{c}");
+        }
+        csv.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&occupancy);
+    let path = out_dir.join(format!("cross-{}.csv", scale.name));
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    std::fs::write(&path, csv).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    let _ = writeln!(
+        out,
+        "\nwrote {} (one sweep pipeline, three design spaces)",
+        path.display()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_core::cache::SweepKey;
+
+    fn fake_results() -> PraResults {
+        // Four protocols spanning three octants with known correlations.
+        PraResults::new(
+            vec![10.0, 20.0, 5.0, 15.0],
+            vec![0.5, 1.0, 0.25, 0.75],
+            vec![0.9, 0.3, 0.6, 0.1],
+            vec![0.8, 0.2, 0.55, 0.15],
+        )
+    }
+
+    #[test]
+    fn cube_stats_count_octants_and_correlate() {
+        let s = cube_stats(&fake_results());
+        assert_eq!(s.n, 4);
+        assert_eq!(s.octants.iter().sum::<usize>(), 4);
+        // (P≤.5, R>.5, A>.5) holds protocols 0 and 2.
+        assert_eq!(s.octants[0b011], 2);
+        // (P>.5, R≤.5, A≤.5) holds protocols 1 and 3.
+        assert_eq!(s.octants[0b100], 2);
+        // R and A nearly co-linear → correlation close to 1.
+        assert!(s.corr_ra > 0.95, "corr_ra={}", s.corr_ra);
+        // Four points are a tetrahedron here, not coplanar.
+        assert!(s.hull_volume > 0.0);
+    }
+
+    #[test]
+    fn rank_desc_is_deterministic_on_ties() {
+        assert_eq!(rank_desc(&[0.5, 0.9, 0.5, 0.1]), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn top_block_and_preset_ranks_render() {
+        let results = fake_results();
+        let names: Vec<String> = (0..4).map(|i| format!("proto{i}")).collect();
+        let block = top_block(&names, &results, 2);
+        assert!(block.contains("top performance:"));
+        assert!(block.contains("proto1"));
+
+        let domain = dsa_reputation::adapter::register();
+        let sweep = DomainSweep {
+            key: SweepKey::of(
+                &*domain,
+                "fake",
+                dsa_core::domain::Effort::Smoke,
+                &dsa_core::pra::PraConfig::default(),
+            ),
+            names: domain.codes(),
+            results: PraResults::new(
+                vec![1.0; domain.size()],
+                vec![1.0; domain.size()],
+                vec![0.5; domain.size()],
+                vec![0.5; domain.size()],
+            ),
+            from_cache: false,
+        };
+        let report = domain_dsa(&*domain, &sweep, Path::new("results"));
+        assert!(report.contains("DSA on the rep design space"));
+        assert!(report.contains("whitewasher"));
+        assert!(report.contains("Pearson"));
+    }
+}

@@ -1,75 +1,33 @@
 //! The reputation-domain DSA demonstration (the third domain; §7's
 //! "domains other than P2P" future work applied to trust systems).
+//!
+//! The generic sweep/report pipeline lives in [`crate::prafig`]; this
+//! module keeps only what is genuinely reputation-specific — the
+//! whitewashing-attack figure.
 
-use dsa_core::pra::{quantify, PraConfig};
+use crate::prafig;
+use crate::scale::Scale;
+use dsa_core::cache::DomainSweep;
 use dsa_core::sim::EncounterSim;
-use dsa_core::tournament::OpponentSampling;
 use dsa_reputation::adapter::RepSim;
 use dsa_reputation::engine::RepConfig;
 use dsa_reputation::presets;
 use dsa_reputation::protocol::RepProtocol;
 use std::fmt::Write as _;
+use std::path::Path;
 
-/// Runs the PRA quantification over the 216-protocol reputation space
-/// and reports the extremes plus where the canonical attackers land.
-#[must_use]
-pub fn reputation_dsa(seed: u64) -> String {
-    let sim = RepSim {
-        config: RepConfig::fast(),
-    };
-    let protocols: Vec<RepProtocol> = RepProtocol::all().collect();
-    let config = PraConfig {
-        performance_runs: 3,
-        encounter_runs: 1,
-        sampling: OpponentSampling::Sampled(20),
-        threads: 0,
-        seed,
-        ..PraConfig::default()
-    };
-    let results = quantify(&sim, &protocols, &config);
-    let mut out =
-        String::from("DSA on the reputation design space (3 × 3 × 3 × 4 × 2 = 216 protocols)\n");
-    let by_perf = results.ranked_by(|p| p.performance);
-    let by_rob = results.ranked_by(|p| p.robustness);
-    let _ = writeln!(out, "top performance:");
-    for &i in by_perf.iter().take(3) {
-        let _ = writeln!(
-            out,
-            "  {:<55} P={:.2} R={:.2} A={:.2}",
-            protocols[i].to_string(),
-            results.performance[i],
-            results.robustness[i],
-            results.aggressiveness[i]
-        );
-    }
-    let _ = writeln!(out, "top robustness:");
-    for &i in by_rob.iter().take(3) {
-        let _ = writeln!(
-            out,
-            "  {:<55} P={:.2} R={:.2} A={:.2}",
-            protocols[i].to_string(),
-            results.performance[i],
-            results.robustness[i],
-            results.aggressiveness[i]
-        );
-    }
-    for (name, p) in [
-        ("freerider", presets::freerider()),
-        ("whitewasher", presets::whitewasher()),
-        ("bartercast", presets::bartercast()),
-        ("private-tft", presets::private_tft()),
-    ] {
-        let i = p.index();
-        let _ = writeln!(
-            out,
-            "{name:<12} ranks {:>3}/216 by performance, {:>3}/216 by robustness",
-            results.rank_of(i, |pt| pt.performance),
-            results.rank_of(i, |pt| pt.robustness),
-        );
-    }
-    let r = dsa_stats::correlation::pearson(&results.robustness, &results.aggressiveness);
-    let _ = writeln!(out, "robustness/aggressiveness Pearson r = {r:.3}");
-    out
+/// Runs (or loads from `results/`) the PRA sweep over the 216-protocol
+/// reputation space and reports the extremes plus where the canonical
+/// presets and attackers land.
+///
+/// # Errors
+///
+/// Returns an error when the sweep cache is corrupt or unwritable.
+pub fn reputation_dsa(scale: &Scale, out_dir: &Path) -> Result<String, String> {
+    let domain = dsa_reputation::adapter::register();
+    let sweep =
+        DomainSweep::load_or_compute(&*domain, scale.effort(), &scale.pra, scale.name, out_dir)?;
+    Ok(prafig::domain_dsa(&*domain, &sweep, out_dir))
 }
 
 /// The whitewashing-attack figure: each host preset faces a 10% minority
@@ -123,12 +81,22 @@ pub fn whitewash_attack(seed: u64) -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
-    fn reputation_dsa_runs_and_reports() {
-        let s = super::reputation_dsa(3);
+    fn reputation_dsa_runs_caches_and_reports() {
+        let dir = std::env::temp_dir().join(format!("dsa-repfig-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scale = Scale::smoke();
+        let s = reputation_dsa(&scale, &dir).expect("sweep");
         assert!(s.contains("top performance"));
         assert!(s.contains("whitewasher"));
         assert!(s.contains("Pearson"));
+        assert!(s.contains("computed and cached"));
+        // The second run must reuse the results/ cache.
+        let s2 = reputation_dsa(&scale, &dir).expect("cached sweep");
+        assert!(s2.contains("loaded from cache"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! supports three scales; `DESIGN.md` §3 documents why subsampling
 //! preserves the orderings the reproduction checks.
 
+use dsa_core::domain::Effort;
 use dsa_core::pra::PraConfig;
 use dsa_core::tournament::OpponentSampling;
 use dsa_swarm::engine::SimConfig;
@@ -84,6 +85,14 @@ impl Scale {
             bt_runs: 10,
             name: "paper",
         }
+    }
+
+    /// The generic effort level matching this scale, for domains driven
+    /// through the registry (their simulator parameters mirror these
+    /// presets domain-side).
+    #[must_use]
+    pub fn effort(&self) -> Effort {
+        Effort::by_name(self.name).unwrap_or(Effort::Lab)
     }
 
     /// Looks a preset up by name.

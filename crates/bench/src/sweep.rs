@@ -1,10 +1,15 @@
-//! The PRA sweep over the 3270-protocol space, with CSV caching.
+//! The typed swarm-domain view of the generic sweep cache.
 //!
-//! Figures 2–8 and Table 3 are all views of one sweep, so the harness
-//! computes it once per scale and caches it as
-//! `results/pra-<scale>.csv`; downstream experiments load the cache.
+//! Figures 2–8 and Table 3 are all views of one sweep over the
+//! 3270-protocol swarm space, and they need *typed* protocol descriptors
+//! ([`SwarmProtocol`]) to group by dimension. This module wraps the
+//! generic content-addressed cache ([`dsa_core::cache`]) — shared with
+//! the gossip and reputation sweeps — in that typed interface. The cache
+//! key is `(domain, space hash, scale, seed)`; the swarm cache file is
+//! `results/pra-swarm-<scale>.csv`.
 
 use crate::scale::Scale;
+use dsa_core::cache::{DomainSweep, SweepKey};
 use dsa_core::pra::{quantify, tournament_rates};
 use dsa_core::results::PraResults;
 use dsa_swarm::adapter::SwarmSim;
@@ -38,40 +43,47 @@ impl SweepData {
         }
     }
 
+    /// The generic cache key of the swarm sweep at a scale. The
+    /// simulator signature is taken from `scale.sim` — identical to the
+    /// domain's effort mapping for the standard scales, so this path and
+    /// the registry path share cache entries, but diverging under any
+    /// parameter tweak so neither can poison the other.
+    #[must_use]
+    pub fn cache_key(scale: &Scale) -> SweepKey {
+        let domain = dsa_swarm::adapter::register();
+        SweepKey::with_signature(
+            &*domain,
+            scale.name,
+            &format!("{:?}", scale.sim),
+            &scale.pra,
+        )
+    }
+
     /// Loads the cached sweep for a scale, or computes and caches it.
+    /// A cache stamped with a different space hash, scale or seed is
+    /// recomputed, not trusted.
     ///
     /// # Errors
     ///
-    /// Returns an error if the cache exists but cannot be parsed, or the
-    /// cache directory cannot be written.
+    /// Returns an error if a matching cache exists but cannot be parsed,
+    /// or the cache directory cannot be written.
     pub fn load_or_compute(scale: &Scale, out_dir: &Path) -> Result<Self, String> {
-        let path = Self::cache_path(scale, out_dir);
-        if path.exists() {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?;
-            let (results, _names) = PraResults::from_csv(&text)?;
-            if results.len() == dsa_swarm::protocol::SPACE_SIZE {
-                return Ok(Self {
-                    protocols: SwarmProtocol::all().collect(),
-                    results,
-                    scale_name: scale.name.to_string(),
-                });
-            }
-            // Stale/partial cache: recompute.
-        }
-        let data = Self::compute(scale);
-        std::fs::create_dir_all(out_dir)
-            .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
-        let names: Vec<String> = data.protocols.iter().map(|p| p.to_string()).collect();
-        std::fs::write(&path, data.results.to_csv(Some(&names)))
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
-        Ok(data)
+        let sweep = DomainSweep::load_or_compute_with(Self::cache_key(scale), out_dir, || {
+            let data = Self::compute(scale);
+            let names = data.protocols.iter().map(ToString::to_string).collect();
+            (names, data.results)
+        })?;
+        Ok(Self {
+            protocols: SwarmProtocol::all().collect(),
+            results: sweep.results,
+            scale_name: scale.name.to_string(),
+        })
     }
 
     /// The cache file path for a scale.
     #[must_use]
     pub fn cache_path(scale: &Scale, out_dir: &Path) -> PathBuf {
-        out_dir.join(format!("pra-{}.csv", scale.name))
+        Self::cache_key(scale).cache_path(out_dir)
     }
 
     /// Runs the 90/10 robustness variant (§4.3.2's validation) and
@@ -110,6 +122,21 @@ mod tests {
         assert!(results.performance[2] < results.performance[1]);
     }
 
+    /// The swarm simulator parameters per effort level are defined in
+    /// two places — the bench `Scale` presets and `SwarmDomain::sim` —
+    /// and both sweep paths write the same cache file. They must agree
+    /// on the full key, or each path would forever invalidate the
+    /// other's cache.
+    #[test]
+    fn typed_and_registry_cache_keys_agree() {
+        let domain = dsa_swarm::adapter::register();
+        for scale in [Scale::smoke(), Scale::lab(), Scale::paper()] {
+            let typed = SweepData::cache_key(&scale);
+            let registry = SweepKey::of(&*domain, scale.name, scale.effort(), &scale.pra);
+            assert_eq!(typed, registry, "key mismatch at scale '{}'", scale.name);
+        }
+    }
+
     #[test]
     fn cache_roundtrip() {
         let dir = std::env::temp_dir().join(format!("dsa-sweep-test-{}", std::process::id()));
@@ -125,6 +152,17 @@ mod tests {
         assert!(SweepData::cache_path(&scale, &dir).exists());
         let b = SweepData::load_or_compute(&scale, &dir).expect("load");
         assert_eq!(a.results, b.results);
+        // A different seed is a different sweep: the stamped cache must
+        // not be trusted for it.
+        let mut reseeded = scale.clone();
+        reseeded.pra.seed ^= 1;
+        assert_eq!(
+            SweepData::cache_path(&scale, &dir),
+            SweepData::cache_path(&reseeded, &dir),
+            "same file, different key"
+        );
+        let c = SweepData::load_or_compute(&reseeded, &dir).expect("recompute");
+        assert_ne!(a.results, c.results);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

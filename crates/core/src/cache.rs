@@ -1,0 +1,420 @@
+//! Content-addressed sweep cache, generic over domains.
+//!
+//! A PRA sweep is a pure function of *(domain, space shape, simulator
+//! scale, master seed)*, so the harness computes each sweep once and
+//! caches it as CSV under `results/`. The cache file is stamped with a
+//! metadata line recording the full key:
+//!
+//! ```text
+//! # dsa-sweep v1 domain=rep space=0123456789abcdef scale=lab params=89abcdef01234567 seed=24301 n=216
+//! index,name,performance_raw,performance,robustness,aggressiveness
+//! ...
+//! ```
+//!
+//! On load, the stamp is compared against the key the caller is about to
+//! compute under; any mismatch — different space hash (the domain's
+//! actualization changed), scale, parameter fingerprint (a scale preset
+//! or effort mapping was edited), seed or protocol count — means the
+//! cache is stale and is recomputed, not trusted. A malformed body is an
+//! error (silent truncation must not masquerade as data).
+
+use crate::domain::{fnv1a, DynDomain, Effort};
+use crate::pra::PraConfig;
+use crate::results::PraResults;
+use std::path::{Path, PathBuf};
+
+/// Fingerprint of everything besides domain/scale name and seed that a
+/// sweep's numbers depend on: the simulator parameters (via the domain's
+/// textual signature) and the PRA configuration. Threads are excluded —
+/// results are deterministic across thread counts — and the seed is its
+/// own key field.
+#[must_use]
+pub fn params_hash(sim_signature: &str, config: &PraConfig) -> u64 {
+    let canon = format!(
+        "{sim_signature}|perf_runs={} enc_runs={} rob_share={} agg_share={} sampling={:?}",
+        config.performance_runs,
+        config.encounter_runs,
+        config.robustness_share,
+        config.aggressiveness_share,
+        config.sampling
+    );
+    fnv1a(canon.as_bytes())
+}
+
+/// The full identity of a sweep: what must match for a cached result to
+/// be reused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepKey {
+    /// Domain name (`swarm`, `gossip`, `rep`, ...).
+    pub domain: String,
+    /// Space-shape hash ([`crate::domain::space_shape_hash`]).
+    pub space_hash: u64,
+    /// Scale name (`smoke`, `lab`, `paper`).
+    pub scale: String,
+    /// Simulator + PRA parameter fingerprint ([`params_hash`]).
+    pub params: u64,
+    /// Master seed of the sweep.
+    pub seed: u64,
+    /// Number of protocols in the space.
+    pub len: usize,
+}
+
+impl SweepKey {
+    /// Builds the key for a domain swept at an effort level under a PRA
+    /// configuration (the seed is `config.seed`).
+    #[must_use]
+    pub fn of(domain: &dyn DynDomain, scale: &str, effort: Effort, config: &PraConfig) -> Self {
+        Self::with_signature(domain, scale, &domain.sim_signature(effort), config)
+    }
+
+    /// Builds the key from an explicit simulator signature — for callers
+    /// that construct the simulator themselves rather than through the
+    /// domain's effort mapping. Both paths must fingerprint the same
+    /// parameters the same way to share a cache entry.
+    #[must_use]
+    pub fn with_signature(
+        domain: &dyn DynDomain,
+        scale: &str,
+        sim_signature: &str,
+        config: &PraConfig,
+    ) -> Self {
+        Self {
+            domain: domain.name().to_string(),
+            space_hash: domain.space_hash(),
+            scale: scale.to_string(),
+            params: params_hash(sim_signature, config),
+            seed: config.seed,
+            len: domain.size(),
+        }
+    }
+
+    /// The cache file path for this key.
+    #[must_use]
+    pub fn cache_path(&self, out_dir: &Path) -> PathBuf {
+        out_dir.join(format!("pra-{}-{}.csv", self.domain, self.scale))
+    }
+
+    /// Renders the metadata stamp (the cache file's first line).
+    #[must_use]
+    fn meta_line(&self) -> String {
+        format!(
+            "# dsa-sweep v1 domain={} space={:016x} scale={} params={:016x} seed={} n={}",
+            self.domain, self.space_hash, self.scale, self.params, self.seed, self.len
+        )
+    }
+
+    /// Parses a metadata stamp; `None` when the line is not a v1 stamp.
+    fn parse_meta(line: &str) -> Option<Self> {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("#") || tokens.next() != Some("dsa-sweep") {
+            return None;
+        }
+        if tokens.next() != Some("v1") {
+            return None;
+        }
+        let mut domain = None;
+        let mut space_hash = None;
+        let mut scale = None;
+        let mut params = None;
+        let mut seed = None;
+        let mut len = None;
+        for token in tokens {
+            let (key, value) = token.split_once('=')?;
+            match key {
+                "domain" => domain = Some(value.to_string()),
+                "space" => space_hash = u64::from_str_radix(value, 16).ok(),
+                "scale" => scale = Some(value.to_string()),
+                "params" => params = u64::from_str_radix(value, 16).ok(),
+                "seed" => seed = value.parse().ok(),
+                "n" => len = value.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(Self {
+            domain: domain?,
+            space_hash: space_hash?,
+            scale: scale?,
+            params: params?,
+            seed: seed?,
+            len: len?,
+        })
+    }
+}
+
+/// A sweep together with its key and provenance.
+#[derive(Debug, Clone)]
+pub struct DomainSweep {
+    /// The key the sweep was computed (or validated) under.
+    pub key: SweepKey,
+    /// Protocol display codes, in index order.
+    pub names: Vec<String>,
+    /// The PRA measures.
+    pub results: PraResults,
+    /// Whether this sweep was served from the cache.
+    pub from_cache: bool,
+}
+
+impl DomainSweep {
+    /// Attempts to load a cached sweep matching `key`. Returns `Ok(None)`
+    /// when the file is missing, carries no (or a mismatched) stamp, or
+    /// holds the wrong number of rows — all the "recompute, don't trust"
+    /// cases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file exists with a matching stamp but
+    /// its body cannot be parsed (corruption should be surfaced, not
+    /// silently recomputed over).
+    pub fn load(key: &SweepKey, out_dir: &Path) -> Result<Option<Self>, String> {
+        let path = key.cache_path(out_dir);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let Some((first, body)) = text.split_once('\n') else {
+            return Ok(None);
+        };
+        match SweepKey::parse_meta(first) {
+            Some(stamp) if stamp == *key => {}
+            _ => return Ok(None),
+        }
+        let (results, names) = PraResults::from_csv(body)
+            .map_err(|e| format!("corrupt sweep cache {}: {e}", path.display()))?;
+        if results.len() != key.len {
+            return Ok(None);
+        }
+        Ok(Some(Self {
+            key: key.clone(),
+            names,
+            results,
+            from_cache: true,
+        }))
+    }
+
+    /// Loads the cached sweep for `key`, or computes it with `compute`
+    /// and caches the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a matching cache exists but is corrupt, or
+    /// the cache directory/file cannot be written.
+    pub fn load_or_compute_with(
+        key: SweepKey,
+        out_dir: &Path,
+        compute: impl FnOnce() -> (Vec<String>, PraResults),
+    ) -> Result<Self, String> {
+        if let Some(cached) = Self::load(&key, out_dir)? {
+            return Ok(cached);
+        }
+        let (names, results) = compute();
+        let sweep = Self {
+            key,
+            names,
+            results,
+            from_cache: false,
+        };
+        sweep.store(out_dir)?;
+        Ok(sweep)
+    }
+
+    /// Loads the cached sweep for a domain at a scale, or runs the full
+    /// PRA quantification via the domain's erased simulator and caches
+    /// it. The key's seed is `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a matching cache exists but is corrupt, or
+    /// the cache cannot be written.
+    pub fn load_or_compute(
+        domain: &dyn DynDomain,
+        effort: Effort,
+        config: &PraConfig,
+        scale: &str,
+        out_dir: &Path,
+    ) -> Result<Self, String> {
+        let key = SweepKey::of(domain, scale, effort, config);
+        Self::load_or_compute_with(key, out_dir, || {
+            (domain.codes(), domain.quantify_all(effort, config))
+        })
+    }
+
+    /// Writes the sweep to its cache path, atomically: the content goes
+    /// to a temporary sibling first and is renamed into place, so an
+    /// interrupted run can never leave a stamp-matching truncated file
+    /// (which would surface as a hard "corrupt cache" error on every
+    /// subsequent run).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory or file cannot be written.
+    pub fn store(&self, out_dir: &Path) -> Result<PathBuf, String> {
+        let path = self.key.cache_path(out_dir);
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+        let mut text = self.key.meta_line();
+        text.push('\n');
+        text.push_str(&self.results.to_csv(Some(&self.names)));
+        let tmp = path.with_extension(format!("csv.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("installing {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::erase;
+    use crate::sim::testsim::ToyDomain;
+    use crate::tournament::OpponentSampling;
+
+    fn config() -> PraConfig {
+        PraConfig {
+            performance_runs: 2,
+            encounter_runs: 1,
+            sampling: OpponentSampling::Exhaustive,
+            threads: 1,
+            seed: 11,
+            ..PraConfig::default()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsa-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_to_fresh_compute() {
+        let dir = temp_dir("roundtrip");
+        let domain = erase(ToyDomain);
+        let cfg = config();
+        let fresh =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+        assert!(!fresh.from_cache);
+        let reloaded =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+        assert!(reloaded.from_cache);
+        // Bit-identical: PraResults is compared field by field on f64s.
+        assert_eq!(fresh.results, reloaded.results);
+        assert_eq!(fresh.names, reloaded.names);
+        // And identical to an uncached recompute.
+        let direct = domain.quantify_all(Effort::Smoke, &cfg);
+        assert_eq!(reloaded.results, direct);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_space_hash_is_recomputed_not_trusted() {
+        let dir = temp_dir("hash");
+        let domain = erase(ToyDomain);
+        let cfg = config();
+        let first =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+        assert!(!first.from_cache);
+        // Same path, but the caller's space hash differs (as if the
+        // domain's actualization changed between runs).
+        let mut stale_key = SweepKey::of(&*domain, "smoke", Effort::Smoke, &cfg);
+        stale_key.space_hash ^= 0xDEAD_BEEF;
+        assert!(DomainSweep::load(&stale_key, &dir).unwrap().is_none());
+        let recomputed = DomainSweep::load_or_compute_with(stale_key, &dir, || {
+            (domain.codes(), domain.quantify_all(Effort::Smoke, &cfg))
+        })
+        .unwrap();
+        assert!(!recomputed.from_cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_pra_parameters_are_recomputed_not_trusted() {
+        let dir = temp_dir("params");
+        let domain = erase(ToyDomain);
+        let cfg = config();
+        let first =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+        assert!(!first.from_cache);
+        // Same scale name and seed, but e.g. the sampling was edited: the
+        // stamped params fingerprint no longer matches.
+        let mut edited = cfg;
+        edited.sampling = OpponentSampling::Sampled(2);
+        let second =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &edited, "smoke", &dir).unwrap();
+        assert!(!second.from_cache, "edited PRA config must recompute");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_scale_seed_or_len_is_recomputed() {
+        let dir = temp_dir("meta");
+        let domain = erase(ToyDomain);
+        let cfg = config();
+        let sweep =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+        // Tamper with the stamp in place: claim another scale.
+        let path = sweep.key.cache_path(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("scale=smoke", "scale=lab")).unwrap();
+        let key = SweepKey::of(&*domain, "smoke", Effort::Smoke, &cfg);
+        assert!(DomainSweep::load(&key, &dir).unwrap().is_none());
+        // A different seed in the caller's key also misses.
+        sweep.store(&dir).unwrap();
+        let mut reseeded = cfg;
+        reseeded.seed += 1;
+        let key = SweepKey::of(&*domain, "smoke", Effort::Smoke, &reseeded);
+        assert!(DomainSweep::load(&key, &dir).unwrap().is_none());
+        // A wrong row count misses even when the stamp agrees.
+        let mut short = sweep.clone();
+        short.key.len = 4;
+        assert!(DomainSweep::load(&short.key, &dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unstamped_legacy_file_is_ignored() {
+        let dir = temp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let domain = erase(ToyDomain);
+        let key = SweepKey::of(&*domain, "smoke", Effort::Smoke, &config());
+        // An old-format cache: plain CSV, no stamp.
+        let body = "index,name,performance_raw,performance,robustness,aggressiveness\n\
+                    0,g0,1,1,1,1\n1,g1,1,1,1,1\n2,g2,1,1,1,1\n3,g3,1,1,1,1\n4,g4,1,1,1,1\n";
+        std::fs::write(key.cache_path(&dir), body).unwrap();
+        assert!(DomainSweep::load(&key, &dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_body_under_matching_stamp_is_an_error() {
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let domain = erase(ToyDomain);
+        let key = SweepKey::of(&*domain, "smoke", Effort::Smoke, &config());
+        let text = format!("{}\nnot,a,sweep\n", key.meta_line());
+        std::fs::write(key.cache_path(&dir), text).unwrap();
+        assert!(DomainSweep::load(&key, &dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_line_roundtrips() {
+        let key = SweepKey {
+            domain: "rep".into(),
+            space_hash: 0x0123_4567_89ab_cdef,
+            scale: "lab".into(),
+            params: 0x89ab_cdef_0123_4567,
+            seed: 24301,
+            len: 216,
+        };
+        assert_eq!(SweepKey::parse_meta(&key.meta_line()), Some(key));
+        assert!(SweepKey::parse_meta("index,name,performance_raw").is_none());
+        assert!(SweepKey::parse_meta("# dsa-sweep v2 domain=x").is_none());
+        // A stamp without a params field (pre-fingerprint format) is
+        // stale by construction.
+        assert!(SweepKey::parse_meta(
+            "# dsa-sweep v1 domain=rep space=0123456789abcdef scale=lab seed=24301 n=216"
+        )
+        .is_none());
+    }
+}

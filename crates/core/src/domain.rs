@@ -1,0 +1,526 @@
+//! Type-erased domains and the global domain registry.
+//!
+//! The paper's central claim is that the PRA quantification is
+//! *domain-agnostic* — anything that can simulate protocol populations can
+//! be quantified. [`Domain`] captures what a domain must provide *beyond*
+//! its [`EncounterSim`] for the generic tooling to drive it: a name, a
+//! [`DesignSpace`] descriptor, protocol enumeration/parsing/presets, and
+//! the attack/churn hooks the harness experiments use. [`DynDomain`]
+//! erases the protocol type behind flat space indices, so every consumer
+//! — the `dsa` CLI dispatcher, the content-addressed sweep cache
+//! ([`crate::cache`]) and the cross-domain figures — is written once and
+//! works for any registered domain.
+//!
+//! Domain crates register an adapter via [`register_domain`]; consumers
+//! enumerate [`registry`] or [`lookup`] a domain by name.
+
+use crate::pra::{quantify, PraConfig};
+use crate::results::PraResults;
+use crate::sim::EncounterSim;
+use crate::space::DesignSpace;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Simulator fidelity level, mirroring the harness scale presets.
+///
+/// Each domain maps an effort level onto its own simulator parameters
+/// (rounds, peers, ...), so generic consumers can ask for "smoke-scale"
+/// runs without knowing any domain's configuration type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Effort {
+    /// Seconds: unit tests, CI smoke runs and ad-hoc CLI queries.
+    Smoke,
+    /// Minutes on a laptop: the default for recorded experiments.
+    Lab,
+    /// The paper's full-fidelity parameters (cluster hours).
+    Paper,
+}
+
+impl Effort {
+    /// All levels, cheapest first.
+    pub const ALL: [Effort; 3] = [Effort::Smoke, Effort::Lab, Effort::Paper];
+
+    /// The level's canonical name (matches the harness scale names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Smoke => "smoke",
+            Self::Lab => "lab",
+            Self::Paper => "paper",
+        }
+    }
+
+    /// Looks a level up by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|e| e.name() == name)
+    }
+}
+
+/// A DSA domain: an [`EncounterSim`] plus the metadata and hooks the
+/// generic pipeline (CLI, sweep cache, figures) needs.
+///
+/// Protocols are addressed by their flat index in the domain's
+/// [`DesignSpace`]; `protocol(i)` must agree with the space's mixed-radix
+/// enumeration so that coordinates, CSV rows and descriptors line up.
+pub trait Domain: Send + Sync + 'static {
+    /// The domain's simulator. The `Debug` bound exists so the default
+    /// [`Self::sim_signature`] can fingerprint the simulator parameters
+    /// an effort level denotes.
+    type Sim: EncounterSim + std::fmt::Debug;
+
+    /// Short, CLI- and filename-safe domain name (e.g. `"swarm"`).
+    fn name(&self) -> &'static str;
+
+    /// The domain's design-space descriptor (dimension and level names).
+    fn space(&self) -> DesignSpace;
+
+    /// Decodes a flat index into the simulator's protocol descriptor.
+    fn protocol(&self, index: usize) -> <Self::Sim as EncounterSim>::Protocol;
+
+    /// Compact display code of the protocol at `index` (e.g.
+    /// `"B2h2-C1-I5k7-R2"`).
+    fn code(&self, index: usize) -> String;
+
+    /// Named protocols, for CLI parsing and rank reports.
+    fn presets(&self) -> Vec<(&'static str, usize)>;
+
+    /// Extra parse-only aliases for presets (e.g. `"bt"`), not listed in
+    /// reports.
+    fn aliases(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    /// The canonical attacker protocols of this domain (the attack hook:
+    /// free-riders, whitewashers, silent nodes, ...).
+    fn attackers(&self) -> Vec<(&'static str, usize)> {
+        Vec::new()
+    }
+
+    /// Builds the simulator for an effort level; `churn > 0` requests the
+    /// domain's churn model at that per-round rate (the churn hook —
+    /// ignored by domains where [`Self::supports_churn`] is false).
+    fn sim(&self, effort: Effort, churn: f64) -> Self::Sim;
+
+    /// Whether the simulator models peer churn.
+    fn supports_churn(&self) -> bool {
+        false
+    }
+
+    /// A stable textual fingerprint of the simulator parameters this
+    /// effort level maps to. It feeds the sweep-cache key: when a
+    /// domain's effort mapping changes, cached sweeps computed under the
+    /// old parameters stop matching and are recomputed.
+    fn sim_signature(&self, effort: Effort) -> String {
+        format!("{:?}", self.sim(effort, 0.0))
+    }
+
+    /// Parses a protocol token (preset name, alias or flat index).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the token is neither a known name nor an
+    /// in-range index.
+    fn parse(&self, token: &str) -> Result<usize, String> {
+        let presets = self.presets();
+        let aliases = self.aliases();
+        parse_token(presets.iter().chain(&aliases), self.space().size(), token)
+    }
+
+    /// A human-readable report of one homogeneous simulation, for the CLI
+    /// `simulate` command. The default reports the mean per-peer utility;
+    /// domains override to surface their own metrics.
+    fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String {
+        let sim = self.sim(effort, churn);
+        let utility = sim.run_homogeneous(&self.protocol(index), seed);
+        format!(
+            "protocol     : {}\nmean utility : {utility:.3}\n",
+            self.code(index)
+        )
+    }
+}
+
+/// Resolves a protocol token against named presets, then as a flat index.
+///
+/// # Errors
+///
+/// Returns a message when the token is neither a known name nor an
+/// in-range index.
+pub fn parse_token<'a>(
+    named: impl IntoIterator<Item = &'a (&'static str, usize)>,
+    size: usize,
+    token: &str,
+) -> Result<usize, String> {
+    if let Some((_, index)) = named.into_iter().find(|(name, _)| *name == token) {
+        return Ok(*index);
+    }
+    let index: usize = token
+        .parse()
+        .map_err(|_| format!("'{token}' is neither a preset nor an index"))?;
+    if index >= size {
+        return Err(format!("index {index} out of 0..{size}"));
+    }
+    Ok(index)
+}
+
+/// The object-safe, type-erased view of a [`Domain`] that the registry
+/// stores and generic consumers program against. Protocols are flat
+/// space indices throughout.
+pub trait DynDomain: Send + Sync {
+    /// Domain name.
+    fn name(&self) -> &str;
+
+    /// The design-space descriptor.
+    fn space(&self) -> &DesignSpace;
+
+    /// Number of protocols in the space.
+    fn size(&self) -> usize;
+
+    /// A stable hash of the space *shape* (domain name, dimension names,
+    /// level names) — the cache key component that invalidates cached
+    /// sweeps when a domain's actualization changes.
+    fn space_hash(&self) -> u64;
+
+    /// Compact display code of the protocol at `index`.
+    fn code(&self, index: usize) -> String;
+
+    /// Per-dimension description of the protocol at `index`.
+    fn describe(&self, index: usize) -> String;
+
+    /// Parses a protocol token (preset name, alias or flat index).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the token is neither a known name nor an
+    /// in-range index.
+    fn parse(&self, token: &str) -> Result<usize, String>;
+
+    /// Named protocols (name, index).
+    fn presets(&self) -> Vec<(String, usize)>;
+
+    /// Canonical attacker protocols (name, index).
+    fn attackers(&self) -> Vec<(String, usize)>;
+
+    /// Whether the simulator models peer churn.
+    fn supports_churn(&self) -> bool;
+
+    /// Stable fingerprint of the simulator parameters an effort level
+    /// maps to (a sweep-cache key component).
+    fn sim_signature(&self, effort: Effort) -> String;
+
+    /// Human-readable report of one homogeneous simulation.
+    fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String;
+
+    /// Mean per-peer utility of a homogeneous population.
+    fn run_homogeneous(&self, index: usize, effort: Effort, seed: u64) -> f64;
+
+    /// Mean group utilities of a mixed population (`fraction_a` share runs
+    /// protocol `a`).
+    fn run_encounter(
+        &self,
+        a: usize,
+        b: usize,
+        fraction_a: f64,
+        effort: Effort,
+        seed: u64,
+    ) -> (f64, f64);
+
+    /// PRA quantification over an explicit protocol subset.
+    fn quantify(&self, indices: &[usize], effort: Effort, config: &PraConfig) -> PraResults;
+
+    /// PRA quantification over the whole space, in index order.
+    fn quantify_all(&self, effort: Effort, config: &PraConfig) -> PraResults;
+
+    /// Display codes of every protocol, in index order.
+    fn codes(&self) -> Vec<String>;
+}
+
+/// The blanket erasure: wraps a typed [`Domain`], caching its space and
+/// shape hash.
+struct Erased<D: Domain> {
+    inner: D,
+    space: DesignSpace,
+    hash: u64,
+}
+
+impl<D: Domain> DynDomain for Erased<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    fn size(&self) -> usize {
+        self.space.size()
+    }
+
+    fn space_hash(&self) -> u64 {
+        self.hash
+    }
+
+    fn code(&self, index: usize) -> String {
+        self.inner.code(index)
+    }
+
+    fn describe(&self, index: usize) -> String {
+        self.space.describe(index)
+    }
+
+    fn parse(&self, token: &str) -> Result<usize, String> {
+        self.inner.parse(token)
+    }
+
+    fn presets(&self) -> Vec<(String, usize)> {
+        self.inner
+            .presets()
+            .into_iter()
+            .map(|(n, i)| (n.to_string(), i))
+            .collect()
+    }
+
+    fn attackers(&self) -> Vec<(String, usize)> {
+        self.inner
+            .attackers()
+            .into_iter()
+            .map(|(n, i)| (n.to_string(), i))
+            .collect()
+    }
+
+    fn supports_churn(&self) -> bool {
+        self.inner.supports_churn()
+    }
+
+    fn sim_signature(&self, effort: Effort) -> String {
+        self.inner.sim_signature(effort)
+    }
+
+    fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String {
+        self.inner.simulate_report(index, effort, churn, seed)
+    }
+
+    fn run_homogeneous(&self, index: usize, effort: Effort, seed: u64) -> f64 {
+        let sim = self.inner.sim(effort, 0.0);
+        sim.run_homogeneous(&self.inner.protocol(index), seed)
+    }
+
+    fn run_encounter(
+        &self,
+        a: usize,
+        b: usize,
+        fraction_a: f64,
+        effort: Effort,
+        seed: u64,
+    ) -> (f64, f64) {
+        let sim = self.inner.sim(effort, 0.0);
+        sim.run_encounter(
+            &self.inner.protocol(a),
+            &self.inner.protocol(b),
+            fraction_a,
+            seed,
+        )
+    }
+
+    fn quantify(&self, indices: &[usize], effort: Effort, config: &PraConfig) -> PraResults {
+        let sim = self.inner.sim(effort, 0.0);
+        let protocols: Vec<_> = indices.iter().map(|&i| self.inner.protocol(i)).collect();
+        quantify(&sim, &protocols, config)
+    }
+
+    fn quantify_all(&self, effort: Effort, config: &PraConfig) -> PraResults {
+        let indices: Vec<usize> = (0..self.size()).collect();
+        self.quantify(&indices, effort, config)
+    }
+
+    fn codes(&self) -> Vec<String> {
+        (0..self.size()).map(|i| self.inner.code(i)).collect()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Continues an FNV-1a hash over more bytes (the workspace's
+/// dependency-free stable hash, used for cache-key fingerprints).
+#[must_use]
+pub(crate) fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over one byte string.
+#[must_use]
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// FNV-1a hash of the space shape: domain name, space name, dimension
+/// names and level names. Any change to the actualization — added levels,
+/// renamed dimensions, reordered enumerations — changes the hash and
+/// thereby invalidates cached sweeps keyed on it.
+#[must_use]
+pub fn space_shape_hash(domain_name: &str, space: &DesignSpace) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        h = fnv1a_continue(h, bytes);
+        // Separator so ("ab","c") and ("a","bc") hash differently.
+        h = fnv1a_continue(h, &[0x1F]);
+    };
+    eat(domain_name.as_bytes());
+    eat(space.name().as_bytes());
+    for dim in space.dimensions() {
+        eat(dim.name.as_bytes());
+        for level in &dim.levels {
+            eat(level.as_bytes());
+        }
+    }
+    h
+}
+
+/// Erases a typed domain into a registry-ready handle.
+pub fn erase<D: Domain>(domain: D) -> Arc<dyn DynDomain> {
+    let space = domain.space();
+    let hash = space_shape_hash(domain.name(), &space);
+    Arc::new(Erased {
+        inner: domain,
+        space,
+        hash,
+    })
+}
+
+fn global() -> &'static Mutex<Vec<Arc<dyn DynDomain>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<dyn DynDomain>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers an erased domain in the global registry. Re-registering a
+/// name replaces the previous entry (idempotent), preserving its
+/// position.
+pub fn register(domain: Arc<dyn DynDomain>) {
+    let mut reg = global().lock().expect("registry poisoned");
+    if let Some(slot) = reg.iter_mut().find(|d| d.name() == domain.name()) {
+        *slot = domain;
+    } else {
+        reg.push(domain);
+    }
+}
+
+/// Erases and registers a typed domain; returns the registered handle.
+pub fn register_domain<D: Domain>(domain: D) -> Arc<dyn DynDomain> {
+    let erased = erase(domain);
+    register(Arc::clone(&erased));
+    erased
+}
+
+/// A snapshot of the registry, in registration order.
+#[must_use]
+pub fn registry() -> Vec<Arc<dyn DynDomain>> {
+    global().lock().expect("registry poisoned").clone()
+}
+
+/// Looks a registered domain up by name.
+#[must_use]
+pub fn lookup(name: &str) -> Option<Arc<dyn DynDomain>> {
+    global()
+        .lock()
+        .expect("registry poisoned")
+        .iter()
+        .find(|d| d.name() == name)
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::testsim::ToyDomain;
+    use crate::tournament::OpponentSampling;
+
+    fn toy() -> Arc<dyn DynDomain> {
+        erase(ToyDomain)
+    }
+
+    fn config() -> PraConfig {
+        PraConfig {
+            performance_runs: 2,
+            encounter_runs: 1,
+            sampling: OpponentSampling::Exhaustive,
+            threads: 1,
+            seed: 5,
+            ..PraConfig::default()
+        }
+    }
+
+    #[test]
+    fn erased_surface_matches_space() {
+        let d = toy();
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.code(0), "g0");
+        assert!(d.describe(2).contains("Generosity="));
+        assert_eq!(d.codes().len(), 5);
+    }
+
+    #[test]
+    fn parse_accepts_presets_aliases_and_indices() {
+        let d = toy();
+        assert_eq!(d.parse("saint").unwrap(), 4);
+        assert_eq!(d.parse("scrooge").unwrap(), 0);
+        assert_eq!(d.parse("3").unwrap(), 3);
+        assert!(d.parse("5").is_err());
+        assert!(d.parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn quantify_all_matches_typed_path() {
+        let d = toy();
+        let erased = d.quantify_all(Effort::Smoke, &config());
+        let protocols: Vec<f64> = (0..5).map(|i| i as f64 / 4.0).collect();
+        let typed = quantify(&crate::sim::testsim::FreeriderToy, &protocols, &config());
+        assert_eq!(erased, typed);
+    }
+
+    #[test]
+    fn encounter_matches_typed_path() {
+        let d = toy();
+        let (a, b) = d.run_encounter(0, 4, 0.5, Effort::Smoke, 9);
+        // The toy's least generous side free-rides on the most generous.
+        assert!(a > b);
+    }
+
+    #[test]
+    fn space_hash_is_shape_sensitive() {
+        let d = toy();
+        let base = d.space_hash();
+        assert_eq!(base, space_shape_hash("toy", d.space()));
+        // Different domain name → different hash.
+        assert_ne!(base, space_shape_hash("toy2", d.space()));
+        // Different level set → different hash.
+        let other = DesignSpace::new(
+            "toy-space",
+            vec![crate::space::Dimension::new(
+                "Generosity",
+                (0..6).map(|i| format!("g{i}")).collect(),
+            )],
+        );
+        assert_ne!(base, space_shape_hash("toy", &other));
+    }
+
+    #[test]
+    fn registry_register_lookup_and_replace() {
+        register_domain(ToyDomain);
+        let found = lookup("toy").expect("registered");
+        assert_eq!(found.size(), 5);
+        // Re-registration replaces rather than duplicates.
+        register_domain(ToyDomain);
+        let names: Vec<String> = registry()
+            .iter()
+            .filter(|d| d.name() == "toy")
+            .map(|d| d.name().to_string())
+            .collect();
+        assert_eq!(names.len(), 1);
+        assert!(lookup("no-such-domain").is_none());
+    }
+}

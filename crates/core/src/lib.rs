@@ -25,7 +25,14 @@
 //! exploration for spaces too large to sweep exhaustively (§7), and
 //! [`parallel`] supplies the deterministic fork-join executor that stands
 //! in for the authors' 50-node cluster.
+//!
+//! [`domain`] erases domains behind a common interface and keeps a global
+//! registry of them, so the CLI, the content-addressed sweep cache
+//! ([`cache`]) and the cross-domain figures drive every domain through
+//! one generic path.
 
+pub mod cache;
+pub mod domain;
 pub mod parallel;
 pub mod pra;
 pub mod results;
@@ -34,6 +41,8 @@ pub mod sim;
 pub mod space;
 pub mod tournament;
 
+pub use cache::{DomainSweep, SweepKey};
+pub use domain::{Domain, DynDomain, Effort};
 pub use pra::{PraConfig, PraPoint};
 pub use results::PraResults;
 pub use sim::EncounterSim;

@@ -165,11 +165,7 @@ pub fn tournament_rates<S: EncounterSim>(
 
     let mut ledger = WinLedger::new(n);
     for (prot, wins, games) in outcomes {
-        for g in 0..games {
-            // Reconstruct per-game records to keep the ledger's tie/loss
-            // bookkeeping single-sourced.
-            ledger.record(prot, if g < wins { 1.0 } else { 0.0 }, 0.5);
-        }
+        ledger.record_batch(prot, wins, games);
     }
     ledger.rates()
 }

@@ -59,6 +59,8 @@ pub(crate) mod testsim {
     //! values can be computed by hand.
 
     use super::EncounterSim;
+    use crate::domain::{Domain, Effort};
+    use crate::space::{DesignSpace, Dimension};
     use dsa_workloads::seeds::SeedSeq;
 
     /// Protocols are "generosity" levels g ∈ [0, 1].
@@ -83,6 +85,48 @@ pub(crate) mod testsim {
             let pool = fraction_a * a + (1.0 - fraction_a) * b;
             // Each side receives the pooled generosity but pays its own.
             (pool + (b - a), pool + (a - b))
+        }
+    }
+
+    /// [`FreeriderToy`] wrapped as a five-point [`Domain`], for testing
+    /// the registry and the sweep cache without a real simulator.
+    pub struct ToyDomain;
+
+    impl Domain for ToyDomain {
+        type Sim = FreeriderToy;
+
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn space(&self) -> DesignSpace {
+            DesignSpace::new(
+                "toy-space",
+                vec![Dimension::new(
+                    "Generosity",
+                    (0..5).map(|i| format!("g{i}")).collect(),
+                )],
+            )
+        }
+
+        fn protocol(&self, index: usize) -> f64 {
+            index as f64 / 4.0
+        }
+
+        fn code(&self, index: usize) -> String {
+            format!("g{index}")
+        }
+
+        fn presets(&self) -> Vec<(&'static str, usize)> {
+            vec![("saint", 4), ("scrooge", 0)]
+        }
+
+        fn attackers(&self) -> Vec<(&'static str, usize)> {
+            vec![("scrooge", 0)]
+        }
+
+        fn sim(&self, _effort: Effort, _churn: f64) -> FreeriderToy {
+            FreeriderToy
         }
     }
 }

@@ -105,6 +105,23 @@ impl WinLedger {
         }
     }
 
+    /// Records `games` games for `protagonist` of which `wins` were won,
+    /// in one step — the bulk equivalent of `games` calls to
+    /// [`Self::record`] (`wins` of them with a winning margin), without
+    /// the per-game loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wins > games`.
+    pub fn record_batch(&mut self, protagonist: usize, wins: u64, games: u64) {
+        assert!(
+            wins <= games,
+            "wins {wins} exceed games {games} for protocol {protagonist}"
+        );
+        self.games[protagonist] += games;
+        self.wins[protagonist] += wins;
+    }
+
     /// Win rates in `[0, 1]`; protocols with no games score NaN.
     #[must_use]
     pub fn rates(&self) -> Vec<f64> {
@@ -200,5 +217,27 @@ mod tests {
     fn ledger_empty_protocol_is_nan() {
         let l = WinLedger::new(1);
         assert!(l.rates()[0].is_nan());
+    }
+
+    #[test]
+    fn record_batch_matches_per_game_records() {
+        let mut looped = WinLedger::new(3);
+        let mut batched = WinLedger::new(3);
+        for (prot, wins, games) in [(0u64, 3u64, 5u64), (1, 0, 4), (2, 7, 7), (0, 1, 1)] {
+            let prot = prot as usize;
+            for g in 0..games {
+                looped.record(prot, if g < wins { 1.0 } else { 0.0 }, 0.5);
+            }
+            batched.record_batch(prot, wins, games);
+        }
+        assert_eq!(looped.rates(), batched.rates());
+        assert_eq!(looped.games(), batched.games());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed games")]
+    fn record_batch_rejects_impossible_counts() {
+        let mut l = WinLedger::new(1);
+        l.record_batch(0, 2, 1);
     }
 }

@@ -1,0 +1,52 @@
+//! Property-based tests of the framework's shared population split.
+
+use dsa_core::sim::split_population;
+use proptest::prelude::*;
+
+proptest! {
+    /// Both groups always hold at least one peer, whatever the fraction.
+    #[test]
+    fn both_groups_nonempty(n in 2usize..300, fraction in 0.0f64..1.0) {
+        let (count_a, assignment) = split_population(n, fraction);
+        prop_assert!(count_a >= 1);
+        prop_assert!(count_a < n);
+        prop_assert!(assignment.contains(&0));
+        prop_assert!(assignment.contains(&1));
+    }
+
+    /// The protagonist count stays within one peer of the exact share
+    /// (rounding moves it by at most 1/2; the non-empty clamp by at most
+    /// another 1/2 beyond that).
+    #[test]
+    fn protagonist_count_tracks_fraction(n in 2usize..300, fraction in 0.0f64..1.0) {
+        let (count_a, _) = split_population(n, fraction);
+        let exact = fraction * n as f64;
+        prop_assert!(
+            (count_a as f64 - exact).abs() <= 1.0,
+            "n={n} fraction={fraction} count_a={count_a} exact={exact}"
+        );
+    }
+
+    /// The assignment vector is a prefix of zeros followed by ones, one
+    /// entry per peer, with exactly `count_a` protagonists.
+    #[test]
+    fn assignment_is_prefix_of_zeros(n in 2usize..300, fraction in 0.0f64..1.0) {
+        let (count_a, assignment) = split_population(n, fraction);
+        prop_assert_eq!(assignment.len(), n);
+        prop_assert!(assignment[..count_a].iter().all(|&g| g == 0));
+        prop_assert!(assignment[count_a..].iter().all(|&g| g == 1));
+    }
+}
+
+/// The boundary fractions the exclusive proptest range cannot reach: the
+/// non-empty clamp must hold even at 0 and 1 exactly.
+#[test]
+fn degenerate_fractions_still_split() {
+    for n in [2usize, 3, 50] {
+        for fraction in [0.0, 1.0] {
+            let (count_a, assignment) = split_population(n, fraction);
+            assert!((1..n).contains(&count_a), "n={n} fraction={fraction}");
+            assert_eq!(assignment.len(), n);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The gossip domain for the generic registry ([`dsa_core::domain`]).
+//!
+//! [`crate::engine::GossipSim`] already implements
+//! [`dsa_core::EncounterSim`]; this module adds the metadata layer —
+//! naming, parsing, presets — that lets the generic CLI dispatcher,
+//! sweep cache and cross-domain figures drive the 108-protocol gossip
+//! space exactly like the other domains.
+
+use crate::engine::{GossipConfig, GossipSim};
+use crate::presets;
+use crate::protocol::{design_space, GossipProtocol};
+use dsa_core::domain::{Domain, DynDomain, Effort};
+use std::sync::Arc;
+
+/// The gossip domain adapter.
+pub struct GossipDomain;
+
+impl Domain for GossipDomain {
+    type Sim = GossipSim;
+
+    fn name(&self) -> &'static str {
+        "gossip"
+    }
+
+    fn space(&self) -> dsa_core::DesignSpace {
+        design_space()
+    }
+
+    fn protocol(&self, index: usize) -> GossipProtocol {
+        GossipProtocol::from_index(index)
+    }
+
+    fn code(&self, index: usize) -> String {
+        GossipProtocol::from_index(index).to_string()
+    }
+
+    fn presets(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("random-push", presets::random_push().index()),
+            ("reciprocal", presets::reciprocal().index()),
+            ("lazy", presets::lazy().index()),
+            ("silent", presets::silent().index()),
+        ]
+    }
+
+    fn aliases(&self) -> Vec<(&'static str, usize)> {
+        vec![("baseline", GossipProtocol::baseline().index())]
+    }
+
+    fn attackers(&self) -> Vec<(&'static str, usize)> {
+        vec![("silent", presets::silent().index())]
+    }
+
+    fn sim(&self, effort: Effort, _churn: f64) -> GossipSim {
+        // No churn model in the gossip simulator (supports_churn stays
+        // false); effort scales the round count around the default 120.
+        let rounds = match effort {
+            Effort::Smoke => 60,
+            Effort::Lab => GossipConfig::default().rounds,
+            Effort::Paper => 240,
+        };
+        GossipSim {
+            config: GossipConfig {
+                rounds,
+                ..GossipConfig::default()
+            },
+        }
+    }
+}
+
+/// Registers (or refreshes) the gossip domain in the global registry and
+/// returns its handle.
+pub fn register() -> Arc<dyn DynDomain> {
+    dsa_core::domain::register_domain(GossipDomain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_surface_matches_space() {
+        let d = register();
+        assert_eq!(d.name(), "gossip");
+        assert_eq!(d.size(), crate::protocol::GOSSIP_SPACE_SIZE);
+        let i = d.parse("silent").unwrap();
+        assert_eq!(i, presets::silent().index());
+        assert!(d.describe(i).contains("Filter=None"));
+        assert!(!d.supports_churn());
+    }
+
+    #[test]
+    fn erased_homogeneous_matches_typed() {
+        let d = register();
+        let i = GossipProtocol::baseline().index();
+        let erased = d.run_homogeneous(i, Effort::Lab, 7);
+        let sim = GossipDomain.sim(Effort::Lab, 0.0);
+        let typed = dsa_core::EncounterSim::run_homogeneous(&sim, &GossipProtocol::baseline(), 7);
+        assert_eq!(erased, typed);
+    }
+}

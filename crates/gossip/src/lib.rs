@@ -14,9 +14,11 @@
 //! search) used for file swarming — demonstrating that the framework is
 //! domain-agnostic.
 
+pub mod adapter;
 pub mod engine;
 pub mod presets;
 pub mod protocol;
 
+pub use adapter::GossipDomain;
 pub use engine::{GossipConfig, GossipSim};
 pub use protocol::{Filter, GossipProtocol, Memory, Periodicity, Selection};

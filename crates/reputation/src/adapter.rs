@@ -1,8 +1,13 @@
-//! Plugs the reputation simulator into the DSA framework.
+//! Plugs the reputation simulator into the DSA framework, both as a
+//! typed [`EncounterSim`] and as a registered [`Domain`].
 
 use crate::engine::{run, RepConfig};
-use crate::protocol::RepProtocol;
+use crate::presets;
+use crate::protocol::{design_space, RepProtocol};
+use dsa_core::domain::{Domain, DynDomain, Effort};
 use dsa_core::sim::EncounterSim;
+use dsa_workloads::churn::ChurnModel;
+use std::sync::Arc;
 
 /// The reputation domain as an [`EncounterSim`], ready for
 /// [`dsa_core::pra::quantify`], tournament sampling and heuristic search.
@@ -38,6 +43,100 @@ impl EncounterSim for RepSim {
         let mean = |lo: usize, hi: usize| u[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
         (mean(0, count_a), mean(count_a, n))
     }
+}
+
+/// The reputation domain for the generic registry
+/// ([`dsa_core::domain`]): the 216-protocol space behind the type-erased
+/// interface the CLI, sweep cache and cross-domain figures share.
+pub struct RepDomain;
+
+impl Domain for RepDomain {
+    type Sim = RepSim;
+
+    fn name(&self) -> &'static str {
+        "rep"
+    }
+
+    fn space(&self) -> dsa_core::DesignSpace {
+        design_space()
+    }
+
+    fn protocol(&self, index: usize) -> RepProtocol {
+        RepProtocol::from_index(index)
+    }
+
+    fn code(&self, index: usize) -> String {
+        RepProtocol::from_index(index).to_string()
+    }
+
+    fn presets(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("baseline", RepProtocol::baseline().index()),
+            ("tft", presets::private_tft().index()),
+            ("bartercast", presets::bartercast().index()),
+            ("elitist", presets::elitist().index()),
+            ("prober", presets::prober().index()),
+            ("freerider", presets::freerider().index()),
+            ("whitewasher", presets::whitewasher().index()),
+        ]
+    }
+
+    fn aliases(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("bc", presets::bartercast().index()),
+            ("ww", presets::whitewasher().index()),
+        ]
+    }
+
+    fn attackers(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("freerider", presets::freerider().index()),
+            ("whitewasher", presets::whitewasher().index()),
+        ]
+    }
+
+    fn supports_churn(&self) -> bool {
+        true
+    }
+
+    fn sim(&self, effort: Effort, churn: f64) -> RepSim {
+        let mut config = match effort {
+            Effort::Smoke => RepConfig::fast(),
+            Effort::Lab => RepConfig::default(),
+            Effort::Paper => RepConfig {
+                peers: 32,
+                rounds: 160,
+                ..RepConfig::default()
+            },
+        };
+        if churn > 0.0 {
+            config.churn = ChurnModel::PerRound { rate: churn };
+        }
+        RepSim { config }
+    }
+
+    fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String {
+        let sim = self.sim(effort, churn);
+        let p = RepProtocol::from_index(index);
+        let u = run(&[p], &vec![0; sim.config.peers], &sim.config, seed);
+        let mean = u.iter().sum::<f64>() / u.len() as f64;
+        let mut sorted = u;
+        sorted.sort_by(f64::total_cmp);
+        format!(
+            "protocol      : {p}\n\
+             mean utility  : {mean:.2} service units/peer\n\
+             min / median / max : {:.2} / {:.2} / {:.2}\n",
+            sorted[0],
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() - 1]
+        )
+    }
+}
+
+/// Registers (or refreshes) the reputation domain in the global registry
+/// and returns its handle.
+pub fn register() -> Arc<dyn DynDomain> {
+    dsa_core::domain::register_domain(RepDomain)
 }
 
 #[cfg(test)]
@@ -76,5 +175,23 @@ mod tests {
         let x = sim.run_encounter(&presets::bartercast(), &presets::whitewasher(), 0.5, 11);
         let y = sim.run_encounter(&presets::bartercast(), &presets::whitewasher(), 0.5, 11);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn domain_parses_presets_and_names_attackers() {
+        let d = register();
+        assert_eq!(d.name(), "rep");
+        assert_eq!(d.size(), crate::protocol::REP_SPACE_SIZE);
+        assert_eq!(d.parse("ww").unwrap(), presets::whitewasher().index());
+        let attackers: Vec<String> = d.attackers().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(attackers, vec!["freerider", "whitewasher"]);
+        assert!(d.supports_churn());
+    }
+
+    #[test]
+    fn domain_simulate_report_shows_distribution() {
+        let report =
+            RepDomain.simulate_report(presets::bartercast().index(), Effort::Smoke, 0.0, 3);
+        assert!(report.contains("min / median / max"));
     }
 }

@@ -26,7 +26,7 @@ pub mod engine;
 pub mod presets;
 pub mod protocol;
 
-pub use adapter::RepSim;
+pub use adapter::{RepDomain, RepSim};
 pub use engine::{run, RepConfig};
 pub use protocol::{
     design_space, Identity, Maintenance, RepProtocol, Response, Source, Stranger, REP_SPACE_SIZE,

@@ -26,6 +26,8 @@
 //!   significance claims without normality assumptions.
 //! * [`ascii`] — terminal renderings of scatter plots, histograms and bar
 //!   charts so the experiment harness can "print the figure".
+//! * [`hull`] — 3-D convex hull volume, summarizing the shape of a PRA
+//!   point cloud for the cross-domain cube comparison.
 
 pub mod ascii;
 pub mod ccdf;
@@ -35,6 +37,7 @@ pub mod describe;
 pub mod dist;
 pub mod encode;
 pub mod histogram;
+pub mod hull;
 pub mod matrix;
 pub mod nonparametric;
 pub mod ols;

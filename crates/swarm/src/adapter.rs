@@ -1,8 +1,13 @@
-//! Plugs the cycle simulator into the DSA framework.
+//! Plugs the cycle simulator into the DSA framework, both as a typed
+//! [`EncounterSim`] and as a registered [`Domain`].
 
 use crate::engine::{run, SimConfig};
-use crate::protocol::SwarmProtocol;
+use crate::protocol::{design_space, SwarmProtocol};
+use crate::{metrics, presets};
+use dsa_core::domain::{Domain, DynDomain, Effort};
 use dsa_core::sim::EncounterSim;
+use dsa_workloads::churn::ChurnModel;
+use std::sync::Arc;
 
 /// The file-swarming domain as an [`EncounterSim`], ready for
 /// [`dsa_core::pra::quantify`].
@@ -52,6 +57,110 @@ impl EncounterSim for SwarmSim {
         let out = run(&[*a, *b], &assignment, &self.config, seed);
         (out.group_means[0], out.group_means[1])
     }
+}
+
+/// The file-swarming domain for the generic registry
+/// ([`dsa_core::domain`]): the paper's 3270-protocol space behind the
+/// type-erased interface the CLI, sweep cache and cross-domain figures
+/// share.
+pub struct SwarmDomain;
+
+impl Domain for SwarmDomain {
+    type Sim = SwarmSim;
+
+    fn name(&self) -> &'static str {
+        "swarm"
+    }
+
+    fn space(&self) -> dsa_core::DesignSpace {
+        design_space()
+    }
+
+    fn protocol(&self, index: usize) -> SwarmProtocol {
+        SwarmProtocol::from_index(index)
+    }
+
+    fn code(&self, index: usize) -> String {
+        SwarmProtocol::from_index(index).to_string()
+    }
+
+    fn presets(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("bittorrent", presets::bittorrent().index()),
+            ("birds", presets::birds().index()),
+            ("loyal", presets::loyal_when_needed().index()),
+            ("sorts", presets::sort_s().index()),
+            ("random", presets::random_rank().index()),
+            ("freerider", presets::freerider().index()),
+        ]
+    }
+
+    fn aliases(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("bt", presets::bittorrent().index()),
+            ("sort-s", presets::sort_s().index()),
+        ]
+    }
+
+    fn attackers(&self) -> Vec<(&'static str, usize)> {
+        vec![("freerider", presets::freerider().index())]
+    }
+
+    fn supports_churn(&self) -> bool {
+        true
+    }
+
+    fn sim(&self, effort: Effort, churn: f64) -> SwarmSim {
+        // Rounds per effort level mirror the harness scale presets
+        // (`dsa-bench`'s smoke/lab/paper) so generic and typed sweeps
+        // agree bit for bit.
+        let rounds = match effort {
+            Effort::Smoke => 60,
+            Effort::Lab => 120,
+            Effort::Paper => SimConfig::default().rounds,
+        };
+        let config = SimConfig {
+            rounds,
+            churn: if churn > 0.0 {
+                ChurnModel::PerRound { rate: churn }
+            } else {
+                ChurnModel::None
+            },
+            ..SimConfig::default()
+        };
+        SwarmSim { config }
+    }
+
+    fn sim_signature(&self, effort: Effort) -> String {
+        // Fingerprint the SimConfig itself (not the SwarmSim wrapper) so
+        // the typed sweep path in dsa-bench, which builds its SimConfig
+        // from a Scale preset, produces the same signature and shares
+        // the cache entry.
+        format!("{:?}", self.sim(effort, 0.0).config)
+    }
+
+    fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String {
+        let sim = self.sim(effort, churn);
+        let p = SwarmProtocol::from_index(index);
+        let out = run(&[p], &vec![0; sim.config.peers], &sim.config, seed);
+        let (fast, slow) = metrics::fast_slow_split(&out);
+        format!(
+            "protocol    : {p}\n\
+             throughput  : {:.2} KiB/round/peer\n\
+             utilization : {:.3}\n\
+             fairness    : {:.3} (Jain)\n\
+             fast / slow : {fast:.2} / {slow:.2}\n",
+            out.throughput,
+            metrics::utilization(&out),
+            metrics::jain_fairness(&out),
+        )
+    }
+}
+
+/// Registers (or refreshes) the swarm domain in the global registry and
+/// returns its handle.
+pub fn register() -> Arc<dyn DynDomain> {
+    dsa_core::domain::register_domain(SwarmDomain)
 }
 
 #[cfg(test)]
@@ -111,5 +220,26 @@ mod tests {
         let x = s.run_encounter(&presets::birds(), &presets::bittorrent(), 0.5, 11);
         let y = s.run_encounter(&presets::birds(), &presets::bittorrent(), 0.5, 11);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn domain_parses_presets_and_roundtrips_codes() {
+        let d = register();
+        assert_eq!(d.name(), "swarm");
+        assert_eq!(d.size(), crate::protocol::SPACE_SIZE);
+        let i = d.parse("bittorrent").unwrap();
+        assert_eq!(i, presets::bittorrent().index());
+        assert_eq!(d.parse("bt").unwrap(), i);
+        assert_eq!(d.code(i), presets::bittorrent().to_string());
+        assert!(d.parse("9999").is_err());
+        assert!(d.supports_churn());
+    }
+
+    #[test]
+    fn domain_simulate_report_names_metrics() {
+        let d = SwarmDomain;
+        let report = d.simulate_report(presets::bittorrent().index(), Effort::Smoke, 0.0, 3);
+        assert!(report.contains("throughput"));
+        assert!(report.contains("fairness"));
     }
 }

@@ -33,6 +33,6 @@ pub mod metrics;
 pub mod presets;
 pub mod protocol;
 
-pub use adapter::SwarmSim;
+pub use adapter::{SwarmDomain, SwarmSim};
 pub use engine::{run, RunOutcome, SimConfig};
 pub use protocol::{Allocation, CandidateList, Ranking, StrangerPolicy, SwarmProtocol, SPACE_SIZE};

@@ -33,8 +33,11 @@ fn fig9_and_fig10_render_at_tiny_scale() {
 
 #[test]
 fn gossip_dsa_renders() {
-    let s = gossipfig::gossip_dsa(5);
+    let dir = std::env::temp_dir().join(format!("dsa-harness-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let s = gossipfig::gossip_dsa(&Scale::smoke(), &dir).expect("gossip sweep");
     assert!(s.contains("108 protocols"));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
