@@ -1,0 +1,38 @@
+//! Cross-domain adversary subsystem — re-quantifying the Robustness axis
+//! under parameterized attack models.
+//!
+//! The paper's R axis measures robustness against "cheating and malicious
+//! behavior", but fixes the adversary to a single canned deviant inside
+//! each domain's design space. This crate models the adversary as a first
+//! class, *domain-agnostic* object: an [`model::AttackModel`] transforms a
+//! domain's encounter stream (through the [`dsa_core::domain::DynDomain`]
+//! hooks — plain, churned, attacker-set) into an adversarial encounter with
+//! a tunable population *budget*, so incentive guarantees are measured
+//! against an adversary with resources, not a point attacker.
+//!
+//! Four built-in models ([`models`]) compose with every registered domain
+//! for free:
+//!
+//! * **sybil** — one real adversary multiplexes `k` identities onto one
+//!   payoff (Sybil amplification; stresses transitive/indirect mechanisms).
+//! * **collusion** — a ring sharing private history coordinates on the
+//!   best deviant strategy from the domain's canonical attacker set.
+//! * **whitewash** — an identity-shedding schedule: the attacker re-enters
+//!   with a fresh identity every `period` rounds (driven through the
+//!   domain's churn hook).
+//! * **adaptive** — defection that probes the attacker candidates for a
+//!   share of the run, then switches to the most profitable mid-run.
+//!
+//! [`sweep`] measures, for every protocol in a domain's design space and
+//! every attack budget in a grid, whether a defending majority beats the
+//! adversary's effective per-capita payoff — the *robustness-under-budget*
+//! surface — in parallel and cached under the workspace's stamped-CSV
+//! scheme (`results/attack-<domain>-<model>-<scale>.csv`).
+
+pub mod model;
+pub mod models;
+pub mod sweep;
+
+pub use model::{lookup, register_attack, registry, AttackContext, AttackModel};
+pub use models::register_builtin;
+pub use sweep::{AttackConfig, AttackSweep, DEFAULT_BUDGETS};

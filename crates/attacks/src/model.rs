@@ -1,0 +1,170 @@
+//! The [`AttackModel`] trait and the global attack registry.
+//!
+//! Mirrors [`dsa_core::domain`]: models are registered once (idempotently,
+//! replace-by-name) and every consumer — the `dsa <domain> attack` CLI
+//! family, the robustness-under-budget sweep and the `experiments attacks`
+//! figure — enumerates [`registry`] or [`lookup`]s a model by name, so a
+//! new attack composes with all registered domains without new plumbing.
+
+use dsa_core::domain::{fnv1a, DynDomain, Effort};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything an attack model may consult about the world it attacks:
+/// the (type-erased) domain, the simulator fidelity, and the adversary's
+/// population budget.
+pub struct AttackContext<'a> {
+    /// The domain under attack.
+    pub domain: &'a dyn DynDomain,
+    /// Simulator fidelity level.
+    pub effort: Effort,
+    /// Share of the population the adversary controls (as identities),
+    /// in `(0, 1)`.
+    pub budget: f64,
+}
+
+impl AttackContext<'_> {
+    /// The deviant protocols an adversary may adopt: the domain's
+    /// canonical attackers, falling back to protocol 0 for a domain that
+    /// names none (every space enumerates *some* protocol there).
+    #[must_use]
+    pub fn candidates(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for (_, i) in self.domain.attackers() {
+            if !out.contains(&i) {
+                out.push(i);
+            }
+        }
+        if out.is_empty() {
+            out.push(0);
+        }
+        out
+    }
+
+    /// The adversary's default strategy: the first candidate.
+    #[must_use]
+    pub fn primary_attacker(&self) -> usize {
+        self.candidates()[0]
+    }
+
+    /// The identity-shedding strategy: the domain's whitewasher design
+    /// point when actualized, else the primary attacker.
+    #[must_use]
+    pub fn whitewash_attacker(&self) -> usize {
+        self.domain
+            .whitewasher()
+            .unwrap_or_else(|| self.primary_attacker())
+    }
+}
+
+/// A parameterized adversary that transforms a domain's encounter stream.
+///
+/// Implementations must be deterministic in `seed` and thread-safe: the
+/// robustness-under-budget sweep calls [`Self::encounter`] from many
+/// worker threads with index-derived seeds.
+pub trait AttackModel: Send + Sync + 'static {
+    /// Short, CLI- and filename-safe model name (e.g. `"sybil"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description, including the parameter values.
+    fn describe(&self) -> String;
+
+    /// Stable textual fingerprint of the model parameters. It feeds the
+    /// sweep-cache attack key: changing a parameter invalidates cached
+    /// sweeps computed under the old value.
+    fn signature(&self) -> String;
+
+    /// Runs one adversarial encounter: a `1 − budget` defender majority
+    /// running protocol `defender` against this adversary spending
+    /// `budget`. Returns `(defender mean utility, adversary's effective
+    /// per-capita payoff)`; the defender survives iff the former strictly
+    /// exceeds the latter (ties are losses, as in the paper's
+    /// tournaments).
+    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64);
+
+    /// The cache fingerprint of this model under a budget grid
+    /// ([`dsa_core::cache::SweepKey::with_attack`] consumes it). Never 0,
+    /// so an attack stamp can never validate a plain PRA sweep.
+    fn key(&self, budgets: &[f64]) -> u64 {
+        let canon = format!("{}|{}|budgets={budgets:?}", self.name(), self.signature());
+        fnv1a(canon.as_bytes()).max(1)
+    }
+}
+
+fn global() -> &'static Mutex<Vec<Arc<dyn AttackModel>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<dyn AttackModel>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers an attack model in the global registry. Re-registering a
+/// name replaces the previous entry (idempotent), preserving its
+/// position.
+pub fn register_attack(model: Arc<dyn AttackModel>) {
+    let mut reg = global().lock().expect("attack registry poisoned");
+    if let Some(slot) = reg.iter_mut().find(|m| m.name() == model.name()) {
+        *slot = model;
+    } else {
+        reg.push(model);
+    }
+}
+
+/// A snapshot of the registry, in registration order.
+#[must_use]
+pub fn registry() -> Vec<Arc<dyn AttackModel>> {
+    global().lock().expect("attack registry poisoned").clone()
+}
+
+/// Looks a registered attack model up by name.
+#[must_use]
+pub fn lookup(name: &str) -> Option<Arc<dyn AttackModel>> {
+    global()
+        .lock()
+        .expect("attack registry poisoned")
+        .iter()
+        .find(|m| m.name() == name)
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop(&'static str);
+
+    impl AttackModel for Nop {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+
+        fn describe(&self) -> String {
+            "does nothing".into()
+        }
+
+        fn signature(&self) -> String {
+            "nop".into()
+        }
+
+        fn encounter(&self, _ctx: &AttackContext<'_>, _defender: usize, _seed: u64) -> (f64, f64) {
+            (1.0, 0.0)
+        }
+    }
+
+    #[test]
+    fn registry_registers_replaces_and_looks_up() {
+        register_attack(Arc::new(Nop("nop-a")));
+        register_attack(Arc::new(Nop("nop-a")));
+        let hits = registry().iter().filter(|m| m.name() == "nop-a").count();
+        assert_eq!(hits, 1, "re-registration must replace, not duplicate");
+        assert!(lookup("nop-a").is_some());
+        assert!(lookup("no-such-attack").is_none());
+    }
+
+    #[test]
+    fn cache_key_depends_on_parameters_and_grid() {
+        let m = Nop("nop-b");
+        let grid = [0.1, 0.5];
+        assert_ne!(m.key(&grid), 0);
+        assert_eq!(m.key(&grid), m.key(&[0.1, 0.5]));
+        assert_ne!(m.key(&grid), m.key(&[0.1, 0.4]));
+        assert_ne!(m.key(&grid), Nop("nop-c").key(&grid));
+    }
+}

@@ -1,0 +1,290 @@
+//! The built-in attack models.
+//!
+//! Each model is a different transformation of the same primitive — a
+//! mixed-population encounter between a defending majority and an
+//! adversarial minority — so every model works on every registered domain
+//! (the encounter hooks are part of [`DynDomain`]). Payoffs are compared
+//! *per capita*: the defender survives an attack only when an honest
+//! peer's utility strictly exceeds what one real adversary takes home.
+
+use crate::model::{register_attack, AttackContext, AttackModel};
+use dsa_workloads::seeds::SeedSeq;
+use std::sync::Arc;
+
+// Re-exported for doc links.
+#[allow(unused_imports)]
+use dsa_core::domain::DynDomain;
+
+/// Sybil amplification: one real adversary operates `identities`
+/// concurrent identities, multiplexing their takes onto one payoff.
+///
+/// The budget counts *identities*, so the defender faces the same
+/// population mix as a plain invasion — but the adversary's per-capita
+/// payoff is `k` per-identity takes minus an upkeep cost of
+/// `upkeep` × one take per extra identity. With cheap identities
+/// (`upkeep` → 0) the amplification is linear in `k`, which is exactly
+/// why mechanisms without an identity cost collapse under Sybil attacks.
+#[derive(Debug, Clone)]
+pub struct Sybil {
+    /// Identities per real adversary (`k ≥ 1`; 1 = plain invasion).
+    pub identities: u32,
+    /// Maintenance cost per extra identity, as a fraction of one
+    /// identity's take.
+    pub upkeep: f64,
+}
+
+impl Default for Sybil {
+    fn default() -> Self {
+        Self {
+            identities: 3,
+            upkeep: 0.2,
+        }
+    }
+}
+
+impl AttackModel for Sybil {
+    fn name(&self) -> &'static str {
+        "sybil"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "one adversary multiplexes k={} identities (upkeep {:.0}% per extra)",
+            self.identities,
+            self.upkeep * 100.0
+        )
+    }
+
+    fn signature(&self) -> String {
+        format!("sybil k={} upkeep={}", self.identities, self.upkeep)
+    }
+
+    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
+        let attacker = ctx.primary_attacker();
+        let (def, per_identity) =
+            ctx.domain
+                .run_encounter(defender, attacker, 1.0 - ctx.budget, ctx.effort, seed);
+        let k = f64::from(self.identities.max(1));
+        let amplification = k - self.upkeep * (k - 1.0);
+        (def, per_identity * amplification)
+    }
+}
+
+/// A collusion ring sharing private history: the ring observes the same
+/// environment under every deviant strategy the domain actualizes
+/// (the canonical attacker set) and coordinates on the most profitable
+/// one — a best-response adversary rather than a fixed protocol point.
+#[derive(Debug, Clone, Default)]
+pub struct Collusion;
+
+impl AttackModel for Collusion {
+    fn name(&self) -> &'static str {
+        "collusion"
+    }
+
+    fn describe(&self) -> String {
+        "ring shares history, coordinates on the best deviant strategy".into()
+    }
+
+    fn signature(&self) -> String {
+        "collusion best-response".into()
+    }
+
+    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
+        // Same seed for every candidate: the ring compares strategies in
+        // the same world, then everyone plays the winner.
+        ctx.candidates()
+            .into_iter()
+            .map(|c| {
+                ctx.domain
+                    .run_encounter(defender, c, 1.0 - ctx.budget, ctx.effort, seed)
+            })
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("candidates() is never empty")
+    }
+}
+
+/// A whitewashing churn schedule: the adversary sheds its identity and
+/// re-enters every `period` rounds, which the domain experiences as
+/// identity churn at rate `1 / period` (through the
+/// [`DynDomain::run_encounter_churn`] hook). The adversary plays the
+/// domain's whitewasher design point when one is actualized, else its
+/// primary attacker.
+///
+/// Domains without a churn model see the plain encounter — whitewashing
+/// is free where identity is not tracked, which is itself the measured
+/// result.
+#[derive(Debug, Clone)]
+pub struct Whitewash {
+    /// Rounds between identity resets.
+    pub period: u32,
+}
+
+impl Default for Whitewash {
+    fn default() -> Self {
+        Self { period: 10 }
+    }
+}
+
+impl AttackModel for Whitewash {
+    fn name(&self) -> &'static str {
+        "whitewash"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "attacker re-enters with a fresh identity every {} rounds",
+            self.period
+        )
+    }
+
+    fn signature(&self) -> String {
+        format!("whitewash period={}", self.period)
+    }
+
+    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
+        let attacker = ctx.whitewash_attacker();
+        let churn = 1.0 / f64::from(self.period.max(1));
+        ctx.domain.run_encounter_churn(
+            defender,
+            attacker,
+            1.0 - ctx.budget,
+            ctx.effort,
+            churn,
+            seed,
+        )
+    }
+}
+
+/// Adaptive defection: the adversary spends a `probe_share` fraction of
+/// the run probing every candidate strategy, then switches to the most
+/// profitable for the remainder. Both sides' payoffs blend the probe and
+/// exploit phases, so a large probe share models a cautious adversary
+/// that pays for its exploration.
+#[derive(Debug, Clone)]
+pub struct Adaptive {
+    /// Fraction of the run spent probing, in `[0, 1)`.
+    pub probe_share: f64,
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Self { probe_share: 0.25 }
+    }
+}
+
+impl AttackModel for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "probes every deviant strategy for {:.0}% of the run, then switches to the best",
+            self.probe_share * 100.0
+        )
+    }
+
+    fn signature(&self) -> String {
+        format!("adaptive probe_share={}", self.probe_share)
+    }
+
+    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
+        let root = SeedSeq::new(seed);
+        let candidates = ctx.candidates();
+        let probes: Vec<(f64, f64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                ctx.domain.run_encounter(
+                    defender,
+                    c,
+                    1.0 - ctx.budget,
+                    ctx.effort,
+                    root.child(i as u64).seed(),
+                )
+            })
+            .collect();
+        let best = probes
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1 .1.total_cmp(&y.1 .1))
+            .map_or(0, |(i, _)| i);
+        // The exploit phase is a fresh run (disjoint seed subtree): the
+        // adversary commits to the chosen strategy in an unseen world.
+        let exploit = ctx.domain.run_encounter(
+            defender,
+            candidates[best],
+            1.0 - ctx.budget,
+            ctx.effort,
+            root.child(0x1000 + best as u64).seed(),
+        );
+        let n = probes.len() as f64;
+        let probe_def = probes.iter().map(|p| p.0).sum::<f64>() / n;
+        let probe_att = probes.iter().map(|p| p.1).sum::<f64>() / n;
+        let t = self.probe_share.clamp(0.0, 1.0);
+        (
+            t * probe_def + (1.0 - t) * exploit.0,
+            t * probe_att + (1.0 - t) * exploit.1,
+        )
+    }
+}
+
+/// Registers the four built-in models (idempotently) and returns them in
+/// registration order — the attack-side analogue of the domain crates'
+/// `adapter::register()`.
+pub fn register_builtin() -> Vec<Arc<dyn AttackModel>> {
+    let models: Vec<Arc<dyn AttackModel>> = vec![
+        Arc::new(Sybil::default()),
+        Arc::new(Collusion),
+        Arc::new(Whitewash::default()),
+        Arc::new(Adaptive::default()),
+    ];
+    for m in &models {
+        register_attack(Arc::clone(m));
+    }
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registration_is_idempotent() {
+        let first = register_builtin();
+        let names: Vec<&str> = first.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["sybil", "collusion", "whitewash", "adaptive"]);
+        register_builtin();
+        let registered = crate::model::registry();
+        for name in names {
+            assert_eq!(
+                registered.iter().filter(|m| m.name() == name).count(),
+                1,
+                "{name} registered exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn signatures_fingerprint_parameters() {
+        let a = Sybil {
+            identities: 3,
+            upkeep: 0.2,
+        };
+        let b = Sybil {
+            identities: 4,
+            upkeep: 0.2,
+        };
+        assert_ne!(a.signature(), b.signature());
+        assert_ne!(a.key(&[0.1]), b.key(&[0.1]));
+        assert_ne!(
+            Whitewash { period: 10 }.signature(),
+            Whitewash { period: 20 }.signature()
+        );
+        assert_ne!(
+            Adaptive { probe_share: 0.25 }.signature(),
+            Adaptive { probe_share: 0.5 }.signature()
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Integration tests of the adversary subsystem against an analytic toy
+//! domain whose encounter outcomes can be computed by hand.
+
+use dsa_attacks::model::{AttackContext, AttackModel};
+use dsa_attacks::models::{Adaptive, Collusion, Sybil, Whitewash};
+use dsa_attacks::sweep::{AttackConfig, AttackSweep};
+use dsa_core::domain::{erase, Domain, DynDomain, Effort};
+use dsa_core::sim::EncounterSim;
+use dsa_core::space::{DesignSpace, Dimension};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Analytic simulator: protocol `x`'s group utility is `10x` plus its
+/// population share; churn adds `100 × rate` to the minority side (the
+/// toy's stand-in for "identity churn favors the identity shedder").
+/// A sub-microscopic seed jitter hits both sides equally, so seeds
+/// matter to the bits but never to a comparison.
+#[derive(Debug)]
+struct GridSim {
+    churn: f64,
+}
+
+impl EncounterSim for GridSim {
+    type Protocol = usize;
+
+    fn run_homogeneous(&self, protocol: &usize, seed: u64) -> f64 {
+        *protocol as f64 + (seed % 997) as f64 * 1e-9
+    }
+
+    fn run_encounter(&self, a: &usize, b: &usize, fraction_a: f64, seed: u64) -> (f64, f64) {
+        let jitter = (seed % 997) as f64 * 1e-9;
+        let d = 10.0 * *a as f64 + fraction_a + jitter;
+        let m = 10.0 * *b as f64 + (1.0 - fraction_a) + 100.0 * self.churn + jitter;
+        (d, m)
+    }
+}
+
+/// Four-protocol toy domain; protocol 0 is the canonical deviant.
+struct GridDomain;
+
+impl Domain for GridDomain {
+    type Sim = GridSim;
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn space(&self) -> DesignSpace {
+        DesignSpace::new(
+            "grid-space",
+            vec![Dimension::new(
+                "Level",
+                (0..4).map(|i| format!("L{i}")).collect(),
+            )],
+        )
+    }
+
+    fn protocol(&self, index: usize) -> usize {
+        index
+    }
+
+    fn code(&self, index: usize) -> String {
+        format!("L{index}")
+    }
+
+    fn presets(&self) -> Vec<(&'static str, usize)> {
+        vec![("deviant", 0)]
+    }
+
+    fn attackers(&self) -> Vec<(&'static str, usize)> {
+        vec![("deviant", 0)]
+    }
+
+    fn supports_churn(&self) -> bool {
+        true
+    }
+
+    fn sim(&self, _effort: Effort, churn: f64) -> GridSim {
+        GridSim { churn }
+    }
+}
+
+fn grid() -> Arc<dyn DynDomain> {
+    erase(GridDomain)
+}
+
+fn ctx(domain: &dyn DynDomain, budget: f64) -> AttackContext<'_> {
+    AttackContext {
+        domain,
+        effort: Effort::Smoke,
+        budget,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsa-attacks-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sybil_amplifies_per_capita_payoff_linearly_in_k() {
+    let d = grid();
+    let plain = Sybil {
+        identities: 1,
+        upkeep: 0.0,
+    };
+    let tripled = Sybil {
+        identities: 3,
+        upkeep: 0.0,
+    };
+    // Defender L2 at budget 0.2: d = 20.8, one identity takes 0.2.
+    let (def1, adv1) = plain.encounter(&ctx(&*d, 0.2), 2, 5);
+    let (def3, adv3) = tripled.encounter(&ctx(&*d, 0.2), 2, 5);
+    assert_eq!(def1, def3, "the defender sees the same population mix");
+    assert!((adv3 - 3.0 * adv1).abs() < 1e-12, "k multiplexes the take");
+    // Upkeep taxes the extra identities only.
+    let taxed = Sybil {
+        identities: 3,
+        upkeep: 0.5,
+    };
+    let (_, adv_taxed) = taxed.encounter(&ctx(&*d, 0.2), 2, 5);
+    assert!((adv_taxed - 2.0 * adv1).abs() < 1e-12, "k − 0.5(k−1) = 2");
+}
+
+#[test]
+fn collusion_with_one_candidate_matches_plain_invasion() {
+    let d = grid();
+    let plain = Sybil {
+        identities: 1,
+        upkeep: 0.0,
+    };
+    for defender in 0..4 {
+        assert_eq!(
+            Collusion.encounter(&ctx(&*d, 0.3), defender, 9),
+            plain.encounter(&ctx(&*d, 0.3), defender, 9),
+        );
+    }
+}
+
+#[test]
+fn whitewash_reaps_the_churn_bonus() {
+    let d = grid();
+    let ww = Whitewash { period: 10 };
+    let plain = Sybil {
+        identities: 1,
+        upkeep: 0.0,
+    };
+    let (_, adv_plain) = plain.encounter(&ctx(&*d, 0.2), 2, 5);
+    let (_, adv_ww) = ww.encounter(&ctx(&*d, 0.2), 2, 5);
+    // churn = 1/period = 0.1 → +10 utility in the toy's churn model.
+    assert!((adv_ww - adv_plain - 10.0).abs() < 1e-9);
+    // A shorter period (faster identity shedding) is strictly stronger.
+    let faster = Whitewash { period: 5 };
+    let (_, adv_faster) = faster.encounter(&ctx(&*d, 0.2), 2, 5);
+    assert!(adv_faster > adv_ww);
+}
+
+#[test]
+fn adaptive_blends_probe_and_exploit_phases() {
+    let d = grid();
+    // With one candidate and a share-independent toy, probing just mixes
+    // two seeds of the same encounter: the blend stays within jitter of
+    // the plain outcome.
+    let adaptive = Adaptive { probe_share: 0.25 };
+    let plain = Sybil {
+        identities: 1,
+        upkeep: 0.0,
+    };
+    let (def_a, adv_a) = adaptive.encounter(&ctx(&*d, 0.2), 2, 5);
+    let (def_p, adv_p) = plain.encounter(&ctx(&*d, 0.2), 2, 5);
+    assert!((def_a - def_p).abs() < 1e-5);
+    assert!((adv_a - adv_p).abs() < 1e-5);
+}
+
+#[test]
+fn sweep_robustness_is_monotone_in_budget_and_matches_hand_math() {
+    let d = grid();
+    let model = Sybil {
+        identities: 1,
+        upkeep: 0.0,
+    };
+    let cfg = AttackConfig {
+        budgets: vec![0.2, 0.5],
+        encounter_runs: 2,
+        threads: 1,
+        seed: 3,
+    };
+    let sweep = AttackSweep::compute(&*d, &model, Effort::Smoke, &cfg, "smoke");
+    // L0 vs deviant L0: survive iff 1 − β > β — true at 0.2, tie (loss)
+    // at 0.5. Everyone else out-earns the deviant by ≥ 10.
+    assert_eq!(sweep.robustness[0], vec![1.0, 1.0, 1.0, 1.0]);
+    assert_eq!(sweep.robustness[1], vec![0.0, 1.0, 1.0, 1.0]);
+    assert_eq!(sweep.mean_robustness(), vec![1.0, 0.75]);
+}
+
+#[test]
+fn sweep_is_bit_identical_across_thread_counts() {
+    // Guards the Sybil identity multiplexing (and every other model)
+    // against scheduling-order leaks: 1 worker and 8 workers must write
+    // byte-identical CSVs.
+    let d = grid();
+    for model in dsa_attacks::register_builtin() {
+        let mut cfg = AttackConfig {
+            budgets: vec![0.1, 0.3, 0.5],
+            encounter_runs: 3,
+            threads: 1,
+            seed: 0xD15C,
+        };
+        let serial = AttackSweep::compute(&*d, &*model, Effort::Smoke, &cfg, "smoke");
+        cfg.threads = 8;
+        let parallel = AttackSweep::compute(&*d, &*model, Effort::Smoke, &cfg, "smoke");
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "thread-count leak in model '{}'",
+            model.name()
+        );
+        assert_eq!(serial.key, parallel.key, "threads must not enter the key");
+    }
+}
+
+#[test]
+fn cache_roundtrips_and_stale_stamps_self_invalidate() {
+    let dir = temp_dir("cache");
+    let d = grid();
+    let model = Sybil::default();
+    let cfg = AttackConfig {
+        budgets: vec![0.1, 0.5],
+        encounter_runs: 1,
+        threads: 1,
+        seed: 11,
+    };
+    let fresh =
+        AttackSweep::load_or_compute(&*d, &model, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+    assert!(!fresh.from_cache);
+    assert!(fresh.path(&dir).ends_with("attack-grid-sybil-smoke.csv"));
+
+    // Re-running with the same config hits the cache, bit-identically.
+    let cached =
+        AttackSweep::load_or_compute(&*d, &model, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+    assert!(cached.from_cache);
+    assert_eq!(cached.to_csv(), fresh.to_csv());
+
+    // Changing the budget grid mismatches the stamp and recomputes.
+    let mut regrid = cfg.clone();
+    regrid.budgets = vec![0.1, 0.4];
+    let recomputed =
+        AttackSweep::load_or_compute(&*d, &model, Effort::Smoke, &regrid, "smoke", &dir).unwrap();
+    assert!(!recomputed.from_cache, "changed grid must recompute");
+
+    // So does changing the model parameters (same file name!)...
+    let stronger = Sybil {
+        identities: 5,
+        upkeep: 0.2,
+    };
+    let re2 = AttackSweep::load_or_compute(&*d, &stronger, Effort::Smoke, &regrid, "smoke", &dir)
+        .unwrap();
+    assert!(!re2.from_cache, "changed model parameters must recompute");
+
+    // ... and the seed.
+    let mut reseeded = regrid.clone();
+    reseeded.seed ^= 1;
+    let re3 = AttackSweep::load_or_compute(&*d, &stronger, Effort::Smoke, &reseeded, "smoke", &dir)
+        .unwrap();
+    assert!(!re3.from_cache, "changed seed must recompute");
+
+    // A corrupt body under a matching stamp is a hard error.
+    let path = re3.path(&dir);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stamp = text.split_once('\n').unwrap().0;
+    std::fs::write(
+        &path,
+        format!("{stamp}\nbudget,index,name,robustness\n0.1,0,L0,NOPE\n"),
+    )
+    .unwrap();
+    assert!(
+        AttackSweep::load_or_compute(&*d, &stronger, Effort::Smoke, &reseeded, "smoke", &dir)
+            .is_err()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_builtin_model_composes_with_the_domain() {
+    let d = grid();
+    for model in dsa_attacks::register_builtin() {
+        let cfg = AttackConfig {
+            budgets: vec![0.25],
+            encounter_runs: 1,
+            threads: 1,
+            seed: 2,
+        };
+        let sweep = AttackSweep::compute(&*d, &*model, Effort::Smoke, &cfg, "smoke");
+        assert_eq!(sweep.robustness.len(), 1);
+        assert_eq!(sweep.robustness[0].len(), 4);
+        assert!(sweep.robustness[0].iter().all(|r| (0.0..=1.0).contains(r)));
+        // The strongest protocol in the toy always out-earns any
+        // adversary built from the weakest.
+        assert_eq!(sweep.robustness[0][3], 1.0, "model {}", model.name());
+    }
+}

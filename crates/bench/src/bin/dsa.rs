@@ -9,12 +9,17 @@
 //! dsa <domain> describe <index|preset>   decode a protocol
 //! dsa <domain> simulate <index|preset> [--seed N] [--churn R] [--effort smoke|lab|paper]
 //! dsa <domain> encounter <a> <b> [--frac F] [--runs N] [--seed N] [--effort E]
-//! dsa <domain> pra [<p1> <p2> ... | --all] [--seed N] [--sample K] [--effort E]
+//! dsa <domain> pra [<p1> <p2> ... | --all] [--seed N] [--sample K] [--effort E] [--threads N]
+//! dsa <domain> attack list               list the registered attack models
+//! dsa <domain> attack run <model> <defender> [--budget B] [--runs N] [--seed N] [--effort E]
+//! dsa <domain> search [--seed N] [--budget N] [--restarts R] [--effort E]
 //! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]   (piece-level BitTorrent, swarm-only)
 //! ```
 //!
 //! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (216).
 //! A bare command (`dsa protocols ...`) defaults to the swarm domain.
+//! Attack models (`dsa-attacks`): sybil, collusion, whitewash, adaptive —
+//! all parameterized adversaries that work on every domain.
 //!
 //! Presets: swarm has bittorrent, birds, loyal, sorts, random,
 //! freerider; gossip has random-push, reciprocal, lazy, silent; rep has
@@ -28,13 +33,23 @@ use dsa_core::domain::{DynDomain, Effort};
 use dsa_core::pra::PraConfig;
 use dsa_core::tournament::OpponentSampling;
 use dsa_stats::ci::ConfidenceInterval;
+use dsa_workloads::seeds::SeedSeq;
 use std::process::ExitCode;
 
 /// The generic per-domain subcommands.
-const DOMAIN_COMMANDS: [&str; 5] = ["protocols", "describe", "simulate", "encounter", "pra"];
+const DOMAIN_COMMANDS: [&str; 7] = [
+    "protocols",
+    "describe",
+    "simulate",
+    "encounter",
+    "pra",
+    "attack",
+    "search",
+];
 
 fn main() -> ExitCode {
     dsa_bench::register_domains();
+    dsa_attacks::register_builtin();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("bt") => cmd_bt(&args[1..]),
@@ -70,13 +85,16 @@ fn help() -> String {
         .iter()
         .map(|d| format!("{} ({} protocols)", d.name(), d.size()))
         .collect();
+    let attacks: Vec<&str> = dsa_attacks::registry().iter().map(|m| m.name()).collect();
     format!(
         "dsa — Design Space Analysis toolkit\n\
-         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra}} [...]\n\
+         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
          domains: {}\n\
+         attacks: {} (dsa <domain> attack {{list|run}})\n\
          (bare commands default to the swarm domain; see crate docs for flags)",
-        domains.join(", ")
+        domains.join(", "),
+        attacks.join(", ")
     )
 }
 
@@ -88,6 +106,8 @@ fn dispatch(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
         Some("simulate") => cmd_simulate(domain, &args[1..]),
         Some("encounter") => cmd_encounter(domain, &args[1..]),
         Some("pra") => cmd_pra(domain, &args[1..]),
+        Some("attack") => cmd_attack(domain, &args[1..]),
+        Some("search") => cmd_search(domain, &args[1..]),
         Some(other) => Err(format!(
             "unknown {} command '{other}' (expected one of: {})",
             domain.name(),
@@ -255,9 +275,10 @@ fn cmd_pra(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
         .cloned()
         .collect();
     let (pos, flags) = split_flags(&args)?;
-    check_flags(&flags, &["seed", "sample", "effort"])?;
+    check_flags(&flags, &["seed", "sample", "effort", "threads"])?;
     let seed = flag(&flags, "seed", 0x5EEDu64)?;
     let sample = flag(&flags, "sample", 20usize)?;
+    let threads = flag(&flags, "threads", 0usize)?;
     let effort = effort_flag(&flags)?;
     let all = explicit_all || pos.is_empty();
     let indices: Vec<usize> = if all {
@@ -278,6 +299,7 @@ fn cmd_pra(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
         } else {
             OpponentSampling::Exhaustive
         },
+        threads,
         seed,
         ..PraConfig::default()
     };
@@ -308,6 +330,122 @@ fn cmd_pra(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
     }
     if all {
         println!("(top 10 of {} by robustness)", indices.len());
+    }
+    Ok(())
+}
+
+// ---- the adversary subsystem (dsa-attacks) --------------------------------
+
+fn cmd_attack(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for model in dsa_attacks::registry() {
+                println!("{:<11} {}", model.name(), model.describe());
+            }
+            println!(
+                "(run one with: dsa {} attack run <model> <defender>)",
+                domain.name()
+            );
+            Ok(())
+        }
+        Some("run") => cmd_attack_run(domain, &args[1..]),
+        Some(other) => Err(format!(
+            "unknown attack command '{other}' (expected: list, run)"
+        )),
+        None => Err("attack needs a subcommand: list, run".into()),
+    }
+}
+
+fn cmd_attack_run(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["budget", "runs", "seed", "effort"])?;
+    let model_name = pos
+        .first()
+        .ok_or("attack run needs a model (see 'attack list')")?;
+    let model = dsa_attacks::lookup(model_name)
+        .ok_or_else(|| format!("unknown attack model '{model_name}' (see 'attack list')"))?;
+    let token = pos.get(1).ok_or("attack run needs a defender protocol")?;
+    let defender = domain.parse(token)?;
+    let runs = flag(&flags, "runs", 3usize)?.max(1);
+    let seed = flag(&flags, "seed", 1u64)?;
+    let effort = effort_flag(&flags)?;
+    let budgets: Vec<f64> = if flags.iter().any(|(n, _)| n == "budget") {
+        let budget = flag(&flags, "budget", 0.0f64)?;
+        if budget <= 0.0 || budget >= 1.0 {
+            return Err(format!("--budget must be in (0,1), got {budget}"));
+        }
+        vec![budget]
+    } else {
+        dsa_attacks::DEFAULT_BUDGETS.to_vec()
+    };
+    println!(
+        "{} vs {}: {}",
+        domain.code(defender),
+        model.name(),
+        model.describe()
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>10}",
+        "budget", "defender util", "adversary util", "survives"
+    );
+    let root = SeedSeq::new(seed);
+    for (bi, &b) in budgets.iter().enumerate() {
+        let ctx = dsa_attacks::AttackContext {
+            domain,
+            effort,
+            budget: b,
+        };
+        let node = root.child(bi as u64);
+        let (mut def_acc, mut adv_acc, mut wins) = (0.0, 0.0, 0usize);
+        for r in 0..runs {
+            let (def, adv) = model.encounter(&ctx, defender, node.child(r as u64).seed());
+            def_acc += def;
+            adv_acc += adv;
+            if def > adv {
+                wins += 1;
+            }
+        }
+        println!(
+            "{b:>7.2} {:>14.3} {:>14.3} {:>7}/{runs}",
+            def_acc / runs as f64,
+            adv_acc / runs as f64,
+            wins
+        );
+    }
+    Ok(())
+}
+
+// ---- heuristic design-space exploration (dsa <domain> search) --------------
+
+fn cmd_search(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("search takes no positional argument '{stray}'"));
+    }
+    check_flags(&flags, &["seed", "budget", "restarts", "effort"])?;
+    let seed = flag(&flags, "seed", 0x5EEDu64)?;
+    let budget = flag(&flags, "budget", 400usize)?;
+    let restarts = flag(&flags, "restarts", 4usize)?.max(1);
+    let effort = effort_flag(&flags)?;
+    // Objective: homogeneous performance at one probe seed — the cheap
+    // proxy the §7 future-work demo uses. The probe seed derives from the
+    // master seed so `--seed` steers exploration and evaluation together.
+    let probe = SeedSeq::new(seed).child(0xF).seed();
+    let objective = |idx: usize| domain.run_homogeneous(idx, effort, probe);
+    let hc = dsa_core::search::hill_climb(domain.space(), objective, restarts, budget, seed);
+    let ev = dsa_core::search::evolve(domain.space(), objective, 6, 12, 20, 0.3, budget, seed);
+    println!(
+        "heuristic exploration of the {} space ({} protocols, budget {budget}, seed {seed})",
+        domain.name(),
+        domain.size()
+    );
+    for (label, outcome) in [("hill-climb", &hc), ("evolution", &ev)] {
+        println!(
+            "{label:<11}: best {} (perf proxy {:.3}) in {} evaluations",
+            domain.code(outcome.best_index),
+            outcome.best_value,
+            outcome.evaluations
+        );
     }
     Ok(())
 }

@@ -1,20 +1,26 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N] <id>...
+//! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N]
+//!             [--budgets B1,B2,...] <id>...
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
-//!      rep whitewash cross search all
+//!      rep whitewash cross attacks search all
 //! ```
 //!
 //! Sweep-based experiments share content-addressed caches at
 //! `<out>/pra-<domain>-<scale>.csv` — the swarm sweep feeds fig2–fig8,
 //! table3, birds and corr9010; the gossip and reputation sweeps feed
-//! `gossip`, `rep` and the cross-domain comparison (`cross`). A cache
-//! stamped with a different space hash, scale or seed is recomputed
-//! automatically; delete the file to force a re-run.
+//! `gossip`, `rep` and the cross-domain comparison (`cross`). The
+//! `attacks` experiment caches one robustness-under-budget sweep per
+//! (domain, attack model) at `<out>/attack-<domain>-<model>-<scale>.csv`
+//! (`--budgets` overrides the default 5%–50% grid and is part of the
+//! stamp). A cache stamped with a different space hash, scale, seed,
+//! parameter fingerprint or attack key is recomputed automatically;
+//! delete the file to force a re-run.
 
+use dsa_bench::attackfig;
 use dsa_bench::btfigs;
 use dsa_bench::figures;
 use dsa_bench::gossipfig;
@@ -54,6 +60,7 @@ const ALL_IDS: &[&str] = &[
     "rep",
     "whitewash",
     "cross",
+    "attacks",
     "search",
 ];
 
@@ -61,6 +68,7 @@ struct Options {
     scale: Scale,
     seed: u64,
     out: PathBuf,
+    budgets: Option<Vec<f64>>,
     ids: Vec<String>,
 }
 
@@ -69,6 +77,7 @@ fn parse_args() -> Result<Options, String> {
     let mut seed: Option<u64> = None;
     let mut out = PathBuf::from("results");
     let mut threads: Option<usize> = None;
+    let mut budgets: Option<Vec<f64>> = None;
     let mut ids = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -89,10 +98,30 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--threads needs a value")?;
                 threads = Some(v.parse().map_err(|e| format!("bad thread count: {e}"))?);
             }
+            "--budgets" => {
+                let v = args
+                    .next()
+                    .ok_or("--budgets needs a comma-separated list")?;
+                let grid: Vec<f64> = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .map_err(|e| format!("bad budget '{t}': {e}"))
+                    })
+                    .collect::<Result<_, String>>()?;
+                if grid.iter().any(|&b| !(0.0..1.0).contains(&b) || b == 0.0) {
+                    return Err(format!("budgets must lie in (0,1), got {grid:?}"));
+                }
+                if grid.windows(2).any(|w| w[1] <= w[0]) {
+                    return Err(format!("budgets must be strictly increasing, got {grid:?}"));
+                }
+                budgets = Some(grid);
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
-                     [--threads N] <id>...\nids: {} all",
+                     [--threads N] [--budgets B1,B2,...] <id>...\nids: {} all",
                     ALL_IDS.join(" ")
                 ));
             }
@@ -116,6 +145,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         seed: seed.unwrap_or(0x5EED),
         out,
+        budgets,
         ids,
     })
 }
@@ -195,6 +225,7 @@ fn main() -> ExitCode {
             "rep" => repfig::reputation_dsa(&opts.scale, &opts.out),
             "whitewash" => Ok(repfig::whitewash_attack(opts.seed ^ 0x3E9)),
             "cross" => prafig::cross_domain(&opts.scale, &opts.out),
+            "attacks" => attackfig::attacks(&opts.scale, &opts.out, opts.budgets.as_deref()),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };

@@ -10,6 +10,7 @@
 //! `DESIGN.md` §4; expected-vs-measured outcomes are recorded in
 //! `EXPERIMENTS.md`.
 
+pub mod attackfig;
 pub mod btfigs;
 pub mod figures;
 pub mod gossipfig;

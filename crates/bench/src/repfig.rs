@@ -46,28 +46,37 @@ pub fn whitewash_attack(seed: u64) -> String {
         "{:<62} {:>10} {:>12} {:>9}",
         "host protocol", "freerider", "whitewasher", "amplif."
     );
-    for (name, host) in [
+    let hosts = [
         ("private-tft", presets::private_tft()),
         ("bartercast", presets::bartercast()),
         ("elitist", presets::elitist()),
         ("baseline", RepProtocol::baseline()),
-    ] {
-        let ratio = |attacker: RepProtocol, tag: u64| {
-            let runs = 5;
-            let mut acc = 0.0;
-            for r in 0..runs {
-                let (h, a) = sim.run_encounter(
-                    &host,
-                    &attacker,
-                    0.9,
-                    seed.wrapping_add(tag).wrapping_add(r),
-                );
-                acc += if h > 0.0 { a / h } else { 0.0 };
-            }
-            acc / runs as f64
+    ];
+    // One task per (host, attacker) cell; seeds derive from the cell's
+    // tags, not from any loop order, so the parallel map is bit-identical
+    // to the old serial sweep.
+    let ratios = dsa_core::parallel::parallel_map_indexed(hosts.len() * 2, 0, |task| {
+        let host = hosts[task / 2].1;
+        let (attacker, tag) = if task % 2 == 0 {
+            (presets::freerider(), 0x1000u64)
+        } else {
+            (presets::whitewasher(), 0x2000u64)
         };
-        let fr = ratio(presets::freerider(), 0x1000);
-        let ww = ratio(presets::whitewasher(), 0x2000);
+        let runs = 5;
+        let mut acc = 0.0;
+        for r in 0..runs {
+            let (h, a) = sim.run_encounter(
+                &host,
+                &attacker,
+                0.9,
+                seed.wrapping_add(tag).wrapping_add(r),
+            );
+            acc += if h > 0.0 { a / h } else { 0.0 };
+        }
+        acc / runs as f64
+    });
+    for (i, (name, host)) in hosts.iter().enumerate() {
+        let (fr, ww) = (ratios[2 * i], ratios[2 * i + 1]);
         let amplification = if fr > 1e-12 { ww / fr } else { f64::INFINITY };
         let _ = writeln!(
             out,

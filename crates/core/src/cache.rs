@@ -57,6 +57,11 @@ pub struct SweepKey {
     pub seed: u64,
     /// Number of protocols in the space.
     pub len: usize,
+    /// Attack-model fingerprint: 0 for plain PRA sweeps; adversarial
+    /// sweeps (`dsa-attacks`) set it to the model + budget-grid hash, so
+    /// their stamps can never validate a plain sweep's file (or another
+    /// attack's) and a changed budget grid self-invalidates.
+    pub attack: u64,
 }
 
 impl SweepKey {
@@ -85,7 +90,17 @@ impl SweepKey {
             params: params_hash(sim_signature, config),
             seed: config.seed,
             len: domain.size(),
+            attack: 0,
         }
+    }
+
+    /// The same key re-stamped for an adversarial sweep: `attack` is the
+    /// attack model's fingerprint ([`crate::domain::fnv1a`] over its name,
+    /// parameters and budget grid).
+    #[must_use]
+    pub fn with_attack(mut self, attack: u64) -> Self {
+        self.attack = attack;
+        self
     }
 
     /// The cache file path for this key.
@@ -94,17 +109,24 @@ impl SweepKey {
         out_dir.join(format!("pra-{}-{}.csv", self.domain, self.scale))
     }
 
-    /// Renders the metadata stamp (the cache file's first line).
+    /// Renders the metadata stamp (the cache file's first line). The
+    /// `attack` field is stamped only when set, so plain PRA stamps keep
+    /// their original format.
     #[must_use]
-    fn meta_line(&self) -> String {
-        format!(
+    pub fn meta_line(&self) -> String {
+        let mut line = format!(
             "# dsa-sweep v1 domain={} space={:016x} scale={} params={:016x} seed={} n={}",
             self.domain, self.space_hash, self.scale, self.params, self.seed, self.len
-        )
+        );
+        if self.attack != 0 {
+            line.push_str(&format!(" attack={:016x}", self.attack));
+        }
+        line
     }
 
     /// Parses a metadata stamp; `None` when the line is not a v1 stamp.
-    fn parse_meta(line: &str) -> Option<Self> {
+    #[must_use]
+    pub fn parse_meta(line: &str) -> Option<Self> {
         let mut tokens = line.split_whitespace();
         if tokens.next() != Some("#") || tokens.next() != Some("dsa-sweep") {
             return None;
@@ -118,6 +140,7 @@ impl SweepKey {
         let mut params = None;
         let mut seed = None;
         let mut len = None;
+        let mut attack = 0;
         for token in tokens {
             let (key, value) = token.split_once('=')?;
             match key {
@@ -127,6 +150,7 @@ impl SweepKey {
                 "params" => params = u64::from_str_radix(value, 16).ok(),
                 "seed" => seed = value.parse().ok(),
                 "n" => len = value.parse().ok(),
+                "attack" => attack = u64::from_str_radix(value, 16).ok()?,
                 _ => {}
             }
         }
@@ -137,8 +161,57 @@ impl SweepKey {
             params: params?,
             seed: seed?,
             len: len?,
+            attack,
         })
     }
+}
+
+/// Reads a stamped cache file and returns its body when the stamp's key
+/// equals `key`. `Ok(None)` covers the "recompute, don't trust" cases:
+/// missing file, missing stamp, or a stamp computed under any other key.
+///
+/// # Errors
+///
+/// Returns an error when the file exists but cannot be read.
+pub fn read_stamped(path: &Path, key: &SweepKey) -> Result<Option<String>, String> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let Some(stamp_end) = text.find('\n') else {
+        return Ok(None);
+    };
+    match SweepKey::parse_meta(&text[..stamp_end]) {
+        Some(stamp) if stamp == *key => {
+            // Strip the stamp in place rather than copying the (possibly
+            // multi-thousand-row) body into a second allocation.
+            text.drain(..=stamp_end);
+            Ok(Some(text))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Writes `body` under `key`'s stamp, atomically: the content goes to a
+/// temporary sibling first and is renamed into place, so an interrupted
+/// run can never leave a stamp-matching truncated file (which would
+/// surface as a hard "corrupt cache" error on every subsequent run).
+///
+/// # Errors
+///
+/// Returns an error when the directory or file cannot be written.
+pub fn write_stamped(path: &Path, key: &SweepKey, body: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let mut text = key.meta_line();
+    text.push('\n');
+    text.push_str(body);
+    let tmp = path.with_extension(format!("csv.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("installing {}: {e}", path.display()))?;
+    Ok(())
 }
 
 /// A sweep together with its key and provenance.
@@ -167,19 +240,10 @@ impl DomainSweep {
     /// silently recomputed over).
     pub fn load(key: &SweepKey, out_dir: &Path) -> Result<Option<Self>, String> {
         let path = key.cache_path(out_dir);
-        if !path.exists() {
-            return Ok(None);
-        }
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let Some((first, body)) = text.split_once('\n') else {
+        let Some(body) = read_stamped(&path, key)? else {
             return Ok(None);
         };
-        match SweepKey::parse_meta(first) {
-            Some(stamp) if stamp == *key => {}
-            _ => return Ok(None),
-        }
-        let (results, names) = PraResults::from_csv(body)
+        let (results, names) = PraResults::from_csv(&body)
             .map_err(|e| format!("corrupt sweep cache {}: {e}", path.display()))?;
         if results.len() != key.len {
             return Ok(None);
@@ -239,25 +303,15 @@ impl DomainSweep {
         })
     }
 
-    /// Writes the sweep to its cache path, atomically: the content goes
-    /// to a temporary sibling first and is renamed into place, so an
-    /// interrupted run can never leave a stamp-matching truncated file
-    /// (which would surface as a hard "corrupt cache" error on every
-    /// subsequent run).
+    /// Writes the sweep to its cache path via [`write_stamped`]
+    /// (atomic temp sibling + rename).
     ///
     /// # Errors
     ///
     /// Returns an error when the directory or file cannot be written.
     pub fn store(&self, out_dir: &Path) -> Result<PathBuf, String> {
         let path = self.key.cache_path(out_dir);
-        std::fs::create_dir_all(out_dir)
-            .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
-        let mut text = self.key.meta_line();
-        text.push('\n');
-        text.push_str(&self.results.to_csv(Some(&self.names)));
-        let tmp = path.with_extension(format!("csv.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| format!("installing {}: {e}", path.display()))?;
+        write_stamped(&path, &self.key, &self.results.to_csv(Some(&self.names)))?;
         Ok(path)
     }
 }
@@ -324,6 +378,28 @@ mod tests {
         })
         .unwrap();
         assert!(!recomputed.from_cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attack_stamped_cache_never_validates_a_plain_key() {
+        let dir = temp_dir("attack");
+        let domain = erase(ToyDomain);
+        let cfg = config();
+        let plain =
+            DomainSweep::load_or_compute(&*domain, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+        // Re-stamp the same file as an attack sweep: the plain key must
+        // no longer trust it, and the attack key must not trust a file
+        // stamped with a different attack fingerprint.
+        let mut attacked = plain.clone();
+        attacked.key = attacked.key.with_attack(0xA77A);
+        attacked.store(&dir).unwrap();
+        let plain_key = SweepKey::of(&*domain, "smoke", Effort::Smoke, &cfg);
+        assert!(DomainSweep::load(&plain_key, &dir).unwrap().is_none());
+        let other_attack = plain_key.clone().with_attack(0xBEEF);
+        assert!(DomainSweep::load(&other_attack, &dir).unwrap().is_none());
+        let same_attack = plain_key.with_attack(0xA77A);
+        assert!(DomainSweep::load(&same_attack, &dir).unwrap().is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -406,8 +482,19 @@ mod tests {
             params: 0x89ab_cdef_0123_4567,
             seed: 24301,
             len: 216,
+            attack: 0,
         };
-        assert_eq!(SweepKey::parse_meta(&key.meta_line()), Some(key));
+        assert_eq!(SweepKey::parse_meta(&key.meta_line()), Some(key.clone()));
+        // An attack fingerprint is stamped and round-trips; its stamp
+        // never equals the plain key's.
+        let attacked = key.clone().with_attack(0xBEEF);
+        assert!(attacked.meta_line().contains("attack=000000000000beef"));
+        assert_eq!(
+            SweepKey::parse_meta(&attacked.meta_line()),
+            Some(attacked.clone())
+        );
+        assert_ne!(attacked.meta_line(), key.meta_line());
+        assert_ne!(SweepKey::parse_meta(&attacked.meta_line()), Some(key));
         assert!(SweepKey::parse_meta("index,name,performance_raw").is_none());
         assert!(SweepKey::parse_meta("# dsa-sweep v2 domain=x").is_none());
         // A stamp without a params field (pre-fingerprint format) is

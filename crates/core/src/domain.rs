@@ -96,6 +96,13 @@ pub trait Domain: Send + Sync + 'static {
         Vec::new()
     }
 
+    /// The protocol an identity-shedding (whitewashing) adversary runs,
+    /// when the domain actualizes one as a design point. Attack models
+    /// fall back to the first canonical attacker when `None`.
+    fn whitewasher(&self) -> Option<usize> {
+        None
+    }
+
     /// Builds the simulator for an effort level; `churn > 0` requests the
     /// domain's churn model at that per-round rate (the churn hook —
     /// ignored by domains where [`Self::supports_churn`] is false).
@@ -200,6 +207,10 @@ pub trait DynDomain: Send + Sync {
     /// Canonical attacker protocols (name, index).
     fn attackers(&self) -> Vec<(String, usize)>;
 
+    /// The identity-shedding (whitewashing) protocol, when the domain
+    /// actualizes one.
+    fn whitewasher(&self) -> Option<usize>;
+
     /// Whether the simulator models peer churn.
     fn supports_churn(&self) -> bool;
 
@@ -221,6 +232,21 @@ pub trait DynDomain: Send + Sync {
         b: usize,
         fraction_a: f64,
         effort: Effort,
+        seed: u64,
+    ) -> (f64, f64);
+
+    /// Like [`Self::run_encounter`], but with the domain's churn model
+    /// active at `churn` expected departures per peer-round — the
+    /// encounter-stream hook identity-churn (whitewash) attack models
+    /// drive. Domains without a churn model ([`Self::supports_churn`]
+    /// false) simulate without churn.
+    fn run_encounter_churn(
+        &self,
+        a: usize,
+        b: usize,
+        fraction_a: f64,
+        effort: Effort,
+        churn: f64,
         seed: u64,
     ) -> (f64, f64);
 
@@ -287,6 +313,10 @@ impl<D: Domain> DynDomain for Erased<D> {
             .collect()
     }
 
+    fn whitewasher(&self) -> Option<usize> {
+        self.inner.whitewasher()
+    }
+
     fn supports_churn(&self) -> bool {
         self.inner.supports_churn()
     }
@@ -321,6 +351,24 @@ impl<D: Domain> DynDomain for Erased<D> {
         )
     }
 
+    fn run_encounter_churn(
+        &self,
+        a: usize,
+        b: usize,
+        fraction_a: f64,
+        effort: Effort,
+        churn: f64,
+        seed: u64,
+    ) -> (f64, f64) {
+        let sim = self.inner.sim(effort, churn);
+        sim.run_encounter(
+            &self.inner.protocol(a),
+            &self.inner.protocol(b),
+            fraction_a,
+            seed,
+        )
+    }
+
     fn quantify(&self, indices: &[usize], effort: Effort, config: &PraConfig) -> PraResults {
         let sim = self.inner.sim(effort, 0.0);
         let protocols: Vec<_> = indices.iter().map(|&i| self.inner.protocol(i)).collect();
@@ -343,7 +391,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// Continues an FNV-1a hash over more bytes (the workspace's
 /// dependency-free stable hash, used for cache-key fingerprints).
 #[must_use]
-pub(crate) fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
+pub fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
@@ -353,7 +401,7 @@ pub(crate) fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
 
 /// FNV-1a over one byte string.
 #[must_use]
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_continue(FNV_OFFSET, bytes)
 }
 
@@ -488,6 +536,18 @@ mod tests {
         let (a, b) = d.run_encounter(0, 4, 0.5, Effort::Smoke, 9);
         // The toy's least generous side free-rides on the most generous.
         assert!(a > b);
+    }
+
+    #[test]
+    fn churn_encounter_defaults_to_plain_encounter_without_churn_model() {
+        // The toy simulator ignores churn, so the churn hook must agree
+        // with the plain encounter path for every rate.
+        let d = toy();
+        let plain = d.run_encounter(1, 3, 0.5, Effort::Smoke, 4);
+        let churned = d.run_encounter_churn(1, 3, 0.5, Effort::Smoke, 0.2, 4);
+        assert_eq!(plain, churned);
+        // And no whitewasher protocol is actualized by default.
+        assert!(d.whitewasher().is_none());
     }
 
     #[test]

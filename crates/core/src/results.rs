@@ -157,7 +157,8 @@ impl PraResults {
 }
 
 /// Quotes a CSV field if it contains separators or quotes.
-fn quote_csv(s: &str) -> String {
+#[must_use]
+pub fn quote_csv(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -166,7 +167,8 @@ fn quote_csv(s: &str) -> String {
 }
 
 /// Splits one CSV line honoring double-quoted fields.
-fn split_csv(line: &str) -> Vec<String> {
+#[must_use]
+pub fn split_csv(line: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;

@@ -62,6 +62,10 @@ impl<'a> Memo<'a> {
 /// Each restart begins at a uniform random point and repeatedly moves to
 /// the best single-coordinate neighbor until no neighbor improves or the
 /// evaluation budget is exhausted.
+///
+/// Restart `r` draws its starting point from `SeedSeq::new(seed).child(r)`
+/// — a pure function of `(seed, r)` with no shared stream, so a restart's
+/// trajectory never depends on how much budget earlier restarts consumed.
 pub fn hill_climb(
     space: &DesignSpace,
     objective: impl Fn(usize) -> f64,
@@ -71,16 +75,16 @@ pub fn hill_climb(
 ) -> SearchOutcome {
     assert!(restarts > 0, "need at least one restart");
     let mut memo = Memo::new(&objective);
-    let mut rng: Xoshiro256pp = SeedSeq::new(seed).rng();
+    let root = SeedSeq::new(seed);
     let mut best_index = 0;
     let mut best_value = f64::NEG_INFINITY;
     let mut trajectory = Vec::new();
 
-    'restarts: for _ in 0..restarts {
+    'restarts: for restart in 0..restarts {
         if memo.evaluations() >= budget {
             break 'restarts;
         }
-        let mut current = rng.index(space.size());
+        let mut current = root.child(restart as u64).rng().index(space.size());
         let mut current_val = memo.eval(current);
         if current_val > best_value {
             best_value = current_val;

@@ -1,6 +1,9 @@
-//! Property-based tests of the framework's shared population split.
+//! Property-based tests of the framework's shared population split and
+//! of the heuristic design-space explorers.
 
+use dsa_core::search::{evolve, hill_climb};
 use dsa_core::sim::split_population;
+use dsa_core::space::{DesignSpace, Dimension};
 use proptest::prelude::*;
 
 proptest! {
@@ -35,6 +38,77 @@ proptest! {
         prop_assert_eq!(assignment.len(), n);
         prop_assert!(assignment[..count_a].iter().all(|&g| g == 0));
         prop_assert!(assignment[count_a..].iter().all(|&g| g == 1));
+    }
+}
+
+/// A small multimodal space with a deterministic, cheap objective whose
+/// landscape still has structure (interacting coordinates).
+fn search_space() -> (DesignSpace, impl Fn(usize) -> f64 + Clone) {
+    let space = DesignSpace::new(
+        "search-props",
+        vec![
+            Dimension::new("a", (0..5).map(|i| i.to_string()).collect()),
+            Dimension::new("b", (0..4).map(|i| i.to_string()).collect()),
+            Dimension::new("c", (0..3).map(|i| i.to_string()).collect()),
+        ],
+    );
+    let s2 = space.clone();
+    let objective = move |idx: usize| {
+        let c = s2.coords(idx);
+        (c[0] as f64 - 2.2).sin() + 1.5 * (c[1] as f64 * 0.7).cos() + 0.3 * c[2] as f64
+            - 0.2 * (c[0] as f64 * c[1] as f64)
+    };
+    (space, objective)
+}
+
+proptest! {
+    /// Neither explorer ever spends more distinct objective evaluations
+    /// than its budget allows (evolve may finish the generation member it
+    /// started, hence the +1 slack its unit tests also grant).
+    #[test]
+    fn explorers_respect_evaluation_budget(
+        budget in 1usize..40,
+        seed in 0u64..500,
+        restarts in 1usize..6,
+    ) {
+        let (space, objective) = search_space();
+        let hc = hill_climb(&space, objective.clone(), restarts, budget, seed);
+        prop_assert!(hc.evaluations <= budget, "hill-climb spent {} of {budget}", hc.evaluations);
+        let ev = evolve(&space, objective, 3, 6, 50, 0.3, budget, seed);
+        prop_assert!(ev.evaluations <= budget + 1, "evolve spent {} of {budget}", ev.evaluations);
+    }
+
+    /// Same seed, same outcome, bit for bit — across repeated runs and
+    /// for every field of the outcome (index, value, spend, trajectory).
+    #[test]
+    fn explorers_are_bit_identical_across_repeats(
+        budget in 1usize..60,
+        seed in 0u64..500,
+    ) {
+        let (space, objective) = search_space();
+        let hc1 = hill_climb(&space, objective.clone(), 3, budget, seed);
+        let hc2 = hill_climb(&space, objective.clone(), 3, budget, seed);
+        prop_assert_eq!(hc1, hc2);
+        let ev1 = evolve(&space, objective.clone(), 3, 6, 25, 0.25, budget, seed);
+        let ev2 = evolve(&space, objective, 3, 6, 25, 0.25, budget, seed);
+        prop_assert_eq!(ev1, ev2);
+    }
+
+    /// The reported best value is the objective at the reported best
+    /// index, and the trajectory's last entry is the best.
+    #[test]
+    fn outcome_is_internally_consistent(budget in 2usize..60, seed in 0u64..200) {
+        let (space, objective) = search_space();
+        for out in [
+            hill_climb(&space, objective.clone(), 2, budget, seed),
+            evolve(&space, objective.clone(), 2, 4, 20, 0.3, budget, seed),
+        ] {
+            prop_assert!((out.best_value - objective(out.best_index)).abs() < 1e-12);
+            if let Some(&(last_idx, last_val)) = out.trajectory.last() {
+                prop_assert_eq!(last_idx, out.best_index);
+                prop_assert!((last_val - out.best_value).abs() < 1e-12);
+            }
+        }
     }
 }
 

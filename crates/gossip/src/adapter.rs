@@ -90,6 +90,19 @@ mod tests {
     }
 
     #[test]
+    fn churn_hook_falls_back_to_plain_encounter() {
+        // The gossip simulator has no churn model, so the churn hook is
+        // the identity transform on the encounter stream.
+        let d = register();
+        let a = presets::reciprocal().index();
+        let b = presets::silent().index();
+        let calm = d.run_encounter(a, b, 0.5, Effort::Smoke, 13);
+        let churned = d.run_encounter_churn(a, b, 0.5, Effort::Smoke, 0.2, 13);
+        assert_eq!(calm, churned);
+        assert!(d.whitewasher().is_none());
+    }
+
+    #[test]
     fn erased_homogeneous_matches_typed() {
         let d = register();
         let i = GossipProtocol::baseline().index();

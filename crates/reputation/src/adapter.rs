@@ -95,6 +95,10 @@ impl Domain for RepDomain {
         ]
     }
 
+    fn whitewasher(&self) -> Option<usize> {
+        Some(presets::whitewasher().index())
+    }
+
     fn supports_churn(&self) -> bool {
         true
     }
@@ -186,6 +190,25 @@ mod tests {
         let attackers: Vec<String> = d.attackers().into_iter().map(|(n, _)| n).collect();
         assert_eq!(attackers, vec!["freerider", "whitewasher"]);
         assert!(d.supports_churn());
+        // The whitewash hook names the identity-shedding design point.
+        assert_eq!(d.whitewasher(), Some(presets::whitewasher().index()));
+    }
+
+    #[test]
+    fn churn_hook_changes_the_encounter_stream() {
+        // With churn active, the encounter outcome must differ from the
+        // churn-free stream (the identity-churn attack hook is live), and
+        // stay deterministic in the seed.
+        let d = register();
+        let host = presets::private_tft().index();
+        let ww = presets::whitewasher().index();
+        let calm = d.run_encounter(host, ww, 0.9, Effort::Smoke, 11);
+        let churned = d.run_encounter_churn(host, ww, 0.9, Effort::Smoke, 0.1, 11);
+        assert_ne!(calm, churned);
+        assert_eq!(
+            churned,
+            d.run_encounter_churn(host, ww, 0.9, Effort::Smoke, 0.1, 11)
+        );
     }
 
     #[test]

@@ -236,6 +236,19 @@ mod tests {
     }
 
     #[test]
+    fn churn_hook_changes_the_encounter_stream() {
+        let d = register();
+        let bt = presets::bittorrent().index();
+        let fr = presets::freerider().index();
+        let calm = d.run_encounter(bt, fr, 0.9, Effort::Smoke, 9);
+        let churned = d.run_encounter_churn(bt, fr, 0.9, Effort::Smoke, 0.1, 9);
+        assert_ne!(calm, churned, "churn must perturb the swarm encounter");
+        // No dedicated whitewash design point in the swarm space: churn
+        // is the only identity-shedding channel.
+        assert!(d.whitewasher().is_none());
+    }
+
+    #[test]
     fn domain_simulate_report_names_metrics() {
         let d = SwarmDomain;
         let report = d.simulate_report(presets::bittorrent().index(), Effort::Smoke, 0.0, 3);

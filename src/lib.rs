@@ -3,13 +3,17 @@
 //! See the individual crates for documentation:
 //! [`dsa_core`], [`dsa_swarm`], [`dsa_gametheory`], [`dsa_btsim`],
 //! [`dsa_stats`], [`dsa_workloads`], [`dsa_gossip`],
-//! [`dsa_reputation`].
+//! [`dsa_reputation`], [`dsa_attacks`].
 //!
 //! Three DSA domains are provided: file swarming ([`swarm`], the paper's
 //! space), gossip dissemination ([`gossip`], §3.1's example) and
 //! reputation-mediated sharing ([`reputation`], the §7 "other domains"
-//! future work).
+//! future work). [`attacks`] layers a cross-domain adversary subsystem
+//! over all of them: parameterized attack models (Sybil, collusion,
+//! whitewash schedules, adaptive defection) that re-quantify the
+//! Robustness axis under a tunable attacker budget.
 
+pub use dsa_attacks as attacks;
 pub use dsa_btsim as btsim;
 pub use dsa_core as core;
 pub use dsa_gametheory as gametheory;
