@@ -70,29 +70,25 @@ impl AttackModel for Sybil {
     }
 }
 
-/// A collusion ring sharing private history: the ring observes the same
-/// environment under every deviant strategy the domain actualizes
-/// (the canonical attacker set) and coordinates on the most profitable
-/// one — a best-response adversary rather than a fixed protocol point.
+/// A collusion ring sharing private history. Where the domain's engine
+/// hosts mixed populations ([`DynDomain::supports_mixed`]), the ring
+/// fields its whole deviant portfolio in *one* run: the budget is split
+/// evenly across every strategy in the domain's canonical attacker set
+/// and the proceeds are pooled, so the defender faces all deviants at
+/// once and the ring's per-capita payoff is the member-weighted mean —
+/// the population-level hook's mixed-strategy adversary. Domains without
+/// a native multi-protocol engine (gossip) keep the PR 3 pairwise path:
+/// the ring observes the same environment under every deviant strategy
+/// (same seed) and coordinates on the most profitable one.
 #[derive(Debug, Clone, Default)]
 pub struct Collusion;
 
-impl AttackModel for Collusion {
-    fn name(&self) -> &'static str {
-        "collusion"
-    }
-
-    fn describe(&self) -> String {
-        "ring shares history, coordinates on the best deviant strategy".into()
-    }
-
-    fn signature(&self) -> String {
-        "collusion best-response".into()
-    }
-
-    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
-        // Same seed for every candidate: the ring compares strategies in
-        // the same world, then everyone plays the winner.
+impl Collusion {
+    /// The pairwise best-response path: compare every candidate in the
+    /// same world (same seed), then everyone plays the winner. This is
+    /// the PR 3 behaviour, kept bit-identical as the fallback for
+    /// domains that cannot host mixed populations.
+    fn pairwise_best_response(ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
         ctx.candidates()
             .into_iter()
             .map(|c| {
@@ -101,6 +97,59 @@ impl AttackModel for Collusion {
             })
             .max_by(|x, y| x.1.total_cmp(&y.1))
             .expect("candidates() is never empty")
+    }
+
+    /// The mixed-ring path: one population hosting the defender majority
+    /// plus the ring's budget split evenly over the candidate strategies.
+    fn mixed_ring(ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
+        let n = ctx.domain.population(ctx.effort).max(2);
+        // `split_population` is the engines' own split, so a
+        // single-candidate ring reproduces the plain invasion (and the
+        // pairwise path) bit for bit.
+        let def_count = dsa_core::sim::split_population(n, 1.0 - ctx.budget).0;
+        let ring_total = n - def_count;
+        let candidates = ctx.candidates();
+        // With fewer ring members than strategies, the ring fields its
+        // portfolio head first (candidates() orders the canonical set).
+        let k = candidates.len().min(ring_total);
+        let base = ring_total / k;
+        let extra = ring_total % k;
+        let mut groups = Vec::with_capacity(k + 1);
+        groups.push((defender, def_count));
+        for (idx, &c) in candidates.iter().take(k).enumerate() {
+            groups.push((c, base + usize::from(idx < extra)));
+        }
+        let utilities = ctx.domain.run_mixed(&groups, ctx.effort, seed);
+        let ring_take: f64 = utilities[1..]
+            .iter()
+            .zip(&groups[1..])
+            .map(|(&u, &(_, count))| u * count as f64)
+            .sum();
+        (utilities[0], ring_take / ring_total as f64)
+    }
+}
+
+impl AttackModel for Collusion {
+    fn name(&self) -> &'static str {
+        "collusion"
+    }
+
+    fn describe(&self) -> String {
+        "ring pools a mixed deviant portfolio in one run (best-response pairwise fallback)".into()
+    }
+
+    fn signature(&self) -> String {
+        // v2: the mixed-ring path landed; bumping the signature
+        // invalidates caches computed under the pairwise-only model.
+        "collusion v2 mixed-ring|pairwise".into()
+    }
+
+    fn encounter(&self, ctx: &AttackContext<'_>, defender: usize, seed: u64) -> (f64, f64) {
+        if ctx.domain.supports_mixed() {
+            Self::mixed_ring(ctx, defender, seed)
+        } else {
+            Self::pairwise_best_response(ctx, defender, seed)
+        }
     }
 }
 

@@ -75,6 +75,7 @@ impl AttackConfig {
             seed: self.seed,
             len: domain.size(),
             attack: 0,
+            evo: 0,
         }
         .with_attack(model.key(&self.budgets))
     }
@@ -349,6 +350,7 @@ mod tests {
                 seed: 7,
                 len: 3,
                 attack: 0x456,
+                evo: 0,
             },
             model: "sybil".into(),
             budgets: vec![0.1, 0.5],

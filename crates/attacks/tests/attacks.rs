@@ -139,6 +139,65 @@ fn collusion_with_one_candidate_matches_plain_invasion() {
 }
 
 #[test]
+fn collusion_falls_back_to_pr3_pairwise_best_response_without_mixed_support() {
+    // The gossip domain has no native multi-protocol engine
+    // (supports_mixed is false), so the upgraded collusion model must
+    // keep the original pairwise path bit for bit: every candidate
+    // compared in the same world (same seed), ring plays the winner.
+    let d = dsa_gossip::adapter::register();
+    assert!(!d.supports_mixed());
+    let budget = 0.3;
+    let c = ctx(&*d, budget);
+    for defender in [0, 17, 55] {
+        for seed in [1, 9, 1234] {
+            let expected = c
+                .candidates()
+                .into_iter()
+                .map(|cand| d.run_encounter(defender, cand, 1.0 - budget, Effort::Smoke, seed))
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .unwrap();
+            assert_eq!(Collusion.encounter(&c, defender, seed), expected);
+        }
+    }
+}
+
+#[test]
+fn collusion_fields_a_mixed_ring_on_mixed_capable_domains() {
+    // The reputation domain hosts mixed populations natively and names
+    // two canonical attackers (freerider, whitewasher): the ring fields
+    // both in ONE run and pools the take.
+    let d = dsa_reputation::adapter::register();
+    assert!(d.supports_mixed());
+    let budget = 0.25;
+    let c = ctx(&*d, budget);
+    let defender = d.parse("tft").unwrap();
+    let (def, ring) = Collusion.encounter(&c, defender, 11);
+    assert!(def.is_finite() && ring.is_finite());
+    // Deterministic in the seed.
+    assert_eq!(Collusion.encounter(&c, defender, 11), (def, ring));
+    // The pooled payoff is reproduced by the explicit run_mixed call:
+    // defender majority + the budget split evenly over both deviants.
+    let n = d.population(Effort::Smoke);
+    let def_count = dsa_core::sim::split_population(n, 1.0 - budget).0;
+    let ring_total = n - def_count;
+    let candidates = c.candidates();
+    let base = ring_total / candidates.len();
+    let extra = ring_total % candidates.len();
+    let mut groups = vec![(defender, def_count)];
+    for (idx, &cand) in candidates.iter().enumerate() {
+        groups.push((cand, base + usize::from(idx < extra)));
+    }
+    let us = d.run_mixed(&groups, Effort::Smoke, 11);
+    let pooled: f64 = us[1..]
+        .iter()
+        .zip(&groups[1..])
+        .map(|(&u, &(_, count))| u * count as f64)
+        .sum::<f64>()
+        / ring_total as f64;
+    assert_eq!((def, ring), (us[0], pooled));
+}
+
+#[test]
 fn whitewash_reaps_the_churn_bonus() {
     let d = grid();
     let ww = Whitewash { period: 10 };

@@ -68,6 +68,28 @@ fn bench_engines(c: &mut Criterion) {
         })
     });
 
+    // Empirical payoff matrix over the reputation domain's candidate set
+    // (24-peer communities at lab effort): the population-dynamics hot
+    // path — k(k+1)/2 mixed-population simulations through run_mixed,
+    // parallel with per-thread scratch buffers.
+    let rep_domain = dsa_reputation::adapter::register();
+    let evo_candidates = dsa_evolution::default_candidates(&*rep_domain);
+    let evo_cfg = dsa_evolution::EvoConfig {
+        encounter_runs: 1,
+        threads: 0,
+        ..dsa_evolution::EvoConfig::default()
+    };
+    c.bench_function("evo_payoff_matrix_24", |b| {
+        b.iter(|| {
+            dsa_evolution::empirical_matrix(
+                black_box(&*rep_domain),
+                black_box(&evo_candidates),
+                dsa_core::domain::Effort::Lab,
+                black_box(&evo_cfg),
+            )
+        })
+    });
+
     // OLS on a Table 3-shaped problem (3270 × 12); random columns are
     // full-rank with probability 1.
     let n = 3270;

@@ -12,6 +12,9 @@
 //! dsa <domain> pra [<p1> <p2> ... | --all] [--seed N] [--sample K] [--effort E] [--threads N]
 //! dsa <domain> attack list               list the registered attack models
 //! dsa <domain> attack run <model> <defender> [--budget B] [--runs N] [--seed N] [--effort E]
+//! dsa <domain> evolve matrix [<p>...] [--runs N] [--seed N] [--effort E] [--threads N]
+//! dsa <domain> evolve run    [<p>...] [--steps S] [--runs N] [--seed N] [--effort E] [--threads N]
+//! dsa <domain> evolve ess    [<p>...] [--runs N] [--seed N] [--effort E] [--threads N]
 //! dsa <domain> search [--seed N] [--budget N] [--restarts R] [--effort E]
 //! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]   (piece-level BitTorrent, swarm-only)
 //! ```
@@ -20,6 +23,10 @@
 //! A bare command (`dsa protocols ...`) defaults to the swarm domain.
 //! Attack models (`dsa-attacks`): sybil, collusion, whitewash, adaptive —
 //! all parameterized adversaries that work on every domain.
+//! `evolve` (`dsa-evolution`) runs population dynamics over a candidate
+//! set (default: the domain's presets + canonical attackers): the
+//! empirical payoff cross-table, the replicator trajectory from the
+//! uniform mixture, and the ESS / basin / fixation classification.
 //!
 //! Presets: swarm has bittorrent, birds, loyal, sorts, random,
 //! freerider; gossip has random-push, reciprocal, lazy, silent; rep has
@@ -37,13 +44,14 @@ use dsa_workloads::seeds::SeedSeq;
 use std::process::ExitCode;
 
 /// The generic per-domain subcommands.
-const DOMAIN_COMMANDS: [&str; 7] = [
+const DOMAIN_COMMANDS: [&str; 8] = [
     "protocols",
     "describe",
     "simulate",
     "encounter",
     "pra",
     "attack",
+    "evolve",
     "search",
 ];
 
@@ -88,7 +96,7 @@ fn help() -> String {
     let attacks: Vec<&str> = dsa_attacks::registry().iter().map(|m| m.name()).collect();
     format!(
         "dsa — Design Space Analysis toolkit\n\
-         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|search}} [...]\n\
+         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
          domains: {}\n\
          attacks: {} (dsa <domain> attack {{list|run}})\n\
@@ -107,6 +115,7 @@ fn dispatch(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
         Some("encounter") => cmd_encounter(domain, &args[1..]),
         Some("pra") => cmd_pra(domain, &args[1..]),
         Some("attack") => cmd_attack(domain, &args[1..]),
+        Some("evolve") => cmd_evolve(domain, &args[1..]),
         Some("search") => cmd_search(domain, &args[1..]),
         Some(other) => Err(format!(
             "unknown {} command '{other}' (expected one of: {})",
@@ -412,6 +421,148 @@ fn cmd_attack_run(domain: &dyn DynDomain, args: &[String]) -> Result<(), String>
             wins
         );
     }
+    Ok(())
+}
+
+// ---- population dynamics (dsa-evolution) ----------------------------------
+
+fn cmd_evolve(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("matrix") => cmd_evolve_matrix(domain, &args[1..]),
+        Some("run") => cmd_evolve_run(domain, &args[1..]),
+        Some("ess") => cmd_evolve_ess(domain, &args[1..]),
+        Some(other) => Err(format!(
+            "unknown evolve command '{other}' (expected: matrix, run, ess)"
+        )),
+        None => Err("evolve needs a subcommand: matrix, run, ess".into()),
+    }
+}
+
+/// Parses the shared evolve arguments: candidate tokens (default: the
+/// domain's presets + canonical attackers) and the dynamics flags.
+fn evolve_setup(
+    domain: &dyn DynDomain,
+    args: &[String],
+    extra_flags: &[&str],
+) -> Result<(Vec<usize>, dsa_evolution::EvoConfig, Effort, Flags), String> {
+    let (pos, flags) = split_flags(args)?;
+    let mut allowed = vec!["runs", "seed", "effort", "threads"];
+    allowed.extend_from_slice(extra_flags);
+    check_flags(&flags, &allowed)?;
+    let candidates = if pos.is_empty() {
+        dsa_evolution::default_candidates(domain)
+    } else {
+        let mut out: Vec<usize> = Vec::new();
+        for token in &pos {
+            let index = domain.parse(token)?;
+            if !out.contains(&index) {
+                out.push(index);
+            }
+        }
+        out
+    };
+    if candidates.len() < 2 {
+        return Err("evolve needs at least two distinct candidates".into());
+    }
+    let cfg = dsa_evolution::EvoConfig {
+        encounter_runs: flag(&flags, "runs", 2usize)?.max(1),
+        threads: flag(&flags, "threads", 0usize)?,
+        seed: flag(&flags, "seed", 0x5EEDu64)?,
+        ..dsa_evolution::EvoConfig::default()
+    };
+    let effort = effort_flag(&flags)?;
+    Ok((candidates, cfg, effort, flags))
+}
+
+fn cmd_evolve_matrix(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (candidates, cfg, effort, _) = evolve_setup(domain, args, &[])?;
+    let m = dsa_evolution::empirical_matrix(domain, &candidates, effort, &cfg);
+    println!(
+        "empirical payoff matrix over {} {} candidates (population {}, {} runs/cell)",
+        m.len(),
+        domain.name(),
+        m.population,
+        cfg.encounter_runs
+    );
+    let name_w = m.names.iter().map(String::len).max().unwrap_or(8);
+    print!("{:<name_w$} ", "");
+    for j in 0..m.len() {
+        print!("{j:>9} ");
+    }
+    println!();
+    for (i, row) in m.payoff.iter().enumerate() {
+        print!("{:<name_w$} ", m.names[i]);
+        for v in row {
+            print!("{v:>9.3} ");
+        }
+        println!();
+    }
+    println!("{}", dsa_stats::ascii::matrix_heat(&m.payoff, &m.names));
+    Ok(())
+}
+
+fn cmd_evolve_run(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (candidates, cfg, effort, flags) = evolve_setup(domain, args, &["steps"])?;
+    let steps = flag(&flags, "steps", 60usize)?.max(1);
+    let m = dsa_evolution::empirical_matrix(domain, &candidates, effort, &cfg);
+    let k = m.len();
+    let uniform = vec![1.0 / k as f64; k];
+    let trajectory = dsa_gametheory::evolution::replicator_trajectory(&m.payoff, &uniform, steps);
+    println!(
+        "replicator dynamics from the uniform mixture over {} {} candidates",
+        k,
+        domain.name()
+    );
+    let name_w = m.names.iter().map(String::len).max().unwrap_or(8);
+    print!("{:>6} ", "step");
+    for name in &m.names {
+        print!("{name:>name_w$} ");
+    }
+    println!();
+    // Print a logarithmic-ish selection of steps: enough to see the flow
+    // without a wall of rows.
+    let mut shown: Vec<usize> = vec![0, 1, 2, 5, 10, 20, 40, steps]
+        .into_iter()
+        .filter(|&s| s <= steps)
+        .collect();
+    shown.dedup();
+    for &s in &shown {
+        print!("{s:>6} ");
+        for share in &trajectory[s] {
+            print!("{share:>name_w$.3} ");
+        }
+        println!();
+    }
+    let last = trajectory.last().expect("non-empty trajectory");
+    let analysis = dsa_evolution::analyze(&m, &cfg);
+    println!(
+        "welfare: uniform {:.3} -> step {steps} {:.3} (optimum {:.3} at {})",
+        dsa_evolution::analysis::welfare(&m.payoff, &uniform),
+        dsa_evolution::analysis::welfare(&m.payoff, last),
+        analysis.max_welfare,
+        m.names[analysis.optimum]
+    );
+    println!(
+        "evolutionary PoA {:.3} (worst-case {:.3})",
+        analysis.poa, analysis.poa_worst
+    );
+    Ok(())
+}
+
+fn cmd_evolve_ess(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (candidates, cfg, effort, _) = evolve_setup(domain, args, &[])?;
+    let m = dsa_evolution::empirical_matrix(domain, &candidates, effort, &cfg);
+    let analysis = dsa_evolution::analyze(&m, &cfg);
+    println!(
+        "ESS classification over {} {} candidates ({:.0}% mutants, {} basin samples, population {})",
+        m.len(),
+        domain.name(),
+        cfg.mutant_share * 100.0,
+        cfg.basin_samples,
+        m.population
+    );
+    print!("{}", analysis.candidate_table(&m));
+    println!("{}", analysis.summary_line(&m));
     Ok(())
 }
 

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N]
-//!             [--budgets B1,B2,...] <id>...
+//!             [--budgets B1,B2,...] [--mutants P1,P2,...] <id>...
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
-//!      rep whitewash cross attacks search all
+//!      rep whitewash cross attacks evolution search all
 //! ```
 //!
 //! Sweep-based experiments share content-addressed caches at
@@ -16,12 +16,16 @@
 //! `attacks` experiment caches one robustness-under-budget sweep per
 //! (domain, attack model) at `<out>/attack-<domain>-<model>-<scale>.csv`
 //! (`--budgets` overrides the default 5%–50% grid and is part of the
-//! stamp). A cache stamped with a different space hash, scale, seed,
-//! parameter fingerprint or attack key is recomputed automatically;
+//! stamp). The `evolution` experiment caches one empirical payoff matrix
+//! per domain at `<out>/evo-<domain>-<scale>.csv` (`--mutants` adds
+//! protocols to each domain's candidate set and is part of the stamp). A
+//! cache stamped with a different space hash, scale, seed, parameter
+//! fingerprint, attack key or evo key is recomputed automatically;
 //! delete the file to force a re-run.
 
 use dsa_bench::attackfig;
 use dsa_bench::btfigs;
+use dsa_bench::evofig;
 use dsa_bench::figures;
 use dsa_bench::gossipfig;
 use dsa_bench::nashdemo;
@@ -61,6 +65,7 @@ const ALL_IDS: &[&str] = &[
     "whitewash",
     "cross",
     "attacks",
+    "evolution",
     "search",
 ];
 
@@ -69,6 +74,7 @@ struct Options {
     seed: u64,
     out: PathBuf,
     budgets: Option<Vec<f64>>,
+    mutants: Vec<String>,
     ids: Vec<String>,
 }
 
@@ -78,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out = PathBuf::from("results");
     let mut threads: Option<usize> = None;
     let mut budgets: Option<Vec<f64>> = None;
+    let mut mutants: Vec<String> = Vec::new();
     let mut ids = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -118,10 +125,16 @@ fn parse_args() -> Result<Options, String> {
                 }
                 budgets = Some(grid);
             }
+            "--mutants" => {
+                let v = args
+                    .next()
+                    .ok_or("--mutants needs a comma-separated token list")?;
+                mutants.extend(v.split(',').map(|t| t.trim().to_string()));
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
-                     [--threads N] [--budgets B1,B2,...] <id>...\nids: {} all",
+                     [--threads N] [--budgets B1,B2,...] [--mutants P1,P2,...] <id>...\nids: {} all",
                     ALL_IDS.join(" ")
                 ));
             }
@@ -146,6 +159,7 @@ fn parse_args() -> Result<Options, String> {
         seed: seed.unwrap_or(0x5EED),
         out,
         budgets,
+        mutants,
         ids,
     })
 }
@@ -226,6 +240,7 @@ fn main() -> ExitCode {
             "whitewash" => Ok(repfig::whitewash_attack(opts.seed ^ 0x3E9)),
             "cross" => prafig::cross_domain(&opts.scale, &opts.out),
             "attacks" => attackfig::attacks(&opts.scale, &opts.out, opts.budgets.as_deref()),
+            "evolution" => evofig::evolution(&opts.scale, &opts.out, &opts.mutants),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };

@@ -12,6 +12,7 @@
 
 pub mod attackfig;
 pub mod btfigs;
+pub mod evofig;
 pub mod figures;
 pub mod gossipfig;
 pub mod nashdemo;

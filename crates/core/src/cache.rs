@@ -62,6 +62,12 @@ pub struct SweepKey {
     /// their stamps can never validate a plain sweep's file (or another
     /// attack's) and a changed budget grid self-invalidates.
     pub attack: u64,
+    /// Evolutionary-dynamics fingerprint: 0 for plain PRA and attack
+    /// sweeps; population-dynamics sweeps (`dsa-evolution`) set it to the
+    /// candidate-set + dynamics-parameter hash, so an evo stamp can never
+    /// validate any other sweep and a changed candidate set or dynamics
+    /// configuration self-invalidates.
+    pub evo: u64,
 }
 
 impl SweepKey {
@@ -91,6 +97,7 @@ impl SweepKey {
             seed: config.seed,
             len: domain.size(),
             attack: 0,
+            evo: 0,
         }
     }
 
@@ -100,6 +107,15 @@ impl SweepKey {
     #[must_use]
     pub fn with_attack(mut self, attack: u64) -> Self {
         self.attack = attack;
+        self
+    }
+
+    /// The same key re-stamped for a population-dynamics sweep: `evo` is
+    /// the evolution fingerprint ([`crate::domain::fnv1a`] over the
+    /// candidate set and the dynamics parameters).
+    #[must_use]
+    pub fn with_evo(mut self, evo: u64) -> Self {
+        self.evo = evo;
         self
     }
 
@@ -121,6 +137,9 @@ impl SweepKey {
         if self.attack != 0 {
             line.push_str(&format!(" attack={:016x}", self.attack));
         }
+        if self.evo != 0 {
+            line.push_str(&format!(" evo={:016x}", self.evo));
+        }
         line
     }
 
@@ -141,6 +160,7 @@ impl SweepKey {
         let mut seed = None;
         let mut len = None;
         let mut attack = 0;
+        let mut evo = 0;
         for token in tokens {
             let (key, value) = token.split_once('=')?;
             match key {
@@ -151,6 +171,7 @@ impl SweepKey {
                 "seed" => seed = value.parse().ok(),
                 "n" => len = value.parse().ok(),
                 "attack" => attack = u64::from_str_radix(value, 16).ok()?,
+                "evo" => evo = u64::from_str_radix(value, 16).ok()?,
                 _ => {}
             }
         }
@@ -162,6 +183,7 @@ impl SweepKey {
             seed: seed?,
             len: len?,
             attack,
+            evo,
         })
     }
 }
@@ -483,6 +505,7 @@ mod tests {
             seed: 24301,
             len: 216,
             attack: 0,
+            evo: 0,
         };
         assert_eq!(SweepKey::parse_meta(&key.meta_line()), Some(key.clone()));
         // An attack fingerprint is stamped and round-trips; its stamp
@@ -494,6 +517,16 @@ mod tests {
             Some(attacked.clone())
         );
         assert_ne!(attacked.meta_line(), key.meta_line());
+        // An evo fingerprint is orthogonal to both: it round-trips and
+        // never validates the plain or attack-stamped key.
+        let evolved = key.clone().with_evo(0xE40);
+        assert!(evolved.meta_line().contains("evo=0000000000000e40"));
+        assert_eq!(
+            SweepKey::parse_meta(&evolved.meta_line()),
+            Some(evolved.clone())
+        );
+        assert_ne!(evolved, key);
+        assert_ne!(evolved, attacked);
         assert_ne!(SweepKey::parse_meta(&attacked.meta_line()), Some(key));
         assert!(SweepKey::parse_meta("index,name,performance_raw").is_none());
         assert!(SweepKey::parse_meta("# dsa-sweep v2 domain=x").is_none());

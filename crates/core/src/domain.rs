@@ -18,6 +18,7 @@ use crate::pra::{quantify, PraConfig};
 use crate::results::PraResults;
 use crate::sim::EncounterSim;
 use crate::space::DesignSpace;
+use dsa_workloads::seeds::SeedSeq;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Simulator fidelity level, mirroring the harness scale presets.
@@ -111,6 +112,44 @@ pub trait Domain: Send + Sync + 'static {
     /// Whether the simulator models peer churn.
     fn supports_churn(&self) -> bool {
         false
+    }
+
+    /// The population size one simulation hosts at an effort level — the
+    /// peer count behind [`DynDomain::run_encounter`] and
+    /// [`DynDomain::run_mixed`]. Population-level consumers (empirical
+    /// payoff matrices, mixed-strategy collusion rings) derive their group
+    /// counts from it, so domains should override it with the simulator's
+    /// actual peer count; the default is a generic small community.
+    fn population(&self, effort: Effort) -> usize {
+        let _ = effort;
+        24
+    }
+
+    /// Whether [`Self::run_mixed`] natively hosts `k > 2` protocols in
+    /// one simulation (true for engines that take a per-peer assignment
+    /// over an arbitrary protocol list). Domains that leave
+    /// [`Self::run_mixed`] returning `None` must leave this `false`; the
+    /// erased layer then approximates mixtures by round-robin pairwise
+    /// encounters ([`mixed_fallback`]).
+    fn supports_mixed(&self) -> bool {
+        false
+    }
+
+    /// Natively simulates one population hosting every `(protocol index,
+    /// peer count)` group of `groups` at once and returns the mean
+    /// per-peer utility of each group, in `groups` order.
+    ///
+    /// Returning `None` (the default) means the engine cannot host more
+    /// than two protocols in one run; [`DynDomain::run_mixed`] then falls
+    /// back to [`mixed_fallback`]. Implementations must honour the two
+    /// degeneracy contracts the fallback provides, so callers can rely on
+    /// them for every domain: a single group reproduces
+    /// [`DynDomain::run_homogeneous`] bit-for-bit, and exactly two groups
+    /// reproduce [`DynDomain::run_encounter`] at `fraction_a =
+    /// count_a / (count_a + count_b)` bit-for-bit.
+    fn run_mixed(&self, effort: Effort, groups: &[(usize, usize)], seed: u64) -> Option<Vec<f64>> {
+        let _ = (effort, groups, seed);
+        None
     }
 
     /// A stable textual fingerprint of the simulator parameters this
@@ -213,6 +252,23 @@ pub trait DynDomain: Send + Sync {
 
     /// Whether the simulator models peer churn.
     fn supports_churn(&self) -> bool;
+
+    /// The population size one simulation hosts at an effort level.
+    fn population(&self, effort: Effort) -> usize;
+
+    /// Whether [`Self::run_mixed`] is one native multi-protocol
+    /// simulation rather than the round-robin pairwise approximation.
+    fn supports_mixed(&self) -> bool;
+
+    /// Mean per-group utilities of one population hosting every
+    /// `(protocol index, peer count)` group of `groups` at once — the
+    /// population-level hook mixed-strategy adversaries and empirical
+    /// payoff matrices drive. One group reproduces
+    /// [`Self::run_homogeneous`] bit-for-bit; two groups reproduce
+    /// [`Self::run_encounter`] at their count ratio bit-for-bit; more
+    /// groups run natively where [`Self::supports_mixed`] is true and
+    /// through [`mixed_fallback`] otherwise.
+    fn run_mixed(&self, groups: &[(usize, usize)], effort: Effort, seed: u64) -> Vec<f64>;
 
     /// Stable fingerprint of the simulator parameters an effort level
     /// maps to (a sweep-cache key component).
@@ -321,6 +377,31 @@ impl<D: Domain> DynDomain for Erased<D> {
         self.inner.supports_churn()
     }
 
+    fn population(&self, effort: Effort) -> usize {
+        self.inner.population(effort)
+    }
+
+    fn supports_mixed(&self) -> bool {
+        self.inner.supports_mixed()
+    }
+
+    fn run_mixed(&self, groups: &[(usize, usize)], effort: Effort, seed: u64) -> Vec<f64> {
+        assert!(!groups.is_empty(), "run_mixed needs at least one group");
+        assert!(
+            groups.iter().all(|&(_, count)| count >= 1),
+            "every run_mixed group needs at least one peer, got {groups:?}"
+        );
+        if let Some(utilities) = self.inner.run_mixed(effort, groups, seed) {
+            assert_eq!(
+                utilities.len(),
+                groups.len(),
+                "native run_mixed must return one utility per group"
+            );
+            return utilities;
+        }
+        mixed_fallback(self, groups, effort, seed)
+    }
+
     fn sim_signature(&self, effort: Effort) -> String {
         self.inner.sim_signature(effort)
     }
@@ -382,6 +463,63 @@ impl<D: Domain> DynDomain for Erased<D> {
 
     fn codes(&self) -> Vec<String> {
         (0..self.size()).map(|i| self.inner.code(i)).collect()
+    }
+}
+
+/// Approximates a `k`-protocol population by round-robin pairwise
+/// encounters, for domains whose engines cannot host more than two
+/// protocols in one run — the composition path that lets every registered
+/// domain serve [`DynDomain::run_mixed`].
+///
+/// One group is the homogeneous run and two groups are the plain
+/// encounter at their count ratio, both bit-for-bit (the degeneracy
+/// contracts native implementations share). For `k ≥ 3`, every unordered
+/// pair of groups meets once at the mixture their relative counts imply
+/// (with a pair-position-derived seed), and a group's utility is the mean
+/// of its pairwise outcomes weighted by the opposing group's mass.
+///
+/// # Panics
+///
+/// Panics when `groups` is empty or any group count is zero.
+#[must_use]
+pub fn mixed_fallback(
+    domain: &dyn DynDomain,
+    groups: &[(usize, usize)],
+    effort: Effort,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(!groups.is_empty(), "run_mixed needs at least one group");
+    assert!(
+        groups.iter().all(|&(_, count)| count >= 1),
+        "every run_mixed group needs at least one peer, got {groups:?}"
+    );
+    match *groups {
+        [(protocol, _)] => vec![domain.run_homogeneous(protocol, effort, seed)],
+        [(a, count_a), (b, count_b)] => {
+            let fraction_a = count_a as f64 / (count_a + count_b) as f64;
+            let (ua, ub) = domain.run_encounter(a, b, fraction_a, effort, seed);
+            vec![ua, ub]
+        }
+        _ => {
+            let root = SeedSeq::new(seed);
+            let k = groups.len();
+            let mut weighted = vec![0.0f64; k];
+            let mut mass = vec![0.0f64; k];
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    let (pi, ci) = groups[i];
+                    let (pj, cj) = groups[j];
+                    let fraction_i = ci as f64 / (ci + cj) as f64;
+                    let pair_seed = root.child(i as u64).child(j as u64).seed();
+                    let (ui, uj) = domain.run_encounter(pi, pj, fraction_i, effort, pair_seed);
+                    weighted[i] += cj as f64 * ui;
+                    mass[i] += cj as f64;
+                    weighted[j] += ci as f64 * uj;
+                    mass[j] += ci as f64;
+                }
+            }
+            weighted.iter().zip(&mass).map(|(&w, &m)| w / m).collect()
+        }
     }
 }
 
@@ -548,6 +686,44 @@ mod tests {
         assert_eq!(plain, churned);
         // And no whitewasher protocol is actualized by default.
         assert!(d.whitewasher().is_none());
+    }
+
+    #[test]
+    fn mixed_single_group_is_the_homogeneous_run() {
+        let d = toy();
+        assert!(!d.supports_mixed());
+        let mixed = d.run_mixed(&[(3, 10)], Effort::Smoke, 21);
+        assert_eq!(mixed, vec![d.run_homogeneous(3, Effort::Smoke, 21)]);
+    }
+
+    #[test]
+    fn mixed_pair_is_the_plain_encounter_at_the_count_ratio() {
+        let d = toy();
+        let mixed = d.run_mixed(&[(0, 3), (4, 9)], Effort::Smoke, 8);
+        let (ua, ub) = d.run_encounter(0, 4, 0.25, Effort::Smoke, 8);
+        assert_eq!(mixed, vec![ua, ub]);
+    }
+
+    #[test]
+    fn mixed_fallback_round_robin_weights_by_opponent_mass() {
+        let d = toy();
+        // Three groups through the pairwise fallback: deterministic, one
+        // utility per group, and repeatable.
+        let groups = [(0, 4), (2, 4), (4, 16)];
+        let a = d.run_mixed(&groups, Effort::Smoke, 5);
+        let b = d.run_mixed(&groups, Effort::Smoke, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|u| u.is_finite()));
+        // In the free-rider toy the least generous group profits most
+        // from any mixture and the most generous group profits least.
+        assert!(a[0] > a[2], "freeriders exploit saints: {a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn mixed_rejects_empty_groups() {
+        let _ = toy().run_mixed(&[(0, 3), (1, 0)], Effort::Smoke, 1);
     }
 
     #[test]

@@ -20,12 +20,36 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_indexed_scratch(n, threads, || (), |(), i| f(i))
+}
+
+/// [`parallel_map_indexed`] with a per-worker scratch value: `scratch()`
+/// runs once per worker thread and the result is handed to every task
+/// that worker executes, so tight sweeps (e.g. the empirical payoff
+/// matrix) can reuse buffers across tasks instead of allocating per task.
+///
+/// The scratch must not carry results between tasks — task outputs land
+/// at their own index and workers steal tasks in a nondeterministic
+/// order, so anything accumulated in the scratch would break the
+/// bit-identical-across-thread-counts invariant.
+pub fn parallel_map_indexed_scratch<T, S, C, F>(
+    n: usize,
+    threads: usize,
+    scratch: C,
+    f: F,
+) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    C: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = effective_threads(threads, n);
     if n == 0 {
         return Vec::new();
     }
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut s = scratch();
+        return (0..n).map(|i| f(&mut s, i)).collect();
     }
 
     let mut out = vec![T::default(); n];
@@ -39,14 +63,16 @@ where
         for _ in 0..threads {
             let counter = &counter;
             let f = &f;
+            let scratch = &scratch;
             handles.push(scope.spawn(move || {
+                let mut s = scratch();
                 let mut local = Vec::new();
                 loop {
                     let i = counter.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    local.push((i, f(&mut s, i)));
                 }
                 local
             }));
@@ -107,6 +133,22 @@ mod tests {
         assert_eq!(effective_threads(1, 100), 1);
         assert!(effective_threads(0, 100) >= 1);
         assert_eq!(effective_threads(9, 0), 1);
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_map_across_thread_counts() {
+        // The scratch is a reusable buffer; results must not depend on
+        // which worker (and thus which scratch instance) ran a task.
+        let f = |buf: &mut Vec<f64>, i: usize| {
+            buf.clear();
+            buf.extend((0..=i).map(|x| x as f64));
+            buf.iter().sum::<f64>().sqrt()
+        };
+        let one = parallel_map_indexed_scratch(200, 1, Vec::new, f);
+        let many = parallel_map_indexed_scratch(200, 8, Vec::new, f);
+        assert_eq!(one, many);
+        let plain = parallel_map_indexed(200, 4, |i| (0..=i).map(|x| x as f64).sum::<f64>().sqrt());
+        assert_eq!(one, plain);
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Evolutionary analysis of an empirical payoff matrix: ESS
+//! classification, basin-of-attraction sampling, finite-population
+//! invasion probabilities and the evolutionary price of anarchy.
+
+use crate::payoff::{EvoConfig, PayoffMatrix};
+use dsa_core::domain::DynDomain;
+use dsa_gametheory::evolution::{converge, invasion_fixation};
+use dsa_workloads::seeds::SeedSeq;
+
+/// Seed-tree phase tags for the two stochastic analyses (separating them
+/// from each other and from the matrix-measurement stream).
+const BASIN_PHASE: u64 = 0xBA51;
+const MORAN_PHASE: u64 = 0x40AA;
+
+/// A rest point counts as a candidate's basin when it holds at least
+/// this share there.
+const ATTRACTOR_SHARE: f64 = 0.95;
+
+/// The default candidate set of a domain: its named presets followed by
+/// its canonical attackers, deduplicated in that order — the protocols a
+/// mixed population plausibly fields.
+#[must_use]
+pub fn default_candidates(domain: &dyn DynDomain) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for (_, i) in domain.presets().into_iter().chain(domain.attackers()) {
+        if !out.contains(&i) {
+            out.push(i);
+        }
+    }
+    if out.is_empty() {
+        out.push(0);
+    }
+    out
+}
+
+/// Mean population payoff (welfare) of a strategy mix under a payoff
+/// matrix: `xᵀ A x`.
+#[must_use]
+pub fn welfare(payoff: &[Vec<f64>], shares: &[f64]) -> f64 {
+    shares
+        .iter()
+        .enumerate()
+        .map(|(i, &si)| {
+            si * shares
+                .iter()
+                .enumerate()
+                .map(|(j, &sj)| payoff[i][j] * sj)
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+/// Whether candidate `i` resists a `cfg.mutant_share` invasion by
+/// candidate `j` (converged mutant share strictly below the initial
+/// share). Neutral invaders — equal payoffs — drift rather than shrink,
+/// so they are *not* resisted, matching the strict ESS condition.
+#[must_use]
+pub fn resists_invasion(payoff: &[Vec<f64>], i: usize, j: usize, cfg: &EvoConfig) -> bool {
+    let k = payoff.len();
+    let mut shares = vec![0.0; k];
+    shares[i] = 1.0 - cfg.mutant_share;
+    shares[j] = cfg.mutant_share;
+    let (rest, _) = converge(payoff, &shares, cfg.max_steps, cfg.tolerance);
+    rest[j] < cfg.mutant_share - 1e-12
+}
+
+/// ESS classification per candidate: `true` when the candidate resists a
+/// `cfg.mutant_share` invasion by *every* other candidate in the set.
+#[must_use]
+pub fn ess_flags(payoff: &[Vec<f64>], cfg: &EvoConfig) -> Vec<bool> {
+    let k = payoff.len();
+    (0..k)
+        .map(|i| (0..k).all(|j| j == i || resists_invasion(payoff, i, j, cfg)))
+        .collect()
+}
+
+/// One SeedSeq-derived point, uniform on the `k`-simplex (normalized
+/// exponentials).
+fn simplex_sample(node: &SeedSeq, k: usize) -> Vec<f64> {
+    let mut rng = node.rng();
+    let draws: Vec<f64> = (0..k)
+        .map(|_| {
+            let exp = -(1.0 - rng.next_f64()).ln();
+            exp.max(1e-300)
+        })
+        .collect();
+    let total: f64 = draws.iter().sum();
+    draws.iter().map(|d| d / total).collect()
+}
+
+/// The full evolutionary analysis of one empirical payoff matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvoAnalysis {
+    /// Per-candidate ESS flag (resists 5%-mutant invasion by every other
+    /// candidate).
+    pub ess: Vec<bool>,
+    /// Per-candidate basin share: the fraction of sampled initial
+    /// mixtures whose rest point concentrates (≥ 95%) on the candidate.
+    pub basin_share: Vec<f64>,
+    /// Share of sampled mixtures resting at no single candidate (mixed or
+    /// interior rest points).
+    pub mixed_share: f64,
+    /// Per-candidate finite-population fixation probability of one
+    /// candidate mutant invading the welfare-best resident (neutral
+    /// benchmark: `1 / population`).
+    pub fixation: Vec<f64>,
+    /// Matrix position of the welfare-best (highest homogeneous payoff)
+    /// candidate — the Moran resident and the PoA denominator.
+    pub optimum: usize,
+    /// Basin-weighted mean welfare at the sampled rest points.
+    pub rest_welfare_mean: f64,
+    /// Worst sampled rest-point welfare.
+    pub rest_welfare_min: f64,
+    /// The welfare-optimal homogeneous payoff (`max_i payoff[i][i]`).
+    pub max_welfare: f64,
+    /// Evolutionary price of anarchy: basin-weighted rest welfare over
+    /// the optimum (1 = evolution finds the optimum; 0 = total collapse).
+    pub poa: f64,
+    /// Worst-case variant: minimum rest welfare over the optimum.
+    pub poa_worst: f64,
+}
+
+impl EvoAnalysis {
+    /// Share of candidates classified as ESS.
+    #[must_use]
+    pub fn ess_share(&self) -> f64 {
+        if self.ess.is_empty() {
+            return 0.0;
+        }
+        self.ess.iter().filter(|&&e| e).count() as f64 / self.ess.len() as f64
+    }
+
+    /// The per-candidate classification table (name, ESS flag, basin
+    /// share, fixation probability, homogeneous payoff) — the one
+    /// rendering shared by the `dsa <domain> evolve ess` CLI and the
+    /// `experiments evolution` figure.
+    #[must_use]
+    pub fn candidate_table(&self, matrix: &PayoffMatrix) -> String {
+        use std::fmt::Write as _;
+        let name_w = matrix.names.iter().map(String::len).max().unwrap_or(8);
+        let mut out = format!(
+            "{:<name_w$} {:>4} {:>7} {:>9} {:>9}\n",
+            "candidate", "ESS", "basin", "fixation", "A[i][i]"
+        );
+        for i in 0..matrix.len() {
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>4} {:>7.3} {:>9.3} {:>9.3}",
+                matrix.names[i],
+                if self.ess[i] { "yes" } else { "no" },
+                self.basin_share[i],
+                self.fixation[i],
+                matrix.payoff[i][i]
+            );
+        }
+        out
+    }
+
+    /// The one-line ESS-share / evolutionary-PoA summary.
+    #[must_use]
+    pub fn summary_line(&self, matrix: &PayoffMatrix) -> String {
+        format!(
+            "ESS share {:.3} | evolutionary PoA {:.3} (worst-case {:.3}; optimum {} at welfare {:.3})",
+            self.ess_share(),
+            self.poa,
+            self.poa_worst,
+            matrix.names[self.optimum],
+            self.max_welfare
+        )
+    }
+}
+
+/// Runs the ESS / basin / fixation / PoA analysis on a measured matrix.
+/// Deterministic in `cfg.seed` (basin mixtures and Moran trials both
+/// derive from it), and independent of `cfg.threads`.
+///
+/// # Panics
+///
+/// Panics when the matrix is empty.
+#[must_use]
+pub fn analyze(matrix: &PayoffMatrix, cfg: &EvoConfig) -> EvoAnalysis {
+    let payoff = &matrix.payoff;
+    let k = matrix.len();
+    assert!(k > 0, "empty payoff matrix");
+
+    let ess = ess_flags(payoff, cfg);
+
+    let optimum = (0..k)
+        .max_by(|&a, &b| payoff[a][a].total_cmp(&payoff[b][b]))
+        .expect("k > 0");
+    let max_welfare = payoff[optimum][optimum];
+
+    // Basin-of-attraction sampling from SeedSeq-derived mixtures.
+    let basin_root = SeedSeq::new(cfg.seed).child(BASIN_PHASE);
+    let samples = cfg.basin_samples.max(1);
+    let mut basin_hits = vec![0usize; k];
+    let mut mixed_hits = 0usize;
+    let mut welfare_sum = 0.0f64;
+    let mut welfare_min = f64::INFINITY;
+    for s in 0..samples {
+        let initial = simplex_sample(&basin_root.child(s as u64), k);
+        let (rest, _) = converge(payoff, &initial, cfg.max_steps, cfg.tolerance);
+        let w = welfare(payoff, &rest);
+        welfare_sum += w;
+        welfare_min = welfare_min.min(w);
+        match rest
+            .iter()
+            .enumerate()
+            .find(|(_, &share)| share >= ATTRACTOR_SHARE)
+        {
+            Some((i, _)) => basin_hits[i] += 1,
+            None => mixed_hits += 1,
+        }
+    }
+    let basin_share: Vec<f64> = basin_hits
+        .iter()
+        .map(|&h| h as f64 / samples as f64)
+        .collect();
+    let rest_welfare_mean = welfare_sum / samples as f64;
+
+    // Finite-population invasion of the welfare-best resident. Each
+    // pair's trials draw from an RNG derived from the two *protocol
+    // indices* (not the candidate position or a shared stream), so a
+    // candidate's estimate is stable under extending or reordering the
+    // set — the same invariance the payoff matrix provides.
+    let n = matrix.population.max(2);
+    let moran_root = SeedSeq::new(cfg.seed).child(MORAN_PHASE);
+    let fixation: Vec<f64> = (0..k)
+        .map(|j| {
+            if j == optimum {
+                // A "mutant" of the resident protocol is pure drift.
+                1.0 / n as f64
+            } else {
+                let mut rng = moran_root
+                    .child(matrix.candidates[optimum] as u64)
+                    .child(matrix.candidates[j] as u64)
+                    .rng();
+                invasion_fixation(payoff, optimum, j, n, cfg.moran_trials.max(1), &mut rng)
+            }
+        })
+        .collect();
+
+    let ratio = |w: f64| {
+        if max_welfare.abs() < 1e-12 {
+            f64::NAN
+        } else {
+            w / max_welfare
+        }
+    };
+    EvoAnalysis {
+        ess,
+        basin_share,
+        mixed_share: mixed_hits as f64 / samples as f64,
+        fixation,
+        optimum,
+        rest_welfare_mean,
+        rest_welfare_min: welfare_min,
+        max_welfare,
+        poa: ratio(rest_welfare_mean),
+        poa_worst: ratio(welfare_min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A prisoner's-dilemma-shaped matrix: defect (1) is the unique ESS
+    /// and drags welfare from 3 down to 1.
+    fn pd() -> PayoffMatrix {
+        PayoffMatrix {
+            candidates: vec![10, 20],
+            names: vec!["coop".into(), "defect".into()],
+            payoff: vec![vec![3.0, 0.0], vec![5.0, 1.0]],
+            population: 20,
+        }
+    }
+
+    fn cfg() -> EvoConfig {
+        EvoConfig {
+            seed: 7,
+            basin_samples: 16,
+            moran_trials: 400,
+            ..EvoConfig::default()
+        }
+    }
+
+    #[test]
+    fn pd_defection_is_the_only_ess_and_poa_collapses() {
+        let a = analyze(&pd(), &cfg());
+        assert_eq!(a.ess, vec![false, true]);
+        assert!((a.ess_share() - 0.5).abs() < 1e-12);
+        // Every interior mixture flows to all-defect.
+        assert_eq!(a.basin_share, vec![0.0, 1.0]);
+        assert_eq!(a.mixed_share, 0.0);
+        // Optimum is cooperation (welfare 3); evolution rests at 1.
+        assert_eq!(a.optimum, 0);
+        assert!((a.max_welfare - 3.0).abs() < 1e-12);
+        assert!((a.poa - 1.0 / 3.0).abs() < 1e-3, "poa={}", a.poa);
+        assert!(a.poa_worst <= a.poa + 1e-12);
+        // The defector invades the cooperative resident far above the
+        // neutral 1/n benchmark.
+        assert!(a.fixation[1] > 1.0 / 20.0, "fixation {:?}", a.fixation);
+        assert!((a.fixation[0] - 1.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordination_game_splits_the_basin() {
+        // Stag hunt: both vertices are attractors with a real boundary.
+        let m = PayoffMatrix {
+            candidates: vec![0, 1],
+            names: vec!["stag".into(), "hare".into()],
+            payoff: vec![vec![4.0, 0.0], vec![3.0, 2.0]],
+            population: 12,
+        };
+        let a = analyze(&m, &cfg());
+        assert_eq!(a.ess, vec![true, true]);
+        assert!(a.basin_share[0] > 0.0 && a.basin_share[1] > 0.0);
+        assert!((a.basin_share[0] + a.basin_share[1] + a.mixed_share - 1.0).abs() < 1e-12);
+        // Worst rest point (all-hare, welfare 2) vs optimum (4).
+        assert!((a.poa_worst - 0.5).abs() < 1e-6, "{}", a.poa_worst);
+    }
+
+    #[test]
+    fn neutral_invaders_are_not_resisted() {
+        let m = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let c = cfg();
+        assert!(!resists_invasion(&m, 0, 1, &c));
+        assert_eq!(ess_flags(&m, &c), vec![false, false]);
+    }
+
+    #[test]
+    fn welfare_is_the_quadratic_form() {
+        let m = vec![vec![2.0, 0.0], vec![4.0, 1.0]];
+        assert!((welfare(&m, &[1.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert!((welfare(&m, &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        let mixed = welfare(&m, &[0.5, 0.5]);
+        assert!((mixed - (0.25 * (2.0 + 0.0 + 4.0 + 1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixation_estimates_are_stable_under_candidate_extension() {
+        // Adding a third candidate must not move the existing pair's
+        // fixation estimate: each pair's Moran trials draw from an RNG
+        // derived from the two protocol indices, not a shared stream.
+        let base = analyze(&pd(), &cfg());
+        let extended = PayoffMatrix {
+            candidates: vec![10, 20, 30],
+            names: vec!["coop".into(), "defect".into(), "third".into()],
+            payoff: vec![
+                vec![3.0, 0.0, 1.0],
+                vec![5.0, 1.0, 1.0],
+                vec![1.0, 1.0, 2.0],
+            ],
+            population: 20,
+        };
+        let wider = analyze(&extended, &cfg());
+        assert_eq!(wider.optimum, 0, "optimum unchanged by the extension");
+        assert_eq!(base.fixation[1], wider.fixation[1]);
+    }
+
+    #[test]
+    fn analysis_is_deterministic_in_the_seed() {
+        let a = analyze(&pd(), &cfg());
+        let b = analyze(&pd(), &cfg());
+        assert_eq!(a, b);
+        let mut reseeded = cfg();
+        reseeded.seed = 8;
+        // Same qualitative answer; the Moran estimates move with the seed.
+        let c = analyze(&pd(), &reseeded);
+        assert_eq!(a.ess, c.ess);
+        assert_ne!(a.fixation[1], c.fixation[1]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Population dynamics over DSA domains — the evolutionary
+//! re-quantification of the Robustness axis.
+//!
+//! The paper's R axis asks whether a protocol resists invasion by
+//! deviants, but every sweep in the workspace so far pits exactly two
+//! pure strategies against each other per run. This crate asks the
+//! question evolutionary game theory actually poses (Feldman et al.'s
+//! "evolutionary game-theoretic analysis on a P2P design space", and
+//! Mailath's case that equilibrium predictions need dynamic
+//! justification — both in the paper's related work):
+//!
+//! 1. [`payoff`] measures an **empirical payoff matrix** over a candidate
+//!    protocol set: a `k × k` cross-table of simulated group utilities,
+//!    built through the [`dsa_core::domain::DynDomain::run_mixed`]
+//!    population hook (native multi-protocol simulation where the engine
+//!    supports it, round-robin pairwise composition everywhere else) —
+//!    parallel and bit-identical across thread counts.
+//! 2. [`analysis`] feeds that matrix to `dsa_gametheory::evolution`'s
+//!    replicator/Moran primitives: **ESS classification** (who resists a
+//!    5%-mutant invasion by every other candidate), **basin-of-attraction
+//!    sampling** from SeedSeq-derived initial mixtures, finite-population
+//!    **invasion (fixation) probabilities**, and the **evolutionary price
+//!    of anarchy** — welfare at the dynamics' rest points over the
+//!    welfare-optimal protocol's, the Chandan-et-al.-style gap a
+//!    per-protocol PRA cube cannot express.
+//! 3. [`sweep`] caches the expensive part (the matrix) under the
+//!    workspace's stamped-CSV scheme at
+//!    `results/evo-<domain>-<scale>.csv`, extending the sweep stamp with
+//!    an `evo=` fingerprint (candidate set + dynamics parameters), so a
+//!    changed candidate set, dynamics configuration or seed
+//!    self-invalidates while plain PRA and attack stamps stay untouched.
+
+pub mod analysis;
+pub mod payoff;
+pub mod sweep;
+
+pub use analysis::{analyze, default_candidates, EvoAnalysis};
+pub use payoff::{empirical_matrix, EvoConfig, PayoffMatrix};
+pub use sweep::EvoSweep;

@@ -1,0 +1,210 @@
+//! Empirical payoff matrices over a domain's candidate protocols.
+//!
+//! `payoff[i][j]` is the simulated mean utility of a peer running
+//! candidate `i` in a population evenly split between candidates `i` and
+//! `j` (the diagonal is the homogeneous run) — the bridge from a domain
+//! simulator to the matrix-game form the replicator/Moran primitives in
+//! [`dsa_gametheory::evolution`] consume. Cells are measured through the
+//! [`DynDomain::run_mixed`] population hook, in parallel over the upper
+//! triangle with per-thread scratch buffers, and every cell derives its
+//! seeds from the *protocol indices* it hosts — so the matrix is
+//! bit-identical across thread counts and stable under candidate-set
+//! reordering.
+
+use dsa_core::domain::{DynDomain, Effort};
+use dsa_core::parallel::parallel_map_indexed_scratch;
+use dsa_core::sim::split_population;
+use dsa_workloads::seeds::SeedSeq;
+
+/// Seed-tree phase tag separating the evolution streams from the PRA
+/// (plain) and 0xA77A (attack) phases run under the same master seed.
+const EVO_PHASE: u64 = 0xE701;
+
+/// Configuration of a population-dynamics experiment: how the payoff
+/// matrix is measured and how the dynamics on top of it are run. Every
+/// field except `threads` is part of the cache fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvoConfig {
+    /// Simulation runs averaged per matrix cell.
+    pub encounter_runs: usize,
+    /// Worker threads (0 = all cores). Not fingerprinted: results are
+    /// bit-identical across thread counts.
+    pub threads: usize,
+    /// Master seed; matrix and dynamics are a pure function of it.
+    pub seed: u64,
+    /// Invading mutant share for the ESS classification (the paper-sized
+    /// default: 5%).
+    pub mutant_share: f64,
+    /// Replicator step budget for rest-point convergence.
+    pub max_steps: usize,
+    /// Max-norm step change below which the dynamic counts as converged.
+    pub tolerance: f64,
+    /// Initial mixtures sampled for the basin-of-attraction analysis.
+    pub basin_samples: usize,
+    /// Monte-Carlo trials per finite-population fixation estimate.
+    pub moran_trials: usize,
+}
+
+impl Default for EvoConfig {
+    fn default() -> Self {
+        Self {
+            encounter_runs: 2,
+            threads: 0,
+            seed: 0x5EED,
+            mutant_share: 0.05,
+            max_steps: 2000,
+            tolerance: 1e-9,
+            basin_samples: 64,
+            moran_trials: 200,
+        }
+    }
+}
+
+impl EvoConfig {
+    /// The stable textual fingerprint of everything in this configuration
+    /// that the numbers depend on (threads excluded), against a candidate
+    /// set and population size — the `evo=` stamp component.
+    #[must_use]
+    pub fn signature(&self, candidates: &[usize], population: usize) -> String {
+        format!(
+            "evo candidates={candidates:?} pop={population} enc_runs={} mutant={} steps={} tol={} basins={} moran={}",
+            self.encounter_runs,
+            self.mutant_share,
+            self.max_steps,
+            self.tolerance,
+            self.basin_samples,
+            self.moran_trials
+        )
+    }
+}
+
+/// An empirical `k × k` payoff matrix over a candidate protocol set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PayoffMatrix {
+    /// Flat space indices of the candidates, in matrix order.
+    pub candidates: Vec<usize>,
+    /// Display codes of the candidates, in matrix order.
+    pub names: Vec<String>,
+    /// `payoff[i][j]`: mean utility of candidate `i`'s group against
+    /// candidate `j` (diagonal: homogeneous population of `i`).
+    pub payoff: Vec<Vec<f64>>,
+    /// The population size each cell's simulation hosted.
+    pub population: usize,
+}
+
+impl PayoffMatrix {
+    /// Number of candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the candidate set is empty (never true for a measured
+    /// matrix).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Measures the empirical payoff matrix of `candidates` on a domain.
+///
+/// Each cell simulates an even two-candidate split of the domain's
+/// population (`cfg.encounter_runs` times, averaged); the diagonal is the
+/// homogeneous run. The upper triangle is computed in parallel — one
+/// task per unordered pair, reusing a per-thread groups buffer — and
+/// mirrored, so `payoff[i][j]` and `payoff[j][i]` come from the *same*
+/// simulations.
+///
+/// # Panics
+///
+/// Panics when `candidates` is empty or a candidate index is outside the
+/// domain's space.
+#[must_use]
+pub fn empirical_matrix(
+    domain: &dyn DynDomain,
+    candidates: &[usize],
+    effort: Effort,
+    cfg: &EvoConfig,
+) -> PayoffMatrix {
+    assert!(!candidates.is_empty(), "empty candidate set");
+    for &c in candidates {
+        assert!(
+            c < domain.size(),
+            "candidate {c} outside the {} space (0..{})",
+            domain.name(),
+            domain.size()
+        );
+    }
+    let k = candidates.len();
+    let population = domain.population(effort).max(2);
+    let runs = cfg.encounter_runs.max(1);
+    let root = SeedSeq::new(cfg.seed).child(EVO_PHASE);
+
+    // Upper-triangle task list (diagonal included), row-major.
+    let tasks: Vec<(usize, usize)> = (0..k).flat_map(|i| (i..k).map(move |j| (i, j))).collect();
+    let cells: Vec<(f64, f64)> =
+        parallel_map_indexed_scratch(tasks.len(), cfg.threads, Vec::new, |groups, t| {
+            let (i, j) = tasks[t];
+            let (pi, pj) = (candidates[i], candidates[j]);
+            // Canonical group order (and seeds) by protocol index, so a
+            // reordered candidate set measures identical numbers.
+            let (lo, hi) = if pi <= pj { (pi, pj) } else { (pj, pi) };
+            let node = root.child(lo as u64).child(hi as u64);
+            let mut acc = (0.0f64, 0.0f64);
+            for r in 0..runs {
+                let seed = node.child(r as u64).seed();
+                groups.clear();
+                let (u_lo, u_hi) = if i == j {
+                    groups.push((lo, population));
+                    let u = domain.run_mixed(groups, effort, seed);
+                    (u[0], u[0])
+                } else {
+                    let (count_lo, _) = split_population(population, 0.5);
+                    groups.push((lo, count_lo));
+                    groups.push((hi, population - count_lo));
+                    let u = domain.run_mixed(groups, effort, seed);
+                    (u[0], u[1])
+                };
+                if pi <= pj {
+                    acc.0 += u_lo;
+                    acc.1 += u_hi;
+                } else {
+                    acc.0 += u_hi;
+                    acc.1 += u_lo;
+                }
+            }
+            (acc.0 / runs as f64, acc.1 / runs as f64)
+        });
+
+    let mut payoff = vec![vec![0.0f64; k]; k];
+    for (&(i, j), &(ui, uj)) in tasks.iter().zip(&cells) {
+        payoff[i][j] = ui;
+        payoff[j][i] = uj;
+    }
+    PayoffMatrix {
+        candidates: candidates.to_vec(),
+        names: candidates.iter().map(|&c| domain.code(c)).collect(),
+        payoff,
+        population,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_fingerprints_candidates_and_dynamics() {
+        let cfg = EvoConfig::default();
+        let base = cfg.signature(&[1, 2, 3], 24);
+        assert_ne!(base, cfg.signature(&[1, 2, 4], 24));
+        assert_ne!(base, cfg.signature(&[1, 2, 3], 32));
+        let mut other = cfg.clone();
+        other.mutant_share = 0.1;
+        assert_ne!(base, other.signature(&[1, 2, 3], 24));
+        let mut threads_only = cfg;
+        threads_only.threads = 7;
+        assert_eq!(base, threads_only.signature(&[1, 2, 3], 24));
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests of the population-dynamics subsystem against the
+//! real domains: the `run_mixed` degeneracy contracts, thread-count
+//! invariance of the payoff matrix and the ESS classification, and the
+//! evo cache's self-invalidation (without disturbing plain PRA or attack
+//! caches).
+
+use dsa_core::cache::DomainSweep;
+use dsa_core::domain::{DynDomain, Effort};
+use dsa_core::pra::PraConfig;
+use dsa_core::tournament::OpponentSampling;
+use dsa_evolution::analysis::{analyze, default_candidates};
+use dsa_evolution::payoff::{empirical_matrix, EvoConfig};
+use dsa_evolution::sweep::EvoSweep;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn rep() -> Arc<dyn DynDomain> {
+    dsa_reputation::adapter::register()
+}
+
+fn gossip() -> Arc<dyn DynDomain> {
+    dsa_gossip::adapter::register()
+}
+
+fn cfg() -> EvoConfig {
+    EvoConfig {
+        encounter_runs: 1,
+        threads: 1,
+        seed: 0x5EED,
+        basin_samples: 8,
+        moran_trials: 50,
+        ..EvoConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsa-evo-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn payoff_matrix_diagonal_is_the_homogeneous_run_for_every_domain() {
+    // The diagonal cell hosts a single protocol, and run_mixed's one-
+    // group contract makes it the plain homogeneous utility bit for bit
+    // — natively (rep) and through the pairwise fallback (gossip).
+    for domain in [rep(), gossip()] {
+        let candidates = &default_candidates(&*domain)[..2];
+        let config = cfg();
+        let m = empirical_matrix(&*domain, candidates, Effort::Smoke, &config);
+        let root = dsa_workloads::seeds::SeedSeq::new(config.seed).child(0xE701);
+        for (i, &c) in candidates.iter().enumerate() {
+            let seed = root.child(c as u64).child(c as u64).child(0).seed();
+            assert_eq!(
+                m.payoff[i][i],
+                domain.run_homogeneous(c, Effort::Smoke, seed),
+                "{} diagonal {i}",
+                domain.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn payoff_matrix_is_bit_identical_across_thread_counts_and_orderings() {
+    let domain = rep();
+    let candidates = default_candidates(&*domain);
+    let mut one = cfg();
+    one.threads = 1;
+    let mut eight = cfg();
+    eight.threads = 8;
+    let a = empirical_matrix(&*domain, &candidates, Effort::Smoke, &one);
+    let b = empirical_matrix(&*domain, &candidates, Effort::Smoke, &eight);
+    assert_eq!(a.payoff, b.payoff, "1 vs 8 threads");
+
+    // ESS classification — the downstream consumer — is identical too.
+    assert_eq!(analyze(&a, &one), analyze(&b, &eight));
+
+    // Reversing the candidate set permutes the matrix without changing
+    // any measured value (cell seeds derive from protocol indices).
+    let reversed: Vec<usize> = candidates.iter().rev().copied().collect();
+    let r = empirical_matrix(&*domain, &reversed, Effort::Smoke, &one);
+    let k = candidates.len();
+    for i in 0..k {
+        for j in 0..k {
+            assert_eq!(r.payoff[k - 1 - i][k - 1 - j], a.payoff[i][j], "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn evo_cache_roundtrips_and_self_invalidates() {
+    let dir = temp_dir("cache");
+    let domain = gossip();
+    let candidates = default_candidates(&*domain);
+    let config = cfg();
+    let fresh =
+        EvoSweep::load_or_compute(&*domain, &candidates, Effort::Smoke, &config, "smoke", &dir)
+            .unwrap();
+    assert!(!fresh.from_cache);
+    assert!(dir.join("evo-gossip-smoke.csv").exists());
+    let cached =
+        EvoSweep::load_or_compute(&*domain, &candidates, Effort::Smoke, &config, "smoke", &dir)
+            .unwrap();
+    assert!(cached.from_cache);
+    assert_eq!(cached.matrix.payoff, fresh.matrix.payoff);
+    assert_eq!(cached.matrix.names, fresh.matrix.names);
+
+    // A changed candidate set recomputes, not trusts.
+    let fewer = &candidates[..candidates.len() - 1];
+    let smaller =
+        EvoSweep::load_or_compute(&*domain, fewer, Effort::Smoke, &config, "smoke", &dir).unwrap();
+    assert!(!smaller.from_cache, "candidate-set change must recompute");
+
+    // A changed dynamics parameter recomputes even though the matrix
+    // numbers would not move (the fingerprint covers the whole config).
+    let mut dynamics = config.clone();
+    dynamics.mutant_share = 0.10;
+    let redone = EvoSweep::load_or_compute(
+        &*domain,
+        &candidates,
+        Effort::Smoke,
+        &dynamics,
+        "smoke",
+        &dir,
+    )
+    .unwrap();
+    assert!(!redone.from_cache, "dynamics change must recompute");
+
+    // A changed seed recomputes.
+    let mut reseeded = config;
+    reseeded.seed ^= 1;
+    let new_seed = EvoSweep::load_or_compute(
+        &*domain,
+        &candidates,
+        Effort::Smoke,
+        &reseeded,
+        "smoke",
+        &dir,
+    )
+    .unwrap();
+    assert!(!new_seed.from_cache, "seed change must recompute");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evo_reconfiguration_leaves_pra_and_attack_caches_untouched() {
+    let dir = temp_dir("isolation");
+    let domain = gossip();
+    let pra_cfg = PraConfig {
+        performance_runs: 1,
+        encounter_runs: 1,
+        sampling: OpponentSampling::Sampled(2),
+        threads: 1,
+        seed: 3,
+        ..PraConfig::default()
+    };
+    let pra =
+        DomainSweep::load_or_compute(&*domain, Effort::Smoke, &pra_cfg, "smoke", &dir).unwrap();
+    assert!(!pra.from_cache);
+
+    let model = dsa_attacks::models::Sybil::default();
+    let attack_cfg = dsa_attacks::AttackConfig {
+        budgets: vec![0.1, 0.5],
+        encounter_runs: 1,
+        threads: 1,
+        seed: 3,
+    };
+    let attack = dsa_attacks::AttackSweep::load_or_compute(
+        &*domain,
+        &model,
+        Effort::Smoke,
+        &attack_cfg,
+        "smoke",
+        &dir,
+    )
+    .unwrap();
+    assert!(!attack.from_cache);
+
+    // Run the evo sweep twice under different configurations: the evo
+    // cache churns, the PRA and attack stamps keep validating.
+    let candidates = default_candidates(&*domain);
+    for mutant_share in [0.05, 0.25] {
+        let config = EvoConfig {
+            mutant_share,
+            ..cfg()
+        };
+        let evo =
+            EvoSweep::load_or_compute(&*domain, &candidates, Effort::Smoke, &config, "smoke", &dir)
+                .unwrap();
+        assert!(!evo.from_cache);
+    }
+    let pra_again =
+        DomainSweep::load_or_compute(&*domain, Effort::Smoke, &pra_cfg, "smoke", &dir).unwrap();
+    assert!(pra_again.from_cache, "PRA stamp must stay valid");
+    let attack_again = dsa_attacks::AttackSweep::load_or_compute(
+        &*domain,
+        &model,
+        Effort::Smoke,
+        &attack_cfg,
+        "smoke",
+        &dir,
+    )
+    .unwrap();
+    assert!(attack_again.from_cache, "attack stamp must stay valid");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `run_mixed` with a single protocol group reproduces the plain
+    /// homogeneous utility bit for bit, for any candidate and seed —
+    /// natively (rep/swarm) and through the fallback (gossip).
+    #[test]
+    fn mixed_single_group_reproduces_homogeneous(c in 0usize..108, seed in 0u64..1000) {
+        let domain = gossip();
+        let n = domain.population(Effort::Smoke);
+        let mixed = domain.run_mixed(&[(c, n)], Effort::Smoke, seed);
+        prop_assert_eq!(mixed, vec![domain.run_homogeneous(c, Effort::Smoke, seed)]);
+    }
+
+    /// `run_mixed` with two groups reproduces the plain `run_encounter`
+    /// utility bit for bit at the groups' count ratio.
+    #[test]
+    fn mixed_pair_reproduces_run_encounter(
+        a in 0usize..216,
+        b in 0usize..216,
+        count_a in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let domain = rep();
+        let n = domain.population(Effort::Smoke);
+        prop_assume!(count_a < n);
+        let mixed = domain.run_mixed(&[(a, count_a), (b, n - count_a)], Effort::Smoke, seed);
+        let fraction = count_a as f64 / n as f64;
+        let (ua, ub) = domain.run_encounter(a, b, fraction, Effort::Smoke, seed);
+        prop_assert_eq!(mixed, vec![ua, ub]);
+    }
+}

@@ -82,6 +82,72 @@ pub fn is_rest_point(payoff: &[Vec<f64>], shares: &[f64], tolerance: f64) -> boo
         .all(|(a, b)| (a - b).abs() <= tolerance)
 }
 
+/// Iterates the replicator dynamic from `initial` until the per-step
+/// change drops below `tolerance` (max-norm) or `max_steps` is reached.
+/// Returns the final mix and the number of steps actually taken — the
+/// rest-point finder behind basin-of-attraction sampling.
+#[must_use]
+pub fn converge(
+    payoff: &[Vec<f64>],
+    initial: &[f64],
+    max_steps: usize,
+    tolerance: f64,
+) -> (Vec<f64>, usize) {
+    let mut current = initial.to_vec();
+    for step in 0..max_steps {
+        let next = replicator_step(payoff, &current);
+        let delta = current
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        current = next;
+        if delta <= tolerance {
+            return (current, step + 1);
+        }
+    }
+    (current, max_steps)
+}
+
+/// Restricts a `k × k` population game to the 2×2 game between
+/// `resident` (strategy 0 of the result) and `mutant` (strategy 1) — the
+/// bridge from empirical payoff matrices to the two-strategy
+/// finite-population primitives.
+///
+/// # Panics
+///
+/// Panics when either index is out of range.
+#[must_use]
+pub fn pair_payoffs(payoff: &[Vec<f64>], resident: usize, mutant: usize) -> Vec<Vec<f64>> {
+    vec![
+        vec![payoff[resident][resident], payoff[resident][mutant]],
+        vec![payoff[mutant][resident], payoff[mutant][mutant]],
+    ]
+}
+
+/// Finite-population invasion analysis: the fixation probability of a
+/// single `mutant`-strategy invader in a population of `n − 1`
+/// `resident`s, under the `k × k` (possibly empirical) payoff matrix —
+/// [`moran_fixation`] on the [`pair_payoffs`] restriction. The neutral
+/// benchmark is `1 / n`: a mutant fixing more often than that invades the
+/// resident protocol in finite populations even when the infinite-
+/// population replicator dynamic would hold it out.
+///
+/// # Panics
+///
+/// Panics when an index is out of range, `n < 2` or `trials == 0`.
+#[must_use]
+pub fn invasion_fixation(
+    payoff: &[Vec<f64>],
+    resident: usize,
+    mutant: usize,
+    n: usize,
+    trials: usize,
+    rng: &mut Xoshiro256pp,
+) -> f64 {
+    moran_fixation(&pair_payoffs(payoff, resident, mutant), n, trials, rng)
+}
+
 /// Estimates the fixation probability of a single mutant of strategy 1 in
 /// a population of `n − 1` residents of strategy 0, under a Moran process
 /// with payoff-proportional reproduction, by Monte-Carlo simulation.
@@ -191,6 +257,46 @@ mod tests {
         let to_d = replicator_trajectory(&payoff, &[0.1, 0.9], 300);
         assert!(to_c.last().unwrap()[0] > 0.99);
         assert!(to_d.last().unwrap()[1] > 0.99);
+    }
+
+    #[test]
+    fn converge_finds_the_pd_rest_point_and_reports_steps() {
+        let p = pd_payoffs();
+        let (rest, steps) = converge(&p, &[0.5, 0.5], 10_000, 1e-12);
+        assert!(rest[1] > 0.999, "defectors fix: {rest:?}");
+        assert!(is_rest_point(&p, &rest, 1e-9));
+        assert!(steps > 0 && steps < 10_000, "converged early ({steps})");
+        // Starting at a rest point converges immediately.
+        let (_, at_rest) = converge(&p, &[0.0, 1.0], 10_000, 1e-12);
+        assert_eq!(at_rest, 1);
+    }
+
+    #[test]
+    fn pair_payoffs_restricts_the_matrix() {
+        let m = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ];
+        assert_eq!(pair_payoffs(&m, 2, 0), vec![vec![9.0, 7.0], vec![3.0, 1.0]]);
+        // Same-index restriction is the neutral game.
+        assert_eq!(pair_payoffs(&m, 1, 1), vec![vec![5.0, 5.0], vec![5.0, 5.0]]);
+    }
+
+    #[test]
+    fn invasion_fixation_matches_direct_moran_on_the_restriction() {
+        let m = vec![
+            vec![3.0, 3.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+            vec![5.0, 0.0, 2.0],
+        ];
+        let mut a = Xoshiro256pp::seed_from_u64(21);
+        let mut b = Xoshiro256pp::seed_from_u64(21);
+        let via_helper = invasion_fixation(&m, 0, 1, 10, 500, &mut a);
+        let direct = moran_fixation(&pair_payoffs(&m, 0, 1), 10, 500, &mut b);
+        assert_eq!(via_helper, direct);
+        // A disadvantaged mutant (payoff 1 vs resident 3) rarely fixes.
+        assert!(via_helper < 0.05, "p={via_helper}");
     }
 
     #[test]

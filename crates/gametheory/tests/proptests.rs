@@ -2,6 +2,7 @@
 
 use dsa_gametheory::analytics::{birds, bittorrent, break_probability_k};
 use dsa_gametheory::classes::ClassParams;
+use dsa_gametheory::evolution;
 use dsa_gametheory::game::{Action, Game2x2};
 use dsa_gametheory::games;
 use dsa_gametheory::nash;
@@ -72,5 +73,42 @@ proptest! {
     #[test]
     fn birds_reciprocation_dominates(p in arb_params()) {
         prop_assert!(birds(&p).recip_same >= bittorrent(&p).recip_same);
+    }
+
+    /// Population shares remain a simplex (non-negative, summing to 1)
+    /// under `replicator_step`, for any payoff matrix — including
+    /// negative and zero payoffs — and any interior starting mix.
+    #[test]
+    fn replicator_step_preserves_the_simplex(
+        payoffs in proptest::collection::vec(-10.0f64..10.0, 9),
+        raw in proptest::collection::vec(0.01f64..1.0, 3),
+    ) {
+        let matrix: Vec<Vec<f64>> = payoffs.chunks(3).map(<[f64]>::to_vec).collect();
+        let total: f64 = raw.iter().sum();
+        let shares: Vec<f64> = raw.iter().map(|r| r / total).collect();
+        let mut current = shares;
+        for _ in 0..50 {
+            current = evolution::replicator_step(&matrix, &current);
+            let sum: f64 = current.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+            prop_assert!(current.iter().all(|&s| (0.0..=1.0 + 1e-12).contains(&s)),
+                "shares left the simplex: {:?}", current);
+        }
+    }
+
+    /// `converge` lands on an (approximate) rest point whenever it stops
+    /// before the step budget, and always returns a simplex.
+    #[test]
+    fn converge_returns_a_simplex_rest_point(
+        payoffs in proptest::collection::vec(0.0f64..10.0, 4),
+        start in 0.05f64..0.95,
+    ) {
+        let matrix = vec![payoffs[0..2].to_vec(), payoffs[2..4].to_vec()];
+        let (rest, steps) = evolution::converge(&matrix, &[start, 1.0 - start], 2000, 1e-10);
+        let sum: f64 = rest.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        if steps < 2000 {
+            prop_assert!(evolution::is_rest_point(&matrix, &rest, 1e-6), "{:?}", rest);
+        }
     }
 }

@@ -51,6 +51,10 @@ impl Domain for GossipDomain {
         vec![("silent", presets::silent().index())]
     }
 
+    fn population(&self, effort: Effort) -> usize {
+        self.sim(effort, 0.0).config.nodes
+    }
+
     fn sim(&self, effort: Effort, _churn: f64) -> GossipSim {
         // No churn model in the gossip simulator (supports_churn stays
         // false); effort scales the round count around the default 120.
@@ -100,6 +104,34 @@ mod tests {
         let churned = d.run_encounter_churn(a, b, 0.5, Effort::Smoke, 0.2, 13);
         assert_eq!(calm, churned);
         assert!(d.whitewasher().is_none());
+    }
+
+    #[test]
+    fn mixed_composes_through_the_pairwise_fallback() {
+        // No native multi-protocol hook: gossip serves `run_mixed` via
+        // the core round-robin fallback, whose one- and two-group cases
+        // reproduce the plain hooks bit for bit.
+        let d = register();
+        assert!(!d.supports_mixed());
+        let n = d.population(Effort::Smoke);
+        let a = presets::reciprocal().index();
+        let b = presets::silent().index();
+        assert_eq!(
+            d.run_mixed(&[(a, n)], Effort::Smoke, 3),
+            vec![d.run_homogeneous(a, Effort::Smoke, 3)]
+        );
+        let (ua, ub) = d.run_encounter(a, b, 0.5, Effort::Smoke, 3);
+        assert_eq!(
+            d.run_mixed(&[(a, n / 2), (b, n - n / 2)], Effort::Smoke, 3),
+            vec![ua, ub]
+        );
+        let three = d.run_mixed(
+            &[(a, n / 2), (presets::lazy().index(), n / 4), (b, n / 4)],
+            Effort::Smoke,
+            3,
+        );
+        assert_eq!(three.len(), 3);
+        assert!(three.iter().all(|u| u.is_finite()));
     }
 
     #[test]

@@ -103,6 +103,41 @@ impl Domain for RepDomain {
         true
     }
 
+    fn population(&self, effort: Effort) -> usize {
+        self.sim(effort, 0.0).config.peers
+    }
+
+    fn supports_mixed(&self) -> bool {
+        true
+    }
+
+    fn run_mixed(&self, effort: Effort, groups: &[(usize, usize)], seed: u64) -> Option<Vec<f64>> {
+        // The reputation engine hosts any number of protocol groups
+        // natively through its per-peer assignment; groups occupy
+        // contiguous peer ranges in `groups` order (the
+        // `split_population` layout), and each group's mean is computed
+        // with the same slice arithmetic as `run_encounter`, so the one-
+        // and two-group cases reproduce the plain hooks bit for bit.
+        let mut config = self.sim(effort, 0.0).config;
+        config.peers = groups.iter().map(|&(_, count)| count).sum();
+        let protocols: Vec<RepProtocol> = groups
+            .iter()
+            .map(|&(p, _)| RepProtocol::from_index(p))
+            .collect();
+        let mut assignment = Vec::with_capacity(config.peers);
+        for (g, &(_, count)) in groups.iter().enumerate() {
+            assignment.extend(std::iter::repeat_n(g, count));
+        }
+        let u = run(&protocols, &assignment, &config, seed);
+        let mut means = Vec::with_capacity(groups.len());
+        let mut lo = 0;
+        for &(_, count) in groups {
+            means.push(u[lo..lo + count].iter().sum::<f64>() / count as f64);
+            lo += count;
+        }
+        Some(means)
+    }
+
     fn sim(&self, effort: Effort, churn: f64) -> RepSim {
         let mut config = match effort {
             Effort::Smoke => RepConfig::fast(),
@@ -209,6 +244,30 @@ mod tests {
             churned,
             d.run_encounter_churn(host, ww, 0.9, Effort::Smoke, 0.1, 11)
         );
+    }
+
+    #[test]
+    fn native_mixed_honours_the_degeneracy_contracts() {
+        let d = register();
+        assert!(d.supports_mixed());
+        let n = d.population(Effort::Smoke);
+        let tft = presets::private_tft().index();
+        let fr = presets::freerider().index();
+        assert_eq!(
+            d.run_mixed(&[(tft, n)], Effort::Smoke, 5),
+            vec![d.run_homogeneous(tft, Effort::Smoke, 5)]
+        );
+        let (ua, ub) = d.run_encounter(tft, fr, 0.25, Effort::Smoke, 5);
+        let quarter = (n as f64 * 0.25).round() as usize;
+        assert_eq!(
+            d.run_mixed(&[(tft, quarter), (fr, n - quarter)], Effort::Smoke, 5),
+            vec![ua, ub]
+        );
+        // Three protocol groups share ONE community.
+        let groups = [(tft, 8), (presets::bartercast().index(), 4), (fr, 4)];
+        let us = d.run_mixed(&groups, Effort::Smoke, 6);
+        assert_eq!(us.len(), 3);
+        assert_eq!(us, d.run_mixed(&groups, Effort::Smoke, 6));
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub fn frequency_map(rows: &[Vec<f64>], col_labels: &[String]) -> String {
 /// with its own glyph and listed in a legend.
 #[must_use]
 pub fn ccdf_curves(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
-    const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@'];
+    // Wide enough that every series of the largest default candidate set
+    // (7, reputation) plus a few --mutants additions gets its own glyph;
+    // beyond twelve series the palette cycles and curves become ambiguous.
+    const GLYPHS: &[char] = &['o', '*', '+', 'x', '#', '@', '%', '&', '=', '~', '^', 'v'];
     let mut grid = vec![vec![' '; width]; height];
     for (s, (_, pts)) in series.iter().enumerate() {
         let glyph = GLYPHS[s % GLYPHS.len()];
@@ -144,6 +147,55 @@ pub fn bars(entries: &[(String, f64, Option<f64>)], max_width: usize) -> String 
     out
 }
 
+/// Renders a square matrix as a shaded heat map — rows and columns carry
+/// the same `labels`, shading is normalized over the full matrix range
+/// (lightest = minimum, densest = maximum). Used for empirical payoff
+/// cross-tables, where the visual question is "which protocol exploits
+/// which" rather than exact values.
+///
+/// # Panics
+///
+/// Panics when the matrix is not square over `labels.len()`.
+#[must_use]
+pub fn matrix_heat(rows: &[Vec<f64>], labels: &[String]) -> String {
+    let k = labels.len();
+    assert_eq!(rows.len(), k, "matrix_heat needs one row per label");
+    assert!(
+        rows.iter().all(|r| r.len() == k),
+        "matrix_heat needs a square matrix"
+    );
+    let finite = rows.iter().flatten().copied().filter(|v| v.is_finite());
+    let lo = finite.clone().fold(f64::INFINITY, f64::min);
+    let hi = finite.fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, row) in labels.iter().zip(rows) {
+        out.push_str(&format!("{label:>label_w$} |"));
+        for &v in row {
+            let c = if v.is_finite() {
+                shade((((v - lo) / span) * 1000.0) as u32 + 1, 1001)
+            } else {
+                '?'
+            };
+            out.push(' ');
+            out.push(c);
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(k * 3)));
+    out.push_str(&format!("{:>label_w$}  ", ""));
+    for (i, _) in labels.iter().enumerate() {
+        out.push_str(&format!("{i:>2} "));
+    }
+    out.push('\n');
+    for (i, label) in labels.iter().enumerate() {
+        out.push_str(&format!("{:>label_w$}  {i:>2} = {label}\n", ""));
+    }
+    out
+}
+
 fn shade(count: u32, max: u32) -> char {
     if count == 0 || max == 0 {
         return RAMP[0];
@@ -179,6 +231,27 @@ mod tests {
                 "unexpected mark in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn matrix_heat_shades_extremes_and_lists_labels() {
+        let rows = vec![vec![0.0, 1.0], vec![0.5, f64::NAN]];
+        let labels = vec!["aa".to_string(), "b".to_string()];
+        let m = matrix_heat(&rows, &labels);
+        // Maximum is densest, NaN is flagged, every label is listed.
+        assert!(m.contains('@'));
+        assert!(m.contains('?'));
+        assert!(m.contains("0 = aa"));
+        assert!(m.contains("1 = b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn matrix_heat_rejects_ragged_input() {
+        let _ = matrix_heat(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &["x".to_string(), "y".to_string()],
+        );
     }
 
     #[test]

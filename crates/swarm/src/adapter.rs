@@ -110,6 +110,36 @@ impl Domain for SwarmDomain {
         true
     }
 
+    fn population(&self, effort: Effort) -> usize {
+        self.sim(effort, 0.0).config.peers
+    }
+
+    fn supports_mixed(&self) -> bool {
+        true
+    }
+
+    fn run_mixed(&self, effort: Effort, groups: &[(usize, usize)], seed: u64) -> Option<Vec<f64>> {
+        // The cycle engine hosts any number of protocol groups natively
+        // through its per-peer assignment; the population is exactly the
+        // groups' total. Group layout (contiguous, in `groups` order)
+        // matches `split_population`, so two groups reproduce
+        // `run_encounter` bit for bit and one group the homogeneous run.
+        let n: usize = groups.iter().map(|&(_, count)| count).sum();
+        let config = SimConfig {
+            peers: n,
+            ..self.sim(effort, 0.0).config
+        };
+        let protocols: Vec<SwarmProtocol> = groups
+            .iter()
+            .map(|&(p, _)| SwarmProtocol::from_index(p))
+            .collect();
+        let mut assignment = Vec::with_capacity(n);
+        for (g, &(_, count)) in groups.iter().enumerate() {
+            assignment.extend(std::iter::repeat_n(g, count));
+        }
+        Some(run(&protocols, &assignment, &config, seed).group_means)
+    }
+
     fn sim(&self, effort: Effort, churn: f64) -> SwarmSim {
         // Rounds per effort level mirror the harness scale presets
         // (`dsa-bench`'s smoke/lab/paper) so generic and typed sweeps
@@ -246,6 +276,33 @@ mod tests {
         // No dedicated whitewash design point in the swarm space: churn
         // is the only identity-shedding channel.
         assert!(d.whitewasher().is_none());
+    }
+
+    #[test]
+    fn native_mixed_honours_the_degeneracy_contracts() {
+        let d = register();
+        assert!(d.supports_mixed());
+        let n = d.population(Effort::Smoke);
+        let bt = presets::bittorrent().index();
+        let fr = presets::freerider().index();
+        // One group == the homogeneous run, bit for bit.
+        assert_eq!(
+            d.run_mixed(&[(bt, n)], Effort::Smoke, 7),
+            vec![d.run_homogeneous(bt, Effort::Smoke, 7)]
+        );
+        // Two groups == the plain encounter at the count ratio.
+        let (ua, ub) = d.run_encounter(bt, fr, 0.5, Effort::Smoke, 7);
+        assert_eq!(
+            d.run_mixed(&[(bt, n / 2), (fr, n - n / 2)], Effort::Smoke, 7),
+            vec![ua, ub]
+        );
+        // Three groups run natively in ONE simulation and stay
+        // deterministic in the seed.
+        let groups = [(bt, 30), (presets::birds().index(), 10), (fr, 10)];
+        let us = d.run_mixed(&groups, Effort::Smoke, 9);
+        assert_eq!(us.len(), 3);
+        assert_eq!(us, d.run_mixed(&groups, Effort::Smoke, 9));
+        assert!(us.iter().all(|u| u.is_finite()));
     }
 
     #[test]

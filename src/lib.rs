@@ -3,7 +3,7 @@
 //! See the individual crates for documentation:
 //! [`dsa_core`], [`dsa_swarm`], [`dsa_gametheory`], [`dsa_btsim`],
 //! [`dsa_stats`], [`dsa_workloads`], [`dsa_gossip`],
-//! [`dsa_reputation`], [`dsa_attacks`].
+//! [`dsa_reputation`], [`dsa_attacks`], [`dsa_evolution`].
 //!
 //! Three DSA domains are provided: file swarming ([`swarm`], the paper's
 //! space), gossip dissemination ([`gossip`], §3.1's example) and
@@ -11,11 +11,15 @@
 //! future work). [`attacks`] layers a cross-domain adversary subsystem
 //! over all of them: parameterized attack models (Sybil, collusion,
 //! whitewash schedules, adaptive defection) that re-quantify the
-//! Robustness axis under a tunable attacker budget.
+//! Robustness axis under a tunable attacker budget. [`evolution`] adds
+//! the population-dynamics layer: empirical payoff matrices over mixed
+//! multi-protocol populations, ESS/basin analysis and the evolutionary
+//! price of anarchy per domain.
 
 pub use dsa_attacks as attacks;
 pub use dsa_btsim as btsim;
 pub use dsa_core as core;
+pub use dsa_evolution as evolution;
 pub use dsa_gametheory as gametheory;
 pub use dsa_gossip as gossip;
 pub use dsa_reputation as reputation;
