@@ -34,5 +34,5 @@ pub mod models;
 pub mod sweep;
 
 pub use model::{lookup, register_attack, registry, AttackContext, AttackModel};
-pub use models::register_builtin;
+pub use models::{parameterized, parse_param_spec, register_builtin};
 pub use sweep::{AttackConfig, AttackSweep, DEFAULT_BUDGETS};

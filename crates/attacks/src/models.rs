@@ -279,6 +279,94 @@ impl AttackModel for Adaptive {
     }
 }
 
+/// Builds a variant of a built-in model with one parameter overridden —
+/// the attacker-parameter sweep axis (`dsa <domain> attack run --param
+/// k=2,4,8`). Every variant carries the parameter in its
+/// [`AttackModel::signature`], so its cache fingerprint
+/// ([`AttackModel::key`]) differs per value and parameter grids
+/// self-invalidate like budget grids do.
+///
+/// Supported parameters: `k` / `upkeep` (sybil), `period` (whitewash),
+/// `probe` (adaptive). Collusion has no tunable parameter.
+///
+/// # Errors
+///
+/// Returns a message when the model is unknown, the parameter does not
+/// belong to the model, or the value is out of the parameter's range.
+pub fn parameterized(name: &str, param: &str, value: f64) -> Result<Arc<dyn AttackModel>, String> {
+    match (name, param) {
+        ("sybil", "k") => {
+            if !(value >= 1.0 && value <= f64::from(u32::MAX) && value.fract() == 0.0) {
+                return Err(format!("sybil k must be a positive integer, got {value}"));
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Ok(Arc::new(Sybil {
+                identities: value as u32,
+                ..Sybil::default()
+            }))
+        }
+        ("sybil", "upkeep") => {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("sybil upkeep must be in [0,1], got {value}"));
+            }
+            Ok(Arc::new(Sybil {
+                upkeep: value,
+                ..Sybil::default()
+            }))
+        }
+        ("whitewash", "period") => {
+            if !(value >= 1.0 && value <= f64::from(u32::MAX) && value.fract() == 0.0) {
+                return Err(format!(
+                    "whitewash period must be a positive integer, got {value}"
+                ));
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Ok(Arc::new(Whitewash {
+                period: value as u32,
+            }))
+        }
+        ("adaptive", "probe") => {
+            if !(0.0..1.0).contains(&value) {
+                return Err(format!("adaptive probe must be in [0,1), got {value}"));
+            }
+            Ok(Arc::new(Adaptive { probe_share: value }))
+        }
+        ("sybil" | "whitewash" | "adaptive" | "collusion", _) => Err(format!(
+            "model '{name}' has no parameter '{param}' (supported: sybil k|upkeep, \
+             whitewash period, adaptive probe)"
+        )),
+        _ => Err(format!("unknown attack model '{name}'")),
+    }
+}
+
+/// Parses an attacker-parameter grid specification `name=v1,v2,...`
+/// (e.g. `k=2,4,8`) into the parameter name and its value list. Range
+/// validation happens in [`parameterized`], which knows each parameter's
+/// domain.
+///
+/// # Errors
+///
+/// Returns a message when the specification is malformed (no `=`, no
+/// name, or a non-numeric value — an empty value list is impossible,
+/// since an empty token already fails the numeric parse).
+pub fn parse_param_spec(spec: &str) -> Result<(String, Vec<f64>), String> {
+    let (param, values) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--param expects name=v1,v2,..., got '{spec}'"))?;
+    if param.is_empty() {
+        return Err("--param expects a parameter name before '='".into());
+    }
+    let grid: Vec<f64> = values
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|e| format!("bad {param} value '{t}': {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    Ok((param.to_string(), grid))
+}
+
 /// Registers the four built-in models (idempotently) and returns them in
 /// registration order — the attack-side analogue of the domain crates'
 /// `adapter::register()`.

@@ -76,6 +76,7 @@ impl AttackConfig {
             len: domain.size(),
             attack: 0,
             evo: 0,
+            attrib: 0,
         }
         .with_attack(model.key(&self.budgets))
     }
@@ -351,6 +352,7 @@ mod tests {
                 len: 3,
                 attack: 0x456,
                 evo: 0,
+                attrib: 0,
             },
             model: "sybil".into(),
             budgets: vec![0.1, 0.5],

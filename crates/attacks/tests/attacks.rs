@@ -341,6 +341,78 @@ fn cache_roundtrips_and_stale_stamps_self_invalidate() {
 }
 
 #[test]
+fn parameterized_variants_behave_and_fingerprint_per_value() {
+    use dsa_attacks::models::{parameterized, parse_param_spec};
+    let d = grid();
+    // A k=4 sybil variant amplifies exactly like the hand-built struct.
+    let k4 = parameterized("sybil", "k", 4.0).unwrap();
+    let hand = Sybil {
+        identities: 4,
+        ..Sybil::default()
+    };
+    assert_eq!(
+        k4.encounter(&ctx(&*d, 0.2), 2, 5),
+        hand.encounter(&ctx(&*d, 0.2), 2, 5)
+    );
+    // Every parameter value is a distinct cache fingerprint, and every
+    // variant differs from the default model's.
+    let grid_budgets = [0.1, 0.5];
+    let k2 = parameterized("sybil", "k", 2.0).unwrap();
+    assert_ne!(k2.key(&grid_budgets), k4.key(&grid_budgets));
+    assert_ne!(k2.key(&grid_budgets), Sybil::default().key(&grid_budgets));
+    let p5 = parameterized("whitewash", "period", 5.0).unwrap();
+    let p20 = parameterized("whitewash", "period", 20.0).unwrap();
+    assert_ne!(p5.key(&grid_budgets), p20.key(&grid_budgets));
+    let probe = parameterized("adaptive", "probe", 0.5).unwrap();
+    assert_ne!(
+        probe.key(&grid_budgets),
+        Adaptive::default().key(&grid_budgets)
+    );
+    // Bad specs are rejected with a message, not silently defaulted.
+    assert!(parameterized("sybil", "period", 3.0).is_err());
+    assert!(parameterized("collusion", "k", 3.0).is_err());
+    assert!(parameterized("no-such-model", "k", 3.0).is_err());
+    assert!(parameterized("sybil", "k", 0.5).is_err());
+    assert!(parameterized("adaptive", "probe", 1.5).is_err());
+    // The grid specification parser.
+    let (name, values) = parse_param_spec("k=2,4,8").unwrap();
+    assert_eq!(name, "k");
+    assert_eq!(values, vec![2.0, 4.0, 8.0]);
+    assert!(parse_param_spec("k").is_err());
+    assert!(parse_param_spec("=2").is_err());
+    assert!(parse_param_spec("k=2,x").is_err());
+}
+
+#[test]
+fn parameter_grid_caches_self_invalidate() {
+    // An attack sweep cached under sybil k=2 must never validate the
+    // k=4 variant's key: the parameter is folded into the attack
+    // fingerprint exactly like the budget grid.
+    use dsa_attacks::models::parameterized;
+    let dir = temp_dir("param");
+    let d = grid();
+    let cfg = AttackConfig {
+        budgets: vec![0.1, 0.5],
+        encounter_runs: 1,
+        threads: 1,
+        seed: 11,
+    };
+    let k2 = parameterized("sybil", "k", 2.0).unwrap();
+    let first =
+        AttackSweep::load_or_compute(&*d, &*k2, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+    assert!(!first.from_cache);
+    let k4 = parameterized("sybil", "k", 4.0).unwrap();
+    let second =
+        AttackSweep::load_or_compute(&*d, &*k4, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+    assert!(!second.from_cache, "k=4 must not trust the k=2 cache");
+    // Re-running k=4 now hits its own cache.
+    let third =
+        AttackSweep::load_or_compute(&*d, &*k4, Effort::Smoke, &cfg, "smoke", &dir).unwrap();
+    assert!(third.from_cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn every_builtin_model_composes_with_the_domain() {
     let d = grid();
     for model in dsa_attacks::register_builtin() {

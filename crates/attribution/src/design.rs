@@ -1,0 +1,241 @@
+//! Dummy-coded design matrices over generic design spaces.
+//!
+//! The attribution regressions treat every design dimension as a
+//! categorical variable: each dimension contributes one indicator column
+//! per non-baseline *present* level (the paper's "substituted by dummy
+//! variables" treatment of Table 3, generalized from the swarm-specific
+//! encoder in `dsa-bench::regress` to any [`DesignSpace`]). The encoder
+//! works on an arbitrary row subset — the full space for PRA and attack
+//! surfaces, a candidate set for evolutionary surfaces — collapsing
+//! absent levels and dropping dimensions that do not vary within the
+//! subset, so the matrix is always free of structurally-zero columns.
+//!
+//! The row decode goes through
+//! [`dsa_core::parallel::parallel_map_indexed`], so paper-scale builds
+//! parallelize while staying bit-identical across thread counts (each
+//! row's coordinates are a pure function of its index).
+
+use dsa_core::parallel::parallel_map_indexed;
+use dsa_core::space::DesignSpace;
+use dsa_stats::encode::NamedColumn;
+use std::ops::Range;
+
+/// How one design dimension is coded in a [`DesignMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimCode {
+    /// Position of the dimension in the space descriptor.
+    pub dim: usize,
+    /// Dimension name.
+    pub name: String,
+    /// Original level indices present among the rows, in enumeration
+    /// order; the first entry is the baseline and has no column.
+    pub levels: Vec<usize>,
+    /// The dimension's column range inside [`DesignMatrix::columns`]
+    /// (`levels.len() − 1` indicator columns).
+    pub cols: Range<usize>,
+}
+
+impl DimCode {
+    /// The column position (inside the matrix's column list) coding
+    /// original level `level`, or `None` for the baseline level and for
+    /// levels absent from the row subset.
+    #[must_use]
+    pub fn column_of(&self, level: usize) -> Option<usize> {
+        let pos = self.levels.iter().position(|&l| l == level)?;
+        if pos == 0 {
+            return None;
+        }
+        Some(self.cols.start + pos - 1)
+    }
+}
+
+/// A dummy-coded design matrix over a row subset of a design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMatrix {
+    /// Space indices of the observations, in row order.
+    pub rows: Vec<usize>,
+    /// Per-row space coordinates (same order as `rows`).
+    pub coords: Vec<Vec<usize>>,
+    /// Coded dimensions — only those with at least two present levels.
+    pub dims: Vec<DimCode>,
+    /// The indicator columns, dimension-major, named `"Dim=Level"`.
+    pub columns: Vec<NamedColumn>,
+}
+
+impl DesignMatrix {
+    /// Builds the matrix for `rows` of `space`. `threads = 0` uses all
+    /// cores; the result is bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row index lies outside the space.
+    #[must_use]
+    pub fn build(space: &DesignSpace, rows: &[usize], threads: usize) -> Self {
+        let coords = parallel_map_indexed(rows.len(), threads, |i| space.coords(rows[i]));
+        let mut dims = Vec::new();
+        let mut columns = Vec::new();
+        for (d, dim) in space.dimensions().iter().enumerate() {
+            let mut seen = vec![false; dim.len()];
+            for c in &coords {
+                seen[c[d]] = true;
+            }
+            let present: Vec<usize> = (0..dim.len()).filter(|&l| seen[l]).collect();
+            if present.len() < 2 {
+                // The dimension does not vary within the subset: nothing
+                // to attribute to it.
+                continue;
+            }
+            let start = columns.len();
+            for &level in &present[1..] {
+                let values: Vec<f64> = coords
+                    .iter()
+                    .map(|c| f64::from(u8::from(c[d] == level)))
+                    .collect();
+                columns.push(NamedColumn::new(
+                    format!("{}={}", dim.name, dim.levels[level]),
+                    values,
+                ));
+            }
+            dims.push(DimCode {
+                dim: d,
+                name: dim.name.clone(),
+                levels: present,
+                cols: start..columns.len(),
+            });
+        }
+        Self {
+            rows: rows.to_vec(),
+            coords,
+            dims,
+            columns,
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The main-effect columns with one coded dimension's block removed —
+    /// the reduced model of that dimension's nested-model test.
+    #[must_use]
+    pub fn without(&self, coded_dim: usize) -> Vec<NamedColumn> {
+        let drop = &self.dims[coded_dim].cols;
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !drop.contains(j))
+            .map(|(_, c)| c.clone())
+            .collect()
+    }
+
+    /// The main-effect columns plus the pairwise product columns of two
+    /// coded dimensions — the augmented model of the interaction scan.
+    /// Returns the columns and the number of interaction columns added.
+    #[must_use]
+    pub fn with_interaction(&self, a: usize, b: usize) -> (Vec<NamedColumn>, usize) {
+        let mut out = self.columns.clone();
+        let before = out.len();
+        for ca in self.dims[a].cols.clone() {
+            for cb in self.dims[b].cols.clone() {
+                let values: Vec<f64> = self.columns[ca]
+                    .values
+                    .iter()
+                    .zip(&self.columns[cb].values)
+                    .map(|(x, y)| x * y)
+                    .collect();
+                out.push(NamedColumn::new(
+                    format!("{}×{}", self.columns[ca].name, self.columns[cb].name),
+                    values,
+                ));
+            }
+        }
+        let added = out.len() - before;
+        (out, added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_core::space::Dimension;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(
+            "t",
+            vec![
+                Dimension::new("A", vec!["a0".into(), "a1".into(), "a2".into()]),
+                Dimension::new("B", vec!["b0".into(), "b1".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn full_space_codes_every_non_baseline_level() {
+        let s = space();
+        let rows: Vec<usize> = s.indices().collect();
+        let dm = DesignMatrix::build(&s, &rows, 1);
+        assert_eq!(dm.n(), 6);
+        assert_eq!(dm.dims.len(), 2);
+        let names: Vec<&str> = dm.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["A=a1", "A=a2", "B=b1"]);
+        // Row 3 = coords [1, 1]: A=a1 and B=b1 indicators set.
+        assert_eq!(dm.coords[3], vec![1, 1]);
+        assert_eq!(dm.columns[0].values[3], 1.0);
+        assert_eq!(dm.columns[1].values[3], 0.0);
+        assert_eq!(dm.columns[2].values[3], 1.0);
+        // Column lookup: baseline and absent levels have no column.
+        assert_eq!(dm.dims[0].column_of(0), None);
+        assert_eq!(dm.dims[0].column_of(1), Some(0));
+        assert_eq!(dm.dims[0].column_of(2), Some(1));
+        assert_eq!(dm.dims[1].column_of(1), Some(2));
+    }
+
+    #[test]
+    fn subset_collapses_absent_levels_and_constant_dims() {
+        let s = space();
+        // Rows 2 = [1,0] and 4 = [2,0]: B never varies, A level 0 absent.
+        let dm = DesignMatrix::build(&s, &[2, 4], 1);
+        assert_eq!(dm.dims.len(), 1);
+        assert_eq!(dm.dims[0].name, "A");
+        assert_eq!(dm.dims[0].levels, vec![1, 2]);
+        // a1 is the subset's baseline; only a2 gets a column.
+        let names: Vec<&str> = dm.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["A=a2"]);
+        assert_eq!(dm.dims[0].column_of(1), None);
+        assert_eq!(dm.dims[0].column_of(2), Some(0));
+        assert_eq!(dm.dims[0].column_of(0), None);
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let s = space();
+        let rows: Vec<usize> = s.indices().collect();
+        assert_eq!(
+            DesignMatrix::build(&s, &rows, 1),
+            DesignMatrix::build(&s, &rows, 8)
+        );
+    }
+
+    #[test]
+    fn reduced_and_interaction_column_sets() {
+        let s = space();
+        let rows: Vec<usize> = s.indices().collect();
+        let dm = DesignMatrix::build(&s, &rows, 1);
+        let without_a = dm.without(0);
+        assert_eq!(without_a.len(), 1);
+        assert_eq!(without_a[0].name, "B=b1");
+        let (with_ab, added) = dm.with_interaction(0, 1);
+        assert_eq!(added, 2);
+        assert_eq!(with_ab.len(), 5);
+        assert_eq!(with_ab[3].name, "A=a1×B=b1");
+        // The product column is the AND of its factors.
+        for r in 0..dm.n() {
+            assert_eq!(
+                with_ab[3].values[r],
+                dm.columns[0].values[r] * dm.columns[2].values[r]
+            );
+        }
+    }
+}

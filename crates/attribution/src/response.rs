@@ -1,0 +1,229 @@
+//! Response surfaces: the measured outcomes a regression can explain.
+//!
+//! A [`ResponseSurface`] is a set of rows (space indices) with one or
+//! more named response axes over them, plus the provenance needed to
+//! fingerprint any table derived from it. Three builders cover every
+//! surface the workspace measures:
+//!
+//! * [`pra_surface`] — the PRA cube ([`dsa_core::cache::DomainSweep`]):
+//!   axes `performance`, `robustness`, `aggressiveness` over the full
+//!   space;
+//! * [`attack_surface`] — robustness under adversary budget
+//!   ([`dsa_attacks::sweep::AttackSweep`]): one axis per attack model
+//!   (each protocol's mean survival rate over the budget grid);
+//! * [`evolution_surface`] — evolutionary outcomes
+//!   ([`dsa_evolution::sweep::EvoSweep`] + analysis): axes `selfpay`,
+//!   `basin`, `fixation` over the candidate set.
+//!
+//! Every builder goes through the sweeps' own stamped caches, so a warm
+//! `results/` directory serves attributions without re-simulating
+//! anything, and the concatenated source stamps feed the derived table's
+//! `attrib=` fingerprint — a changed underlying sweep self-invalidates
+//! everything built on it.
+
+use dsa_attacks::model::AttackModel;
+use dsa_attacks::sweep::{AttackConfig, AttackSweep};
+use dsa_core::cache::{DomainSweep, SweepKey};
+use dsa_core::domain::{DynDomain, Effort};
+use dsa_core::pra::PraConfig;
+use dsa_evolution::payoff::EvoConfig;
+use dsa_evolution::sweep::EvoSweep;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The response-surface kinds the attribution subsystem understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// The plain PRA cube.
+    Pra,
+    /// Robustness under attacker budget, one axis per attack model.
+    Attack,
+    /// Evolutionary outcomes over the candidate set.
+    Evolution,
+}
+
+impl ResponseKind {
+    /// All kinds, cheapest surface first.
+    pub const ALL: [ResponseKind; 3] = [
+        ResponseKind::Pra,
+        ResponseKind::Attack,
+        ResponseKind::Evolution,
+    ];
+
+    /// The kind's canonical (CLI and filename) name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Pra => "pra",
+            Self::Attack => "attack",
+            Self::Evolution => "evolution",
+        }
+    }
+
+    /// Looks a kind up by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A measured response surface, ready for attribution.
+#[derive(Debug, Clone)]
+pub struct ResponseSurface {
+    /// Surface kind name (`pra`, `attack`, `evolution`).
+    pub response: String,
+    /// Space indices of the observations, in row order.
+    pub rows: Vec<usize>,
+    /// Named response axes, each one value per row.
+    pub axes: Vec<(String, Vec<f64>)>,
+    /// The base sweep key (attack/evo/attrib fields zeroed, `len` =
+    /// row count) a derived table re-stamps with its own fingerprint.
+    pub base: SweepKey,
+    /// Concatenated stamps of every source sweep — the provenance the
+    /// `attrib=` fingerprint hashes.
+    pub sources: String,
+    /// Whether every source sweep was served from its cache.
+    pub from_cache: bool,
+}
+
+/// Builds the PRA surface of a domain (cached under
+/// `results/pra-<domain>-<scale>.csv`).
+///
+/// # Errors
+///
+/// Returns an error when the sweep cache is corrupt or unwritable.
+pub fn pra_surface(
+    domain: &dyn DynDomain,
+    effort: Effort,
+    config: &PraConfig,
+    scale: &str,
+    out_dir: &Path,
+) -> Result<ResponseSurface, String> {
+    let sweep = DomainSweep::load_or_compute(domain, effort, config, scale, out_dir)?;
+    let mut base = sweep.key.clone();
+    base.attack = 0;
+    base.evo = 0;
+    base.attrib = 0;
+    Ok(ResponseSurface {
+        response: ResponseKind::Pra.name().to_string(),
+        rows: (0..sweep.results.len()).collect(),
+        axes: vec![
+            ("performance".into(), sweep.results.performance.clone()),
+            ("robustness".into(), sweep.results.robustness.clone()),
+            (
+                "aggressiveness".into(),
+                sweep.results.aggressiveness.clone(),
+            ),
+        ],
+        sources: sweep.key.meta_line(),
+        base,
+        from_cache: sweep.from_cache,
+    })
+}
+
+/// Builds the robustness-under-attack surface of a domain: one axis per
+/// model in `models`, each protocol's survival rate averaged over the
+/// budget grid (cached under
+/// `results/attack-<domain>-<model>-<scale>.csv`).
+///
+/// # Errors
+///
+/// Returns an error when `models` is empty or a sweep cache is corrupt
+/// or unwritable.
+pub fn attack_surface(
+    domain: &dyn DynDomain,
+    models: &[Arc<dyn AttackModel>],
+    effort: Effort,
+    config: &AttackConfig,
+    scale: &str,
+    out_dir: &Path,
+) -> Result<ResponseSurface, String> {
+    let first = models
+        .first()
+        .ok_or("attack surface needs at least one attack model")?;
+    let mut base = config.key(domain, &**first, scale, effort);
+    base.attack = 0;
+    let mut axes = Vec::with_capacity(models.len());
+    let mut sources = String::new();
+    let mut from_cache = true;
+    for model in models {
+        let sweep = AttackSweep::load_or_compute(domain, &**model, effort, config, scale, out_dir)?;
+        from_cache &= sweep.from_cache;
+        if !sources.is_empty() {
+            sources.push('\n');
+        }
+        sources.push_str(&sweep.key.meta_line());
+        // The per-protocol response: mean survival over the budget grid.
+        let budgets = sweep.robustness.len().max(1) as f64;
+        let mut mean = vec![0.0f64; domain.size()];
+        for row in &sweep.robustness {
+            for (m, &r) in mean.iter_mut().zip(row) {
+                *m += r / budgets;
+            }
+        }
+        axes.push((model.name().to_string(), mean));
+    }
+    Ok(ResponseSurface {
+        response: ResponseKind::Attack.name().to_string(),
+        rows: (0..domain.size()).collect(),
+        axes,
+        base,
+        sources,
+        from_cache,
+    })
+}
+
+/// Builds the evolutionary-outcome surface of a domain over `candidates`
+/// (matrix cached under `results/evo-<domain>-<scale>.csv`): per-candidate
+/// homogeneous payoff (`selfpay`), basin-of-attraction share (`basin`)
+/// and finite-population fixation probability (`fixation`).
+///
+/// The surface covers only the candidate rows, so the attribution layer
+/// typically falls back to one-way effect sizes here — the full
+/// regression is under-determined on a handful of candidates, and that
+/// degradation is reported, not hidden.
+///
+/// # Errors
+///
+/// Returns an error when the matrix cache is corrupt or unwritable.
+pub fn evolution_surface(
+    domain: &dyn DynDomain,
+    candidates: &[usize],
+    effort: Effort,
+    cfg: &EvoConfig,
+    scale: &str,
+    out_dir: &Path,
+) -> Result<ResponseSurface, String> {
+    let sweep = EvoSweep::load_or_compute(domain, candidates, effort, cfg, scale, out_dir)?;
+    let analysis = dsa_evolution::analyze(&sweep.matrix, cfg);
+    let selfpay: Vec<f64> = (0..sweep.matrix.len())
+        .map(|i| sweep.matrix.payoff[i][i])
+        .collect();
+    let mut base = sweep.key.clone();
+    base.evo = 0;
+    Ok(ResponseSurface {
+        response: ResponseKind::Evolution.name().to_string(),
+        rows: candidates.to_vec(),
+        axes: vec![
+            ("selfpay".into(), selfpay),
+            ("basin".into(), analysis.basin_share),
+            ("fixation".into(), analysis.fixation),
+        ],
+        base,
+        sources: sweep.key.meta_line(),
+        from_cache: sweep.from_cache,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_kind_names_roundtrip() {
+        for kind in ResponseKind::ALL {
+            assert_eq!(ResponseKind::by_name(kind.name()), Some(kind));
+        }
+        assert!(ResponseKind::by_name("nonsense").is_none());
+    }
+}

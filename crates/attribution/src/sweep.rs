@@ -1,0 +1,369 @@
+//! The stamped-CSV cache for derived attribution tables.
+//!
+//! An attribution table is derived — cheap to recompute from a cached
+//! sweep — but it is a *published artifact* (`experiments attribution`
+//! quotes it, downstream tooling reads it), so it carries the same
+//! self-invalidating stamp discipline as the sweeps themselves: one file
+//! per (domain, response, scale) at
+//! `results/attrib-<domain>-<response>-<scale>.csv`, stamped with the
+//! base sweep key re-fingerprinted through the `attrib=` field. The
+//! fingerprint hashes the *source sweeps' stamps* plus the model
+//! specification ([`SPEC_VERSION`]), so a recomputed underlying sweep, a
+//! different response, or a changed attribution model all mismatch and
+//! recompute — while PRA, attack and evo stamps live in different files
+//! under different fingerprint fields and stay untouched.
+
+use crate::design::DesignMatrix;
+use crate::fit::{attribute_axis, AxisAttribution, DimEffect};
+use crate::response::ResponseSurface;
+use dsa_core::cache::{read_stamped, write_stamped, SweepKey};
+use dsa_core::domain::{fnv1a, DynDomain};
+use dsa_core::results::{quote_csv, split_csv};
+use std::path::{Path, PathBuf};
+
+/// The attribution model specification, hashed into every table's
+/// fingerprint: editing the model (different coding, different effect
+/// sizes) invalidates cached tables computed under the old one.
+pub const SPEC_VERSION: &str = "attrib v1 dummy-main-effects oneway-eta partial-eta nested-F";
+
+/// One axis' cached summary: fit quality plus per-dimension effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSummary {
+    /// Axis name.
+    pub axis: String,
+    /// Number of observations.
+    pub n: usize,
+    /// R² of the main-effects model (`NaN` when infeasible).
+    pub r2: f64,
+    /// Adjusted R² of the main-effects model (`NaN` when infeasible).
+    pub adj_r2: f64,
+    /// Per-dimension effects, in space-descriptor order.
+    pub dims: Vec<DimEffect>,
+}
+
+impl From<&AxisAttribution> for AxisSummary {
+    fn from(at: &AxisAttribution) -> Self {
+        Self {
+            axis: at.axis.clone(),
+            n: at.n,
+            r2: at.r_squared(),
+            adj_r2: at.adj_r_squared(),
+            dims: at.dims.clone(),
+        }
+    }
+}
+
+/// A derived attribution table with its key and provenance.
+#[derive(Debug, Clone)]
+pub struct AttribTable {
+    /// The key the table was computed (or validated) under.
+    pub key: SweepKey,
+    /// Response-surface name (part of the cache file name).
+    pub response: String,
+    /// One summary per response axis.
+    pub axes: Vec<AxisSummary>,
+    /// Whether this table was served from the cache.
+    pub from_cache: bool,
+}
+
+/// The `attrib=` fingerprint of a surface under the current model
+/// specification. Never 0, so an attribution stamp can never validate a
+/// plain sweep.
+#[must_use]
+pub fn fingerprint(surface: &ResponseSurface) -> u64 {
+    let axis_names: Vec<&str> = surface.axes.iter().map(|(n, _)| n.as_str()).collect();
+    let canon = format!(
+        "{SPEC_VERSION}|response={}|axes={axis_names:?}|sources:\n{}",
+        surface.response, surface.sources
+    );
+    fnv1a(canon.as_bytes()).max(1)
+}
+
+/// Runs the attribution of every axis of a surface over a prebuilt
+/// design matrix — the uncached core [`AttribTable::load_or_compute`]
+/// and the CLI's fit/navigate paths share.
+#[must_use]
+pub fn attribute_surface(dm: &DesignMatrix, surface: &ResponseSurface) -> Vec<AxisAttribution> {
+    surface
+        .axes
+        .iter()
+        .map(|(name, y)| attribute_axis(dm, name, y))
+        .collect()
+}
+
+impl AttribTable {
+    /// The cache file path for a (domain, response, scale) triple.
+    #[must_use]
+    pub fn cache_path(out_dir: &Path, domain: &str, response: &str, scale: &str) -> PathBuf {
+        out_dir.join(format!("attrib-{domain}-{response}-{scale}.csv"))
+    }
+
+    /// This table's own cache file path.
+    #[must_use]
+    pub fn path(&self, out_dir: &Path) -> PathBuf {
+        Self::cache_path(out_dir, &self.key.domain, &self.response, &self.key.scale)
+    }
+
+    /// Builds the table from attributions already computed over the
+    /// surface — for callers that need the live fits anyway (interaction
+    /// scans, navigators) and must not pay for fitting twice.
+    #[must_use]
+    pub fn from_axes(surface: &ResponseSurface, axes: &[AxisAttribution]) -> Self {
+        Self {
+            key: surface.base.clone().with_attrib(fingerprint(surface)),
+            response: surface.response.clone(),
+            axes: axes.iter().map(AxisSummary::from).collect(),
+            from_cache: false,
+        }
+    }
+
+    /// Computes the table from a surface (no caching).
+    #[must_use]
+    pub fn compute(domain: &dyn DynDomain, surface: &ResponseSurface, threads: usize) -> Self {
+        let dm = DesignMatrix::build(domain.space(), &surface.rows, threads);
+        Self::from_axes(surface, &attribute_surface(&dm, surface))
+    }
+
+    /// Attempts to load a cached table matching `key`. Returns `Ok(None)`
+    /// for every "recompute, don't trust" case: missing file, missing or
+    /// mismatched stamp (any other fingerprint — a changed source sweep,
+    /// response set or model spec), or an empty body.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the stamp matches but the body cannot be
+    /// parsed (corruption must surface, not be silently recomputed over).
+    pub fn load(key: &SweepKey, response: &str, out_dir: &Path) -> Result<Option<Self>, String> {
+        let path = Self::cache_path(out_dir, &key.domain, response, &key.scale);
+        let Some(body) = read_stamped(&path, key)? else {
+            return Ok(None);
+        };
+        let axes = parse_body(&body)
+            .map_err(|e| format!("corrupt attribution cache {}: {e}", path.display()))?;
+        if axes.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Self {
+            key: key.clone(),
+            response: response.to_string(),
+            axes,
+            from_cache: true,
+        }))
+    }
+
+    /// Loads the cached table for (domain, surface), or computes and
+    /// caches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a matching cache exists but is corrupt, or
+    /// the cache cannot be written.
+    pub fn load_or_compute(
+        domain: &dyn DynDomain,
+        surface: &ResponseSurface,
+        threads: usize,
+        out_dir: &Path,
+    ) -> Result<Self, String> {
+        let key = surface.base.clone().with_attrib(fingerprint(surface));
+        if let Some(cached) = Self::load(&key, &surface.response, out_dir)? {
+            return Ok(cached);
+        }
+        let table = Self::compute(domain, surface, threads);
+        table.store(out_dir)?;
+        Ok(table)
+    }
+
+    /// Writes the table to its cache path via
+    /// [`dsa_core::cache::write_stamped`] (atomic temp sibling + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory or file cannot be written.
+    pub fn store(&self, out_dir: &Path) -> Result<PathBuf, String> {
+        let path = self.path(out_dir);
+        write_stamped(&path, &self.key, &self.to_csv())?;
+        Ok(path)
+    }
+
+    /// The body CSV (no stamp line): one row per (axis, dimension).
+    /// `{}` on f64 prints the shortest representation that parses back
+    /// bit-identically (`NaN` round-trips as `NaN`), so cached and fresh
+    /// tables never diverge.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "axis,dimension,levels,eta_sq,partial_eta_sq,f_stat,p_value,r2,adj_r2,n\n",
+        );
+        for axis in &self.axes {
+            for d in &axis.dims {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{}\n",
+                    quote_csv(&axis.axis),
+                    quote_csv(&d.name),
+                    d.levels,
+                    d.eta_sq,
+                    d.partial_eta_sq,
+                    d.f_stat,
+                    d.p_value,
+                    axis.r2,
+                    axis.adj_r2,
+                    axis.n
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Parses the body CSV back into axis summaries.
+fn parse_body(body: &str) -> Result<Vec<AxisSummary>, String> {
+    let mut lines = body.lines();
+    let header = lines.next().ok_or("empty body")?;
+    if header != "axis,dimension,levels,eta_sq,partial_eta_sq,f_stat,p_value,r2,adj_r2,n" {
+        return Err(format!("unexpected header: {header}"));
+    }
+    let mut axes: Vec<AxisSummary> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() != 10 {
+            return Err(format!("line {}: expected 10 fields", lineno + 2));
+        }
+        let num = |s: &str, what: &str| {
+            s.parse::<f64>()
+                .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 2))
+        };
+        let int = |s: &str, what: &str| {
+            s.parse::<usize>()
+                .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 2))
+        };
+        let effect = DimEffect {
+            name: fields[1].clone(),
+            levels: int(&fields[2], "levels")?,
+            eta_sq: num(&fields[3], "eta_sq")?,
+            partial_eta_sq: num(&fields[4], "partial_eta_sq")?,
+            f_stat: num(&fields[5], "f_stat")?,
+            p_value: num(&fields[6], "p_value")?,
+        };
+        let (r2, adj_r2, n) = (
+            num(&fields[7], "r2")?,
+            num(&fields[8], "adj_r2")?,
+            int(&fields[9], "n")?,
+        );
+        match axes.last_mut() {
+            Some(last) if last.axis == fields[0] => last.dims.push(effect),
+            _ => axes.push(AxisSummary {
+                axis: fields[0].clone(),
+                n,
+                r2,
+                adj_r2,
+                dims: vec![effect],
+            }),
+        }
+    }
+    Ok(axes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake() -> AttribTable {
+        AttribTable {
+            key: SweepKey {
+                domain: "toy".into(),
+                space_hash: 0xABC,
+                scale: "smoke".into(),
+                params: 0x123,
+                seed: 7,
+                len: 4,
+                attack: 0,
+                evo: 0,
+                attrib: 0xA11B,
+            },
+            response: "pra".into(),
+            axes: vec![
+                AxisSummary {
+                    axis: "performance".into(),
+                    n: 4,
+                    r2: 0.91,
+                    adj_r2: 0.89,
+                    dims: vec![
+                        DimEffect {
+                            name: "A, with comma".into(),
+                            levels: 3,
+                            eta_sq: 0.5,
+                            partial_eta_sq: 0.75,
+                            f_stat: 12.5,
+                            p_value: 0.001,
+                        },
+                        DimEffect {
+                            name: "B".into(),
+                            levels: 2,
+                            eta_sq: 0.1,
+                            partial_eta_sq: f64::NAN,
+                            f_stat: f64::NAN,
+                            p_value: f64::NAN,
+                        },
+                    ],
+                },
+                AxisSummary {
+                    axis: "robustness".into(),
+                    n: 4,
+                    r2: f64::NAN,
+                    adj_r2: f64::NAN,
+                    dims: vec![DimEffect {
+                        name: "A, with comma".into(),
+                        levels: 3,
+                        eta_sq: 0.25,
+                        partial_eta_sq: f64::NAN,
+                        f_stat: f64::NAN,
+                        p_value: f64::NAN,
+                    }],
+                },
+            ],
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn csv_body_roundtrips_including_nans() {
+        let t = fake();
+        let parsed = parse_body(&t.to_csv()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].axis, "performance");
+        assert_eq!(parsed[0].dims.len(), 2);
+        assert_eq!(parsed[0].dims[0].name, "A, with comma");
+        assert_eq!(parsed[0].dims[0].partial_eta_sq, 0.75);
+        assert!(parsed[0].dims[1].partial_eta_sq.is_nan());
+        assert!(parsed[1].r2.is_nan());
+        assert_eq!(parsed[1].n, 4);
+        // A re-serialized parse is byte-identical.
+        let round = AttribTable {
+            axes: parsed,
+            ..t.clone()
+        };
+        assert_eq!(round.to_csv(), t.to_csv());
+    }
+
+    #[test]
+    fn parse_body_rejects_garbage() {
+        assert!(parse_body("").is_err());
+        assert!(parse_body("wrong,header\n").is_err());
+        let header = "axis,dimension,levels,eta_sq,partial_eta_sq,f_stat,p_value,r2,adj_r2,n\n";
+        assert!(parse_body(&format!("{header}a,b,2,0.5\n")).is_err());
+        assert!(parse_body(&format!("{header}a,b,x,0.5,0.5,1,0.1,0.9,0.9,4\n")).is_err());
+        assert!(parse_body(&format!("{header}a,b,2,zz,0.5,1,0.1,0.9,0.9,4\n")).is_err());
+    }
+
+    #[test]
+    fn cache_file_name_embeds_domain_response_scale() {
+        let t = fake();
+        assert_eq!(
+            t.path(Path::new("results")),
+            PathBuf::from("results/attrib-toy-pra-smoke.csv")
+        );
+    }
+}

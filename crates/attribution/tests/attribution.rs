@@ -1,0 +1,184 @@
+//! Integration tests of the attribution subsystem against real domains
+//! (gossip — small enough to sweep inside a test) and its stamped cache.
+
+use dsa_attribution::{
+    attribute_surface, evolution_surface, fingerprint, navigate, pra_surface, AttribTable,
+    DesignMatrix, ResponseKind,
+};
+use dsa_core::cache::read_stamped;
+use dsa_core::domain::Effort;
+use dsa_core::pra::PraConfig;
+use dsa_core::tournament::OpponentSampling;
+use dsa_evolution::payoff::EvoConfig;
+use std::path::PathBuf;
+
+fn smoke_pra() -> PraConfig {
+    PraConfig {
+        performance_runs: 1,
+        encounter_runs: 1,
+        sampling: OpponentSampling::Sampled(4),
+        threads: 0,
+        seed: 0x5EED,
+        ..PraConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsa-attrib-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn pra_attribution_end_to_end_with_cache_and_navigator() {
+    let dir = temp_dir("e2e");
+    let domain = dsa_gossip::adapter::register();
+    let cfg = smoke_pra();
+    let surface = pra_surface(&*domain, Effort::Smoke, &cfg, "smoke", &dir).expect("surface");
+    assert_eq!(surface.response, "pra");
+    assert_eq!(surface.rows.len(), domain.size());
+    assert_eq!(surface.axes.len(), 3);
+
+    // The derived table computes, caches, and reloads bit-identically.
+    let fresh = AttribTable::load_or_compute(&*domain, &surface, 0, &dir).expect("fresh");
+    assert!(!fresh.from_cache);
+    assert!(dir.join("attrib-gossip-pra-smoke.csv").exists());
+    let cached = AttribTable::load_or_compute(&*domain, &surface, 0, &dir).expect("cached");
+    assert!(cached.from_cache);
+    assert_eq!(cached.to_csv(), fresh.to_csv());
+    assert_eq!(cached.key, fresh.key);
+
+    // Per-axis R² is reported and per-dimension effects are sane: the
+    // full 108-protocol factorial supports the complete regression.
+    for axis in &fresh.axes {
+        assert_eq!(axis.n, domain.size());
+        assert!(axis.r2.is_finite(), "axis {} has no R²", axis.axis);
+        assert!((0.0..=1.0).contains(&axis.r2));
+        assert_eq!(axis.dims.len(), domain.space().dimensions().len());
+        for d in &axis.dims {
+            assert!((0.0..=1.0).contains(&d.eta_sq), "{}: {d:?}", axis.axis);
+            assert!((0.0..=1.0).contains(&d.partial_eta_sq));
+            assert!(d.f_stat >= 0.0);
+            assert!((0.0..=1.0).contains(&d.p_value));
+        }
+    }
+
+    // The navigator proposes flips from a preset and verifies them
+    // against the true sweep values (full-space surface: no NaNs).
+    let dm = DesignMatrix::build(domain.space(), &surface.rows, 0);
+    let axes = attribute_surface(&dm, &surface);
+    let (perf, rob) = (&axes[0], &axes[1]);
+    let start = domain.parse("lazy").expect("preset");
+    let out = navigate(
+        domain.space(),
+        &dm,
+        perf,
+        Some(rob),
+        &surface.axes[0].1,
+        Some(&surface.axes[1].1),
+        start,
+        0.1,
+        5,
+    );
+    for f in &out {
+        assert!(f.predicted_improve > 0.0);
+        assert!(f.actual_improve.is_finite());
+        assert!(f.actual_guard.is_finite());
+        assert_ne!(f.index, start);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn attribution_is_bit_identical_across_thread_counts() {
+    let dir = temp_dir("threads");
+    let domain = dsa_gossip::adapter::register();
+    let cfg = smoke_pra();
+    let surface = pra_surface(&*domain, Effort::Smoke, &cfg, "smoke", &dir).expect("surface");
+    let one = AttribTable::compute(&*domain, &surface, 1);
+    let eight = AttribTable::compute(&*domain, &surface, 8);
+    assert_eq!(one.to_csv(), eight.to_csv());
+    assert_eq!(one.key, eight.key);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_source_stamp_or_spec_self_invalidates() {
+    let dir = temp_dir("stale");
+    let domain = dsa_gossip::adapter::register();
+    let cfg = smoke_pra();
+    let surface = pra_surface(&*domain, Effort::Smoke, &cfg, "smoke", &dir).expect("surface");
+    let table = AttribTable::load_or_compute(&*domain, &surface, 0, &dir).expect("table");
+
+    // A surface whose source sweep was recomputed under another seed
+    // produces a different fingerprint: the cached table must miss.
+    let mut reseeded = surface.clone();
+    reseeded.sources = reseeded.sources.replace("seed=", "seed=9");
+    assert_ne!(fingerprint(&surface), fingerprint(&reseeded));
+    let stale_key = surface.base.clone().with_attrib(fingerprint(&reseeded));
+    assert!(AttribTable::load(&stale_key, "pra", &dir)
+        .unwrap()
+        .is_none());
+
+    // The attribution stamp never validates a plain sweep key (and the
+    // plain key never validates the attribution file).
+    let plain = surface.base.clone();
+    assert!(read_stamped(&table.path(&dir), &plain).unwrap().is_none());
+    let sweep_path = plain.cache_path(&dir);
+    assert!(read_stamped(&sweep_path, &table.key).unwrap().is_none());
+
+    // A corrupt body under a matching stamp is a hard error.
+    let path = table.path(&dir);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stamp = text.split_once('\n').unwrap().0;
+    std::fs::write(
+        &path,
+        format!("{stamp}\naxis,dimension,levels,eta_sq,partial_eta_sq,f_stat,p_value,r2,adj_r2,n\nperf,A,x,0,0,0,0,0,0,4\n"),
+    )
+    .unwrap();
+    assert!(AttribTable::load(&table.key, "pra", &dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evolution_surface_degrades_to_one_way_effects() {
+    // Four gossip candidates cannot support the full regression; the
+    // attribution must still produce bounded one-way effect sizes and
+    // flag the missing fit as NaN R², not fabricate one.
+    let dir = temp_dir("evo");
+    let domain = dsa_gossip::adapter::register();
+    let cfg = EvoConfig {
+        encounter_runs: 1,
+        basin_samples: 8,
+        moran_trials: 20,
+        ..EvoConfig::default()
+    };
+    let candidates = dsa_evolution::default_candidates(&*domain);
+    let surface = evolution_surface(&*domain, &candidates, Effort::Smoke, &cfg, "smoke", &dir)
+        .expect("surface");
+    assert_eq!(surface.response, "evolution");
+    assert_eq!(surface.rows, candidates);
+    let names: Vec<&str> = surface.axes.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["selfpay", "basin", "fixation"]);
+    let table = AttribTable::load_or_compute(&*domain, &surface, 0, &dir).expect("table");
+    assert!(dir.join("attrib-gossip-evolution-smoke.csv").exists());
+    for axis in &table.axes {
+        assert_eq!(axis.n, candidates.len());
+        for d in &axis.dims {
+            assert!((0.0..=1.0).contains(&d.eta_sq));
+        }
+    }
+    // The candidate subset is too small for the main-effects model.
+    assert!(table.axes.iter().all(|a| a.r2.is_nan()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn response_kinds_resolve() {
+    assert_eq!(ResponseKind::by_name("pra"), Some(ResponseKind::Pra));
+    assert_eq!(ResponseKind::by_name("attack"), Some(ResponseKind::Attack));
+    assert_eq!(
+        ResponseKind::by_name("evolution"),
+        Some(ResponseKind::Evolution)
+    );
+}

@@ -90,6 +90,31 @@ fn bench_engines(c: &mut Criterion) {
         })
     });
 
+    // Variance attribution over the full reputation space (288 rows,
+    // 11 dummy columns): design-matrix build + main-effects OLS + one
+    // nested refit per dimension — the `attribute fit` hot path, on a
+    // synthetic response so the bench never touches a sweep cache.
+    let rep_space = dsa_reputation::protocol::design_space();
+    let rep_rows: Vec<usize> = rep_space.indices().collect();
+    let rep_y: Vec<f64> = rep_rows
+        .iter()
+        .map(|&i| {
+            let c = rep_space.coords(i);
+            let noise = ((i * 37 % 11) as f64 - 5.0) / 100.0;
+            0.3 * c[2] as f64 + 0.2 * c[3] as f64 + 0.05 * c[0] as f64 + noise
+        })
+        .collect();
+    c.bench_function("attrib_fit_rep_288", |b| {
+        b.iter(|| {
+            let dm = dsa_attribution::DesignMatrix::build(
+                black_box(&rep_space),
+                black_box(&rep_rows),
+                1,
+            );
+            dsa_attribution::attribute_axis(&dm, "performance", black_box(&rep_y))
+        })
+    });
+
     // OLS on a Table 3-shaped problem (3270 × 12); random columns are
     // full-rank with probability 1.
     let n = 3270;

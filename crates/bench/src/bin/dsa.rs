@@ -12,14 +12,20 @@
 //! dsa <domain> pra [<p1> <p2> ... | --all] [--seed N] [--sample K] [--effort E] [--threads N]
 //! dsa <domain> attack list               list the registered attack models
 //! dsa <domain> attack run <model> <defender> [--budget B] [--runs N] [--seed N] [--effort E]
+//!                                            [--param name=v1,v2,...]   (e.g. k=2,4,8)
 //! dsa <domain> evolve matrix [<p>...] [--runs N] [--seed N] [--effort E] [--threads N]
 //! dsa <domain> evolve run    [<p>...] [--steps S] [--runs N] [--seed N] [--effort E] [--threads N]
 //! dsa <domain> evolve ess    [<p>...] [--runs N] [--seed N] [--effort E] [--threads N]
+//! dsa <domain> attribute fit          [--response pra|attack|evolution] [--scale S] [--seed N]
+//!                                     [--threads N] [--out DIR]
+//! dsa <domain> attribute interactions [--top N] [+ the fit flags]
+//! dsa <domain> attribute navigate <p> [--improve AXIS] [--guard AXIS|none] [--tolerance T]
+//!                                     [--top N] [+ the fit flags]
 //! dsa <domain> search [--seed N] [--budget N] [--restarts R] [--effort E]
 //! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]   (piece-level BitTorrent, swarm-only)
 //! ```
 //!
-//! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (216).
+//! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (288).
 //! A bare command (`dsa protocols ...`) defaults to the swarm domain.
 //! Attack models (`dsa-attacks`): sybil, collusion, whitewash, adaptive —
 //! all parameterized adversaries that work on every domain.
@@ -30,7 +36,8 @@
 //!
 //! Presets: swarm has bittorrent, birds, loyal, sorts, random,
 //! freerider; gossip has random-push, reciprocal, lazy, silent; rep has
-//! baseline, tft, bartercast, elitist, prober, freerider, whitewasher.
+//! baseline, tft, bartercast, eigentrust, elitist, prober, freerider,
+//! whitewasher.
 //! BT kinds: bittorrent, birds, loyal, sorts, random.
 
 use dsa_btsim::choker::ClientKind;
@@ -44,7 +51,7 @@ use dsa_workloads::seeds::SeedSeq;
 use std::process::ExitCode;
 
 /// The generic per-domain subcommands.
-const DOMAIN_COMMANDS: [&str; 8] = [
+const DOMAIN_COMMANDS: [&str; 9] = [
     "protocols",
     "describe",
     "simulate",
@@ -52,6 +59,7 @@ const DOMAIN_COMMANDS: [&str; 8] = [
     "pra",
     "attack",
     "evolve",
+    "attribute",
     "search",
 ];
 
@@ -96,7 +104,7 @@ fn help() -> String {
     let attacks: Vec<&str> = dsa_attacks::registry().iter().map(|m| m.name()).collect();
     format!(
         "dsa — Design Space Analysis toolkit\n\
-         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|search}} [...]\n\
+         usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|attribute|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
          domains: {}\n\
          attacks: {} (dsa <domain> attack {{list|run}})\n\
@@ -116,6 +124,7 @@ fn dispatch(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
         Some("pra") => cmd_pra(domain, &args[1..]),
         Some("attack") => cmd_attack(domain, &args[1..]),
         Some("evolve") => cmd_evolve(domain, &args[1..]),
+        Some("attribute") => cmd_attribute(domain, &args[1..]),
         Some("search") => cmd_search(domain, &args[1..]),
         Some(other) => Err(format!(
             "unknown {} command '{other}' (expected one of: {})",
@@ -367,7 +376,7 @@ fn cmd_attack(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
 
 fn cmd_attack_run(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
-    check_flags(&flags, &["budget", "runs", "seed", "effort"])?;
+    check_flags(&flags, &["budget", "runs", "seed", "effort", "param"])?;
     let model_name = pos
         .first()
         .ok_or("attack run needs a model (see 'attack list')")?;
@@ -387,39 +396,65 @@ fn cmd_attack_run(domain: &dyn DynDomain, args: &[String]) -> Result<(), String>
     } else {
         dsa_attacks::DEFAULT_BUDGETS.to_vec()
     };
-    println!(
-        "{} vs {}: {}",
-        domain.code(defender),
-        model.name(),
-        model.describe()
-    );
-    println!(
-        "{:>7} {:>14} {:>14} {:>10}",
-        "budget", "defender util", "adversary util", "survives"
-    );
-    let root = SeedSeq::new(seed);
-    for (bi, &b) in budgets.iter().enumerate() {
-        let ctx = dsa_attacks::AttackContext {
-            domain,
-            effort,
-            budget: b,
+    // `--param k=2,4,8` sweeps one model parameter alongside the budget
+    // axis: one parameterized model variant per value (each with its own
+    // cache fingerprint — the attack-model-depth sweep axis).
+    let variants: Vec<(String, std::sync::Arc<dyn dsa_attacks::AttackModel>)> =
+        if let Some((_, spec)) = flags.iter().find(|(n, _)| n == "param") {
+            let (param, values) = dsa_attacks::parse_param_spec(spec)?;
+            values
+                .iter()
+                .map(|&v| {
+                    dsa_attacks::parameterized(model.name(), &param, v)
+                        .map(|m| (format!("{param}={v}"), m))
+                })
+                .collect::<Result<_, _>>()?
+        } else {
+            vec![(String::new(), model)]
         };
-        let node = root.child(bi as u64);
-        let (mut def_acc, mut adv_acc, mut wins) = (0.0, 0.0, 0usize);
-        for r in 0..runs {
-            let (def, adv) = model.encounter(&ctx, defender, node.child(r as u64).seed());
-            def_acc += def;
-            adv_acc += adv;
-            if def > adv {
-                wins += 1;
-            }
-        }
+    let root = SeedSeq::new(seed);
+    for (label, model) in &variants {
         println!(
-            "{b:>7.2} {:>14.3} {:>14.3} {:>7}/{runs}",
-            def_acc / runs as f64,
-            adv_acc / runs as f64,
-            wins
+            "{} vs {}{}: {}",
+            domain.code(defender),
+            model.name(),
+            if label.is_empty() {
+                String::new()
+            } else {
+                format!(" [{label}]")
+            },
+            model.describe()
         );
+        println!(
+            "{:>7} {:>14} {:>14} {:>10}",
+            "budget", "defender util", "adversary util", "survives"
+        );
+        for (bi, &b) in budgets.iter().enumerate() {
+            let ctx = dsa_attacks::AttackContext {
+                domain,
+                effort,
+                budget: b,
+            };
+            // Seeds derive from the budget position only, so every
+            // parameter variant faces the same worlds and columns are
+            // comparable across the parameter axis.
+            let node = root.child(bi as u64);
+            let (mut def_acc, mut adv_acc, mut wins) = (0.0, 0.0, 0usize);
+            for r in 0..runs {
+                let (def, adv) = model.encounter(&ctx, defender, node.child(r as u64).seed());
+                def_acc += def;
+                adv_acc += adv;
+                if def > adv {
+                    wins += 1;
+                }
+            }
+            println!(
+                "{b:>7.2} {:>14.3} {:>14.3} {:>7}/{runs}",
+                def_acc / runs as f64,
+                adv_acc / runs as f64,
+                wins
+            );
+        }
     }
     Ok(())
 }
@@ -563,6 +598,221 @@ fn cmd_evolve_ess(domain: &dyn DynDomain, args: &[String]) -> Result<(), String>
     );
     print!("{}", analysis.candidate_table(&m));
     println!("{}", analysis.summary_line(&m));
+    Ok(())
+}
+
+// ---- variance attribution (dsa-attribution) --------------------------------
+
+fn cmd_attribute(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("fit") => cmd_attribute_fit(domain, &args[1..]),
+        Some("interactions") => cmd_attribute_interactions(domain, &args[1..]),
+        Some("navigate") => cmd_attribute_navigate(domain, &args[1..]),
+        Some(other) => Err(format!(
+            "unknown attribute command '{other}' (expected: fit, interactions, navigate)"
+        )),
+        None => Err("attribute needs a subcommand: fit, interactions, navigate".into()),
+    }
+}
+
+/// Parses the attribution flags shared by the three subcommands: the
+/// scale (which selects both simulator fidelity and the cache files),
+/// the response surface, seed/threads overrides and the cache directory.
+fn attribute_setup(
+    flags: &Flags,
+) -> Result<
+    (
+        dsa_bench::Scale,
+        dsa_attribution::ResponseKind,
+        std::path::PathBuf,
+    ),
+    String,
+> {
+    let scale_name: String = flag(flags, "scale", "smoke".to_string())?;
+    let mut scale = dsa_bench::Scale::by_name(&scale_name)
+        .ok_or_else(|| format!("unknown --scale '{scale_name}' (smoke|lab|paper)"))?;
+    scale.pra.seed = flag(flags, "seed", scale.pra.seed)?;
+    scale.pra.threads = flag(flags, "threads", scale.pra.threads)?;
+    let response_name: String = flag(flags, "response", "pra".to_string())?;
+    let response = dsa_attribution::ResponseKind::by_name(&response_name)
+        .ok_or_else(|| format!("unknown --response '{response_name}' (pra|attack|evolution)"))?;
+    let out = std::path::PathBuf::from(flag(flags, "out", "results".to_string())?);
+    Ok((scale, response, out))
+}
+
+const ATTRIBUTE_FLAGS: [&str; 5] = ["response", "scale", "seed", "threads", "out"];
+
+fn cmd_attribute_fit(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!(
+            "attribute fit takes no positional argument '{stray}'"
+        ));
+    }
+    check_flags(&flags, &ATTRIBUTE_FLAGS)?;
+    let (scale, response, out) = attribute_setup(&flags)?;
+    let surface = dsa_bench::attribfig::build_surface(domain, response, &scale, &out)?;
+    let table =
+        dsa_attribution::AttribTable::load_or_compute(domain, &surface, scale.pra.threads, &out)?;
+    println!(
+        "variance attribution of the {} {} surface ({} rows, scale {})",
+        domain.name(),
+        surface.response,
+        surface.rows.len(),
+        scale.name
+    );
+    print!("{}", dsa_bench::attribfig::render_table(&table));
+    println!(
+        "(table {}: {})",
+        if table.from_cache {
+            "loaded from cache"
+        } else {
+            "computed and cached"
+        },
+        table.path(&out).display()
+    );
+    Ok(())
+}
+
+fn cmd_attribute_interactions(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!(
+            "attribute interactions takes no positional argument '{stray}'"
+        ));
+    }
+    let mut allowed = ATTRIBUTE_FLAGS.to_vec();
+    allowed.push("top");
+    check_flags(&flags, &allowed)?;
+    let top = flag(&flags, "top", 5usize)?.max(1);
+    let (scale, response, out) = attribute_setup(&flags)?;
+    let surface = dsa_bench::attribfig::build_surface(domain, response, &scale, &out)?;
+    let dm = dsa_attribution::DesignMatrix::build(domain.space(), &surface.rows, scale.pra.threads);
+    println!(
+        "pairwise interaction scan of the {} {} surface (scale {}, ranked by incremental R²)",
+        domain.name(),
+        surface.response,
+        scale.name
+    );
+    for (axis, y) in &surface.axes {
+        let scan = dsa_attribution::interaction_scan(&dm, y);
+        if scan.is_empty() {
+            println!("{axis}: fewer than two varying dimensions — nothing to scan");
+            continue;
+        }
+        println!("{axis}:");
+        for i in scan.iter().take(top) {
+            if i.delta_r2.is_finite() {
+                println!(
+                    "  {:<28} ΔR² = {:.4}  F = {:>8.2}  p {} ({} columns)",
+                    format!("{} × {}", i.dim_a, i.dim_b),
+                    i.delta_r2,
+                    i.f_stat,
+                    if i.p_value < 0.001 {
+                        "< 0.001".to_string()
+                    } else {
+                        format!("= {:.3}", i.p_value)
+                    },
+                    i.columns
+                );
+            } else {
+                println!(
+                    "  {:<28} (augmented model infeasible on this surface)",
+                    format!("{} × {}", i.dim_a, i.dim_b)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_attribute_navigate(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let token = pos
+        .first()
+        .ok_or("attribute navigate needs a starting protocol")?;
+    let start = domain.parse(token)?;
+    let mut allowed = ATTRIBUTE_FLAGS.to_vec();
+    allowed.extend_from_slice(&["improve", "guard", "tolerance", "top"]);
+    check_flags(&flags, &allowed)?;
+    let (scale, response, out) = attribute_setup(&flags)?;
+    let tolerance = flag(&flags, "tolerance", 0.05f64)?;
+    let top = flag(&flags, "top", 5usize)?.max(1);
+    let surface = dsa_bench::attribfig::build_surface(domain, response, &scale, &out)?;
+    let axis_names: Vec<&str> = surface.axes.iter().map(|(n, _)| n.as_str()).collect();
+    let improve_name: String = flag(&flags, "improve", axis_names[0].to_string())?;
+    let guard_name: String = flag(
+        &flags,
+        "guard",
+        axis_names.get(1).map_or("none", |n| n).to_string(),
+    )?;
+    let axis_pos = |name: &str| -> Result<usize, String> {
+        axis_names
+            .iter()
+            .position(|n| *n == name)
+            .ok_or_else(|| format!("unknown axis '{name}' (this surface has: {axis_names:?})"))
+    };
+    let improve_at = axis_pos(&improve_name)?;
+    let guard_at = if guard_name == "none" {
+        None
+    } else {
+        Some(axis_pos(&guard_name)?)
+    };
+    let dm = dsa_attribution::DesignMatrix::build(domain.space(), &surface.rows, scale.pra.threads);
+    let axes = dsa_attribution::attribute_surface(&dm, &surface);
+    let suggestions = dsa_attribution::navigate(
+        domain.space(),
+        &dm,
+        &axes[improve_at],
+        guard_at.map(|g| &axes[g]),
+        &surface.axes[improve_at].1,
+        guard_at.map(|g| surface.axes[g].1.as_slice()),
+        start,
+        tolerance,
+        top,
+    );
+    println!(
+        "dimension-flip navigator: improve {} of {} {}{}",
+        improve_name,
+        domain.code(start),
+        match guard_at {
+            Some(_) => format!("guarding {guard_name} (tolerance {tolerance})"),
+            None => "unguarded".to_string(),
+        },
+        if suggestions.is_empty() {
+            " — no single flip is predicted to help"
+        } else {
+            ""
+        }
+    );
+    if axes[improve_at].fit.is_none() {
+        println!(
+            "(the {improve_name} axis has no fitted model on this surface — n = {} rows are \
+             too few, or the design is aliased)",
+            surface.rows.len()
+        );
+        return Ok(());
+    }
+    for f in &suggestions {
+        println!(
+            "  flip {} {}→{} (index {}): predicted Δ{} {:+.3} / measured {:+.3}; \
+             guard Δ {:+.3} / measured {:+.3} {}",
+            f.dim,
+            f.from_level,
+            f.to_level,
+            f.index,
+            improve_name,
+            f.predicted_improve,
+            f.actual_improve,
+            f.predicted_guard,
+            f.actual_guard,
+            if f.verified(tolerance) {
+                "[verified]"
+            } else {
+                "[NOT confirmed by the sweep]"
+            }
+        );
+    }
     Ok(())
 }
 

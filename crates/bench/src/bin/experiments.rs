@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N]
-//!             [--budgets B1,B2,...] [--mutants P1,P2,...] <id>...
+//!             [--budgets B1,B2,...] [--mutants P1,P2,...]
+//!             [--response pra,attack,evolution] <id>...
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
-//!      rep whitewash cross attacks evolution search all
+//!      rep whitewash cross attacks evolution attribution search all
 //! ```
 //!
 //! Sweep-based experiments share content-addressed caches at
@@ -18,12 +19,17 @@
 //! (`--budgets` overrides the default 5%–50% grid and is part of the
 //! stamp). The `evolution` experiment caches one empirical payoff matrix
 //! per domain at `<out>/evo-<domain>-<scale>.csv` (`--mutants` adds
-//! protocols to each domain's candidate set and is part of the stamp). A
-//! cache stamped with a different space hash, scale, seed, parameter
-//! fingerprint, attack key or evo key is recomputed automatically;
-//! delete the file to force a re-run.
+//! protocols to each domain's candidate set and is part of the stamp).
+//! The `attribution` experiment derives per-dimension effect-size tables
+//! from those caches (one per (domain, response) at
+//! `<out>/attrib-<domain>-<response>-<scale>.csv`; `--response` selects
+//! which surfaces to explain, default `pra`). A cache stamped with a
+//! different space hash, scale, seed, parameter fingerprint, attack,
+//! evo or attrib key is recomputed automatically; delete the file to
+//! force a re-run.
 
 use dsa_bench::attackfig;
+use dsa_bench::attribfig;
 use dsa_bench::btfigs;
 use dsa_bench::evofig;
 use dsa_bench::figures;
@@ -66,6 +72,7 @@ const ALL_IDS: &[&str] = &[
     "cross",
     "attacks",
     "evolution",
+    "attribution",
     "search",
 ];
 
@@ -75,6 +82,7 @@ struct Options {
     out: PathBuf,
     budgets: Option<Vec<f64>>,
     mutants: Vec<String>,
+    responses: Vec<dsa_attribution::ResponseKind>,
     ids: Vec<String>,
 }
 
@@ -85,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
     let mut threads: Option<usize> = None;
     let mut budgets: Option<Vec<f64>> = None;
     let mut mutants: Vec<String> = Vec::new();
+    let mut responses = vec![dsa_attribution::ResponseKind::Pra];
     let mut ids = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -131,10 +140,17 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--mutants needs a comma-separated token list")?;
                 mutants.extend(v.split(',').map(|t| t.trim().to_string()));
             }
+            "--response" => {
+                let v = args
+                    .next()
+                    .ok_or("--response needs a comma-separated list (pra|attack|evolution)")?;
+                responses = attribfig::parse_responses(&v)?;
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
-                     [--threads N] [--budgets B1,B2,...] [--mutants P1,P2,...] <id>...\nids: {} all",
+                     [--threads N] [--budgets B1,B2,...] [--mutants P1,P2,...] \
+                     [--response pra,attack,evolution] <id>...\nids: {} all",
                     ALL_IDS.join(" ")
                 ));
             }
@@ -160,6 +176,7 @@ fn parse_args() -> Result<Options, String> {
         out,
         budgets,
         mutants,
+        responses,
         ids,
     })
 }
@@ -241,6 +258,7 @@ fn main() -> ExitCode {
             "cross" => prafig::cross_domain(&opts.scale, &opts.out),
             "attacks" => attackfig::attacks(&opts.scale, &opts.out, opts.budgets.as_deref()),
             "evolution" => evofig::evolution(&opts.scale, &opts.out, &opts.mutants),
+            "attribution" => attribfig::attribution(&opts.scale, &opts.out, &opts.responses),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };

@@ -11,6 +11,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod attackfig;
+pub mod attribfig;
 pub mod btfigs;
 pub mod evofig;
 pub mod figures;

@@ -16,7 +16,7 @@ use dsa_stats::hull::convex_hull_volume;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Renders the space arithmetic, e.g. `"3 × 3 × 3 × 4 × 2 = 216"`.
+/// Renders the space arithmetic, e.g. `"4 × 3 × 3 × 4 × 2 = 288"`.
 #[must_use]
 pub fn space_arithmetic(domain: &dyn DynDomain) -> String {
     let factors: Vec<String> = domain

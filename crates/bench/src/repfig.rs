@@ -16,7 +16,7 @@ use dsa_reputation::protocol::RepProtocol;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Runs (or loads from `results/`) the PRA sweep over the 216-protocol
+/// Runs (or loads from `results/`) the PRA sweep over the 288-protocol
 /// reputation space and reports the extremes plus where the canonical
 /// presets and attackers land.
 ///
@@ -105,6 +105,31 @@ mod tests {
         // The second run must reuse the results/ cache.
         let s2 = reputation_dsa(&scale, &dir).expect("cached sweep");
         assert!(s2.contains("loaded from cache"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_space_hash_stamp_is_recomputed_not_trusted() {
+        // The EigenTrust actualization grew the reputation space from 216
+        // to 288 protocols, which changes the space-shape hash: a cache
+        // stamped under the old shape (e.g. a committed pra-rep-*.csv from
+        // before the change) must be treated as stale, never loaded.
+        let dir = std::env::temp_dir().join(format!("dsa-repstale-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scale = Scale::smoke();
+        let domain = dsa_reputation::adapter::register();
+        let key = dsa_core::cache::SweepKey::of(&*domain, scale.name, scale.effort(), &scale.pra);
+        // Fabricate a pre-EigenTrust cache: same path, old shape hash and
+        // old protocol count under an otherwise identical stamp.
+        let mut stale = key.clone();
+        stale.space_hash ^= 0x0216;
+        stale.len = 216;
+        let body = "index,name,performance_raw,performance,robustness,aggressiveness\n";
+        dsa_core::cache::write_stamped(&key.cache_path(&dir), &stale, body).unwrap();
+        assert!(
+            DomainSweep::load(&key, &dir).unwrap().is_none(),
+            "a stamp under the old space shape must not validate the new key"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

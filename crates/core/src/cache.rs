@@ -68,6 +68,12 @@ pub struct SweepKey {
     /// validate any other sweep and a changed candidate set or dynamics
     /// configuration self-invalidates.
     pub evo: u64,
+    /// Variance-attribution fingerprint: 0 for every sweep; derived
+    /// attribution tables (`dsa-attribution`) set it to the hash of the
+    /// response surface's source stamps plus the model specification, so
+    /// an attribution stamp can never validate a sweep (or vice versa)
+    /// and a changed underlying sweep or model spec self-invalidates.
+    pub attrib: u64,
 }
 
 impl SweepKey {
@@ -98,6 +104,7 @@ impl SweepKey {
             len: domain.size(),
             attack: 0,
             evo: 0,
+            attrib: 0,
         }
     }
 
@@ -116,6 +123,15 @@ impl SweepKey {
     #[must_use]
     pub fn with_evo(mut self, evo: u64) -> Self {
         self.evo = evo;
+        self
+    }
+
+    /// The same key re-stamped for a derived attribution table: `attrib`
+    /// is the attribution fingerprint ([`crate::domain::fnv1a`] over the
+    /// source sweeps' stamps and the model specification).
+    #[must_use]
+    pub fn with_attrib(mut self, attrib: u64) -> Self {
+        self.attrib = attrib;
         self
     }
 
@@ -140,6 +156,9 @@ impl SweepKey {
         if self.evo != 0 {
             line.push_str(&format!(" evo={:016x}", self.evo));
         }
+        if self.attrib != 0 {
+            line.push_str(&format!(" attrib={:016x}", self.attrib));
+        }
         line
     }
 
@@ -161,6 +180,7 @@ impl SweepKey {
         let mut len = None;
         let mut attack = 0;
         let mut evo = 0;
+        let mut attrib = 0;
         for token in tokens {
             let (key, value) = token.split_once('=')?;
             match key {
@@ -172,6 +192,7 @@ impl SweepKey {
                 "n" => len = value.parse().ok(),
                 "attack" => attack = u64::from_str_radix(value, 16).ok()?,
                 "evo" => evo = u64::from_str_radix(value, 16).ok()?,
+                "attrib" => attrib = u64::from_str_radix(value, 16).ok()?,
                 _ => {}
             }
         }
@@ -184,6 +205,7 @@ impl SweepKey {
             len: len?,
             attack,
             evo,
+            attrib,
         })
     }
 }
@@ -506,6 +528,7 @@ mod tests {
             len: 216,
             attack: 0,
             evo: 0,
+            attrib: 0,
         };
         assert_eq!(SweepKey::parse_meta(&key.meta_line()), Some(key.clone()));
         // An attack fingerprint is stamped and round-trips; its stamp
@@ -527,6 +550,17 @@ mod tests {
         );
         assert_ne!(evolved, key);
         assert_ne!(evolved, attacked);
+        // An attribution fingerprint is orthogonal to all three: it
+        // round-trips and never validates plain, attack or evo stamps.
+        let attributed = key.clone().with_attrib(0xA11B);
+        assert!(attributed.meta_line().contains("attrib=000000000000a11b"));
+        assert_eq!(
+            SweepKey::parse_meta(&attributed.meta_line()),
+            Some(attributed.clone())
+        );
+        assert_ne!(attributed, key);
+        assert_ne!(attributed, attacked);
+        assert_ne!(attributed, evolved);
         assert_ne!(SweepKey::parse_meta(&attacked.meta_line()), Some(key));
         assert!(SweepKey::parse_meta("index,name,performance_raw").is_none());
         assert!(SweepKey::parse_meta("# dsa-sweep v2 domain=x").is_none());

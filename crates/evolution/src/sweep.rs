@@ -57,6 +57,7 @@ impl EvoSweep {
             len: candidates.len(),
             attack: 0,
             evo: 0,
+            attrib: 0,
         }
         .with_evo(fnv1a(evo.as_bytes()).max(1))
     }
@@ -251,6 +252,7 @@ mod tests {
                 len: 2,
                 attack: 0,
                 evo: 0xE40,
+                attrib: 0,
             },
             matrix: PayoffMatrix {
                 candidates: vec![3, 5],

@@ -225,8 +225,8 @@ proptest! {
     /// utility bit for bit at the groups' count ratio.
     #[test]
     fn mixed_pair_reproduces_run_encounter(
-        a in 0usize..216,
-        b in 0usize..216,
+        a in 0usize..288,
+        b in 0usize..288,
         count_a in 1usize..16,
         seed in 0u64..1000,
     ) {

@@ -46,7 +46,7 @@ impl EncounterSim for RepSim {
 }
 
 /// The reputation domain for the generic registry
-/// ([`dsa_core::domain`]): the 216-protocol space behind the type-erased
+/// ([`dsa_core::domain`]): the 288-protocol space behind the type-erased
 /// interface the CLI, sweep cache and cross-domain figures share.
 pub struct RepDomain;
 
@@ -74,6 +74,7 @@ impl Domain for RepDomain {
             ("baseline", RepProtocol::baseline().index()),
             ("tft", presets::private_tft().index()),
             ("bartercast", presets::bartercast().index()),
+            ("eigentrust", presets::eigentrust().index()),
             ("elitist", presets::elitist().index()),
             ("prober", presets::prober().index()),
             ("freerider", presets::freerider().index()),
@@ -84,6 +85,7 @@ impl Domain for RepDomain {
     fn aliases(&self) -> Vec<(&'static str, usize)> {
         vec![
             ("bc", presets::bartercast().index()),
+            ("et", presets::eigentrust().index()),
             ("ww", presets::whitewasher().index()),
         ]
     }
@@ -222,6 +224,11 @@ mod tests {
         assert_eq!(d.name(), "rep");
         assert_eq!(d.size(), crate::protocol::REP_SPACE_SIZE);
         assert_eq!(d.parse("ww").unwrap(), presets::whitewasher().index());
+        assert_eq!(d.parse("et").unwrap(), presets::eigentrust().index());
+        assert_eq!(
+            d.parse("eigentrust").unwrap(),
+            presets::eigentrust().index()
+        );
         let attackers: Vec<String> = d.attackers().into_iter().map(|(n, _)| n).collect();
         assert_eq!(attackers, vec!["freerider", "whitewasher"]);
         assert!(d.supports_churn());

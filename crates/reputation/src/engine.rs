@@ -369,40 +369,58 @@ fn source_score(
 ) -> Option<f64> {
     let own_seen = peers[s].ledger.seen[r];
     let own = peers[s].ledger.opinion[r];
-    match source {
-        Source::Private => own_seen.then_some(own),
-        Source::Gossiped | Source::Transitive => {
-            let n = peers.len();
-            let mut score = if own_seen { own } else { 0.0 };
-            let mut heard = own_seen;
-            for g in sampling::sample_indices(n, config.gossip_sources, rng) {
-                if g == s || g == r {
-                    continue;
-                }
-                if !peers[g].ledger.seen[r] {
-                    continue;
-                }
-                let opinion = peers[g].ledger.opinion[r];
-                match source {
-                    // One-hop gossip: take the witness at face value.
-                    Source::Gossiped => {
-                        score += opinion;
-                        heard = true;
-                    }
-                    // BarterCast-style: a witness counts only up to the
-                    // trust the server places in the witness itself.
-                    Source::Transitive => {
-                        if peers[s].ledger.seen[g] {
-                            score += opinion.min(peers[s].ledger.opinion[g].max(0.0));
-                            heard = true;
-                        }
-                    }
-                    Source::Private => unreachable!(),
+    if source == Source::Private {
+        return own_seen.then_some(own);
+    }
+    let n = peers.len();
+    let mut score = if own_seen { own } else { 0.0 };
+    let mut heard = own_seen;
+    // EigenTrust witnesses are buffered as (trust in witness, witness's
+    // opinion of r) and folded in after sampling, because the weights
+    // normalize over the *total* trust in the consulted witnesses.
+    let mut witnesses: Vec<(f64, f64)> = Vec::new();
+    for g in sampling::sample_indices(n, config.gossip_sources, rng) {
+        if g == s || g == r {
+            continue;
+        }
+        if !peers[g].ledger.seen[r] {
+            continue;
+        }
+        let opinion = peers[g].ledger.opinion[r];
+        match source {
+            // One-hop gossip: take the witness at face value.
+            Source::Gossiped => {
+                score += opinion;
+                heard = true;
+            }
+            // BarterCast-style: a witness counts only up to the
+            // trust the server places in the witness itself.
+            Source::Transitive => {
+                if peers[s].ledger.seen[g] {
+                    score += opinion.min(peers[s].ledger.opinion[g].max(0.0));
+                    heard = true;
                 }
             }
-            heard.then_some(score)
+            // EigenTrust-style: witnesses split one unit of influence
+            // in proportion to the server's (non-negative) trust in
+            // them; an untrusted witness carries no weight at all.
+            Source::EigenTrust => {
+                if peers[s].ledger.seen[g] {
+                    let trust = peers[s].ledger.opinion[g].max(0.0);
+                    if trust > 0.0 {
+                        witnesses.push((trust, opinion));
+                    }
+                }
+            }
+            Source::Private => unreachable!(),
         }
     }
+    if !witnesses.is_empty() {
+        let total: f64 = witnesses.iter().map(|(t, _)| t).sum();
+        score += witnesses.iter().map(|(t, o)| (t / total) * o).sum::<f64>();
+        heard = true;
+    }
+    heard.then_some(score)
 }
 
 #[cfg(test)]
@@ -486,6 +504,31 @@ mod tests {
         let servers = u[..split].iter().sum::<f64>() / split as f64;
         let riders = u[split..].iter().sum::<f64>() / (cfg.peers - split) as f64;
         assert!(servers > 2.0 * riders, "servers {servers} riders {riders}");
+    }
+
+    #[test]
+    fn eigentrust_community_sustains_service() {
+        // Normalized transitive trust still bootstraps and sustains a
+        // cooperative community.
+        let mut p = RepProtocol::baseline();
+        p.source = Source::EigenTrust;
+        let u = homog(p, 21);
+        let cfg = RepConfig::default();
+        assert!(u > 0.3 * 10.0 * cfg.rounds as f64, "utility {u}");
+    }
+
+    #[test]
+    fn eigentrust_normalization_changes_the_inference() {
+        // The normalized and the capped (BarterCast) transitive sources
+        // must actually produce different communities — the new level is
+        // a distinct actualization, not an alias.
+        let mut et = RepProtocol::baseline();
+        et.source = Source::EigenTrust;
+        let mut tr = RepProtocol::baseline();
+        tr.source = Source::Transitive;
+        assert_ne!(homog(et, 22), homog(tr, 22));
+        // And it stays deterministic in the seed.
+        assert_eq!(homog(et, 23), homog(et, 23));
     }
 
     #[test]

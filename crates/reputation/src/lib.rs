@@ -10,10 +10,11 @@
 //!
 //! This crate parameterizes that mechanism into five salient dimensions
 //! ([`protocol`]): reputation *source* (private / gossiped / transitive
-//! BarterCast-style), record *maintenance* (keep / decay / window),
-//! *stranger* bootstrap (deny / optimistic / probabilistic), *response*
-//! function (threshold ban / proportional / rank-based / free-ride) and
-//! *identity* policy (stable / whitewash) — 216 protocols — actualized
+//! BarterCast-style / normalized-transitive EigenTrust-style), record
+//! *maintenance* (keep / decay / window), *stranger* bootstrap (deny /
+//! optimistic / probabilistic), *response* function (threshold ban /
+//! proportional / rank-based / free-ride) and *identity* policy (stable /
+//! whitewash) — 288 protocols — actualized
 //! over a cycle-based request/serve simulator ([`engine`]) built on the
 //! same deterministic substrate (`dsa_workloads`) as the other domains.
 //! [`adapter::RepSim`] plugs the space into [`dsa_core`], so the PRA

@@ -28,6 +28,18 @@ pub fn bartercast() -> RepProtocol {
     }
 }
 
+/// EigenTrust-flavored: normalized transitive trust through
+/// intermediaries (witnesses share one unit of influence in proportion to
+/// the trust placed in them), exponentially decayed, proportional
+/// allocation.
+#[must_use]
+pub fn eigentrust() -> RepProtocol {
+    RepProtocol {
+        source: Source::EigenTrust,
+        ..bartercast()
+    }
+}
+
 /// A gossip-informed elitist: pools one-hop opinions and serves only the
 /// top-ranked half of its requesters, never strangers.
 #[must_use]
@@ -86,6 +98,7 @@ mod tests {
         let set: std::collections::HashSet<usize> = [
             private_tft(),
             bartercast(),
+            eigentrust(),
             elitist(),
             prober(),
             freerider(),
@@ -94,13 +107,13 @@ mod tests {
         .iter()
         .map(RepProtocol::index)
         .collect();
-        assert_eq!(set.len(), 6);
+        assert_eq!(set.len(), 7);
     }
 
     #[test]
     fn cooperative_presets_sustain_service() {
         let cfg = RepConfig::default();
-        for p in [private_tft(), bartercast(), prober()] {
+        for p in [private_tft(), bartercast(), eigentrust(), prober()] {
             let u = run(&[p], &vec![0; cfg.peers], &cfg, 3);
             let mean = u.iter().sum::<f64>() / u.len() as f64;
             assert!(mean > 0.0, "{p} produced no service");

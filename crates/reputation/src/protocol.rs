@@ -3,8 +3,10 @@
 //! Parameterization (the §3 method applied to reputation systems):
 //!
 //! 1. **Reputation source** — which records feed a serving decision:
-//!    private history, one-hop gossip, or transitive (BarterCast-style)
-//!    inference through intermediaries.
+//!    private history, one-hop gossip, transitive (BarterCast-style)
+//!    inference through intermediaries, or EigenTrust-style *normalized*
+//!    transitive trust (witnesses share one unit of influence, split in
+//!    proportion to the trust the server places in each).
 //! 2. **Record maintenance** — how records age: kept forever, decayed
 //!    exponentially, or truncated to a sliding window.
 //! 3. **Stranger policy** — how peers with no interaction record are
@@ -17,7 +19,7 @@
 //!    periodically *whitewashes* (re-enters under a fresh pseudonym,
 //!    escaping its accumulated record).
 //!
-//! 3 × 3 × 3 × 4 × 2 = **216** protocols.
+//! 4 × 3 × 3 × 4 × 2 = **288** protocols.
 
 use std::fmt;
 
@@ -31,11 +33,22 @@ pub enum Source {
     /// Own history plus transitive inference: an intermediary's opinion
     /// counts up to the trust placed in the intermediary (BarterCast).
     Transitive,
+    /// Own history plus *normalized* transitive trust (EigenTrust): each
+    /// consulted intermediary's opinion is weighted by the server's trust
+    /// in the intermediary divided by the total trust over all consulted
+    /// intermediaries, so the witnesses share one unit of influence and
+    /// no single loud record can dominate the inference.
+    EigenTrust,
 }
 
 impl Source {
     /// All actualizations, enumeration order.
-    pub const ALL: [Source; 3] = [Source::Private, Source::Gossiped, Source::Transitive];
+    pub const ALL: [Source; 4] = [
+        Source::Private,
+        Source::Gossiped,
+        Source::Transitive,
+        Source::EigenTrust,
+    ];
 }
 
 /// How reputation records age.
@@ -128,8 +141,8 @@ pub struct RepProtocol {
     pub identity: Identity,
 }
 
-/// Size of the actualized reputation space (3 × 3 × 3 × 4 × 2).
-pub const REP_SPACE_SIZE: usize = 216;
+/// Size of the actualized reputation space (4 × 3 × 3 × 4 × 2).
+pub const REP_SPACE_SIZE: usize = 288;
 
 impl RepProtocol {
     /// Flat index in `0..REP_SPACE_SIZE` (mixed radix, [`Source`] most

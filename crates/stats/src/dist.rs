@@ -1,9 +1,11 @@
-//! Probability distributions: Student-t and standard normal.
+//! Probability distributions: Student-t, Fisher F and standard normal.
 //!
 //! Table 3 reports t-values and flags terms significant at p < 0.001;
 //! Figures 9–10 use 95% confidence intervals over ≥10 runs. Both need the
 //! Student-t CDF and its inverse (quantile), built here on the regularized
-//! incomplete beta function.
+//! incomplete beta function. The variance-attribution subsystem
+//! (`dsa-attribution`) adds nested-model F-tests on top, so the Fisher F
+//! CDF lives here too, on the same beta kernel.
 
 use crate::special::{beta_inc, erf};
 
@@ -46,6 +48,37 @@ pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
     }
     let x = df / (df + t * t);
     beta_inc(df / 2.0, 0.5, x).min(1.0)
+}
+
+/// CDF of the Fisher F distribution with `(d1, d2)` degrees of freedom:
+/// `P(F <= x) = I_{d1 x / (d1 x + d2)}(d1/2, d2/2)`.
+///
+/// # Panics
+///
+/// Panics if `d1 <= 0` or `d2 <= 0`.
+#[must_use]
+pub fn f_cdf(x: f64, d1: f64, d2: f64) -> f64 {
+    assert!(d1 > 0.0 && d2 > 0.0, "f_cdf requires d1, d2 > 0");
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x.is_infinite() {
+        return 1.0;
+    }
+    beta_inc(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2))
+}
+
+/// Upper-tail p-value of an F statistic: `P(F >= f)` under `(d1, d2)`
+/// degrees of freedom — the nested-model test's significance level.
+#[must_use]
+pub fn f_upper_p(f: f64, d1: f64, d2: f64) -> f64 {
+    if f.is_nan() {
+        return f64::NAN;
+    }
+    (1.0 - f_cdf(f, d1, d2)).clamp(0.0, 1.0)
 }
 
 /// Quantile (inverse CDF) of the Student-t distribution, by bisection on
@@ -138,6 +171,43 @@ mod tests {
                 assert!((student_t_two_sided_p(-t, df) - p).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn f_cdf_squared_t_relationship() {
+        // If T ~ t(df) then T² ~ F(1, df): P(F <= t²) = P(|T| <= t).
+        for df in [3.0, 10.0, 60.0] {
+            for t in [0.5f64, 1.3, 2.8] {
+                let via_f = f_cdf(t * t, 1.0, df);
+                let via_t = 1.0 - student_t_two_sided_p(t, df);
+                assert!((via_f - via_t).abs() < 1e-9, "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn f_cdf_edge_cases_and_monotonicity() {
+        assert_eq!(f_cdf(0.0, 3.0, 7.0), 0.0);
+        assert_eq!(f_cdf(-1.0, 3.0, 7.0), 0.0);
+        assert_eq!(f_cdf(f64::INFINITY, 3.0, 7.0), 1.0);
+        assert!(f_cdf(f64::NAN, 3.0, 7.0).is_nan());
+        let mut last = 0.0;
+        for i in 1..=40 {
+            let v = f_cdf(i as f64 * 0.25, 4.0, 12.0);
+            assert!(v >= last - 1e-14);
+            last = v;
+        }
+        assert!(last > 0.99);
+    }
+
+    #[test]
+    fn f_upper_p_known_critical_value() {
+        // Standard table: F_{0.95}(2, 10) ≈ 4.10, so P(F >= 4.10) ≈ 0.05.
+        let p = f_upper_p(4.10, 2.0, 10.0);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // And a huge statistic is essentially impossible under H0.
+        assert!(f_upper_p(1000.0, 2.0, 10.0) < 1e-5);
+        assert!(f_upper_p(f64::NAN, 2.0, 10.0).is_nan());
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //!   enough linear algebra for ordinary least squares.
 //! * [`special`] — log-gamma, regularized incomplete beta, error function;
 //!   the machinery behind Student-t p-values and confidence intervals.
-//! * [`dist`] — Student-t and normal distribution helpers built on
-//!   [`special`].
+//! * [`dist`] — Student-t, Fisher F and normal distribution helpers built
+//!   on [`special`].
 //! * [`ols`] — multiple linear regression: coefficients, standard errors,
-//!   t-values, p-values, (adjusted) R² — everything Table 3 reports.
+//!   t-values, p-values, (adjusted) R² — everything Table 3 reports — plus
+//!   the nested-model machinery (`residual_ss`, `nested_f_test`,
+//!   `partial_eta_squared`) the variance-attribution subsystem
+//!   (`dsa-attribution`) fits per design dimension.
 //! * [`encode`] — dummy coding for categorical variables and z-score
 //!   standardization (the paper's `h̃`, `k̃`).
 //! * [`describe`] — means, variances, quantiles, five-number summaries.

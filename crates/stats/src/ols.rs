@@ -45,6 +45,11 @@ pub struct OlsFit {
     pub df_residual: usize,
     /// Residual standard error.
     pub residual_std_error: f64,
+    /// Residual sum of squares — what nested-model F-tests and partial-η²
+    /// effect sizes compare across model specifications.
+    pub ss_res: f64,
+    /// Total sum of squares about the mean of the response.
+    pub ss_tot: f64,
 }
 
 /// Errors from [`fit`].
@@ -92,22 +97,8 @@ impl std::error::Error for OlsError {}
 /// ```
 pub fn fit(predictors: &[NamedColumn], y: &[f64]) -> Result<OlsFit, OlsError> {
     let n = y.len();
-    if predictors.iter().any(|c| c.values.len() != n) {
-        return Err(OlsError::LengthMismatch);
-    }
     let p = predictors.len();
-    if n <= p + 1 {
-        return Err(OlsError::TooFewObservations);
-    }
-
-    // Design matrix with leading intercept column.
-    let mut x = Matrix::zeros(n, p + 1);
-    for r in 0..n {
-        x[(r, 0)] = 1.0;
-        for (j, col) in predictors.iter().enumerate() {
-            x[(r, j + 1)] = col.values[r];
-        }
-    }
+    let x = design_matrix(predictors, y)?;
 
     let gram = x.gram();
     let xty = x.t_vec_mul(y);
@@ -115,16 +106,7 @@ pub fn fit(predictors: &[NamedColumn], y: &[f64]) -> Result<OlsFit, OlsError> {
     let beta = gram_inv.vec_mul(&xty);
 
     // Residuals and fit statistics.
-    let fitted = x.vec_mul(&beta);
-    let y_mean = crate::describe::mean(y);
-    let mut ss_res = 0.0;
-    let mut ss_tot = 0.0;
-    for i in 0..n {
-        let r = y[i] - fitted[i];
-        ss_res += r * r;
-        let d = y[i] - y_mean;
-        ss_tot += d * d;
-    }
+    let (ss_res, ss_tot) = sums_of_squares(&x, &beta, y);
     let df_residual = n - (p + 1);
     let sigma2 = ss_res / df_residual as f64;
     let r_squared = if ss_tot > 0.0 {
@@ -167,7 +149,137 @@ pub fn fit(predictors: &[NamedColumn], y: &[f64]) -> Result<OlsFit, OlsError> {
         adj_r_squared,
         df_residual,
         residual_std_error: sigma2.sqrt(),
+        ss_res,
+        ss_tot,
     })
+}
+
+/// Validates predictor/response shapes and assembles the design matrix
+/// with its leading intercept column — the entry shared by [`fit`] and
+/// [`residual_ss`], so both agree on every accepted design.
+fn design_matrix(predictors: &[NamedColumn], y: &[f64]) -> Result<Matrix, OlsError> {
+    let n = y.len();
+    if predictors.iter().any(|c| c.values.len() != n) {
+        return Err(OlsError::LengthMismatch);
+    }
+    let p = predictors.len();
+    if n <= p + 1 {
+        return Err(OlsError::TooFewObservations);
+    }
+    let mut x = Matrix::zeros(n, p + 1);
+    for r in 0..n {
+        x[(r, 0)] = 1.0;
+        for (j, col) in predictors.iter().enumerate() {
+            x[(r, j + 1)] = col.values[r];
+        }
+    }
+    Ok(x)
+}
+
+/// Residual and total sums of squares of `y` against the fitted values
+/// `X β`.
+fn sums_of_squares(x: &Matrix, beta: &[f64], y: &[f64]) -> (f64, f64) {
+    let fitted = x.vec_mul(beta);
+    let y_mean = crate::describe::mean(y);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (i, &yi) in y.iter().enumerate() {
+        let r = yi - fitted[i];
+        ss_res += r * r;
+        let d = yi - y_mean;
+        ss_tot += d * d;
+    }
+    (ss_res, ss_tot)
+}
+
+/// The sums of squares of a fitted (but not fully summarized) model:
+/// what [`residual_ss`] returns and nested-model comparisons consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumOfSquares {
+    /// Residual sum of squares.
+    pub ss_res: f64,
+    /// Total sum of squares about the mean.
+    pub ss_tot: f64,
+    /// Residual degrees of freedom (n − p − 1).
+    pub df_residual: usize,
+}
+
+impl SumOfSquares {
+    /// Coefficient of determination, `NaN` when the response is constant.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        if self.ss_tot > 0.0 {
+            1.0 - self.ss_res / self.ss_tot
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Fits `y ~ 1 + predictors` and returns only the sums of squares — one
+/// Cholesky solve, no Gram inversion, no per-term statistics. This is the
+/// inner loop of the attribution subsystem's nested-model scans (one
+/// reduced refit per design dimension, one augmented refit per dimension
+/// pair), where coefficients and standard errors of the auxiliary models
+/// are never consulted.
+///
+/// # Errors
+///
+/// See [`OlsError`]. Agrees with [`fit`] on `ss_res`/`ss_tot` to
+/// numerical precision for every design [`fit`] accepts.
+pub fn residual_ss(predictors: &[NamedColumn], y: &[f64]) -> Result<SumOfSquares, OlsError> {
+    let x = design_matrix(predictors, y)?;
+    let gram = x.gram();
+    let xty = x.t_vec_mul(y);
+    let beta = gram.solve_spd(&xty).ok_or(OlsError::Singular)?;
+    let (ss_res, ss_tot) = sums_of_squares(&x, &beta, y);
+    Ok(SumOfSquares {
+        ss_res,
+        ss_tot,
+        df_residual: y.len() - (predictors.len() + 1),
+    })
+}
+
+/// Nested-model F-test: how much worse the `reduced` model (fewer
+/// predictors) fits than the `full` one. Returns `(F, p)` where `F` has
+/// `(df_reduced − df_full, df_full)` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics when the models are not nested (the reduced model must have
+/// strictly more residual degrees of freedom).
+#[must_use]
+pub fn nested_f_test(full: &SumOfSquares, reduced: &SumOfSquares) -> (f64, f64) {
+    assert!(
+        reduced.df_residual > full.df_residual,
+        "nested_f_test: reduced model must drop at least one predictor"
+    );
+    let q = (reduced.df_residual - full.df_residual) as f64;
+    let df = full.df_residual as f64;
+    if full.ss_res <= 0.0 {
+        // A saturated full model: any explained difference is infinitely
+        // significant, no difference at all is no evidence.
+        return if reduced.ss_res > full.ss_res + 1e-12 {
+            (f64::INFINITY, 0.0)
+        } else {
+            (0.0, 1.0)
+        };
+    }
+    let f = ((reduced.ss_res - full.ss_res) / q) / (full.ss_res / df);
+    let f = f.max(0.0);
+    (f, crate::dist::f_upper_p(f, q, df))
+}
+
+/// Partial η² of the predictor block distinguishing a `full` model from
+/// the `reduced` one that omits it: `(SSE_reduced − SSE_full) /
+/// SSE_reduced`, the share of the reduced model's unexplained variance the
+/// block accounts for. Always in `[0, 1]`.
+#[must_use]
+pub fn partial_eta_squared(full: &SumOfSquares, reduced: &SumOfSquares) -> f64 {
+    if reduced.ss_res <= 0.0 {
+        return 0.0;
+    }
+    ((reduced.ss_res - full.ss_res) / reduced.ss_res).clamp(0.0, 1.0)
 }
 
 impl OlsFit {
@@ -288,6 +400,118 @@ mod tests {
         let f = fit(&[], &y).unwrap();
         assert!((f.terms[0].estimate - 5.0).abs() < 1e-12);
         assert_eq!(f.terms.len(), 1);
+    }
+
+    #[test]
+    fn residual_ss_agrees_with_full_fit() {
+        let x1 = col("x1", &[1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 2.5]);
+        let x2 = col("x2", &[0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        let y = [1.2, 2.4, 3.3, 4.1, 6.5, 8.7, 2.9];
+        let full = fit(&[x1.clone(), x2.clone()], &y).unwrap();
+        let ss = residual_ss(&[x1, x2], &y).unwrap();
+        assert!((full.ss_res - ss.ss_res).abs() < 1e-9);
+        assert!((full.ss_tot - ss.ss_tot).abs() < 1e-9);
+        assert_eq!(full.df_residual, ss.df_residual);
+        assert!((full.r_squared - ss.r_squared()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_ss_propagates_errors() {
+        let x = col("x", &[1.0, 2.0]);
+        assert_eq!(
+            residual_ss(std::slice::from_ref(&x), &[1.0, 2.0, 3.0]),
+            Err(OlsError::LengthMismatch)
+        );
+        assert_eq!(
+            residual_ss(&[x], &[1.0, 2.0]),
+            Err(OlsError::TooFewObservations)
+        );
+        let x1 = col("x1", &[1.0, 2.0, 3.0, 4.0]);
+        let x2 = col("x2", &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(
+            residual_ss(&[x1, x2], &[1.0, 2.0, 3.0, 4.0]),
+            Err(OlsError::Singular)
+        );
+    }
+
+    #[test]
+    fn nested_f_detects_a_real_predictor() {
+        // y depends strongly on x; dropping x must be highly significant,
+        // dropping an irrelevant z must not.
+        let n = 60;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
+        let z: Vec<f64> = (0..n).map(|i| ((i * 7919 % 101) as f64) / 101.0).collect();
+        let noise: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) / 40.0)
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| 1.0 + 2.0 * x[i] + noise[i]).collect();
+        let full = residual_ss(&[col("x", &x), col("z", &z)], &y).unwrap();
+        let no_x = residual_ss(&[col("z", &z)], &y).unwrap();
+        let no_z = residual_ss(&[col("x", &x)], &y).unwrap();
+        let (f_x, p_x) = nested_f_test(&full, &no_x);
+        let (f_z, p_z) = nested_f_test(&full, &no_z);
+        assert!(f_x > 100.0, "F for x = {f_x}");
+        assert!(p_x < 1e-6);
+        assert!(p_z > 0.01, "p for z = {p_z}");
+        assert!(f_z < f_x);
+        // Effect sizes: x explains nearly everything z leaves over.
+        assert!(partial_eta_squared(&full, &no_x) > 0.9);
+        assert!(partial_eta_squared(&full, &no_z) < 0.2);
+    }
+
+    #[test]
+    fn partial_eta_squared_is_bounded() {
+        let full = SumOfSquares {
+            ss_res: 1.0,
+            ss_tot: 10.0,
+            df_residual: 5,
+        };
+        let reduced = SumOfSquares {
+            ss_res: 4.0,
+            ss_tot: 10.0,
+            df_residual: 7,
+        };
+        let eta = partial_eta_squared(&full, &reduced);
+        assert!((eta - 0.75).abs() < 1e-12);
+        // Degenerate reduced model.
+        let zero = SumOfSquares {
+            ss_res: 0.0,
+            ss_tot: 10.0,
+            df_residual: 7,
+        };
+        assert_eq!(partial_eta_squared(&full, &zero), 0.0);
+    }
+
+    #[test]
+    fn nested_f_saturated_full_model() {
+        let full = SumOfSquares {
+            ss_res: 0.0,
+            ss_tot: 10.0,
+            df_residual: 3,
+        };
+        let worse = SumOfSquares {
+            ss_res: 2.0,
+            ss_tot: 10.0,
+            df_residual: 5,
+        };
+        let same = SumOfSquares {
+            ss_res: 0.0,
+            ss_tot: 10.0,
+            df_residual: 5,
+        };
+        assert_eq!(nested_f_test(&full, &worse), (f64::INFINITY, 0.0));
+        assert_eq!(nested_f_test(&full, &same), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nested_f_test")]
+    fn nested_f_rejects_non_nested_models() {
+        let a = SumOfSquares {
+            ss_res: 1.0,
+            ss_tot: 2.0,
+            df_residual: 5,
+        };
+        let _ = nested_f_test(&a, &a);
     }
 
     #[test]

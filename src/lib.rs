@@ -3,7 +3,8 @@
 //! See the individual crates for documentation:
 //! [`dsa_core`], [`dsa_swarm`], [`dsa_gametheory`], [`dsa_btsim`],
 //! [`dsa_stats`], [`dsa_workloads`], [`dsa_gossip`],
-//! [`dsa_reputation`], [`dsa_attacks`], [`dsa_evolution`].
+//! [`dsa_reputation`], [`dsa_attacks`], [`dsa_evolution`],
+//! [`dsa_attribution`].
 //!
 //! Three DSA domains are provided: file swarming ([`swarm`], the paper's
 //! space), gossip dissemination ([`gossip`], §3.1's example) and
@@ -14,9 +15,14 @@
 //! Robustness axis under a tunable attacker budget. [`evolution`] adds
 //! the population-dynamics layer: empirical payoff matrices over mixed
 //! multi-protocol populations, ESS/basin analysis and the evolutionary
-//! price of anarchy per domain.
+//! price of anarchy per domain. [`attribution`] closes the loop: every
+//! response surface the system can measure (PRA axes, robustness under
+//! attack, evolutionary outcomes) it can now *explain*, through
+//! per-dimension regressions, effect sizes, interaction maps and a
+//! dimension-flip navigator.
 
 pub use dsa_attacks as attacks;
+pub use dsa_attribution as attribution;
 pub use dsa_btsim as btsim;
 pub use dsa_core as core;
 pub use dsa_evolution as evolution;

@@ -93,7 +93,7 @@ fn reputation_engine_bitwise_reproducible() {
 
 #[test]
 fn reputation_pra_full_space_deterministic() {
-    // The PRA quantification over the entire 216-protocol reputation
+    // The PRA quantification over the entire 288-protocol reputation
     // space is a pure function of the seed, thread count included.
     let protocols: Vec<dsa_reputation::protocol::RepProtocol> =
         dsa_reputation::protocol::RepProtocol::all().collect();
