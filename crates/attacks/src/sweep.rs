@@ -116,6 +116,11 @@ impl AttackSweep {
     /// Runs the sweep (no caching): the attack-side analogue of the PRA
     /// tournament phase, parallel over protocols within each budget.
     ///
+    /// Traced as an `attacks.sweep` span; with metrics enabled, each
+    /// (budget, protocol) cell's latency lands in the `attacks.cell_ns`
+    /// histogram and the sweep's throughput in the `attacks.rows_per_sec`
+    /// gauge.
+    ///
     /// # Panics
     ///
     /// Panics when a budget lies outside `(0, 1)` or the grid is not
@@ -140,6 +145,8 @@ impl AttackSweep {
             "attack budgets must be strictly increasing, got {:?}",
             config.budgets
         );
+        let _sweep_span = dsa_obs::span("attacks.sweep");
+        let started = dsa_obs::metrics_enabled().then(std::time::Instant::now);
         let n = domain.size();
         let runs = config.encounter_runs.max(1);
         // Phase tag 0xA77A separates the attack seed stream from the PRA
@@ -157,6 +164,7 @@ impl AttackSweep {
                 };
                 let node = root.child(bi as u64);
                 parallel_map_indexed(n, config.threads, |i| {
+                    let t0 = dsa_obs::metrics_enabled().then(std::time::Instant::now);
                     let cell = node.child(i as u64);
                     let mut wins = 0usize;
                     for r in 0..runs {
@@ -165,10 +173,21 @@ impl AttackSweep {
                             wins += 1;
                         }
                     }
+                    if let Some(t0) = t0 {
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        dsa_obs::observe("attacks.cell_ns", ns);
+                    }
                     wins as f64 / runs as f64
                 })
             })
             .collect();
+        if let Some(started) = started {
+            let secs = started.elapsed().as_secs_f64();
+            let cells = (config.budgets.len() * n) as f64;
+            if secs > 0.0 {
+                dsa_obs::gauge_set("attacks.rows_per_sec", cells / secs);
+            }
+        }
         Self {
             key: config.key(domain, model, scale, effort),
             model: model.name().to_string(),

@@ -42,6 +42,20 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| simulate(black_box(&kinds), black_box(&bt_cfg), 3))
     });
 
+    // Gossip simulator: one default-scale dissemination run.
+    let gossip_cfg = dsa_gossip::engine::GossipConfig::default();
+    let gossip_assignment = vec![0usize; gossip_cfg.nodes];
+    c.bench_function("gossip_run_40nodes_120rounds", |b| {
+        b.iter(|| {
+            dsa_gossip::engine::run(
+                black_box(&[dsa_gossip::protocol::GossipProtocol::baseline()]),
+                black_box(&gossip_assignment),
+                black_box(&gossip_cfg),
+                7,
+            )
+        })
+    });
+
     // Reputation simulator: one default-scale community run.
     let rep_cfg = dsa_reputation::engine::RepConfig::default();
     let rep_assignment = vec![0usize; rep_cfg.peers];

@@ -23,7 +23,13 @@
 //!                                     [--top N] [+ the fit flags]
 //! dsa <domain> search [--seed N] [--budget N] [--restarts R] [--effort E]
 //! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]   (piece-level BitTorrent, swarm-only)
+//! dsa obs report [file] [--out DIR]      render an exported obs-*.csv (default: newest)
+//! dsa obs list [--out DIR]               list the exported observability snapshots
 //! ```
+//!
+//! The global `--metrics` switch turns the [`dsa_obs`] registries on for
+//! any command and `--trace` additionally records spans; both print an
+//! observability epilogue after the command's own output.
 //!
 //! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (288).
 //! A bare command (`dsa protocols ...`) defaults to the swarm domain.
@@ -66,9 +72,20 @@ const DOMAIN_COMMANDS: [&str; 9] = [
 fn main() -> ExitCode {
     dsa_bench::register_domains();
     dsa_attacks::register_builtin();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace`/`--metrics` are global switches: strip them before any
+    // command-level flag validation sees them.
+    let trace = args.iter().any(|a| a == "--trace");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--trace" && a != "--metrics");
+    if trace {
+        dsa_obs::enable_trace();
+    } else if metrics {
+        dsa_obs::enable_metrics();
+    }
     let result = match args.first().map(String::as_str) {
         Some("bt") => cmd_bt(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("--help" | "-h") | None => {
             eprintln!("{}", help());
             return ExitCode::SUCCESS;
@@ -87,6 +104,13 @@ fn main() -> ExitCode {
             }
         }
     };
+    if trace || metrics {
+        let snap = dsa_obs::snapshot();
+        if !snap.is_empty() {
+            println!("==== observability ====");
+            print!("{}", snap.render());
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -106,9 +130,11 @@ fn help() -> String {
         "dsa — Design Space Analysis toolkit\n\
          usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|attribute|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
+         \u{20}      dsa obs {{report [file]|list}} [--out DIR]\n\
          domains: {}\n\
          attacks: {} (dsa <domain> attack {{list|run}})\n\
-         (bare commands default to the swarm domain; see crate docs for flags)",
+         (bare commands default to the swarm domain; global --metrics/--trace\n\
+         \u{20}record counters and spans for any command; see crate docs for flags)",
         domains.join(", "),
         attacks.join(", ")
     )
@@ -847,6 +873,92 @@ fn cmd_search(domain: &dyn DynDomain, args: &[String]) -> Result<(), String> {
             outcome.best_value,
             outcome.evaluations
         );
+    }
+    Ok(())
+}
+
+// ---- exported observability snapshots (dsa-obs) ---------------------------
+
+fn cmd_obs(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_obs_report(&args[1..]),
+        Some("list") => cmd_obs_list(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown obs command '{other}' (expected: report, list)"
+        )),
+        None => Err("obs needs a subcommand: report, list".into()),
+    }
+}
+
+/// The `obs-*.csv` exports under `dir`, newest first (ties broken by
+/// name, descending, so the order is deterministic).
+fn obs_files(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut files: Vec<(std::time::SystemTime, std::path::PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("obs-") || !name.ends_with(".csv") {
+                return None;
+            }
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            Some((mtime, entry.path()))
+        })
+        .collect();
+    files.sort_by(|a, b| b.cmp(a));
+    Ok(files.into_iter().map(|(_, p)| p).collect())
+}
+
+fn cmd_obs_report(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["out"])?;
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let path = match pos.first() {
+        Some(p) => std::path::PathBuf::from(p),
+        None => obs_files(std::path::Path::new(&out))?
+            .into_iter()
+            .next()
+            .ok_or_else(|| {
+                format!(
+                    "no obs-*.csv under {out} (export one with --metrics/--trace \
+                     or 'experiments profile')"
+                )
+            })?,
+    };
+    let (run, snap) = dsa_obs::read_csv(&path)?;
+    println!("observability snapshot '{run}' ({})", path.display());
+    print!("{}", snap.render());
+    Ok(())
+}
+
+fn cmd_obs_list(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("obs list takes no positional argument '{stray}'"));
+    }
+    check_flags(&flags, &["out"])?;
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let files = obs_files(std::path::Path::new(&out))?;
+    if files.is_empty() {
+        println!("no obs-*.csv under {out}");
+        return Ok(());
+    }
+    for path in files {
+        match dsa_obs::read_csv(&path) {
+            Ok((run, snap)) => println!(
+                "{:<40} run={run} ({} counters, {} gauges, {} hists, {} spans)",
+                path.display(),
+                snap.counters.len(),
+                snap.gauges.len(),
+                snap.hists.len(),
+                snap.spans.len()
+            ),
+            Err(msg) => println!("{:<40} (unreadable: {msg})", path.display()),
+        }
     }
     Ok(())
 }

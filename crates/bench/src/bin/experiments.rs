@@ -3,11 +3,12 @@
 //! ```text
 //! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N]
 //!             [--budgets B1,B2,...] [--mutants P1,P2,...]
-//!             [--response pra,attack,evolution] <id>...
+//!             [--response pra,attack,evolution] [--metrics] [--trace] <id>...
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
-//!      rep whitewash cross attacks evolution attribution search all
+//!      rep whitewash cross attacks evolution attribution profile
+//!      search all
 //! ```
 //!
 //! Sweep-based experiments share content-addressed caches at
@@ -27,6 +28,12 @@
 //! different space hash, scale, seed, parameter fingerprint, attack,
 //! evo or attrib key is recomputed automatically; delete the file to
 //! force a re-run.
+//!
+//! `--metrics` turns the [`dsa_obs`] counters/gauges/histograms on for
+//! the whole run and `--trace` additionally records spans; both print an
+//! observability epilogue and export `<out>/obs-experiments-<scale>.csv`.
+//! The `profile` id renders the per-engine time-attribution figure (it
+//! manages the obs registries itself).
 
 use dsa_bench::attackfig;
 use dsa_bench::attribfig;
@@ -36,6 +43,7 @@ use dsa_bench::figures;
 use dsa_bench::gossipfig;
 use dsa_bench::nashdemo;
 use dsa_bench::prafig;
+use dsa_bench::profilefig;
 use dsa_bench::regress;
 use dsa_bench::repfig;
 use dsa_bench::scale::Scale;
@@ -73,6 +81,7 @@ const ALL_IDS: &[&str] = &[
     "attacks",
     "evolution",
     "attribution",
+    "profile",
     "search",
 ];
 
@@ -83,6 +92,8 @@ struct Options {
     budgets: Option<Vec<f64>>,
     mutants: Vec<String>,
     responses: Vec<dsa_attribution::ResponseKind>,
+    metrics: bool,
+    trace: bool,
     ids: Vec<String>,
 }
 
@@ -94,6 +105,8 @@ fn parse_args() -> Result<Options, String> {
     let mut budgets: Option<Vec<f64>> = None;
     let mut mutants: Vec<String> = Vec::new();
     let mut responses = vec![dsa_attribution::ResponseKind::Pra];
+    let mut metrics = false;
+    let mut trace = false;
     let mut ids = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -146,11 +159,13 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--response needs a comma-separated list (pra|attack|evolution)")?;
                 responses = attribfig::parse_responses(&v)?;
             }
+            "--metrics" => metrics = true,
+            "--trace" => trace = true,
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
                      [--threads N] [--budgets B1,B2,...] [--mutants P1,P2,...] \
-                     [--response pra,attack,evolution] <id>...\nids: {} all",
+                     [--response pra,attack,evolution] [--metrics] [--trace] <id>...\nids: {} all",
                     ALL_IDS.join(" ")
                 ));
             }
@@ -177,6 +192,8 @@ fn parse_args() -> Result<Options, String> {
         budgets,
         mutants,
         responses,
+        metrics,
+        trace,
         ids,
     })
 }
@@ -189,6 +206,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if opts.trace {
+        dsa_obs::enable_trace();
+    } else if opts.metrics {
+        dsa_obs::enable_metrics();
+    }
 
     // The sweep is shared by several ids; compute lazily, once.
     let mut sweep: Option<SweepData> = None;
@@ -259,6 +282,7 @@ fn main() -> ExitCode {
             "attacks" => attackfig::attacks(&opts.scale, &opts.out, opts.budgets.as_deref()),
             "evolution" => evofig::evolution(&opts.scale, &opts.out, &opts.mutants),
             "attribution" => attribfig::attribution(&opts.scale, &opts.out, &opts.responses),
+            "profile" => profilefig::profile(&opts.scale, &opts.out),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };
@@ -267,6 +291,18 @@ fn main() -> ExitCode {
             Err(msg) => {
                 eprintln!("error in {id}: {msg}");
                 return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.metrics || opts.trace {
+        let snap = dsa_obs::snapshot();
+        if !snap.is_empty() {
+            println!("==== observability ====");
+            print!("{}", snap.render());
+            let run = format!("experiments-{}", opts.scale.name);
+            match dsa_obs::write_csv(&opts.out, &run, &snap) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(msg) => eprintln!("obs export failed: {msg}"),
             }
         }
     }

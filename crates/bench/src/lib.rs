@@ -18,6 +18,7 @@ pub mod figures;
 pub mod gossipfig;
 pub mod nashdemo;
 pub mod prafig;
+pub mod profilefig;
 pub mod regress;
 pub mod repfig;
 pub mod scale;

@@ -1,0 +1,312 @@
+//! The `profile` experiment: where does the wall-clock go?
+//!
+//! For every registered domain (plus the piece-level BitTorrent
+//! simulator) this module runs one fresh PRA quantification with tracing
+//! on, reads the span aggregates back out of [`dsa_obs`], and renders an
+//! ASCII time-attribution figure: one bar per span, sized by *self* time
+//! (time inside the span but outside its children), with a coverage line
+//! stating how much of the measured wall-clock the named spans explain.
+//! The numbers land in `results/profile-<scale>.csv` and the raw merged
+//! registries in `results/obs-profile-<scale>.csv`.
+//!
+//! The cache is probed (via [`DomainSweep::load`]) before each fresh
+//! quantification, so the `cache.hit`/`cache.miss.*` counters in the
+//! exported snapshot show cold-vs-warm state; a missing cache is filled
+//! so the next run flips miss → hit. Because attribution must be
+//! per-domain, the experiment owns the global obs registries while it
+//! runs: they are reset before each domain and left holding the last
+//! domain's data afterwards.
+
+use crate::scale::Scale;
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_core::cache::DomainSweep;
+use dsa_obs::Snapshot;
+use dsa_stats::ascii;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One profiled section: a domain sweep or the btsim run.
+struct Section {
+    /// Section label (`swarm`, `gossip`, `rep`, `btsim`).
+    name: String,
+    /// Wall-clock of the measured computation, in nanoseconds.
+    wall_ns: u64,
+    /// The obs registries as left by this section alone.
+    snap: Snapshot,
+}
+
+impl Section {
+    /// Nanoseconds attributed to named spans (sum of self times — child
+    /// time is counted exactly once, in the child).
+    fn attributed_ns(&self) -> u64 {
+        self.snap.spans.values().map(|s| s.self_ns).sum()
+    }
+
+    /// Share of the wall-clock explained by named spans.
+    fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 1.0;
+        }
+        self.attributed_ns() as f64 / self.wall_ns as f64
+    }
+}
+
+/// Runs `work` with the obs registries reset and tracing forced on,
+/// returning the wall-clock and the registries it filled.
+fn profiled<T>(work: impl FnOnce() -> T) -> (T, u64, Snapshot) {
+    dsa_obs::reset();
+    dsa_obs::enable_trace();
+    let t0 = Instant::now();
+    let out = work();
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    dsa_obs::flush();
+    (out, wall_ns, dsa_obs::snapshot())
+}
+
+/// Merges per-section snapshots into one exportable registry state:
+/// counters and histogram-like aggregates add, gauges keep the last
+/// written value (their in-registry semantics).
+fn merge_snapshots(sections: &[Section]) -> Snapshot {
+    let mut merged = Snapshot::default();
+    for s in sections {
+        for (name, &c) in &s.snap.counters {
+            *merged.counters.entry(name.clone()).or_insert(0) += c;
+        }
+        for (name, &g) in &s.snap.gauges {
+            merged.gauges.insert(name.clone(), g);
+        }
+        for (name, h) in &s.snap.hists {
+            merged.hists.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, st) in &s.snap.spans {
+            merged.spans.entry(name.clone()).or_default().merge(st);
+        }
+    }
+    merged
+}
+
+/// Renders one section's time-attribution block: bars of per-span self
+/// time (milliseconds) plus the coverage line.
+fn render_section(s: &Section) -> String {
+    let mut entries: Vec<(String, f64, Option<f64>)> = s
+        .snap
+        .spans
+        .iter()
+        .map(|(name, st)| {
+            (
+                format!("{name} (×{})", st.dur.count),
+                st.self_ns as f64 / 1e6,
+                None,
+            )
+        })
+        .collect();
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = format!(
+        "{}: {} wall-clock, {:.1}% attributed to {} spans (self-time ms)\n",
+        s.name,
+        dsa_obs::fmt_ns(s.wall_ns),
+        100.0 * s.coverage(),
+        s.snap.spans.len()
+    );
+    out.push_str(&ascii::bars(&entries, 44));
+    out
+}
+
+/// The `profile` experiment: per-engine phase attribution at a scale.
+///
+/// # Errors
+///
+/// Returns an error when a sweep cache is corrupt or a result file
+/// cannot be written.
+pub fn profile(scale: &Scale, out_dir: &Path) -> Result<String, String> {
+    let was_trace = dsa_obs::trace_enabled();
+    let was_metrics = dsa_obs::metrics_enabled();
+    let domains = crate::register_domains();
+    let mut sections = Vec::new();
+
+    for domain in &domains {
+        // Probe the cache first: hit/miss counters record cold-vs-warm
+        // state, and a cold cache gets filled below so reruns are warm.
+        let key = dsa_core::cache::SweepKey::of(&**domain, scale.name, scale.effort(), &scale.pra);
+        dsa_obs::reset();
+        dsa_obs::enable_metrics();
+        let cached = DomainSweep::load(&key, out_dir)?;
+        let probe_counters = dsa_obs::snapshot().counters;
+        let (results, wall_ns, mut snap) =
+            profiled(|| domain.quantify_all(scale.effort(), &scale.pra));
+        if cached.is_none() {
+            let sweep = DomainSweep {
+                key,
+                names: domain.codes(),
+                results,
+                from_cache: false,
+            };
+            sweep.store(out_dir)?;
+        }
+        // The store above landed in the live registries after the section
+        // snapshot; re-read the counters so the section holds the
+        // quantification's events plus the store, then fold the probe in.
+        snap.counters = dsa_obs::snapshot().counters;
+        for (name, c) in probe_counters {
+            *snap.counters.entry(name).or_insert(0) += c;
+        }
+        sections.push(Section {
+            name: domain.name().to_string(),
+            wall_ns,
+            snap,
+        });
+    }
+
+    // The piece-level BitTorrent simulator is not a registered domain but
+    // has the same phase spans; profile one homogeneous swarm per run.
+    let bt_cfg = BtConfig::default();
+    let runs = scale.bt_runs.max(1);
+    let (_, wall_ns, snap) = profiled(|| {
+        for r in 0..runs {
+            let kinds = vec![ClientKind::BitTorrent; bt_cfg.leechers];
+            let _ = dsa_btsim::swarm::simulate(&kinds, &bt_cfg, scale.pra.seed ^ r as u64);
+        }
+    });
+    sections.push(Section {
+        name: "btsim".to_string(),
+        wall_ns,
+        snap,
+    });
+
+    // Restore whatever observability state the caller had.
+    dsa_obs::disable();
+    if was_metrics {
+        dsa_obs::enable_metrics();
+    }
+    if was_trace {
+        dsa_obs::enable_trace();
+    }
+
+    let mut out = format!("Engine time attribution (scale: {})\n\n", scale.name);
+    for s in &sections {
+        out.push_str(&render_section(s));
+        out.push('\n');
+    }
+
+    // CSV: one row per (section, span) plus a wall row per section.
+    let mut csv = String::from("section,span,count,total_ns,self_ns,share_of_wall\n");
+    for s in &sections {
+        let _ = writeln!(csv, "{},(wall),1,{},0,1", s.name, s.wall_ns);
+        for (name, st) in &s.snap.spans {
+            let share = if s.wall_ns == 0 {
+                0.0
+            } else {
+                st.self_ns as f64 / s.wall_ns as f64
+            };
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{},{:.6}",
+                s.name, name, st.dur.count, st.dur.sum, st.self_ns, share
+            );
+        }
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let csv_path = out_dir.join(format!("profile-{}.csv", scale.name));
+    std::fs::write(&csv_path, csv).map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+    let obs_path = dsa_obs::write_csv(
+        out_dir,
+        &format!("profile-{}", scale.name),
+        &merge_snapshots(&sections),
+    )?;
+    let _ = writeln!(
+        out,
+        "wrote {} and {}",
+        csv_path.display(),
+        obs_path.display()
+    );
+
+    let worst = sections
+        .iter()
+        .min_by(|a, b| {
+            a.coverage()
+                .partial_cmp(&b.coverage())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least one section");
+    let _ = writeln!(
+        out,
+        "minimum span coverage: {:.1}% ({})",
+        100.0 * worst.coverage(),
+        worst.name
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the global obs registries (shared
+    /// with the integration suites via separate processes; within this
+    /// binary a lock suffices).
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn profile_attributes_most_wall_clock_at_smoke() {
+        let _guard = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("dsa-profile-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut scale = Scale::smoke();
+        // Shrink further: the assertion is about coverage, not scale.
+        scale.sim.rounds = 10;
+        scale.sim.peers = 12;
+        scale.pra.sampling = dsa_core::tournament::OpponentSampling::Sampled(1);
+        let report = profile(&scale, &dir).expect("profile runs");
+        assert!(report.contains("minimum span coverage"));
+        assert!(dir.join("profile-smoke.csv").exists());
+        assert!(dir.join("obs-profile-smoke.csv").exists());
+        // The per-engine phase spans must appear in the rendered bars.
+        for span in [
+            "swarm.rounds",
+            "gossip.rounds",
+            "rep.rounds",
+            "btsim.rounds",
+        ] {
+            assert!(report.contains(span), "missing {span} in:\n{report}");
+        }
+        // Coverage: the named spans must explain ≥90% of the wall-clock.
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("minimum span coverage"))
+            .unwrap();
+        let pct: f64 = line
+            .split(&[' ', '%'][..])
+            .find_map(|t| t.parse().ok())
+            .unwrap();
+        assert!(pct >= 90.0, "coverage {pct}% below 90%:\n{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+        dsa_obs::reset();
+        dsa_obs::disable();
+    }
+
+    #[test]
+    fn rerun_flips_cache_counters_from_miss_to_hit() {
+        let _guard = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("dsa-profile-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut scale = Scale::smoke();
+        scale.sim.rounds = 10;
+        scale.sim.peers = 12;
+        scale.pra.sampling = dsa_core::tournament::OpponentSampling::Sampled(1);
+        profile(&scale, &dir).expect("cold run");
+        let (_, cold) = dsa_obs::read_csv(&dir.join("obs-profile-smoke.csv")).unwrap();
+        assert_eq!(cold.counters.get("cache.miss.absent"), Some(&3));
+        assert_eq!(cold.counters.get("cache.store"), Some(&3));
+        assert!(!cold.counters.contains_key("cache.hit"));
+        profile(&scale, &dir).expect("warm run");
+        let (_, warm) = dsa_obs::read_csv(&dir.join("obs-profile-smoke.csv")).unwrap();
+        assert_eq!(warm.counters.get("cache.hit"), Some(&3));
+        assert!(!warm.counters.contains_key("cache.miss.absent"));
+        assert!(!warm.counters.contains_key("cache.store"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dsa_obs::reset();
+        dsa_obs::disable();
+    }
+}

@@ -49,6 +49,8 @@ impl SwarmOutcome {
 
 /// Simulates one swarm: `kinds[i]` is leecher `i`'s client; one seeder
 /// (index `kinds.len()`) serves round-robin. Deterministic in `seed`.
+/// Traced as a `btsim.run` span with `btsim.{setup,rounds,payoff}` phase
+/// children when tracing is on.
 ///
 /// # Panics
 ///
@@ -61,6 +63,8 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
     let pieces = config.pieces();
     assert!(pieces >= 1, "file must have at least one piece");
 
+    let _run_span = dsa_obs::span("btsim.run");
+    let setup_span = dsa_obs::span("btsim.setup");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let swarm_size = n + 1;
     let seeder = n;
@@ -79,7 +83,9 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
 
     let mut in_flight = vec![false; pieces]; // per-receiver scratch
     let mut ticks_elapsed = 0;
+    drop(setup_span);
 
+    let rounds_span = dsa_obs::span("btsim.rounds");
     for tick in 0..config.max_ticks {
         ticks_elapsed = tick + 1;
 
@@ -244,7 +250,9 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
             break;
         }
     }
+    drop(rounds_span);
 
+    let _payoff_span = dsa_obs::span("btsim.payoff");
     SwarmOutcome {
         completion_ticks: (0..n).map(|j| peers[j].completed_at).collect(),
         kinds: kinds.to_vec(),

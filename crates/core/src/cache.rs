@@ -162,6 +162,44 @@ impl SweepKey {
         line
     }
 
+    /// Compares this (caller's) key against a parsed stamp and names the
+    /// first field that diverges, in stamp order: `domain`, `space`,
+    /// `scale`, `params`, `seed`, `n`, `attack`, `evo`, `attrib`. `None`
+    /// means the stamp validates. The name feeds the `cache.miss.<field>`
+    /// counters and cache-debugging messages, so a stale file says *why*
+    /// it was rejected instead of silently recomputing.
+    #[must_use]
+    pub fn first_mismatch(&self, stamp: &Self) -> Option<&'static str> {
+        if self.domain != stamp.domain {
+            return Some("domain");
+        }
+        if self.space_hash != stamp.space_hash {
+            return Some("space");
+        }
+        if self.scale != stamp.scale {
+            return Some("scale");
+        }
+        if self.params != stamp.params {
+            return Some("params");
+        }
+        if self.seed != stamp.seed {
+            return Some("seed");
+        }
+        if self.len != stamp.len {
+            return Some("n");
+        }
+        if self.attack != stamp.attack {
+            return Some("attack");
+        }
+        if self.evo != stamp.evo {
+            return Some("evo");
+        }
+        if self.attrib != stamp.attrib {
+            return Some("attrib");
+        }
+        None
+    }
+
     /// Parses a metadata stamp; `None` when the line is not a v1 stamp.
     #[must_use]
     pub fn parse_meta(line: &str) -> Option<Self> {
@@ -210,30 +248,70 @@ impl SweepKey {
     }
 }
 
+/// The `cache.miss.<field>` counter for a [`SweepKey::first_mismatch`]
+/// field name (static, so disabled-metrics calls stay allocation-free).
+fn miss_counter(field: &'static str) -> &'static str {
+    match field {
+        "domain" => "cache.miss.domain",
+        "space" => "cache.miss.space",
+        "scale" => "cache.miss.scale",
+        "params" => "cache.miss.params",
+        "seed" => "cache.miss.seed",
+        "n" => "cache.miss.n",
+        "attack" => "cache.miss.attack",
+        "evo" => "cache.miss.evo",
+        "attrib" => "cache.miss.attrib",
+        _ => "cache.miss.other",
+    }
+}
+
 /// Reads a stamped cache file and returns its body when the stamp's key
 /// equals `key`. `Ok(None)` covers the "recompute, don't trust" cases:
 /// missing file, missing stamp, or a stamp computed under any other key.
+///
+/// Every outcome is counted (when metrics are enabled): `cache.hit` for a
+/// validated stamp, `cache.miss.absent` / `cache.miss.unstamped` for a
+/// missing file or stamp, and `cache.miss.<field>` naming the first stamp
+/// field that diverged ([`SweepKey::first_mismatch`]) — so a stale cache
+/// reports *why* it was invalidated.
 ///
 /// # Errors
 ///
 /// Returns an error when the file exists but cannot be read.
 pub fn read_stamped(path: &Path, key: &SweepKey) -> Result<Option<String>, String> {
     if !path.exists() {
+        dsa_obs::incr("cache.miss.absent");
         return Ok(None);
     }
     let mut text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let Some(stamp_end) = text.find('\n') else {
+        dsa_obs::incr("cache.miss.unstamped");
         return Ok(None);
     };
     match SweepKey::parse_meta(&text[..stamp_end]) {
-        Some(stamp) if stamp == *key => {
-            // Strip the stamp in place rather than copying the (possibly
-            // multi-thousand-row) body into a second allocation.
-            text.drain(..=stamp_end);
-            Ok(Some(text))
+        Some(stamp) => match key.first_mismatch(&stamp) {
+            None => {
+                dsa_obs::incr("cache.hit");
+                // Strip the stamp in place rather than copying the
+                // (possibly multi-thousand-row) body into a second
+                // allocation.
+                text.drain(..=stamp_end);
+                // Body sizes are a pure function of the workload (not of
+                // timing), so this histogram is bit-identical across
+                // thread counts and repeated runs.
+                dsa_obs::observe("cache.read_bytes", text.len() as u64);
+                Ok(Some(text))
+            }
+            Some(field) => {
+                dsa_obs::incr(miss_counter(field));
+                Ok(None)
+            }
+        },
+        None => {
+            dsa_obs::incr("cache.miss.unstamped");
+            Ok(None)
         }
-        _ => Ok(None),
     }
 }
 
@@ -253,6 +331,7 @@ pub fn write_stamped(path: &Path, key: &SweepKey, body: &str) -> Result<(), Stri
     text.push('\n');
     text.push_str(body);
     let tmp = path.with_extension(format!("csv.tmp.{}", std::process::id()));
+    dsa_obs::observe("cache.write_bytes", body.len() as u64);
     std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, path).map_err(|e| format!("installing {}: {e}", path.display()))?;
     Ok(())
@@ -290,6 +369,9 @@ impl DomainSweep {
         let (results, names) = PraResults::from_csv(&body)
             .map_err(|e| format!("corrupt sweep cache {}: {e}", path.display()))?;
         if results.len() != key.len {
+            // The stamp validated (and counted as `cache.hit`) but the
+            // body holds the wrong number of rows.
+            dsa_obs::incr("cache.miss.rows");
             return Ok(None);
         }
         Ok(Some(Self {
@@ -356,6 +438,7 @@ impl DomainSweep {
     pub fn store(&self, out_dir: &Path) -> Result<PathBuf, String> {
         let path = self.key.cache_path(out_dir);
         write_stamped(&path, &self.key, &self.results.to_csv(Some(&self.names)))?;
+        dsa_obs::incr("cache.store");
         Ok(path)
     }
 }
@@ -515,6 +598,59 @@ mod tests {
         std::fs::write(key.cache_path(&dir), text).unwrap();
         assert!(DomainSweep::load(&key, &dir).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn first_mismatch_names_each_diverging_field() {
+        let key = SweepKey {
+            domain: "rep".into(),
+            space_hash: 0x0123,
+            scale: "lab".into(),
+            params: 0x4567,
+            seed: 24301,
+            len: 216,
+            attack: 0xA77A,
+            evo: 0xE40,
+            attrib: 0xA11B,
+        };
+        assert_eq!(key.first_mismatch(&key), None);
+        // One test probe per stamp field, mutated independently.
+        let mut stamp = key.clone();
+        stamp.domain = "swarm".into();
+        assert_eq!(key.first_mismatch(&stamp), Some("domain"));
+        let mut stamp = key.clone();
+        stamp.space_hash ^= 1;
+        assert_eq!(key.first_mismatch(&stamp), Some("space"));
+        let mut stamp = key.clone();
+        stamp.scale = "paper".into();
+        assert_eq!(key.first_mismatch(&stamp), Some("scale"));
+        let mut stamp = key.clone();
+        stamp.params ^= 1;
+        assert_eq!(key.first_mismatch(&stamp), Some("params"));
+        let mut stamp = key.clone();
+        stamp.seed += 1;
+        assert_eq!(key.first_mismatch(&stamp), Some("seed"));
+        let mut stamp = key.clone();
+        stamp.len += 1;
+        assert_eq!(key.first_mismatch(&stamp), Some("n"));
+        let mut stamp = key.clone();
+        stamp.attack = 0;
+        assert_eq!(key.first_mismatch(&stamp), Some("attack"));
+        let mut stamp = key.clone();
+        stamp.evo = 0;
+        assert_eq!(key.first_mismatch(&stamp), Some("evo"));
+        let mut stamp = key.clone();
+        stamp.attrib = 0;
+        assert_eq!(key.first_mismatch(&stamp), Some("attrib"));
+        // Divergence is reported in stamp order: the earliest field wins.
+        let mut stamp = key.clone();
+        stamp.scale = "paper".into();
+        stamp.seed += 1;
+        assert_eq!(key.first_mismatch(&stamp), Some("scale"));
+        // `first_mismatch` is exactly stamp equality, so `read_stamped`'s
+        // accept/reject decision is unchanged by the reason reporting.
+        let stamp = key.clone().with_attack(key.attack ^ 1);
+        assert!(key != stamp && key.first_mismatch(&stamp).is_some());
     }
 
     #[test]

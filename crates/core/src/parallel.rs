@@ -9,12 +9,16 @@
 //! work: plain scoped threads, no async runtime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Maps `f` over `0..n` in parallel, preserving index order in the output.
 ///
-/// `threads = 0` means "use available parallelism". Tasks are distributed
-/// by an atomic work counter, so uneven task costs balance automatically;
-/// determinism is unaffected because outputs are indexed.
+/// `threads` is a *request*, resolved by [`effective_threads`]: `0` means
+/// "use available parallelism", and any request is clamped to
+/// `1..=max(n, 1)` — asking for more workers than tasks spawns only `n`,
+/// never idle threads. Tasks are distributed by an atomic work counter,
+/// so uneven task costs balance automatically; determinism is unaffected
+/// because outputs are indexed.
 pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send + Default + Clone,
@@ -28,10 +32,24 @@ where
 /// that worker executes, so tight sweeps (e.g. the empirical payoff
 /// matrix) can reuse buffers across tasks instead of allocating per task.
 ///
+/// `threads` follows the same clamping as [`parallel_map_indexed`]
+/// (via [`effective_threads`]): `0` resolves to the machine's available
+/// parallelism, `threads > n` runs only `n` workers, and a resolved count
+/// of 1 runs serially on the calling thread (no workers are spawned).
+///
 /// The scratch must not carry results between tasks — task outputs land
 /// at their own index and workers steal tasks in a nondeterministic
 /// order, so anything accumulated in the scratch would break the
 /// bit-identical-across-thread-counts invariant.
+///
+/// When metrics are enabled ([`dsa_obs::enable_metrics`]), each fork-join
+/// region reports: `parallel.jobs` and `parallel.tasks` counters (event
+/// counts, thread-count-invariant), a `parallel.worker_busy_ns` histogram
+/// with one observation per worker (its count is the number of workers,
+/// so it — alone among the stack's metrics — varies with the thread
+/// count), and `parallel.busy_max_ns` / `parallel.busy_mean_ns` /
+/// `parallel.imbalance` gauges for the most recent job (imbalance =
+/// max/mean worker busy time; 1.0 is a perfectly balanced pool).
 pub fn parallel_map_indexed_scratch<T, S, C, F>(
     n: usize,
     threads: usize,
@@ -47,9 +65,16 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let record = dsa_obs::metrics_enabled();
     if threads <= 1 {
+        let start = record.then(Instant::now);
         let mut s = scratch();
-        return (0..n).map(|i| f(&mut s, i)).collect();
+        let out: Vec<T> = (0..n).map(|i| f(&mut s, i)).collect();
+        if let Some(start) = start {
+            let busy = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            record_job(n, &[busy]);
+        }
+        return out;
     }
 
     let mut out = vec![T::default(); n];
@@ -58,6 +83,7 @@ where
     // to collect per-worker (index, value) pairs and merge afterwards —
     // avoids unsafe and keeps the code obviously correct.
     let mut partials: Vec<Vec<(usize, T)>> = Vec::new();
+    let mut busy_ns: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
@@ -67,27 +93,62 @@ where
             handles.push(scope.spawn(move || {
                 let mut s = scratch();
                 let mut local = Vec::new();
+                let mut busy = 0u64;
                 loop {
                     let i = counter.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(&mut s, i)));
+                    if record {
+                        let t0 = Instant::now();
+                        local.push((i, f(&mut s, i)));
+                        busy += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    } else {
+                        local.push((i, f(&mut s, i)));
+                    }
                 }
-                local
+                (local, busy)
             }));
         }
         for h in handles {
-            partials.push(h.join().expect("worker thread panicked"));
+            let (local, busy) = h.join().expect("worker thread panicked");
+            partials.push(local);
+            busy_ns.push(busy);
         }
     });
     for (i, v) in partials.into_iter().flatten() {
         out[i] = v;
     }
+    if record {
+        record_job(n, &busy_ns);
+    }
     out
 }
 
-/// Resolves a thread-count request against the machine and the workload.
+/// Reports one fork-join region's load metrics; see
+/// [`parallel_map_indexed_scratch`] for the metric names.
+fn record_job(tasks: usize, busy_ns: &[u64]) {
+    dsa_obs::incr("parallel.jobs");
+    dsa_obs::add("parallel.tasks", tasks as u64);
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    for &b in busy_ns {
+        dsa_obs::observe("parallel.worker_busy_ns", b);
+        max = max.max(b);
+        sum += b;
+    }
+    let mean = sum as f64 / busy_ns.len() as f64;
+    dsa_obs::gauge_set("parallel.busy_max_ns", max as f64);
+    dsa_obs::gauge_set("parallel.busy_mean_ns", mean);
+    if mean > 0.0 {
+        dsa_obs::gauge_set("parallel.imbalance", max as f64 / mean);
+    }
+}
+
+/// Resolves a thread-count request against the machine and the workload:
+/// `requested = 0` becomes the machine's available parallelism, then the
+/// result is clamped to `1..=max(tasks, 1)` — so `threads > tasks` never
+/// spawns idle workers, and a zero-task job still resolves to 1.
 #[must_use]
 pub fn effective_threads(requested: usize, tasks: usize) -> usize {
     let hw = std::thread::available_parallelism()
@@ -133,6 +194,42 @@ mod tests {
         assert_eq!(effective_threads(1, 100), 1);
         assert!(effective_threads(0, 100) >= 1);
         assert_eq!(effective_threads(9, 0), 1);
+    }
+
+    #[test]
+    fn zero_thread_request_resolves_to_available_parallelism() {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(effective_threads(0, 1000), hw.min(1000));
+        // And the mapped results are identical to an explicit request.
+        let auto = parallel_map_indexed(64, 0, |i| i * 3);
+        let explicit = parallel_map_indexed(64, 2, |i| i * 3);
+        assert_eq!(auto, explicit);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_clamped_not_an_error() {
+        // threads > n spawns only n workers; every index still lands once.
+        assert_eq!(effective_threads(64, 3), 3);
+        let out = parallel_map_indexed(3, 64, |i| i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+        // Scratch variant under the same over-request.
+        let scratched = parallel_map_indexed_scratch(3, 64, || 0u8, |_, i| i + 10);
+        assert_eq!(scratched, out);
+    }
+
+    #[test]
+    fn boundary_thread_requests_keep_determinism() {
+        let f = |i: usize| (i as f64).cos().abs();
+        let serial = parallel_map_indexed(50, 1, f);
+        for threads in [0usize, 2, 50, 51, 1000] {
+            assert_eq!(
+                parallel_map_indexed(50, threads, f),
+                serial,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -84,16 +84,27 @@ pub struct PraPoint {
 ///
 /// Phases: performance (homogeneous populations), robustness tournament,
 /// aggressiveness tournament. Each phase is parallel and deterministic in
-/// `config.seed` regardless of `config.threads`.
+/// `config.seed` regardless of `config.threads`, and is traced as a
+/// `pra.{performance,robustness,aggressiveness}` span when tracing is on.
 pub fn quantify<S: EncounterSim>(
     sim: &S,
     protocols: &[S::Protocol],
     config: &PraConfig,
 ) -> PraResults {
-    let performance_raw = performance_phase(sim, protocols, config);
-    let performance = dsa_stats::describe::normalize_by_max(&performance_raw);
-    let robustness = tournament_rates(sim, protocols, config.robustness_share, config, 1);
-    let aggressiveness = tournament_rates(sim, protocols, config.aggressiveness_share, config, 2);
+    let (performance_raw, performance) = {
+        let _s = dsa_obs::span("pra.performance");
+        let raw = performance_phase(sim, protocols, config);
+        let norm = dsa_stats::describe::normalize_by_max(&raw);
+        (raw, norm)
+    };
+    let robustness = {
+        let _s = dsa_obs::span("pra.robustness");
+        tournament_rates(sim, protocols, config.robustness_share, config, 1)
+    };
+    let aggressiveness = {
+        let _s = dsa_obs::span("pra.aggressiveness");
+        tournament_rates(sim, protocols, config.aggressiveness_share, config, 2)
+    };
     PraResults::new(performance_raw, performance, robustness, aggressiveness)
 }
 

@@ -116,6 +116,10 @@ impl PayoffMatrix {
 /// mirrored, so `payoff[i][j]` and `payoff[j][i]` come from the *same*
 /// simulations.
 ///
+/// Traced as an `evo.matrix` span; with metrics enabled, each cell's
+/// latency lands in the `evo.cell_ns` histogram and the matrix build's
+/// throughput in the `evo.cells_per_sec` gauge.
+///
 /// # Panics
 ///
 /// Panics when `candidates` is empty or a candidate index is outside the
@@ -136,6 +140,8 @@ pub fn empirical_matrix(
             domain.size()
         );
     }
+    let _matrix_span = dsa_obs::span("evo.matrix");
+    let started = dsa_obs::metrics_enabled().then(std::time::Instant::now);
     let k = candidates.len();
     let population = domain.population(effort).max(2);
     let runs = cfg.encounter_runs.max(1);
@@ -145,6 +151,7 @@ pub fn empirical_matrix(
     let tasks: Vec<(usize, usize)> = (0..k).flat_map(|i| (i..k).map(move |j| (i, j))).collect();
     let cells: Vec<(f64, f64)> =
         parallel_map_indexed_scratch(tasks.len(), cfg.threads, Vec::new, |groups, t| {
+            let t0 = dsa_obs::metrics_enabled().then(std::time::Instant::now);
             let (i, j) = tasks[t];
             let (pi, pj) = (candidates[i], candidates[j]);
             // Canonical group order (and seeds) by protocol index, so a
@@ -174,8 +181,18 @@ pub fn empirical_matrix(
                     acc.1 += u_lo;
                 }
             }
+            if let Some(t0) = t0 {
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                dsa_obs::observe("evo.cell_ns", ns);
+            }
             (acc.0 / runs as f64, acc.1 / runs as f64)
         });
+    if let Some(started) = started {
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            dsa_obs::gauge_set("evo.cells_per_sec", tasks.len() as f64 / secs);
+        }
+    }
 
     let mut payoff = vec![vec![0.0f64; k]; k];
     for (&(i, j), &(ui, uj)) in tasks.iter().zip(&cells) {

@@ -65,7 +65,9 @@ impl Node {
     }
 }
 
-/// Runs one gossip simulation; returns per-node utilities.
+/// Runs one gossip simulation; returns per-node utilities. Traced as a
+/// `gossip.run` span with `gossip.{setup,rounds,payoff}` phase children
+/// when tracing is on.
 pub fn run(
     protocols: &[GossipProtocol],
     assignment: &[usize],
@@ -76,6 +78,8 @@ pub fn run(
     assert!(n >= 2, "need at least two nodes");
     assert_eq!(assignment.len(), n, "assignment must cover every node");
 
+    let _run_span = dsa_obs::span("gossip.run");
+    let setup_span = dsa_obs::span("gossip.setup");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut nodes: Vec<Node> = (0..n)
         .map(|_| Node {
@@ -85,7 +89,9 @@ pub fn run(
             deliveries: 0.0,
         })
         .collect();
+    drop(setup_span);
 
+    let rounds_span = dsa_obs::span("gossip.rounds");
     for round in 0..config.rounds {
         // Inject this round's item at a random node.
         let source = rng.index(n);
@@ -169,7 +175,9 @@ pub fn run(
             }
         }
     }
+    drop(rounds_span);
 
+    let _payoff_span = dsa_obs::span("gossip.payoff");
     nodes.iter().map(|nd| nd.deliveries).collect()
 }
 

@@ -1,0 +1,229 @@
+//! Global metric registries: counters, gauges, log2 histograms.
+//!
+//! Counters count *events* (never time), so their totals are a pure
+//! function of what the program did — bit-identical across thread counts.
+//! Gauges hold the last value written (throughput readings, imbalance
+//! ratios). Histograms bucket observed values by their binary magnitude:
+//! bucket `k` covers `[2^(k-1), 2^k)`, bucket 0 holds zeros — 64 buckets
+//! span the full `u64` range, plenty for nanosecond latencies.
+//!
+//! All registries sit behind one mutex each; recording from parallel
+//! workers serializes on it, which is fine at the stack's event rates
+//! (per cache query, per sweep cell, per worker) and keeps merges
+//! trivially deterministic. The hot path when disabled is a single
+//! relaxed atomic load.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+/// Enables the metric registries (counters, gauges, histograms) — the
+/// `--metrics` flag.
+pub fn enable_metrics() {
+    METRICS_ON.store(true, Ordering::Relaxed);
+}
+
+/// Enables metrics *and* span timing — the `--trace` flag.
+pub fn enable_trace() {
+    METRICS_ON.store(true, Ordering::Relaxed);
+    TRACE_ON.store(true, Ordering::Relaxed);
+}
+
+/// Turns all recording back off (registries keep their contents until
+/// [`crate::reset`]).
+pub fn disable() {
+    METRICS_ON.store(false, Ordering::Relaxed);
+    TRACE_ON.store(false, Ordering::Relaxed);
+}
+
+/// Whether metric recording is on.
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// Whether span timing is on (implies [`metrics_enabled`]).
+#[must_use]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// A log2-bucketed distribution of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// `buckets[k]` counts observations in `[2^(k-1), 2^k)`; `buckets[0]`
+    /// counts zeros; the top bucket absorbs everything ≥ `2^62`.
+    pub buckets: [u64; 64],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Hist {
+    /// The bucket index a value lands in.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(63)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Folds another distribution into this one (order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Mean observed value (0 while empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+static COUNTERS: Mutex<BTreeMap<Box<str>, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<Box<str>, f64>> = Mutex::new(BTreeMap::new());
+static HISTS: Mutex<BTreeMap<Box<str>, Hist>> = Mutex::new(BTreeMap::new());
+
+/// Increments a counter by 1. A no-op unless metrics are enabled.
+pub fn incr(name: &str) {
+    add(name, 1);
+}
+
+/// Adds `n` to a counter. A no-op unless metrics are enabled.
+pub fn add(name: &str, n: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut map = COUNTERS.lock().expect("counter registry poisoned");
+    if let Some(c) = map.get_mut(name) {
+        *c += n;
+    } else {
+        map.insert(name.into(), n);
+    }
+}
+
+/// Sets a gauge to its latest reading. A no-op unless metrics are enabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut map = GAUGES.lock().expect("gauge registry poisoned");
+    if let Some(g) = map.get_mut(name) {
+        *g = value;
+    } else {
+        map.insert(name.into(), value);
+    }
+}
+
+/// Records one observation into a histogram. A no-op unless metrics are
+/// enabled.
+pub fn observe(name: &str, value: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut map = HISTS.lock().expect("histogram registry poisoned");
+    if let Some(h) = map.get_mut(name) {
+        h.record(value);
+    } else {
+        let mut h = Hist::default();
+        h.record(value);
+        map.insert(name.into(), h);
+    }
+}
+
+pub(crate) fn counters_snapshot() -> BTreeMap<String, u64> {
+    let map = COUNTERS.lock().expect("counter registry poisoned");
+    map.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+pub(crate) fn gauges_snapshot() -> BTreeMap<String, f64> {
+    let map = GAUGES.lock().expect("gauge registry poisoned");
+    map.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+pub(crate) fn hists_snapshot() -> BTreeMap<String, Hist> {
+    let map = HISTS.lock().expect("histogram registry poisoned");
+    map.iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+pub(crate) fn reset_metrics() {
+    COUNTERS.lock().expect("counter registry poisoned").clear();
+    GAUGES.lock().expect("gauge registry poisoned").clear();
+    HISTS.lock().expect("histogram registry poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(1023), 10);
+        assert_eq!(Hist::bucket_of(1024), 11);
+        assert_eq!(Hist::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for v in [1u64, 5, 9000] {
+            a.record(v);
+        }
+        for v in [0u64, 7, 1 << 40] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 6);
+        assert_eq!(ab.min, 0);
+        assert_eq!(ab.max, 1 << 40);
+    }
+}

@@ -1,0 +1,471 @@
+//! Snapshots and exporters: tables, line-JSON, stamped CSV.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every registry. It renders
+//! as a human-readable table (`--metrics`/`--trace` epilogues and
+//! `dsa obs report`), as line-JSON for machine diffing, and as a stamped
+//! CSV under `results/obs-<run>.csv`:
+//!
+//! ```text
+//! # dsa-obs v1 run=profile-smoke
+//! kind,name,count,sum_ns,self_ns,min_ns,max_ns,value,buckets
+//! counter,cache.hit,3,0,0,0,0,,
+//! span,swarm.rounds,40,812345,790000,12000,40000,,14:22|15:18
+//! ```
+//!
+//! Histogram buckets serialize sparsely as `index:count` pairs joined by
+//! `|`. The CSV round-trips through [`read_csv`], which is what
+//! `dsa obs report <file>` uses.
+
+use crate::metrics::{counters_snapshot, gauges_snapshot, hists_snapshot, Hist};
+use crate::span::{spans_snapshot, SpanStats};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A point-in-time copy of every metric and span registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Event counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Value histograms, by name.
+    pub hists: BTreeMap<String, Hist>,
+    /// Span aggregates, by name.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+/// Captures the current state of every registry (after merging the
+/// calling thread's pending span aggregates).
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        counters: counters_snapshot(),
+        gauges: gauges_snapshot(),
+        hists: hists_snapshot(),
+        spans: spans_snapshot(),
+    }
+}
+
+/// Formats nanoseconds human-readably (`412ns`, `3.1µs`, `48ms`, `2.4s`).
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn buckets_to_string(buckets: &[u64; 64]) -> String {
+    let mut out = String::new();
+    for (i, &c) in buckets.iter().enumerate() {
+        if c > 0 {
+            if !out.is_empty() {
+                out.push('|');
+            }
+            let _ = write!(out, "{i}:{c}");
+        }
+    }
+    out
+}
+
+fn buckets_from_string(text: &str) -> Result<[u64; 64], String> {
+    let mut buckets = [0u64; 64];
+    if text.is_empty() {
+        return Ok(buckets);
+    }
+    for pair in text.split('|') {
+        let (i, c) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed bucket pair {pair:?}"))?;
+        let i: usize = i.parse().map_err(|_| format!("bad bucket index {i:?}"))?;
+        if i >= 64 {
+            return Err(format!("bucket index {i} out of range"));
+        }
+        buckets[i] = c.parse().map_err(|_| format!("bad bucket count {c:?}"))?;
+    }
+    Ok(buckets)
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as aligned human-readable tables. Durations
+    /// are humanized; pass the result straight to the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("== counters ==\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("== gauges ==\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v:>12.3}");
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("== histograms ==\n");
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "min", "max"
+            );
+            for (name, h) in &self.hists {
+                // Only `_ns` histograms hold durations; others (e.g.
+                // `cache.read_bytes`) render as raw numbers.
+                let fmt: fn(u64) -> String = if name.ends_with("_ns") {
+                    fmt_ns
+                } else {
+                    |v| v.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>8} {:>10} {:>10} {:>10}",
+                    name,
+                    h.count,
+                    fmt(h.mean() as u64),
+                    fmt(if h.count == 0 { 0 } else { h.min }),
+                    fmt(h.max)
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("== spans ==\n");
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "total", "self", "mean", "max"
+            );
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    s.dur.count,
+                    fmt_ns(s.dur.sum),
+                    fmt_ns(s.self_ns),
+                    fmt_ns(s.dur.mean() as u64),
+                    fmt_ns(s.dur.max)
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded — run with --metrics or --trace)\n");
+        }
+        out
+    }
+
+    /// Renders the snapshot with every duration stripped: names, counts
+    /// and structure only. Two runs of the same deterministic job render
+    /// identically here even though their timings differ — the
+    /// "stable modulo durations" view the trace tests compare.
+    #[must_use]
+    pub fn render_shape(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for name in self.gauges.keys() {
+            let _ = writeln!(out, "gauge {name}");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(out, "hist {name} {}", h.count);
+        }
+        for (name, s) in &self.spans {
+            let _ = writeln!(out, "span {name} {}", s.dur.count);
+        }
+        out
+    }
+
+    /// Serializes the snapshot as line-JSON: one object per metric.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, r#"{{"kind":"counter","name":"{name}","value":{v}}}"#);
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, r#"{{"kind":"gauge","name":"{name}","value":{v}}}"#);
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                r#"{{"kind":"hist","name":"{name}","count":{},"sum":{},"min":{},"max":{},"buckets":"{}"}}"#,
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                buckets_to_string(&h.buckets)
+            );
+        }
+        for (name, s) in &self.spans {
+            let _ = writeln!(
+                out,
+                r#"{{"kind":"span","name":"{name}","count":{},"total_ns":{},"self_ns":{},"min_ns":{},"max_ns":{},"buckets":"{}"}}"#,
+                s.dur.count,
+                s.dur.sum,
+                s.self_ns,
+                if s.dur.count == 0 { 0 } else { s.dur.min },
+                s.dur.max,
+                buckets_to_string(&s.dur.buckets)
+            );
+        }
+        out
+    }
+
+    /// Serializes the snapshot as the stamped CSV body (without the stamp
+    /// line). See the module docs for the format.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,count,sum_ns,self_ns,min_ns,max_ns,value,buckets\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter,{name},{v},0,0,0,0,,");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge,{name},0,0,0,0,0,{v},");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "hist,{name},{},{},0,{},{},,{}",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                buckets_to_string(&h.buckets)
+            );
+        }
+        for (name, s) in &self.spans {
+            let _ = writeln!(
+                out,
+                "span,{name},{},{},{},{},{},,{}",
+                s.dur.count,
+                s.dur.sum,
+                s.self_ns,
+                if s.dur.count == 0 { 0 } else { s.dur.min },
+                s.dur.max,
+                buckets_to_string(&s.dur.buckets)
+            );
+        }
+        out
+    }
+
+    /// Parses a CSV body produced by [`Snapshot::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a malformed header, row, or bucket encoding.
+    pub fn from_csv(body: &str) -> Result<Self, String> {
+        let mut lines = body.lines();
+        let header = lines.next().ok_or("empty obs CSV")?;
+        if header != "kind,name,count,sum_ns,self_ns,min_ns,max_ns,value,buckets" {
+            return Err(format!("unrecognized obs CSV header {header:?}"));
+        }
+        let mut snap = Self::default();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 9 {
+                return Err(format!("expected 9 fields, got {}: {line:?}", fields.len()));
+            }
+            let name = fields[1].to_string();
+            let num = |i: usize| -> Result<u64, String> {
+                fields[i]
+                    .parse()
+                    .map_err(|_| format!("bad number {:?} in {line:?}", fields[i]))
+            };
+            match fields[0] {
+                "counter" => {
+                    snap.counters.insert(name, num(2)?);
+                }
+                "gauge" => {
+                    let v: f64 = fields[7]
+                        .parse()
+                        .map_err(|_| format!("bad gauge value {:?}", fields[7]))?;
+                    snap.gauges.insert(name, v);
+                }
+                "hist" => {
+                    let count = num(2)?;
+                    snap.hists.insert(
+                        name,
+                        Hist {
+                            count,
+                            sum: num(3)?,
+                            min: if count == 0 { u64::MAX } else { num(5)? },
+                            max: num(6)?,
+                            buckets: buckets_from_string(fields[8])?,
+                        },
+                    );
+                }
+                "span" => {
+                    let count = num(2)?;
+                    snap.spans.insert(
+                        name,
+                        SpanStats {
+                            dur: Hist {
+                                count,
+                                sum: num(3)?,
+                                min: if count == 0 { u64::MAX } else { num(5)? },
+                                max: num(6)?,
+                                buckets: buckets_from_string(fields[8])?,
+                            },
+                            self_ns: num(4)?,
+                        },
+                    );
+                }
+                other => return Err(format!("unknown metric kind {other:?}")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Writes a snapshot to `out_dir/obs-<run>.csv` under a
+/// `# dsa-obs v1 run=<run>` stamp, atomically (temp sibling + rename).
+///
+/// # Errors
+///
+/// Returns an error when the directory or file cannot be written.
+pub fn write_csv(out_dir: &Path, run: &str, snap: &Snapshot) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(format!("obs-{run}.csv"));
+    let mut text = format!("# dsa-obs v1 run={run}\n");
+    text.push_str(&snap.to_csv());
+    let tmp = path.with_extension(format!("csv.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("installing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads a stamped obs CSV back: returns the run name and the snapshot.
+///
+/// # Errors
+///
+/// Returns an error when the file cannot be read, is not a v1 obs stamp,
+/// or its body is malformed.
+pub fn read_csv(path: &Path) -> Result<(String, Snapshot), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let (stamp, body) = text
+        .split_once('\n')
+        .ok_or_else(|| format!("{}: empty obs file", path.display()))?;
+    let run = stamp
+        .strip_prefix("# dsa-obs v1 run=")
+        .ok_or_else(|| format!("{}: not a dsa-obs v1 file: {stamp:?}", path.display()))?;
+    let snap = Snapshot::from_csv(body).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((run.to_string(), snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("cache.hit".into(), 3);
+        snap.counters.insert("cache.miss.seed".into(), 1);
+        snap.gauges.insert("attacks.rows_per_sec".into(), 1234.5);
+        let mut h = Hist::default();
+        h.record(900);
+        h.record(40_000);
+        snap.hists.insert("evo.cell_ns".into(), h);
+        let mut s = SpanStats::default();
+        s.record_for_test(1_000_000, 800_000);
+        s.record_for_test(2_000_000, 1_500_000);
+        snap.spans.insert("swarm.rounds".into(), s);
+        snap
+    }
+
+    impl SpanStats {
+        fn record_for_test(&mut self, total: u64, self_ns: u64) {
+            self.dur.record(total);
+            self.self_ns += self_ns;
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips() {
+        let snap = sample();
+        let parsed = Snapshot::from_csv(&snap.to_csv()).unwrap();
+        assert_eq!(snap, parsed);
+    }
+
+    #[test]
+    fn stamped_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("dsa-obs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = sample();
+        let path = write_csv(&dir, "unit", &snap).unwrap();
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), "obs-unit.csv");
+        let (run, parsed) = read_csv(&path).unwrap();
+        assert_eq!(run, "unit");
+        assert_eq!(snap, parsed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_rows_are_errors() {
+        assert!(Snapshot::from_csv("").is_err());
+        assert!(Snapshot::from_csv("wrong,header\n").is_err());
+        let header = "kind,name,count,sum_ns,self_ns,min_ns,max_ns,value,buckets\n";
+        assert!(Snapshot::from_csv(&format!("{header}counter,x\n")).is_err());
+        assert!(Snapshot::from_csv(&format!("{header}widget,x,1,0,0,0,0,,\n")).is_err());
+        assert!(Snapshot::from_csv(&format!("{header}hist,x,1,5,0,5,5,,99:1\n")).is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let snap = sample();
+        let table = snap.render();
+        for name in [
+            "cache.hit",
+            "cache.miss.seed",
+            "attacks.rows_per_sec",
+            "evo.cell_ns",
+            "swarm.rounds",
+        ] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+        let jsonl = snap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 5);
+        assert!(jsonl.contains(r#""kind":"span","name":"swarm.rounds","count":2"#));
+    }
+
+    #[test]
+    fn shape_view_strips_durations() {
+        let mut a = sample();
+        let mut b = sample();
+        // Same structure, different timings.
+        a.spans.get_mut("swarm.rounds").unwrap().self_ns = 1;
+        b.spans.get_mut("swarm.rounds").unwrap().self_ns = 2;
+        assert_eq!(a.render_shape(), b.render_shape());
+        assert_ne!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(412), "412ns");
+        assert_eq!(fmt_ns(3_100), "3.1µs");
+        assert_eq!(fmt_ns(48_000_000), "48.0ms");
+        assert_eq!(fmt_ns(2_400_000_000), "2.40s");
+    }
+}

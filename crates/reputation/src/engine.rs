@@ -158,7 +158,8 @@ struct Peer {
 /// Runs one reputation simulation; returns per-peer utilities.
 ///
 /// Deterministic in `seed`: all randomness flows through one generator
-/// consumed in fixed iteration order.
+/// consumed in fixed iteration order. Traced as a `rep.run` span with
+/// `rep.{setup,rounds,payoff}` phase children when tracing is on.
 ///
 /// # Panics
 ///
@@ -174,6 +175,8 @@ pub fn run(
     assert!(n >= 2, "need at least two peers");
     assert_eq!(assignment.len(), n, "assignment must cover every peer");
 
+    let _run_span = dsa_obs::span("rep.run");
+    let setup_span = dsa_obs::span("rep.setup");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut peers: Vec<Peer> = (0..n)
         .map(|_| Peer {
@@ -186,7 +189,9 @@ pub fn run(
     // Request lists are rebuilt each round: requesters[s] holds the peers
     // that asked s for service this round, in deterministic order.
     let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); n];
+    drop(setup_span);
 
+    let rounds_span = dsa_obs::span("rep.rounds");
     for round in 0..config.rounds {
         // 1. Every peer issues its requests to distinct random targets.
         for list in &mut requesters {
@@ -271,6 +276,9 @@ pub fn run(
         }
     }
 
+    drop(rounds_span);
+
+    let _payoff_span = dsa_obs::span("rep.payoff");
     peers.iter().map(|p| p.received).collect()
 }
 

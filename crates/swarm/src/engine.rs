@@ -105,7 +105,8 @@ struct PeerState {
 /// Runs the simulator.
 ///
 /// `assignment[i]` selects which of `protocols` peer slot `i` executes.
-/// Deterministic in `seed`.
+/// Deterministic in `seed`. Traced as a `swarm.run` span with
+/// `swarm.{setup,rounds,payoff}` phase children when tracing is on.
 ///
 /// # Panics
 ///
@@ -126,6 +127,8 @@ pub fn run(
     );
     assert!(config.rounds > 0, "need at least one round");
 
+    let _run_span = dsa_obs::span("swarm.run");
+    let setup_span = dsa_obs::span("swarm.setup");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let capacities: Vec<f64> = if config.stratified_bandwidth {
         // Fixed population at the distribution's quantiles; placement is
@@ -168,7 +171,9 @@ pub fn run(
     let mut candidates: Vec<usize> = Vec::with_capacity(n);
     let mut values: Vec<f64> = Vec::with_capacity(n);
     let mut selected = vec![false; n];
+    drop(setup_span);
 
+    let rounds_span = dsa_obs::span("swarm.rounds");
     for _round in 0..config.rounds {
         next.clear();
 
@@ -359,7 +364,9 @@ pub fn run(
             }
         }
     }
+    drop(rounds_span);
 
+    let _payoff_span = dsa_obs::span("swarm.payoff");
     let utilities: Vec<f64> = total_download
         .iter()
         .map(|&d| d / config.rounds as f64)
