@@ -32,6 +32,29 @@ fn bench_engines(c: &mut Criterion) {
         })
     });
 
+    // Same paper-shaped run with a k=3 mixed population: exercises the
+    // branchy multi-protocol decision paths the homogeneous run skips
+    // (different sort orders, freerider short-circuits) — the shape every
+    // encounter cell of a sweep actually runs.
+    let swarm_mixed = [
+        presets::bittorrent(),
+        presets::sort_s(),
+        presets::freerider(),
+    ];
+    let swarm_mixed_assignment: Vec<usize> = (0..paper_cfg.peers)
+        .map(|i| i % swarm_mixed.len())
+        .collect();
+    c.bench_function("swarm_run_mixed_k3_50peers_500rounds", |b| {
+        b.iter(|| {
+            run(
+                black_box(&swarm_mixed),
+                black_box(&swarm_mixed_assignment),
+                black_box(&paper_cfg),
+                7,
+            )
+        })
+    });
+
     // Piece-level simulator: one tiny swarm to completion.
     let bt_cfg = BtConfig {
         bandwidth: BandwidthDist::Constant(32.0),
@@ -65,6 +88,47 @@ fn bench_engines(c: &mut Criterion) {
                 black_box(&[dsa_reputation::presets::bartercast()]),
                 black_box(&rep_assignment),
                 black_box(&rep_cfg),
+                7,
+            )
+        })
+    });
+
+    // Reputation with a k=3 mixed population (gossiped + eigentrust +
+    // freerider): hits the staged decision path and the per-owner
+    // maintenance path that the homogeneous bartercast run fuses away.
+    let rep_mixed = [
+        dsa_reputation::presets::bartercast(),
+        dsa_reputation::presets::eigentrust(),
+        dsa_reputation::presets::freerider(),
+    ];
+    let rep_mixed_assignment: Vec<usize> =
+        (0..rep_cfg.peers).map(|i| i % rep_mixed.len()).collect();
+    c.bench_function("rep_run_mixed_k3_24peers_80rounds", |b| {
+        b.iter(|| {
+            dsa_reputation::engine::run(
+                black_box(&rep_mixed),
+                black_box(&rep_mixed_assignment),
+                black_box(&rep_cfg),
+                7,
+            )
+        })
+    });
+
+    // Reputation at a heavier-than-default scale (32 peers × 160 rounds):
+    // how the community engine's O(n²)-per-round core grows toward paper
+    // scale.
+    let rep_paper_cfg = dsa_reputation::engine::RepConfig {
+        peers: 32,
+        rounds: 160,
+        ..dsa_reputation::engine::RepConfig::default()
+    };
+    let rep_paper_assignment = vec![0usize; rep_paper_cfg.peers];
+    c.bench_function("rep_run_32peers_160rounds", |b| {
+        b.iter(|| {
+            dsa_reputation::engine::run(
+                black_box(&[dsa_reputation::presets::bartercast()]),
+                black_box(&rep_paper_assignment),
+                black_box(&rep_paper_cfg),
                 7,
             )
         })

@@ -1,0 +1,58 @@
+//! A counting global allocator, compiled only under the `count-allocs`
+//! feature.
+//!
+//! Wraps the system allocator and bumps a thread-local counter on every
+//! `alloc` / `alloc_zeroed` / `realloc`, so tests can assert that a code
+//! region performs **zero** heap allocations — the proof behind the
+//! engines' "allocation-free in steady state" contract (see the
+//! `alloc_count` integration test). Deallocations are not counted: the
+//! contract is about acquiring memory in the hot path, and counting
+//! frees would double-charge buffers handed across regions.
+//!
+//! The counter is per-thread, so parallel test threads do not bleed into
+//! each other's measurements.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total allocations (alloc + alloc_zeroed + realloc calls) performed by
+/// the current thread since it started.
+#[must_use]
+pub fn thread_allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// The counting allocator itself; installed as `#[global_allocator]`
+/// below.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a const-initialized
+// thread-local `Cell`, so bumping it performs no allocation and cannot
+// re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;

@@ -10,6 +10,8 @@
 //! `DESIGN.md` §4; expected-vs-measured outcomes are recorded in
 //! `EXPERIMENTS.md`.
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc_counter;
 pub mod attackfig;
 pub mod attribfig;
 pub mod btfigs;

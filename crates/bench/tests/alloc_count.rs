@@ -1,0 +1,89 @@
+//! Proof of the engines' zero-allocation steady state (run with
+//! `--features count-allocs`).
+//!
+//! Method: with the counting global allocator installed, a run of `R`
+//! rounds and a run of `2R` rounds through a warm thread-local scratch
+//! must perform *exactly the same* number of allocations. Whatever fixed
+//! setup/output allocations a run makes (the returned utility vector,
+//! protocol slices) appear in both counts; any per-round allocation
+//! would make the longer run strictly larger. Doubling the horizon makes
+//! the check robust without hard-coding an allocation budget.
+//!
+//! Both populations are mixed (three protocols) so the checks exercise
+//! the branchy decision paths, not just the homogeneous fast paths.
+#![cfg(feature = "count-allocs")]
+
+use dsa_bench::alloc_counter::thread_allocations;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = thread_allocations();
+    let out = f();
+    let after = thread_allocations();
+    drop(out);
+    after - before
+}
+
+#[test]
+fn swarm_round_loop_is_allocation_free() {
+    use dsa_swarm::engine::{run, SimConfig};
+    use dsa_swarm::presets;
+
+    let protocols = [
+        presets::bittorrent(),
+        presets::sort_s(),
+        presets::freerider(),
+    ];
+    let short = SimConfig {
+        rounds: 100,
+        ..SimConfig::default()
+    };
+    let long = SimConfig {
+        rounds: 200,
+        ..SimConfig::default()
+    };
+    let assignment: Vec<usize> = (0..short.peers).map(|i| i % protocols.len()).collect();
+
+    // Warm the thread-local scratch at both shapes.
+    run(&protocols, &assignment, &long, 7);
+    run(&protocols, &assignment, &short, 7);
+
+    let allocs_short = allocs_during(|| run(&protocols, &assignment, &short, 7));
+    let allocs_long = allocs_during(|| run(&protocols, &assignment, &long, 7));
+    assert_eq!(
+        allocs_short, allocs_long,
+        "swarm run allocations grew with the round count: \
+         {allocs_short} for 100 rounds vs {allocs_long} for 200"
+    );
+}
+
+#[test]
+fn rep_round_loop_is_allocation_free() {
+    use dsa_reputation::engine::{run, RepConfig};
+    use dsa_reputation::presets;
+
+    let protocols = [
+        presets::bartercast(),
+        presets::eigentrust(),
+        presets::freerider(),
+    ];
+    let short = RepConfig {
+        rounds: 80,
+        ..RepConfig::default()
+    };
+    let long = RepConfig {
+        rounds: 160,
+        ..RepConfig::default()
+    };
+    let assignment: Vec<usize> = (0..short.peers).map(|i| i % protocols.len()).collect();
+
+    run(&protocols, &assignment, &long, 7);
+    run(&protocols, &assignment, &short, 7);
+
+    let allocs_short = allocs_during(|| run(&protocols, &assignment, &short, 7));
+    let allocs_long = allocs_during(|| run(&protocols, &assignment, &long, 7));
+    assert_eq!(
+        allocs_short, allocs_long,
+        "reputation run allocations grew with the round count: \
+         {allocs_short} for 80 rounds vs {allocs_long} for 160"
+    );
+}

@@ -1,0 +1,334 @@
+//! Golden bit-identity tests for the scratch-arena entry points.
+//!
+//! The hot-path contract is that `run_with_scratch` produces the exact
+//! same bits as `run` no matter what a reused scratch held before the
+//! call: a dirty arena — previously sized for a different population,
+//! filled by different protocols — must be invisible in the output.
+//! Each engine gets a golden test (fresh vs deliberately dirtied
+//! scratch, bit-equal floats) and a proptest that replays random
+//! protocol/seed sequences through one shared arena and checks every
+//! run against a fresh-scratch reference.
+
+use proptest::prelude::*;
+
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::swarm::{simulate, simulate_with_scratch, BtScratch};
+use dsa_gossip::engine::{GossipConfig, GossipScratch};
+use dsa_gossip::protocol::GossipProtocol;
+use dsa_reputation::engine::{RepConfig, RepScratch};
+use dsa_swarm::engine::{run, run_with_scratch, SimConfig, SwarmScratch};
+use dsa_swarm::presets;
+use dsa_workloads::bandwidth::BandwidthDist;
+
+/// Bit-level equality for float vectors: `==` would accept `-0.0 == 0.0`
+/// and reject NaN, neither of which is the invariant under test.
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} vs {y} differ in bits"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- swarm
+
+fn swarm_cfg(peers: usize, rounds: usize) -> SimConfig {
+    SimConfig {
+        peers,
+        rounds,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn swarm_dirty_scratch_is_bit_identical() {
+    let protos = [
+        presets::bittorrent(),
+        presets::sort_s(),
+        presets::freerider(),
+    ];
+    let cfg = swarm_cfg(20, 60);
+    let assignment: Vec<usize> = (0..cfg.peers).map(|i| i % protos.len()).collect();
+
+    let golden = run(&protos, &assignment, &cfg, 11);
+
+    // Dirty the arena with a larger and then a smaller population, under
+    // different protocols and seeds, before the run under test.
+    let mut scratch = SwarmScratch::default();
+    let big: Vec<usize> = vec![0; 33];
+    run_with_scratch(
+        &[presets::birds()],
+        &big,
+        &swarm_cfg(33, 40),
+        5,
+        &mut scratch,
+    );
+    run_with_scratch(
+        &[presets::random_rank()],
+        &[0, 0, 0, 0, 0],
+        &swarm_cfg(5, 25),
+        6,
+        &mut scratch,
+    );
+
+    let dirty = run_with_scratch(&protos, &assignment, &cfg, 11, &mut scratch);
+    assert_bits_eq(&golden.utilities, &dirty.utilities, "swarm utilities");
+    assert_bits_eq(&golden.capacities, &dirty.capacities, "swarm capacities");
+    assert_eq!(golden, dirty, "swarm outcome");
+}
+
+// --------------------------------------------------------------- gossip
+
+fn gossip_cfg(nodes: usize, rounds: usize) -> GossipConfig {
+    GossipConfig {
+        nodes,
+        rounds,
+        ..GossipConfig::default()
+    }
+}
+
+#[test]
+fn gossip_dirty_scratch_is_bit_identical() {
+    let protos: Vec<GossipProtocol> = GossipProtocol::all().take(3).collect();
+    let cfg = gossip_cfg(16, 30);
+    let assignment: Vec<usize> = (0..cfg.nodes).map(|i| i % protos.len()).collect();
+
+    let golden = dsa_gossip::engine::run(&protos, &assignment, &cfg, 9);
+
+    let mut scratch = GossipScratch::default();
+    let big: Vec<usize> = vec![0; 25];
+    dsa_gossip::engine::run_with_scratch(
+        &[GossipProtocol::baseline()],
+        &big,
+        &gossip_cfg(25, 50),
+        3,
+        &mut scratch,
+    );
+    dsa_gossip::engine::run_with_scratch(
+        &[GossipProtocol::baseline()],
+        &[0, 0, 0, 0],
+        &gossip_cfg(4, 12),
+        4,
+        &mut scratch,
+    );
+
+    let dirty = dsa_gossip::engine::run_with_scratch(&protos, &assignment, &cfg, 9, &mut scratch);
+    assert_bits_eq(&golden, &dirty, "gossip deliveries");
+}
+
+// ----------------------------------------------------------- reputation
+
+fn rep_cfg(peers: usize, rounds: usize) -> RepConfig {
+    RepConfig {
+        peers,
+        rounds,
+        ..RepConfig::default()
+    }
+}
+
+#[test]
+fn rep_dirty_scratch_is_bit_identical() {
+    let protos = [
+        dsa_reputation::presets::bartercast(),
+        dsa_reputation::presets::eigentrust(),
+        dsa_reputation::presets::freerider(),
+    ];
+    let cfg = rep_cfg(12, 40);
+    let assignment: Vec<usize> = (0..cfg.peers).map(|i| i % protos.len()).collect();
+
+    let golden = dsa_reputation::engine::run(&protos, &assignment, &cfg, 13);
+
+    let mut scratch = RepScratch::default();
+    let big: Vec<usize> = vec![0; 20];
+    dsa_reputation::engine::run_with_scratch(
+        &[dsa_reputation::presets::private_tft()],
+        &big,
+        &rep_cfg(20, 30),
+        1,
+        &mut scratch,
+    );
+    dsa_reputation::engine::run_with_scratch(
+        &[dsa_reputation::presets::whitewasher()],
+        &[0, 0, 0],
+        &rep_cfg(3, 15),
+        2,
+        &mut scratch,
+    );
+
+    let dirty =
+        dsa_reputation::engine::run_with_scratch(&protos, &assignment, &cfg, 13, &mut scratch);
+    assert_bits_eq(&golden, &dirty, "rep utilities");
+}
+
+// ---------------------------------------------------------------- btsim
+
+fn bt_cfg(leechers: usize) -> BtConfig {
+    BtConfig {
+        leechers,
+        bandwidth: BandwidthDist::Constant(32.0),
+        ..BtConfig::tiny()
+    }
+}
+
+#[test]
+fn btsim_dirty_scratch_is_bit_identical() {
+    let kinds = vec![
+        ClientKind::BitTorrent,
+        ClientKind::BitTorrent,
+        ClientKind::RandomRank,
+        ClientKind::SortS,
+        ClientKind::BitTorrent,
+        ClientKind::LoyalWhenNeeded,
+    ];
+    let cfg = bt_cfg(kinds.len());
+
+    let golden = simulate(&kinds, &cfg, 17);
+
+    let mut scratch = BtScratch::default();
+    simulate_with_scratch(&[ClientKind::RandomRank; 10], &bt_cfg(10), 2, &mut scratch);
+    simulate_with_scratch(
+        &[ClientKind::BitTorrent, ClientKind::BitTorrent],
+        &bt_cfg(2),
+        3,
+        &mut scratch,
+    );
+
+    let dirty = simulate_with_scratch(&kinds, &cfg, 17, &mut scratch);
+    assert_eq!(golden, dirty, "btsim outcome");
+}
+
+// ------------------------------------------------------------- proptest
+
+/// One step of a random engine workload: which protocol mix, what
+/// population/round shape, which seed.
+#[derive(Debug, Clone)]
+struct Step {
+    proto: usize,
+    peers: usize,
+    rounds: usize,
+    seed: u64,
+}
+
+fn step_strategy(
+    protos: usize,
+    max_peers: usize,
+    max_rounds: usize,
+) -> impl Strategy<Value = Step> {
+    (0..protos, 3..max_peers, 5..max_rounds, 0u64..1000).prop_map(|(proto, peers, rounds, seed)| {
+        Step {
+            proto,
+            peers,
+            rounds,
+            seed,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying any sequence of swarm runs through one shared arena
+    /// yields, at every step, the bits a fresh arena would produce: no
+    /// state leaks across runs, whatever shapes came before.
+    #[test]
+    fn swarm_scratch_never_leaks_across_runs(
+        steps in proptest::collection::vec(step_strategy(3, 14, 30), 1..5)
+    ) {
+        let protos = [presets::bittorrent(), presets::sort_s(), presets::freerider()];
+        let mut shared = SwarmScratch::default();
+        for step in steps {
+            let cfg = swarm_cfg(step.peers, step.rounds);
+            let assignment = vec![step.proto; step.peers];
+            let reused = run_with_scratch(&protos, &assignment, &cfg, step.seed, &mut shared);
+            let fresh = run_with_scratch(
+                &protos,
+                &assignment,
+                &cfg,
+                step.seed,
+                &mut SwarmScratch::default(),
+            );
+            // Field-wise bit comparison: an empty protocol group has a
+            // NaN group mean, and NaN != NaN under PartialEq even when
+            // the bits agree.
+            prop_assert_eq!(&reused.assignment, &fresh.assignment);
+            prop_assert_eq!(reused.throughput.to_bits(), fresh.throughput.to_bits());
+            for (a, b) in reused.utilities.iter().zip(&fresh.utilities) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in reused.capacities.iter().zip(&fresh.capacities) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in reused.group_means.iter().zip(&fresh.group_means) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Same invariant for the reputation engine.
+    #[test]
+    fn rep_scratch_never_leaks_across_runs(
+        steps in proptest::collection::vec(step_strategy(3, 10, 20), 1..5)
+    ) {
+        let protos = [
+            dsa_reputation::presets::bartercast(),
+            dsa_reputation::presets::eigentrust(),
+            dsa_reputation::presets::freerider(),
+        ];
+        let mut shared = RepScratch::default();
+        for step in steps {
+            let cfg = rep_cfg(step.peers, step.rounds);
+            let assignment = vec![step.proto; step.peers];
+            let reused = dsa_reputation::engine::run_with_scratch(
+                &protos, &assignment, &cfg, step.seed, &mut shared,
+            );
+            let fresh = dsa_reputation::engine::run_with_scratch(
+                &protos, &assignment, &cfg, step.seed, &mut RepScratch::default(),
+            );
+            for (a, b) in reused.iter().zip(&fresh) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Same invariant for the gossip engine.
+    #[test]
+    fn gossip_scratch_never_leaks_across_runs(
+        steps in proptest::collection::vec(step_strategy(3, 12, 24), 1..5)
+    ) {
+        let protos: Vec<GossipProtocol> = GossipProtocol::all().take(3).collect();
+        let mut shared = GossipScratch::default();
+        for step in steps {
+            let cfg = gossip_cfg(step.peers, step.rounds);
+            let assignment = vec![step.proto; step.peers];
+            let reused = dsa_gossip::engine::run_with_scratch(
+                &protos, &assignment, &cfg, step.seed, &mut shared,
+            );
+            let fresh = dsa_gossip::engine::run_with_scratch(
+                &protos, &assignment, &cfg, step.seed, &mut GossipScratch::default(),
+            );
+            for (a, b) in reused.iter().zip(&fresh) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Same invariant for the piece-level simulator (population shape
+    /// varies; rounds field doubles as a client-mix selector).
+    #[test]
+    fn btsim_scratch_never_leaks_across_runs(
+        steps in proptest::collection::vec(step_strategy(ClientKind::ALL.len(), 8, 24), 1..4)
+    ) {
+        let mut shared = BtScratch::default();
+        for step in steps {
+            let cfg = bt_cfg(step.peers);
+            let kinds = vec![ClientKind::ALL[step.proto]; step.peers];
+            let reused = simulate_with_scratch(&kinds, &cfg, step.seed, &mut shared);
+            let fresh = simulate_with_scratch(&kinds, &cfg, step.seed, &mut BtScratch::default());
+            prop_assert_eq!(reused, fresh);
+        }
+    }
+}

@@ -81,41 +81,73 @@ impl ClientKind {
         interested: &[usize],
         rng: &mut Xoshiro256pp,
     ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.rank_into(
+            me,
+            my_slot_rate,
+            interested,
+            rng,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut out,
+        );
+        out
+    }
+
+    /// [`ClientKind::rank`] into a caller-owned buffer. `vals` and
+    /// `order` are scratch (contents ignored, clobbered); `out` receives
+    /// the full ranking best-first. Bit-identical to [`ClientKind::rank`],
+    /// including the RNG stream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_into(
+        self,
+        me: &Peer,
+        my_slot_rate: f64,
+        interested: &[usize],
+        rng: &mut Xoshiro256pp,
+        vals: &mut Vec<f64>,
+        order: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         match self {
             Self::BitTorrent => {
-                let vals: Vec<f64> = interested.iter().map(|&j| me.rate_estimate[j]).collect();
-                reorder(interested, &sampling::rank_indices(&vals, false))
+                vals.clear();
+                vals.extend(interested.iter().map(|&j| me.rate_estimate[j]));
+                sampling::rank_indices_into(vals, false, order);
             }
             Self::SortS => {
-                let vals: Vec<f64> = interested.iter().map(|&j| me.rate_estimate[j]).collect();
-                reorder(interested, &sampling::rank_indices(&vals, true))
+                vals.clear();
+                vals.extend(interested.iter().map(|&j| me.rate_estimate[j]));
+                sampling::rank_indices_into(vals, true, order);
             }
             Self::Birds => {
-                let vals: Vec<f64> = interested
-                    .iter()
-                    .map(|&j| (me.rate_estimate[j] - my_slot_rate).abs())
-                    .collect();
-                reorder(interested, &sampling::rank_indices(&vals, true))
+                vals.clear();
+                vals.extend(
+                    interested
+                        .iter()
+                        .map(|&j| (me.rate_estimate[j] - my_slot_rate).abs()),
+                );
+                sampling::rank_indices_into(vals, true, order);
             }
             Self::LoyalWhenNeeded => {
                 // Loyalty first; rate breaks loyalty ties.
-                let vals: Vec<f64> = interested
-                    .iter()
-                    .map(|&j| f64::from(me.loyalty[j]) * 1e6 + me.rate_estimate[j].min(1e5))
-                    .collect();
-                reorder(interested, &sampling::rank_indices(&vals, false))
+                vals.clear();
+                vals.extend(
+                    interested
+                        .iter()
+                        .map(|&j| f64::from(me.loyalty[j]) * 1e6 + me.rate_estimate[j].min(1e5)),
+                );
+                sampling::rank_indices_into(vals, false, order);
             }
             Self::RandomRank => {
-                let mut order: Vec<usize> = (0..interested.len()).collect();
-                sampling::shuffle(&mut order, rng);
-                reorder(interested, &order)
+                order.clear();
+                order.extend(0..interested.len());
+                sampling::shuffle(order, rng);
             }
         }
+        out.extend(order.iter().map(|&i| interested[i]));
     }
-}
-
-fn reorder(items: &[usize], order: &[usize]) -> Vec<usize> {
-    order.iter().map(|&i| items[i]).collect()
 }
 
 #[cfg(test)]
@@ -175,8 +207,7 @@ mod tests {
     fn random_is_a_permutation() {
         let me = peer_with_rates(&[1.0, 2.0, 3.0, 4.0, 5.0]);
         let mut r = rng();
-        let ranked = ClientKind::RandomRank.rank(&me, 5.0, &[0, 1, 2, 3, 4], &mut r);
-        let mut sorted = ranked.clone();
+        let mut sorted = ClientKind::RandomRank.rank(&me, 5.0, &[0, 1, 2, 3, 4], &mut r);
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
     }

@@ -47,16 +47,78 @@ impl SwarmOutcome {
     }
 }
 
+/// Reusable working memory for [`simulate_with_scratch`]: every buffer
+/// the tick loop would otherwise allocate per peer per tick. After one
+/// warm run at a given size, subsequent runs through the same scratch
+/// perform zero steady-state heap allocations per tick (the per-run
+/// [`Peer`] table is setup, not steady state). Every buffer is
+/// re-initialized before use, so a dirty scratch is bit-identical to a
+/// fresh one.
+#[derive(Debug, Default)]
+pub struct BtScratch {
+    /// Peers interested in the chooser this rechoke.
+    interested: Vec<usize>,
+    /// Full best-first ranking of `interested`.
+    ranked: Vec<usize>,
+    /// [`ClientKind::rank_into`] scratch: scores and rank order.
+    vals: Vec<f64>,
+    order: Vec<usize>,
+    /// Optimistic-unchoke candidate pool.
+    pool: Vec<usize>,
+    /// Active incomplete leechers (seeder round-robin).
+    wanting: Vec<usize>,
+    /// Seeder's chosen unchokes this rechoke.
+    chosen: Vec<usize>,
+    /// One giver's transfer targets this tick.
+    targets: Vec<usize>,
+    /// Leechers that finished this tick.
+    newly_complete: Vec<usize>,
+    /// Per-receiver in-progress-piece flags.
+    in_flight: Vec<bool>,
+    /// availability[p] = number of active peers holding piece p.
+    availability: Vec<u32>,
+}
+
 /// Simulates one swarm: `kinds[i]` is leecher `i`'s client; one seeder
 /// (index `kinds.len()`) serves round-robin. Deterministic in `seed`.
 /// Traced as a `btsim.run` span with `btsim.{setup,rounds,payoff}` phase
 /// children when tracing is on.
+///
+/// Thin wrapper over [`simulate_with_scratch`] using a thread-local
+/// [`BtScratch`], so callers that loop over runs on one thread reuse one
+/// arena per thread.
 ///
 /// # Panics
 ///
 /// Panics if `kinds.len() != config.leechers` or the configuration is
 /// degenerate.
 pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutcome {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<BtScratch> =
+            std::cell::RefCell::new(BtScratch::default());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => simulate_with_scratch(kinds, config, seed, &mut scratch),
+        // Re-entrant call on this thread: fall back to a fresh scratch
+        // rather than aliasing the one already borrowed.
+        Err(_) => simulate_with_scratch(kinds, config, seed, &mut BtScratch::default()),
+    })
+}
+
+/// [`simulate`] against a caller-owned [`BtScratch`]. Output is
+/// bit-identical to [`simulate`] regardless of the scratch's prior
+/// contents.
+///
+/// # Panics
+///
+/// Panics if `kinds.len() != config.leechers` or the configuration is
+/// degenerate.
+pub fn simulate_with_scratch(
+    kinds: &[ClientKind],
+    config: &BtConfig,
+    seed: u64,
+    scratch: &mut BtScratch,
+) -> SwarmOutcome {
     let n = config.leechers;
     assert_eq!(kinds.len(), n, "one client kind per leecher");
     assert!(n >= 2, "need at least two leechers");
@@ -74,14 +136,28 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
         .collect();
     peers.push(Peer::seeder(config.seed_upload, pieces, swarm_size));
 
-    // availability[p] = number of active peers holding piece p.
-    let mut availability = vec![1u32; pieces]; // the seeder's copies
+    let BtScratch {
+        interested,
+        ranked,
+        vals,
+        order,
+        pool,
+        wanting,
+        chosen,
+        targets,
+        newly_complete,
+        in_flight,
+        availability,
+    } = scratch;
+    availability.clear();
+    availability.resize(pieces, 1); // the seeder's copies
+    in_flight.clear();
+    in_flight.resize(pieces, false);
 
     // Round-robin cursor for the seeder's uniform service.
     let mut seeder_cursor = 0usize;
     let seeder_slots = config.regular_slots + 1;
 
-    let mut in_flight = vec![false; pieces]; // per-receiver scratch
     let mut ticks_elapsed = 0;
     drop(setup_span);
 
@@ -103,51 +179,57 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
                 let kind = kinds[i];
                 let slots = kind.regular_slots(config.regular_slots);
                 // Peers interested in me: active, lacking something I have.
-                let mut interested: Vec<usize> = (0..swarm_size)
-                    .filter(|&j| {
-                        j != i
-                            && j != seeder
-                            && peers[j].active()
-                            && peers[j].bitfield.interested_in(&peers[i].bitfield)
-                    })
-                    .collect();
+                interested.clear();
+                interested.extend((0..swarm_size).filter(|&j| {
+                    j != i
+                        && j != seeder
+                        && peers[j].active()
+                        && peers[j].bitfield.interested_in(&peers[i].bitfield)
+                }));
                 // Randomize rate ties (real clients do not share a global
                 // preference order; index-deterministic ties would herd
                 // every unchoke onto the same few peers).
-                sampling::shuffle(&mut interested, &mut rng);
+                sampling::shuffle(interested, &mut rng);
                 let my_slot_rate = peers[i].upload_capacity / (slots + 1) as f64;
-                let ranked = kind.rank(&peers[i], my_slot_rate, &interested, &mut rng);
-                let regular: Vec<usize> = ranked.iter().copied().take(slots).collect();
+                kind.rank_into(
+                    &peers[i],
+                    my_slot_rate,
+                    interested,
+                    &mut rng,
+                    vals,
+                    order,
+                    ranked,
+                );
+                // Regular unchokes reuse the peer's own buffer.
+                peers[i].unchoked.clear();
+                let take = slots.min(ranked.len());
+                peers[i].unchoked.extend_from_slice(&ranked[..take]);
 
                 // Optimistic unchoke rotation.
                 if rotate_optimistic {
                     peers[i].optimistic = None;
-                    if kind.optimistic_allowed(regular.len(), slots) {
-                        let pool: Vec<usize> = interested
-                            .iter()
-                            .copied()
-                            .filter(|j| !regular.contains(j))
-                            .collect();
-                        peers[i].optimistic = sampling::choose(&pool, &mut rng).copied();
+                    if kind.optimistic_allowed(take, slots) {
+                        pool.clear();
+                        let regular = &peers[i].unchoked;
+                        pool.extend(interested.iter().copied().filter(|j| !regular.contains(j)));
+                        peers[i].optimistic = sampling::choose(pool, &mut rng).copied();
                     }
                 } else if let Some(o) = peers[i].optimistic {
                     // Drop a stale optimistic target that departed or lost
                     // interest.
                     let stale = !peers[o].active()
                         || !peers[o].bitfield.interested_in(&peers[i].bitfield)
-                        || regular.contains(&o);
+                        || peers[i].unchoked.contains(&o);
                     if stale {
                         peers[i].optimistic = None;
                     }
                 }
-                peers[i].unchoked = regular;
             }
 
             // Seeder: uniform round-robin over active, incomplete leechers.
-            let wanting: Vec<usize> = (0..n)
-                .filter(|&j| peers[j].active() && !peers[j].bitfield.complete())
-                .collect();
-            let mut chosen = Vec::with_capacity(seeder_slots.min(wanting.len()));
+            wanting.clear();
+            wanting.extend((0..n).filter(|&j| peers[j].active() && !peers[j].bitfield.complete()));
+            chosen.clear();
             if !wanting.is_empty() {
                 for step in 0..wanting.len() {
                     if chosen.len() >= seeder_slots {
@@ -158,32 +240,35 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
                 }
                 seeder_cursor = (seeder_cursor + seeder_slots) % wanting.len().max(1);
             }
-            peers[seeder].unchoked = chosen;
+            peers[seeder].unchoked.clear();
+            peers[seeder].unchoked.extend_from_slice(chosen);
             peers[seeder].optimistic = None;
         }
 
         // ---- Transfers ----
-        let mut newly_complete: Vec<usize> = Vec::new();
+        newly_complete.clear();
         for i in 0..swarm_size {
             if !peers[i].active() {
                 continue;
             }
-            let mut targets: Vec<usize> = peers[i]
-                .unchoked
-                .iter()
-                .copied()
-                .chain(peers[i].optimistic)
-                .filter(|&j| {
-                    peers[j].active() && peers[j].bitfield.interested_in(&peers[i].bitfield)
-                })
-                .collect();
+            targets.clear();
+            targets.extend(
+                peers[i]
+                    .unchoked
+                    .iter()
+                    .copied()
+                    .chain(peers[i].optimistic)
+                    .filter(|&j| {
+                        peers[j].active() && peers[j].bitfield.interested_in(&peers[i].bitfield)
+                    }),
+            );
             targets.dedup();
             if targets.is_empty() {
                 continue;
             }
             let share = peers[i].upload_capacity / targets.len() as f64;
 
-            for &j in &targets {
+            for &j in targets.iter() {
                 // Pieces already in progress from some giver: avoid
                 // *starting* duplicates, but continuing one is preferred.
                 for (p, flag) in in_flight.iter_mut().enumerate() {
@@ -200,8 +285,8 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
                         None => match rarest_first(
                             &peers[j].bitfield,
                             &peers[i].bitfield,
-                            &availability,
-                            &in_flight,
+                            availability,
+                            in_flight,
                             &mut rng,
                         ) {
                             Some(p) => p,
@@ -232,7 +317,7 @@ pub fn simulate(kinds: &[ClientKind], config: &BtConfig, seed: u64) -> SwarmOutc
         }
 
         // ---- Completions & departures ----
-        for j in newly_complete {
+        for &j in newly_complete.iter() {
             if peers[j].completed_at.is_none() {
                 peers[j].completed_at = Some(tick + 1);
                 if config.leave_on_completion {

@@ -52,6 +52,31 @@ pub fn split_population(n: usize, fraction_a: f64) -> (usize, Vec<usize>) {
     (count_a, (0..n).map(|i| usize::from(i >= count_a)).collect())
 }
 
+/// Runs `f` against an all-zeros assignment slice of length `n` without
+/// materializing a fresh `vec![0; n]` per call.
+///
+/// Homogeneous runs assign every peer protocol 0, and every adapter's
+/// `run_homogeneous` (plus the single-protocol encounter fast paths) hits
+/// this once per sweep cell — the slice is cached per thread and only
+/// grows, so steady-state calls are allocation-free.
+pub fn with_zero_assignment<R>(n: usize, f: impl FnOnce(&[usize]) -> R) -> R {
+    thread_local! {
+        static ZEROS: std::cell::RefCell<Vec<usize>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    ZEROS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut zeros) => {
+            if zeros.len() < n {
+                zeros.resize(n, 0);
+            }
+            f(&zeros[..n])
+        }
+        // Re-entrant call (f itself used the helper): fall back to a
+        // fresh allocation rather than aliasing the borrowed cache.
+        Err(_) => f(&vec![0; n]),
+    })
+}
+
 #[cfg(test)]
 pub(crate) mod testsim {
     //! A tiny analytic domain used by the framework's own tests: protocols

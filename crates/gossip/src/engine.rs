@@ -34,45 +34,129 @@ impl Default for GossipConfig {
     }
 }
 
-/// Per-node state.
-struct Node {
-    /// Items held, newest last (bounded by the memory policy).
+/// All nodes' state as flat arrays: item rows (newest last, one
+/// `rounds`-wide row per node — item ids are round numbers, so a node
+/// holds each at most once), an O(1) membership map mirroring the rows,
+/// and the delivery/streak matrices the Best/Loyal selections read.
+struct NodeState {
+    rounds: usize,
+    /// Items held, newest last: node `i`'s row is
+    /// `items[i * rounds .. i * rounds + items_len[i]]`.
     items: Vec<u32>,
-    /// Deliveries received from each peer in the last window.
+    items_len: Vec<usize>,
+    /// `holds[i * rounds + item]` ⇔ item is in node `i`'s row — the
+    /// linear `Vec::contains` scan this replaces, as one bit probe.
+    holds: Vec<bool>,
+    /// Deliveries received from each peer in the last window (row-major).
     received_from: Vec<f64>,
-    /// Delivery streaks per peer (for Loyal selection).
+    /// Delivery streaks per peer (for Loyal selection), row-major.
     streak: Vec<u32>,
-    /// Total novel deliveries (the utility).
-    deliveries: f64,
+    /// Total novel deliveries per node (the utility).
+    deliveries: Vec<f64>,
 }
 
-impl Node {
-    fn has(&self, item: u32) -> bool {
-        self.items.contains(&item)
+impl NodeState {
+    /// Node `i`'s held items, oldest first.
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.items[i * self.rounds..i * self.rounds + self.items_len[i]]
     }
 
-    fn insert(&mut self, item: u32, memory: Memory) -> bool {
-        if self.has(item) {
+    /// Inserts `item` into node `i`'s memory unless already held,
+    /// evicting oldest-first past the memory policy's capacity. Returns
+    /// whether the item was novel.
+    fn insert(&mut self, i: usize, item: u32, memory: Memory) -> bool {
+        if self.holds[i * self.rounds + item as usize] {
             return false;
         }
-        self.items.push(item);
+        let base = i * self.rounds;
+        self.items[base + self.items_len[i]] = item;
+        self.items_len[i] += 1;
+        self.holds[base + item as usize] = true;
         if let Some(cap) = memory.capacity() {
-            while self.items.len() > cap {
-                self.items.remove(0);
+            while self.items_len[i] > cap {
+                let evicted = self.items[base];
+                self.holds[base + evicted as usize] = false;
+                self.items
+                    .copy_within(base + 1..base + self.items_len[i], base);
+                self.items_len[i] -= 1;
             }
         }
         true
     }
 }
 
+/// Reusable working memory for [`run_with_scratch`]: the flat node state
+/// plus the partner/batch/ranking buffers the round loop cycles through.
+/// After one warm run at a given `(nodes, rounds)` size, subsequent runs
+/// through the same scratch perform zero steady-state heap allocations
+/// per round. Every buffer is re-initialized before use, so a dirty
+/// scratch is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct GossipScratch {
+    items: Vec<u32>,
+    items_len: Vec<usize>,
+    holds: Vec<bool>,
+    received_from: Vec<f64>,
+    streak: Vec<u32>,
+    deliveries: Vec<f64>,
+    /// Selected exchange partners for one initiation.
+    partners: Vec<usize>,
+    /// Raw sample buffer behind Random selection / RandomItems.
+    sample: Vec<usize>,
+    /// Outgoing batch for one initiation.
+    batch: Vec<u32>,
+    /// `top_partners_into` buffers: candidate peers, their scores and
+    /// the descending rank over those scores.
+    others: Vec<usize>,
+    values: Vec<f64>,
+    ranks: Vec<usize>,
+}
+
 /// Runs one gossip simulation; returns per-node utilities. Traced as a
 /// `gossip.run` span with `gossip.{setup,rounds,payoff}` phase children
 /// when tracing is on.
+///
+/// Thin wrapper over [`run_with_scratch`] using a thread-local
+/// [`GossipScratch`], so callers that loop over runs on one thread —
+/// sweep workers, benchmarks, tests — reuse one arena per thread.
 pub fn run(
     protocols: &[GossipProtocol],
     assignment: &[usize],
     config: &GossipConfig,
     seed: u64,
+) -> Vec<f64> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<GossipScratch> =
+            std::cell::RefCell::new(GossipScratch::default());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => run_with_scratch(protocols, assignment, config, seed, &mut scratch),
+        // Re-entrant call on this thread: fall back to a fresh scratch
+        // rather than aliasing the one already borrowed.
+        Err(_) => run_with_scratch(
+            protocols,
+            assignment,
+            config,
+            seed,
+            &mut GossipScratch::default(),
+        ),
+    })
+}
+
+/// [`run`] against a caller-owned [`GossipScratch`]. Output is
+/// bit-identical to [`run`] regardless of the scratch's prior contents.
+///
+/// # Panics
+///
+/// Panics if there are fewer than two nodes or the assignment does not
+/// cover every node.
+pub fn run_with_scratch(
+    protocols: &[GossipProtocol],
+    assignment: &[usize],
+    config: &GossipConfig,
+    seed: u64,
+    scratch: &mut GossipScratch,
 ) -> Vec<f64> {
     let n = config.nodes;
     assert!(n >= 2, "need at least two nodes");
@@ -81,24 +165,52 @@ pub fn run(
     let _run_span = dsa_obs::span("gossip.run");
     let setup_span = dsa_obs::span("gossip.setup");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let mut nodes: Vec<Node> = (0..n)
-        .map(|_| Node {
-            items: Vec::new(),
-            received_from: vec![0.0; n],
-            streak: vec![0; n],
-            deliveries: 0.0,
-        })
-        .collect();
+    let GossipScratch {
+        items,
+        items_len,
+        holds,
+        received_from,
+        streak,
+        deliveries,
+        partners,
+        sample,
+        batch,
+        others,
+        values,
+        ranks,
+    } = scratch;
+    let rounds = config.rounds;
+    items.clear();
+    items.resize(n * rounds, 0);
+    items_len.clear();
+    items_len.resize(n, 0);
+    holds.clear();
+    holds.resize(n * rounds, false);
+    received_from.clear();
+    received_from.resize(n * n, 0.0);
+    streak.clear();
+    streak.resize(n * n, 0);
+    deliveries.clear();
+    deliveries.resize(n, 0.0);
+    let mut nodes = NodeState {
+        rounds,
+        items: std::mem::take(items),
+        items_len: std::mem::take(items_len),
+        holds: std::mem::take(holds),
+        received_from: std::mem::take(received_from),
+        streak: std::mem::take(streak),
+        deliveries: std::mem::take(deliveries),
+    };
     drop(setup_span);
 
     let rounds_span = dsa_obs::span("gossip.rounds");
-    for round in 0..config.rounds {
+    for round in 0..rounds {
         // Inject this round's item at a random node.
         let source = rng.index(n);
         let item = round as u32;
         let mem = protocols[assignment[source]].memory;
-        if nodes[source].insert(item, mem) {
-            nodes[source].deliveries += 1.0;
+        if nodes.insert(source, item, mem) {
+            nodes.deliveries[source] += 1.0;
         }
 
         // Window bookkeeping for Best/Loyal selections: streaks update
@@ -114,91 +226,138 @@ pub fn run(
                 continue;
             }
             // Select partners.
-            let partners: Vec<usize> = match proto.selection {
-                Selection::Random => sampling::sample_indices(n - 1, config.fanout, &mut rng)
-                    .into_iter()
-                    .map(|x| if x >= i { x + 1 } else { x })
-                    .collect(),
-                Selection::Best => {
-                    top_partners(i, n, config.fanout, &mut rng, |j| nodes[i].received_from[j])
+            partners.clear();
+            match proto.selection {
+                Selection::Random => {
+                    sampling::sample_indices_into(n - 1, config.fanout, &mut rng, sample);
+                    partners.extend(sample.iter().map(|&x| if x >= i { x + 1 } else { x }));
                 }
-                Selection::Loyal => top_partners(i, n, config.fanout, &mut rng, |j| {
-                    f64::from(nodes[i].streak[j])
-                }),
+                Selection::Best => top_partners_into(
+                    i,
+                    n,
+                    config.fanout,
+                    &mut rng,
+                    |j| nodes.received_from[i * n + j],
+                    others,
+                    values,
+                    ranks,
+                    partners,
+                ),
+                Selection::Loyal => top_partners_into(
+                    i,
+                    n,
+                    config.fanout,
+                    &mut rng,
+                    |j| f64::from(nodes.streak[i * n + j]),
+                    others,
+                    values,
+                    ranks,
+                    partners,
+                ),
                 Selection::Similarity => {
-                    let mine = &nodes[i].items;
-                    top_partners(i, n, config.fanout, &mut rng, |j| {
-                        nodes[j].items.iter().filter(|it| mine.contains(it)).count() as f64
-                    })
+                    // O(1) membership via `holds` replaces the quadratic
+                    // mine-contains-theirs scan, same counts.
+                    let holds_me = &nodes.holds[i * rounds..(i + 1) * rounds];
+                    let state = &nodes;
+                    top_partners_into(
+                        i,
+                        n,
+                        config.fanout,
+                        &mut rng,
+                        |j| {
+                            state
+                                .row(j)
+                                .iter()
+                                .filter(|&&it| holds_me[it as usize])
+                                .count() as f64
+                        },
+                        others,
+                        values,
+                        ranks,
+                        partners,
+                    );
                 }
-            };
+            }
 
             // Build the outgoing batch.
-            let batch: Vec<u32> = match proto.filter {
-                Filter::NewestFirst => nodes[i]
-                    .items
-                    .iter()
-                    .rev()
-                    .take(config.batch)
-                    .copied()
-                    .collect(),
-                Filter::RandomItems => {
-                    let idx =
-                        sampling::sample_indices(nodes[i].items.len(), config.batch, &mut rng);
-                    idx.into_iter().map(|x| nodes[i].items[x]).collect()
+            batch.clear();
+            match proto.filter {
+                Filter::NewestFirst => {
+                    batch.extend(nodes.row(i).iter().rev().take(config.batch));
                 }
-                Filter::None => Vec::new(),
-            };
+                Filter::RandomItems => {
+                    sampling::sample_indices_into(
+                        nodes.items_len[i],
+                        config.batch,
+                        &mut rng,
+                        sample,
+                    );
+                    let row = nodes.row(i);
+                    batch.extend(sample.iter().map(|&x| row[x]));
+                }
+                Filter::None => {}
+            }
 
             // Deliver.
-            for &j in &partners {
+            for &j in partners.iter() {
                 let mem = protocols[assignment[j]].memory;
-                for &item in &batch {
-                    if nodes[j].insert(item, mem) {
-                        nodes[j].deliveries += 1.0;
-                        nodes[j].received_from[i] += 1.0;
+                for &item in batch.iter() {
+                    if nodes.insert(j, item, mem) {
+                        nodes.deliveries[j] += 1.0;
+                        nodes.received_from[j * n + i] += 1.0;
                     }
                 }
             }
         }
 
         if window_closes {
-            for node in &mut nodes {
-                for j in 0..n {
-                    if node.received_from[j] > 0.0 {
-                        node.streak[j] += 1;
-                    } else {
-                        node.streak[j] = 0;
-                    }
-                    node.received_from[j] = 0.0;
+            for (s, r) in nodes.streak.iter_mut().zip(nodes.received_from.iter_mut()) {
+                if *r > 0.0 {
+                    *s += 1;
+                } else {
+                    *s = 0;
                 }
+                *r = 0.0;
             }
         }
     }
     drop(rounds_span);
 
     let _payoff_span = dsa_obs::span("gossip.payoff");
-    nodes.iter().map(|nd| nd.deliveries).collect()
+    let out = nodes.deliveries.clone();
+    // Return the buffers to the scratch for the next run.
+    *items = nodes.items;
+    *items_len = nodes.items_len;
+    *holds = nodes.holds;
+    *received_from = nodes.received_from;
+    *streak = nodes.streak;
+    *deliveries = nodes.deliveries;
+    out
 }
 
-/// Top-`fanout` peers by score; ties resolve randomly (a shared
-/// deterministic tie-break would concentrate the whole population's
-/// pushes on the lowest-indexed nodes).
-fn top_partners(
+/// Top-`fanout` peers by score into `out`; ties resolve randomly (a
+/// shared deterministic tie-break would concentrate the whole
+/// population's pushes on the lowest-indexed nodes). `others`, `values`
+/// and `ranks` are caller-owned scratch (contents ignored, clobbered).
+#[allow(clippy::too_many_arguments)]
+fn top_partners_into(
     me: usize,
     n: usize,
     fanout: usize,
     rng: &mut Xoshiro256pp,
     score: impl Fn(usize) -> f64,
-) -> Vec<usize> {
-    let mut others: Vec<usize> = (0..n).filter(|&j| j != me).collect();
-    sampling::shuffle(&mut others, rng);
-    let values: Vec<f64> = others.iter().map(|&j| score(j)).collect();
-    sampling::rank_indices(&values, false)
-        .into_iter()
-        .take(fanout)
-        .map(|x| others[x])
-        .collect()
+    others: &mut Vec<usize>,
+    values: &mut Vec<f64>,
+    ranks: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) {
+    others.clear();
+    others.extend((0..n).filter(|&j| j != me));
+    sampling::shuffle(others, rng);
+    values.clear();
+    values.extend(others.iter().map(|&j| score(j)));
+    sampling::rank_indices_into(values, false, ranks);
+    out.extend(ranks.iter().take(fanout).map(|&x| others[x]));
 }
 
 /// The gossip domain as an [`EncounterSim`].
@@ -212,12 +371,9 @@ impl EncounterSim for GossipSim {
     type Protocol = GossipProtocol;
 
     fn run_homogeneous(&self, protocol: &GossipProtocol, seed: u64) -> f64 {
-        let u = run(
-            &[*protocol],
-            &vec![0; self.config.nodes],
-            &self.config,
-            seed,
-        );
+        let u = dsa_core::sim::with_zero_assignment(self.config.nodes, |assignment| {
+            run(&[*protocol], assignment, &self.config, seed)
+        });
         u.iter().sum::<f64>() / u.len() as f64
     }
 

@@ -21,12 +21,9 @@ impl EncounterSim for RepSim {
     type Protocol = RepProtocol;
 
     fn run_homogeneous(&self, protocol: &RepProtocol, seed: u64) -> f64 {
-        let u = run(
-            &[*protocol],
-            &vec![0; self.config.peers],
-            &self.config,
-            seed,
-        );
+        let u = dsa_core::sim::with_zero_assignment(self.config.peers, |assignment| {
+            run(&[*protocol], assignment, &self.config, seed)
+        });
         u.iter().sum::<f64>() / u.len() as f64
     }
 
@@ -159,7 +156,9 @@ impl Domain for RepDomain {
     fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String {
         let sim = self.sim(effort, churn);
         let p = RepProtocol::from_index(index);
-        let u = run(&[p], &vec![0; sim.config.peers], &sim.config, seed);
+        let u = dsa_core::sim::with_zero_assignment(sim.config.peers, |assignment| {
+            run(&[p], assignment, &sim.config, seed)
+        });
         let mean = u.iter().sum::<f64>() / u.len() as f64;
         let mut sorted = u;
         sorted.sort_by(f64::total_cmp);

@@ -78,81 +78,140 @@ impl RepConfig {
     }
 }
 
-/// Per-peer reputation ledger: this peer's view of every other peer.
-struct Ledger {
+/// All peers' reputation ledgers as flat row-major matrices (row = owner,
+/// column = subject), plus per-peer capacity and accumulated utility.
+///
+/// The per-peer struct-of-Vecs layout this replaces cost two dependent
+/// pointer loads per ledger probe; the decision phase probes ledgers ~10⁵
+/// times per run, so the flat layout is what makes the witness loops run
+/// at memory speed. Row `i` of each matrix is `[i * n .. (i + 1) * n]`.
+#[derive(Debug, Default)]
+struct LedgerMat {
+    n: usize,
+    /// Ring slots per owner (`window`, or 1 when unused).
+    window: usize,
     /// Maintained opinion scores (service received from each peer, aged
     /// per the owner's maintenance policy).
     opinion: Vec<f64>,
     /// Current-round contributions, folded in at end of round.
     accum: Vec<f64>,
-    /// Ring of the last `window` rounds' contributions (Window policy).
-    ring: Vec<Vec<f64>>,
-    /// Next ring slot to overwrite.
-    ring_pos: usize,
+    /// Last `window` rounds' contributions (Window policy), owner-major:
+    /// `ring[owner * window * n + slot * n + subject]`. Empty when no
+    /// protocol in the run uses [`Maintenance::Window`].
+    ring: Vec<f64>,
+    /// Next ring slot to overwrite, per owner.
+    ring_pos: Vec<usize>,
     /// Whether the owner has ever interacted with each peer (in either
     /// direction) — peers never seen are *strangers*.
     seen: Vec<bool>,
 }
 
-impl Ledger {
-    fn new(n: usize, window: usize) -> Self {
-        Self {
-            opinion: vec![0.0; n],
-            accum: vec![0.0; n],
-            ring: vec![vec![0.0; n]; window.max(1)],
-            ring_pos: 0,
-            seen: vec![false; n],
-        }
-    }
-
-    /// Folds the round's contributions into the opinion vector.
-    fn end_round(&mut self, maintenance: Maintenance, decay: f64) {
+impl LedgerMat {
+    /// Folds owner `i`'s round contributions into its opinion row.
+    fn end_round(&mut self, i: usize, maintenance: Maintenance, decay: f64) {
+        let row = i * self.n..(i + 1) * self.n;
+        let opinion = &mut self.opinion[row.clone()];
+        let accum = &mut self.accum[row];
         match maintenance {
             Maintenance::Keep => {
-                for (o, a) in self.opinion.iter_mut().zip(&self.accum) {
+                for (o, a) in opinion.iter_mut().zip(accum.iter()) {
                     *o += a;
                 }
             }
             Maintenance::Decay => {
-                for (o, a) in self.opinion.iter_mut().zip(&self.accum) {
+                for (o, a) in opinion.iter_mut().zip(accum.iter()) {
                     *o = *o * decay + a;
                 }
             }
             Maintenance::Window => {
-                let oldest = &mut self.ring[self.ring_pos];
-                for ((o, a), old) in self.opinion.iter_mut().zip(&self.accum).zip(oldest) {
+                let base = i * self.window * self.n + self.ring_pos[i] * self.n;
+                let oldest = &mut self.ring[base..base + self.n];
+                for ((o, a), old) in opinion.iter_mut().zip(accum.iter()).zip(oldest) {
                     *o += a - *old;
                     *old = *a;
                 }
-                self.ring_pos = (self.ring_pos + 1) % self.ring.len();
+                self.ring_pos[i] = (self.ring_pos[i] + 1) % self.window;
             }
         }
-        self.accum.iter_mut().for_each(|a| *a = 0.0);
+        accum.fill(0.0);
     }
 
-    /// Erases every trace of peer `p` (whitewash / churn).
-    fn forget(&mut self, p: usize) {
-        self.opinion[p] = 0.0;
-        self.accum[p] = 0.0;
-        for slot in &mut self.ring {
-            slot[p] = 0.0;
+    /// Erases every trace of peer `p` from owner `i`'s ledger
+    /// (whitewash / churn).
+    fn forget(&mut self, i: usize, p: usize) {
+        self.opinion[i * self.n + p] = 0.0;
+        self.accum[i * self.n + p] = 0.0;
+        if !self.ring.is_empty() {
+            for slot in 0..self.window {
+                self.ring[i * self.window * self.n + slot * self.n + p] = 0.0;
+            }
         }
-        self.seen[p] = false;
+        self.seen[i * self.n + p] = false;
     }
 
-    /// Resets the whole ledger (the owner is a fresh peer).
-    fn reset(&mut self) {
-        let n = self.opinion.len();
-        *self = Self::new(n, self.ring.len());
+    /// Resets owner `i`'s whole ledger (it is a fresh peer) in place.
+    fn reset(&mut self, i: usize) {
+        let row = i * self.n..(i + 1) * self.n;
+        self.opinion[row.clone()].fill(0.0);
+        self.accum[row.clone()].fill(0.0);
+        if !self.ring.is_empty() {
+            let base = i * self.window * self.n;
+            self.ring[base..base + self.window * self.n].fill(0.0);
+        }
+        self.ring_pos[i] = 0;
+        self.seen[row].fill(false);
     }
 }
 
-/// One peer's mutable simulation state.
-struct Peer {
-    capacity: f64,
-    ledger: Ledger,
-    /// Total service received (the utility).
-    received: f64,
+/// Reusable working memory for [`run_with_scratch`]: request lists
+/// (flattened), the grant buffer, the per-decision scoring buffers and
+/// the two index samplers, allocated once and recycled across runs.
+/// After one warm run at a given population size, subsequent runs
+/// through the same scratch perform zero steady-state heap allocations
+/// per round (enforced by the `count-allocs` tests in `dsa-bench`).
+///
+/// A scratch carries no results between runs — every buffer is resized
+/// and cleared before being read — so reusing one (even dirty, from a
+/// different protocol or population) is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct RepScratch {
+    /// Incoming-request lists, flattened: the peers that asked `s` for
+    /// service this round live in `req_data[s * n .. s * n + req_len[s]]`
+    /// in deterministic order.
+    req_data: Vec<usize>,
+    req_len: Vec<usize>,
+    /// One peer's outgoing request targets (per-peer transient).
+    req_out: Vec<usize>,
+    /// Sampler for the request phase (draws from `0..n-1`).
+    req_sampler: sampling::IndexSampler,
+    /// Round's buffered grants `(server, requester, amount)`.
+    grants: Vec<(usize, usize, f64)>,
+    decision: DecisionScratch,
+    /// Run state, reused across runs: the flat ledger matrices and the
+    /// per-peer capacity / accumulated-utility vectors. Fully
+    /// re-initialized during setup, so nothing carries over between runs.
+    ledgers: LedgerMat,
+    capacity: Vec<f64>,
+    received: Vec<f64>,
+}
+
+/// Buffers for one server's allocation decision.
+#[derive(Debug, Default)]
+struct DecisionScratch {
+    scores: Vec<Option<f64>>,
+    admitted: Vec<Option<f64>>,
+    weights: Vec<f64>,
+    /// RankBased: admitted requester positions, their shuffled order,
+    /// the shuffled score values, and the ranking over those values.
+    eligible: Vec<usize>,
+    order: Vec<usize>,
+    values: Vec<f64>,
+    ranks: Vec<usize>,
+    /// Sampler + buffer for the gossip-witness draws (from `0..n`).
+    gossip_sampler: sampling::IndexSampler,
+    gossip_out: Vec<usize>,
+    /// EigenTrust witness buffer: (trust in witness, witness's opinion).
+    witnesses: Vec<(f64, f64)>,
 }
 
 /// Runs one reputation simulation; returns per-peer utilities.
@@ -160,6 +219,10 @@ struct Peer {
 /// Deterministic in `seed`: all randomness flows through one generator
 /// consumed in fixed iteration order. Traced as a `rep.run` span with
 /// `rep.{setup,rounds,payoff}` phase children when tracing is on.
+///
+/// Thin wrapper over [`run_with_scratch`] using a thread-local
+/// [`RepScratch`], so callers that loop over runs on one thread — sweep
+/// workers, benchmarks, tests — automatically reuse one arena per thread.
 ///
 /// # Panics
 ///
@@ -171,6 +234,38 @@ pub fn run(
     config: &RepConfig,
     seed: u64,
 ) -> Vec<f64> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<RepScratch> =
+            std::cell::RefCell::new(RepScratch::default());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => run_with_scratch(protocols, assignment, config, seed, &mut scratch),
+        // Re-entrant call on this thread: fall back to a fresh scratch
+        // rather than aliasing the one already borrowed.
+        Err(_) => run_with_scratch(
+            protocols,
+            assignment,
+            config,
+            seed,
+            &mut RepScratch::default(),
+        ),
+    })
+}
+
+/// [`run`] against a caller-owned [`RepScratch`]. Output is bit-identical
+/// to [`run`] regardless of the scratch's prior contents.
+///
+/// # Panics
+///
+/// Panics if there are fewer than two peers or the assignment does not
+/// cover every peer.
+pub fn run_with_scratch(
+    protocols: &[RepProtocol],
+    assignment: &[usize],
+    config: &RepConfig,
+    seed: u64,
+    scratch: &mut RepScratch,
+) -> Vec<f64> {
     let n = config.peers;
     assert!(n >= 2, "need at least two peers");
     assert_eq!(assignment.len(), n, "assignment must cover every peer");
@@ -178,29 +273,76 @@ pub fn run(
     let _run_span = dsa_obs::span("rep.run");
     let setup_span = dsa_obs::span("rep.setup");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let mut peers: Vec<Peer> = (0..n)
-        .map(|_| Peer {
-            capacity: config.capacity.sample(&mut rng),
-            ledger: Ledger::new(n, config.window),
-            received: 0.0,
-        })
-        .collect();
+    scratch.capacity.clear();
+    scratch
+        .capacity
+        .extend((0..n).map(|_| config.capacity.sample(&mut rng)));
+    scratch.received.clear();
+    scratch.received.resize(n, 0.0);
 
-    // Request lists are rebuilt each round: requesters[s] holds the peers
-    // that asked s for service this round, in deterministic order.
-    let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // The ring matrix is the one large piece of state most runs never
+    // read: only materialize it when some protocol windows its records.
+    let needs_window = protocols
+        .iter()
+        .any(|p| p.maintenance == Maintenance::Window);
+    let window = config.window.max(1);
+    let led = &mut scratch.ledgers;
+    led.n = n;
+    led.window = window;
+    led.opinion.clear();
+    led.opinion.resize(n * n, 0.0);
+    led.accum.clear();
+    led.accum.resize(n * n, 0.0);
+    led.ring.clear();
+    if needs_window {
+        led.ring.resize(n * window * n, 0.0);
+    }
+    led.ring_pos.clear();
+    led.ring_pos.resize(n, 0);
+    led.seen.clear();
+    led.seen.resize(n * n, false);
+
+    scratch.req_data.clear();
+    scratch.req_data.resize(n * n, 0);
+    scratch.req_len.clear();
+    scratch.req_len.resize(n, 0);
     drop(setup_span);
 
     let rounds_span = dsa_obs::span("rep.rounds");
+    let RepScratch {
+        req_data,
+        req_len,
+        req_out,
+        req_sampler,
+        grants,
+        decision,
+        ledgers,
+        capacity,
+        received,
+    } = scratch;
+    // Maintenance is fusable across owners when every assigned protocol
+    // ages records the same non-windowed way.
+    let uniform_maintenance = {
+        let first = protocols[assignment[0]].maintenance;
+        (first != Maintenance::Window
+            && assignment
+                .iter()
+                .all(|&a| protocols[a].maintenance == first))
+        .then_some(first)
+    };
     for round in 0..config.rounds {
         // 1. Every peer issues its requests to distinct random targets.
-        for list in &mut requesters {
-            list.clear();
-        }
-        for i in 0..n {
-            for t in sampling::sample_indices(n - 1, config.requests, &mut rng) {
-                let target = if t >= i { t + 1 } else { t };
-                requesters[target].push(i);
+        // Request lists are rebuilt each round: `req_data` row `s` holds
+        // the peers that asked `s` for service, in deterministic order.
+        {
+            req_len.fill(0);
+            for i in 0..n {
+                req_sampler.sample_into(n - 1, config.requests, &mut rng, req_out);
+                for &t in req_out.iter() {
+                    let target = if t >= i { t + 1 } else { t };
+                    req_data[target * n + req_len[target]] = i;
+                    req_len[target] += 1;
+                }
             }
         }
 
@@ -208,20 +350,24 @@ pub fn run(
         // Grants are buffered and applied after all decisions, so every
         // decision sees the same start-of-round ledgers regardless of
         // peer iteration order.
-        let mut grants: Vec<(usize, usize, f64)> = Vec::new();
-        for s in 0..n {
-            let proto = &protocols[assignment[s]];
-            if proto.response == Response::Freeride || requesters[s].is_empty() {
-                continue;
-            }
-            let weights = decision_weights(s, &requesters[s], proto, &peers, config, &mut rng);
-            let total: f64 = weights.iter().sum();
-            if total <= 0.0 {
-                continue;
-            }
-            for (&r, &w) in requesters[s].iter().zip(&weights) {
-                if w > 0.0 {
-                    grants.push((s, r, peers[s].capacity * w / total));
+        {
+            grants.clear();
+            for s in 0..n {
+                let proto = &protocols[assignment[s]];
+                let requesters = &req_data[s * n..s * n + req_len[s]];
+                if proto.response == Response::Freeride || requesters.is_empty() {
+                    continue;
+                }
+                decision_weights(s, requesters, proto, ledgers, config, &mut rng, decision);
+                let weights = &decision.weights;
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    continue;
+                }
+                for (&r, &w) in requesters.iter().zip(weights) {
+                    if w > 0.0 {
+                        grants.push((s, r, capacity[s] * w / total));
+                    }
                 }
             }
         }
@@ -229,17 +375,37 @@ pub fn run(
         // 3. Apply grants: service flows server → requester; the
         // requester's opinion of the server grows; both sides are no
         // longer strangers to each other.
-        for &(s, r, amount) in &grants {
-            peers[r].received += amount;
-            peers[r].ledger.accum[s] += amount;
-            peers[r].ledger.seen[s] = true;
-            peers[s].ledger.seen[r] = true;
+        for &(s, r, amount) in grants.iter() {
+            received[r] += amount;
+            ledgers.accum[r * n + s] += amount;
+            ledgers.seen[r * n + s] = true;
+            ledgers.seen[s * n + r] = true;
         }
 
-        // 4. Record maintenance.
-        for i in 0..n {
-            let m = protocols[assignment[i]].maintenance;
-            peers[i].ledger.end_round(m, config.decay);
+        // 4. Record maintenance. Homogeneous Keep/Decay populations (the
+        // common case) fold the whole matrix in one fused pass — row
+        // order is preserved, so the arithmetic is per-cell identical to
+        // the per-owner loop it shortcuts.
+        match uniform_maintenance {
+            Some(Maintenance::Keep) => {
+                for (o, a) in ledgers.opinion.iter_mut().zip(ledgers.accum.iter()) {
+                    *o += a;
+                }
+                ledgers.accum.fill(0.0);
+            }
+            Some(Maintenance::Decay) => {
+                let decay = config.decay;
+                for (o, a) in ledgers.opinion.iter_mut().zip(ledgers.accum.iter()) {
+                    *o = *o * decay + a;
+                }
+                ledgers.accum.fill(0.0);
+            }
+            _ => {
+                for i in 0..n {
+                    let m = protocols[assignment[i]].maintenance;
+                    ledgers.end_round(i, m, config.decay);
+                }
+            }
         }
 
         // 5. Whitewashing: the peer re-enters under a fresh pseudonym, so
@@ -248,9 +414,9 @@ pub fn run(
         if config.whitewash_period > 0 && (round + 1) % config.whitewash_period == 0 {
             for w in 0..n {
                 if protocols[assignment[w]].identity == Identity::Whitewash {
-                    for (i, peer) in peers.iter_mut().enumerate() {
+                    for i in 0..n {
                         if i != w {
-                            peer.ledger.forget(w);
+                            ledgers.forget(i, w);
                         }
                     }
                 }
@@ -262,13 +428,13 @@ pub fn run(
         // accumulating per slot (it measures the protocol's service
         // stream, as in the swarm engine).
         if !config.churn.is_none() {
-            for p in 0..n {
+            for (p, cap) in capacity.iter_mut().enumerate() {
                 if config.churn.departs(f64::INFINITY, &mut rng) {
-                    peers[p].capacity = config.capacity.sample(&mut rng);
-                    peers[p].ledger.reset();
-                    for (i, peer) in peers.iter_mut().enumerate() {
+                    *cap = config.capacity.sample(&mut rng);
+                    ledgers.reset(p);
+                    for i in 0..n {
                         if i != p {
-                            peer.ledger.forget(p);
+                            ledgers.forget(i, p);
                         }
                     }
                 }
@@ -279,154 +445,222 @@ pub fn run(
     drop(rounds_span);
 
     let _payoff_span = dsa_obs::span("rep.payoff");
-    peers.iter().map(|p| p.received).collect()
+    received.clone()
 }
 
-/// Computes the allocation weight of every requester of server `s`.
+/// Computes the allocation weight of every requester of server `s` into
+/// `ds.weights` (same length and values as the old allocating version).
 fn decision_weights(
     s: usize,
     requesters: &[usize],
     proto: &RepProtocol,
-    peers: &[Peer],
+    led: &LedgerMat,
     config: &RepConfig,
     rng: &mut Xoshiro256pp,
-) -> Vec<f64> {
+    ds: &mut DecisionScratch,
+) {
+    // Fast path: unless the stranger policy draws admission randomness
+    // (Probabilistic) or the response draws tie-break randomness
+    // (RankBased), the score → admission → weight chain is pointwise, so
+    // the three passes fuse into one loop whose only RNG consumption is
+    // the source lookups — the same stream the staged path consumes.
+    if proto.stranger != Stranger::Probabilistic && proto.response != Response::RankBased {
+        ds.weights.clear();
+        for &r in requesters {
+            let score = source_score(
+                s,
+                r,
+                proto.source,
+                led,
+                config,
+                rng,
+                &mut ds.gossip_sampler,
+                &mut ds.gossip_out,
+                &mut ds.witnesses,
+            );
+            let w = match score {
+                Some(v) => match proto.response {
+                    Response::Freeride => 0.0,
+                    Response::ThresholdBan => f64::from(u8::from(v > config.threshold)),
+                    Response::Proportional => v.max(0.0),
+                    Response::RankBased => unreachable!(),
+                },
+                None => match proto.stranger {
+                    Stranger::Deny => 0.0,
+                    // Admitted strangers ride on the unit bootstrap
+                    // under both remaining response functions.
+                    Stranger::Optimistic => {
+                        f64::from(u8::from(proto.response != Response::Freeride))
+                    }
+                    Stranger::Probabilistic => unreachable!(),
+                },
+            };
+            ds.weights.push(if w.is_finite() { w } else { 0.0 });
+        }
+        return;
+    }
+
     // Score every requester through the protocol's reputation source;
     // None marks strangers (no record through any channel).
-    let scores: Vec<Option<f64>> = requesters
-        .iter()
-        .map(|&r| source_score(s, r, proto.source, peers, config, rng))
-        .collect();
+    ds.scores.clear();
+    for &r in requesters {
+        let score = source_score(
+            s,
+            r,
+            proto.source,
+            led,
+            config,
+            rng,
+            &mut ds.gossip_sampler,
+            &mut ds.gossip_out,
+            &mut ds.witnesses,
+        );
+        ds.scores.push(score);
+    }
 
     // Stranger policy: admitted strangers enter the response function at
     // the baseline score 0 with unit bootstrap weight.
-    let admitted: Vec<Option<f64>> = scores
-        .iter()
-        .map(|score| match score {
+    ds.admitted.clear();
+    for score in &ds.scores {
+        ds.admitted.push(match score {
             Some(v) => Some(*v),
             None => match proto.stranger {
                 Stranger::Deny => None,
                 Stranger::Optimistic => Some(0.0),
                 Stranger::Probabilistic => rng.chance(config.optimism).then_some(0.0),
             },
-        })
-        .collect();
+        });
+    }
 
+    ds.weights.clear();
     match proto.response {
-        Response::Freeride => vec![0.0; requesters.len()],
-        Response::ThresholdBan => admitted
-            .iter()
-            .zip(&scores)
-            .map(|(adm, known)| match (adm, known) {
-                // Known requesters must beat the threshold; admitted
-                // strangers ride on the bootstrap.
-                (Some(v), Some(_)) => f64::from(u8::from(*v > config.threshold)),
-                (Some(_), None) => 1.0,
-                (None, _) => 0.0,
-            })
-            .collect(),
-        Response::Proportional => admitted
-            .iter()
-            .zip(&scores)
-            .map(|(adm, known)| match (adm, known) {
-                (Some(v), Some(_)) => v.max(0.0),
-                // Bootstrap trickle: strangers weigh one service unit.
-                (Some(_), None) => 1.0,
-                (None, _) => 0.0,
-            })
-            .collect(),
+        Response::Freeride => ds.weights.resize(requesters.len(), 0.0),
+        Response::ThresholdBan => {
+            ds.weights
+                .extend(ds.admitted.iter().zip(&ds.scores).map(|(adm, known)| {
+                    match (adm, known) {
+                        // Known requesters must beat the threshold;
+                        // admitted strangers ride on the bootstrap.
+                        (Some(v), Some(_)) => f64::from(u8::from(*v > config.threshold)),
+                        (Some(_), None) => 1.0,
+                        (None, _) => 0.0,
+                    }
+                }));
+        }
+        Response::Proportional => {
+            ds.weights
+                .extend(ds.admitted.iter().zip(&ds.scores).map(|(adm, known)| {
+                    match (adm, known) {
+                        (Some(v), Some(_)) => v.max(0.0),
+                        // Bootstrap trickle: strangers weigh one unit.
+                        (Some(_), None) => 1.0,
+                        (None, _) => 0.0,
+                    }
+                }));
+        }
         Response::RankBased => {
             // Rank admitted requesters by score; the top half (rounded
             // up) shares capacity equally. Ties break randomly so no
             // index is systematically favoured (cf. gossip's
             // top_partners).
-            let eligible: Vec<usize> = (0..requesters.len())
-                .filter(|&k| admitted[k].is_some())
-                .collect();
-            let mut weights = vec![0.0; requesters.len()];
-            if eligible.is_empty() {
-                return weights;
+            ds.eligible.clear();
+            ds.eligible
+                .extend((0..requesters.len()).filter(|&k| ds.admitted[k].is_some()));
+            ds.weights.resize(requesters.len(), 0.0);
+            if ds.eligible.is_empty() {
+                return;
             }
-            let mut order = eligible.clone();
-            sampling::shuffle(&mut order, rng);
-            let values: Vec<f64> = order.iter().map(|&k| admitted[k].unwrap_or(0.0)).collect();
-            let keep = eligible.len().div_ceil(2);
-            for rank in sampling::rank_indices(&values, false)
-                .into_iter()
-                .take(keep)
-            {
-                weights[order[rank]] = 1.0;
+            ds.order.clear();
+            ds.order.extend_from_slice(&ds.eligible);
+            sampling::shuffle(&mut ds.order, rng);
+            ds.values.clear();
+            ds.values
+                .extend(ds.order.iter().map(|&k| ds.admitted[k].unwrap_or(0.0)));
+            let keep = ds.eligible.len().div_ceil(2);
+            sampling::rank_indices_into(&ds.values, false, &mut ds.ranks);
+            for &rank in ds.ranks.iter().take(keep) {
+                ds.weights[ds.order[rank]] = 1.0;
             }
-            weights
         }
     }
-    .into_iter()
-    .map(|w| if w.is_finite() { w } else { 0.0 })
-    .collect()
+    for w in &mut ds.weights {
+        if !w.is_finite() {
+            *w = 0.0;
+        }
+    }
 }
 
 /// Scores requester `r` from server `s`'s point of view, or `None` if
-/// every consulted channel is silent (a stranger).
+/// every consulted channel is silent (a stranger). `sampler`/`gossip_out`
+/// /`witnesses` are caller-owned scratch (contents ignored, clobbered).
+#[allow(clippy::too_many_arguments)]
 fn source_score(
     s: usize,
     r: usize,
     source: Source,
-    peers: &[Peer],
+    led: &LedgerMat,
     config: &RepConfig,
     rng: &mut Xoshiro256pp,
+    sampler: &mut sampling::IndexSampler,
+    gossip_out: &mut Vec<usize>,
+    witnesses: &mut Vec<(f64, f64)>,
 ) -> Option<f64> {
-    let own_seen = peers[s].ledger.seen[r];
-    let own = peers[s].ledger.opinion[r];
+    let n = led.n;
+    let s_seen = &led.seen[s * n..(s + 1) * n];
+    let s_op = &led.opinion[s * n..(s + 1) * n];
+    let own_seen = s_seen[r];
+    let own = s_op[r];
     if source == Source::Private {
         return own_seen.then_some(own);
     }
-    let n = peers.len();
     let mut score = if own_seen { own } else { 0.0 };
     let mut heard = own_seen;
-    // EigenTrust witnesses are buffered as (trust in witness, witness's
-    // opinion of r) and folded in after sampling, because the weights
-    // normalize over the *total* trust in the consulted witnesses.
-    let mut witnesses: Vec<(f64, f64)> = Vec::new();
-    for g in sampling::sample_indices(n, config.gossip_sources, rng) {
-        if g == s || g == r {
-            continue;
-        }
-        if !peers[g].ledger.seen[r] {
-            continue;
-        }
-        let opinion = peers[g].ledger.opinion[r];
-        match source {
-            // One-hop gossip: take the witness at face value.
-            Source::Gossiped => {
-                score += opinion;
-                heard = true;
-            }
-            // BarterCast-style: a witness counts only up to the
-            // trust the server places in the witness itself.
-            Source::Transitive => {
-                if peers[s].ledger.seen[g] {
-                    score += opinion.min(peers[s].ledger.opinion[g].max(0.0));
+    sampler.sample_into(n, config.gossip_sources, rng, gossip_out);
+    // The source match sits outside the witness loop so each variant
+    // compiles to its own tight scan over the sampled witnesses.
+    match source {
+        // One-hop gossip: take the witness at face value.
+        Source::Gossiped => {
+            for &g in gossip_out.iter() {
+                if g != s && g != r && led.seen[g * n + r] {
+                    score += led.opinion[g * n + r];
                     heard = true;
                 }
             }
-            // EigenTrust-style: witnesses split one unit of influence
-            // in proportion to the server's (non-negative) trust in
-            // them; an untrusted witness carries no weight at all.
-            Source::EigenTrust => {
-                if peers[s].ledger.seen[g] {
-                    let trust = peers[s].ledger.opinion[g].max(0.0);
+        }
+        // BarterCast-style: a witness counts only up to the trust the
+        // server places in the witness itself.
+        Source::Transitive => {
+            for &g in gossip_out.iter() {
+                if g != s && g != r && led.seen[g * n + r] && s_seen[g] {
+                    score += led.opinion[g * n + r].min(s_op[g].max(0.0));
+                    heard = true;
+                }
+            }
+        }
+        // EigenTrust-style: witnesses split one unit of influence in
+        // proportion to the server's (non-negative) trust in them; an
+        // untrusted witness carries no weight at all. Witnesses are
+        // buffered as (trust, opinion) and folded in after the scan,
+        // because the weights normalize over the *total* trust in the
+        // consulted witnesses.
+        Source::EigenTrust => {
+            witnesses.clear();
+            for &g in gossip_out.iter() {
+                if g != s && g != r && led.seen[g * n + r] && s_seen[g] {
+                    let trust = s_op[g].max(0.0);
                     if trust > 0.0 {
-                        witnesses.push((trust, opinion));
+                        witnesses.push((trust, led.opinion[g * n + r]));
                     }
                 }
             }
-            Source::Private => unreachable!(),
+            if !witnesses.is_empty() {
+                let total: f64 = witnesses.iter().map(|(t, _)| t).sum();
+                score += witnesses.iter().map(|(t, o)| (t / total) * o).sum::<f64>();
+                heard = true;
+            }
         }
-    }
-    if !witnesses.is_empty() {
-        let total: f64 = witnesses.iter().map(|(t, _)| t).sum();
-        score += witnesses.iter().map(|(t, o)| (t / total) * o).sum::<f64>();
-        heard = true;
+        Source::Private => unreachable!(),
     }
     heard.then_some(score)
 }

@@ -39,8 +39,9 @@ impl EncounterSim for SwarmSim {
     type Protocol = SwarmProtocol;
 
     fn run_homogeneous(&self, protocol: &SwarmProtocol, seed: u64) -> f64 {
-        let assignment = vec![0usize; self.config.peers];
-        run(&[*protocol], &assignment, &self.config, seed).throughput
+        dsa_core::sim::with_zero_assignment(self.config.peers, |assignment| {
+            run(&[*protocol], assignment, &self.config, seed).throughput
+        })
     }
 
     fn run_encounter(
@@ -172,7 +173,9 @@ impl Domain for SwarmDomain {
     fn simulate_report(&self, index: usize, effort: Effort, churn: f64, seed: u64) -> String {
         let sim = self.sim(effort, churn);
         let p = SwarmProtocol::from_index(index);
-        let out = run(&[p], &vec![0; sim.config.peers], &sim.config, seed);
+        let out = dsa_core::sim::with_zero_assignment(sim.config.peers, |assignment| {
+            run(&[p], assignment, &sim.config, seed)
+        });
         let (fast, slow) = metrics::fast_slow_split(&out);
         format!(
             "protocol    : {p}\n\

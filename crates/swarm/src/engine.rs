@@ -102,11 +102,114 @@ struct PeerState {
     session: f64,
 }
 
+/// Reusable working memory for [`run_with_scratch`]: every buffer the
+/// round loop touches, allocated once and recycled across runs. After one
+/// warm run at a given population size, subsequent runs through the same
+/// scratch perform **zero** steady-state heap allocations per round (the
+/// `count-allocs` tests in `dsa-bench` enforce this).
+///
+/// A scratch carries no results between runs — [`run_with_scratch`]
+/// resizes and clears everything it reads — so reusing one (even "dirty"
+/// from a different protocol/population) is bit-identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct SwarmScratch {
+    /// Materialized `(peer, value)` candidate list — only used when the
+    /// ledger row can't be ranked in place (Tf2t merge, no-info fallback).
+    cand: Vec<(usize, f64)>,
+    /// Top-k selection buffer: `(ranking key, candidate index)`, kept in
+    /// ranked order.
+    sel: Vec<(f64, usize)>,
+    /// Shuffle buffer for the Random ranking.
+    order: Vec<usize>,
+    partners: Vec<(usize, f64)>,
+    strangers: Vec<usize>,
+    /// Sorted stranger-ineligible peers (me + window contacts + selected
+    /// fallback partners) — the complement defines the eligible set.
+    excl: Vec<usize>,
+    /// Per-round download tally, accumulated at record time (replaces
+    /// per-peer `received_total` row sums; same giver order, same bits).
+    download: Vec<f64>,
+    /// Last round's partner sets, flattened: peer `i`'s partners live in
+    /// `pp_data[i * n .. i * n + pp_len[i]]` (replaces `Vec<Vec<usize>>`).
+    pp_data: Vec<usize>,
+    pp_len: Vec<usize>,
+}
+
+impl SwarmScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes and clears the run-persistent buffers for an `n`-peer run.
+    /// Per-peer transient buffers are cleared at their use sites.
+    fn reset(&mut self, n: usize) {
+        self.download.clear();
+        self.download.resize(n, 0.0);
+        self.pp_data.clear();
+        self.pp_data.resize(n * n, 0);
+        self.pp_len.clear();
+        self.pp_len.resize(n, 0);
+    }
+}
+
+/// The ranking's strict total order on `(key, candidate index)` pairs:
+/// exactly `sampling::rank_cmp` with the key lookup hoisted out — same
+/// NaN handling (`unwrap_or(Equal)`), same index tie-break, so the same
+/// bits as ranking a materialized key vector.
+#[inline]
+fn key_cmp(a: (f64, usize), b: (f64, usize), ascending: bool) -> std::cmp::Ordering {
+    let ord = a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal);
+    let ord = if ascending { ord } else { ord.reverse() };
+    ord.then(a.1.cmp(&b.1))
+}
+
+/// `sampling::top_k_into` specialized to a streamed key sequence: `sel`
+/// ends as the first `k` entries of the stably-ranked candidate order,
+/// without materializing a key vector or gather-loading keys per
+/// comparison. Identical selection logic ⇒ identical prefix.
+#[inline]
+fn select_top_k(
+    sel: &mut Vec<(f64, usize)>,
+    k: usize,
+    ascending: bool,
+    keys: impl Iterator<Item = f64>,
+) {
+    sel.clear();
+    if k == 0 {
+        return;
+    }
+    for (idx, key) in keys.enumerate() {
+        let c = (key, idx);
+        if sel.len() == k {
+            // A candidate that doesn't beat the current k-th is never
+            // part of the prefix (ties can't displace earlier indices).
+            if key_cmp(c, sel[k - 1], ascending) != std::cmp::Ordering::Less {
+                continue;
+            }
+            sel.pop();
+        }
+        // Linear scan from the tail beats a binary search at k ≤ 9; the
+        // order is strict (index tie-break) so the position is unique.
+        let mut pos = sel.len();
+        while pos > 0 && key_cmp(sel[pos - 1], c, ascending) != std::cmp::Ordering::Less {
+            pos -= 1;
+        }
+        sel.insert(pos, c);
+    }
+}
+
 /// Runs the simulator.
 ///
 /// `assignment[i]` selects which of `protocols` peer slot `i` executes.
 /// Deterministic in `seed`. Traced as a `swarm.run` span with
 /// `swarm.{setup,rounds,payoff}` phase children when tracing is on.
+///
+/// Thin wrapper over [`run_with_scratch`] using a thread-local
+/// [`SwarmScratch`], so callers that loop over runs on one thread — sweep
+/// workers inside `parallel_map_indexed`, benchmark iterations, test
+/// suites — automatically reuse one arena per thread across all runs.
 ///
 /// # Panics
 ///
@@ -116,6 +219,37 @@ pub fn run(
     assignment: &[usize],
     config: &SimConfig,
     seed: u64,
+) -> RunOutcome {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<SwarmScratch> =
+            std::cell::RefCell::new(SwarmScratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => run_with_scratch(protocols, assignment, config, seed, &mut scratch),
+        // Re-entrant call on this thread: fall back to a fresh scratch
+        // rather than aliasing the one already borrowed.
+        Err(_) => run_with_scratch(
+            protocols,
+            assignment,
+            config,
+            seed,
+            &mut SwarmScratch::new(),
+        ),
+    })
+}
+
+/// [`run`] against a caller-owned [`SwarmScratch`]. Output is bit-identical
+/// to [`run`] regardless of the scratch's prior contents.
+///
+/// # Panics
+///
+/// Panics on an empty/too-small population or inconsistent assignment.
+pub fn run_with_scratch(
+    protocols: &[SwarmProtocol],
+    assignment: &[usize],
+    config: &SimConfig,
+    seed: u64,
+    scratch: &mut SwarmScratch,
 ) -> RunOutcome {
     let n = config.peers;
     assert!(n >= 2, "need at least two peers");
@@ -159,18 +293,28 @@ pub fn run(
     let mut next = Ledger::new(n);
     let mut loyalty = Loyalty::new(n);
     let mut total_download = vec![0.0f64; n];
-    // Last round's selected partner sets. When a peer learns nothing new
-    // (empty candidate list) it keeps these selections — BitTorrent does
-    // not drop unchokes in the absence of new information, and this is
-    // what lets a displaced Sort-Slowest peer re-enter within one round
-    // (§4.4's "peers rarely find themselves without a fully occupied
-    // partner set").
-    let mut prev_partners: Vec<Vec<usize>> = vec![Vec::new(); n];
 
-    // Reusable scratch buffers.
-    let mut candidates: Vec<usize> = Vec::with_capacity(n);
-    let mut values: Vec<f64> = Vec::with_capacity(n);
-    let mut selected = vec![false; n];
+    // `pp_*` holds last round's selected partner sets. When a peer learns
+    // nothing new (empty candidate list) it keeps these selections —
+    // BitTorrent does not drop unchokes in the absence of new
+    // information, and this is what lets a displaced Sort-Slowest peer
+    // re-enter within one round (§4.4's "peers rarely find themselves
+    // without a fully occupied partner set").
+    scratch.reset(n);
+    let SwarmScratch {
+        cand,
+        sel,
+        order,
+        partners,
+        strangers,
+        excl,
+        download,
+        pp_data,
+        pp_len,
+    } = scratch;
+    // The loyalty ledger is only consulted by the Loyal ranking; keeping
+    // it current otherwise is O(n²) per round of dead work.
+    let needs_loyalty = protocols.iter().any(|p| p.ranking == Ranking::Loyal);
     drop(setup_span);
 
     let rounds_span = dsa_obs::span("swarm.rounds");
@@ -183,69 +327,94 @@ pub fn run(
             let h = usize::from(proto.stranger_slots);
             let remembers_two = proto.candidates == CandidateList::Tf2t;
 
-            // 1. Candidate list: peers that contacted me within my window.
-            candidates.clear();
-            values.clear();
-            for j in 0..n {
-                if j == i {
-                    continue;
+            // 1. Candidate list: peers that contacted me within my
+            // window, as `(peer, value)` pairs in ascending peer order —
+            // the same order the dense j-scan produced. The common Tft
+            // case ranks the ledger row *in place*; Tf2t merges the two
+            // rounds' sorted rows (last round's amount winning on
+            // duplicates) and the no-information fallback rebuilds last
+            // round's selections, both into the `cand` scratch.
+            let cp: &[(usize, f64)] = if remembers_two {
+                cand.clear();
+                let ra = prev.row(i);
+                let rb = prev2.row(i);
+                let (mut x, mut y) = (0, 0);
+                while x < ra.len() && y < rb.len() {
+                    let (a, _) = ra[x];
+                    let (b, _) = rb[y];
+                    if a <= b {
+                        cand.push(ra[x]);
+                        x += 1;
+                        y += usize::from(a == b);
+                    } else {
+                        cand.push(rb[y]);
+                        y += 1;
+                    }
                 }
-                if prev.contacted(i, j) {
-                    candidates.push(j);
-                    values.push(prev.amount(i, j));
-                } else if remembers_two && prev2.contacted(i, j) {
-                    candidates.push(j);
-                    values.push(prev2.amount(i, j));
-                }
-            }
+                cand.extend_from_slice(&ra[x..]);
+                cand.extend_from_slice(&rb[y..]);
+                cand
+            } else {
+                prev.row(i)
+            };
+            // Window contacts are exactly the candidates so far; needed
+            // below to size the stranger-eligible set without a scan.
+            let contacts_len = cp.len();
             // No new information: keep last round's selections as
             // candidates (at their observed — possibly zero — rates).
-            if candidates.is_empty() && !prev_partners[i].is_empty() {
-                for &j in &prev_partners[i] {
-                    candidates.push(j);
-                    values.push(prev.amount(i, j));
+            let cp: &[(usize, f64)] = if contacts_len == 0 && pp_len[i] > 0 {
+                cand.clear();
+                for &j in &pp_data[i * n..i * n + pp_len[i]] {
+                    cand.push((j, prev.amount(i, j)));
                 }
-            }
-
-            // 2. Rank and select up to k partners.
-            let partner_count = k.min(candidates.len());
-            let order: Vec<usize> = if k == 0 || candidates.is_empty() {
-                Vec::new()
+                cand
             } else {
-                match proto.ranking {
-                    Ranking::Fastest => sampling::rank_indices(&values, false),
-                    Ranking::Slowest => sampling::rank_indices(&values, true),
-                    Ranking::Proximity => {
-                        let me = peers[i].quantum;
-                        let d: Vec<f64> = values.iter().map(|v| (v - me).abs()).collect();
-                        sampling::rank_indices(&d, true)
-                    }
-                    Ranking::Adaptive => {
-                        let asp = peers[i].aspiration;
-                        let d: Vec<f64> = values.iter().map(|v| (v - asp).abs()).collect();
-                        sampling::rank_indices(&d, true)
-                    }
-                    Ranking::Loyal => {
-                        let s: Vec<f64> = candidates
-                            .iter()
-                            .map(|&j| f64::from(loyalty.streak(i, j)))
-                            .collect();
-                        sampling::rank_indices(&s, false)
-                    }
-                    Ranking::Random => {
-                        let mut idx: Vec<usize> = (0..candidates.len()).collect();
-                        sampling::shuffle(&mut idx, &mut rng);
-                        idx
-                    }
-                }
+                cp
             };
 
-            selected.fill(false);
-            let mut partners: Vec<(usize, f64)> = Vec::with_capacity(partner_count);
-            for &ci in order.iter().take(partner_count) {
-                let j = candidates[ci];
-                selected[j] = true;
-                partners.push((j, values[ci]));
+            // 2. Rank and select up to k partners. Only the top
+            // `partner_count` entries are consumed, so the sorted rankings
+            // use the partial top-k selection (bit-identical prefix);
+            // Random keeps the full shuffle to preserve the RNG stream.
+            let partner_count = k.min(cp.len());
+            partners.clear();
+            if partner_count > 0 {
+                if proto.ranking == Ranking::Random {
+                    order.clear();
+                    order.extend(0..cp.len());
+                    sampling::shuffle(order, &mut rng);
+                    for &ci in order.iter().take(partner_count) {
+                        partners.push(cp[ci]);
+                    }
+                } else {
+                    match proto.ranking {
+                        Ranking::Fastest => {
+                            select_top_k(sel, partner_count, false, cp.iter().map(|p| p.1));
+                        }
+                        Ranking::Slowest => {
+                            select_top_k(sel, partner_count, true, cp.iter().map(|p| p.1));
+                        }
+                        Ranking::Proximity => {
+                            let me = peers[i].quantum;
+                            let keys = cp.iter().map(|p| (p.1 - me).abs());
+                            select_top_k(sel, partner_count, true, keys);
+                        }
+                        Ranking::Adaptive => {
+                            let asp = peers[i].aspiration;
+                            let keys = cp.iter().map(|p| (p.1 - asp).abs());
+                            select_top_k(sel, partner_count, true, keys);
+                        }
+                        Ranking::Loyal => {
+                            let streaks = loyalty.row(i);
+                            let keys = cp.iter().map(|p| f64::from(streaks[p.0]));
+                            select_top_k(sel, partner_count, false, keys);
+                        }
+                        Ranking::Random => unreachable!(),
+                    }
+                    for &(_, ci) in sel.iter() {
+                        partners.push(cp[ci]);
+                    }
+                }
             }
 
             // 3. Stranger contacts.
@@ -260,50 +429,112 @@ pub fn run(
                     }
                 }
             };
-            let strangers: Vec<usize> = if stranger_quota == 0 {
-                Vec::new()
-            } else {
-                // Eligible: not me, not selected, outside my memory window.
-                let eligible: Vec<usize> = (0..n)
-                    .filter(|&j| {
-                        j != i
-                            && !selected[j]
-                            && !prev.contacted(i, j)
-                            && (!remembers_two || !prev2.contacted(i, j))
-                    })
-                    .collect();
-                sampling::sample_indices(eligible.len(), stranger_quota, &mut rng)
-                    .into_iter()
-                    .map(|e| eligible[e])
-                    .collect()
-            };
+            strangers.clear();
+            if stranger_quota > 0 {
+                // Eligible: not me, not selected, outside my memory
+                // window. The set is never materialized: the exclusions
+                // are `i` plus the window contacts (which subsume the
+                // selected partners, except in the no-information
+                // fallback where the partners themselves are excluded) —
+                // a tiny sorted list whose complement is the ascending
+                // eligible order the materialized list used to index.
+                if contacts_len == 0 {
+                    excl.clear();
+                    excl.extend(partners.iter().map(|&(j, _)| j));
+                    excl.push(i);
+                    excl.sort_unstable();
+                    let eligible_len = n - excl.len();
+                    sampling::sample_indices_into(
+                        eligible_len,
+                        stranger_quota,
+                        &mut rng,
+                        strangers,
+                    );
+                    // Map eligible positions to peer ids: each exclusion
+                    // at or below the running id shifts it up by one.
+                    for slot in strangers.iter_mut() {
+                        let mut j = *slot;
+                        for &e in excl.iter() {
+                            if e <= j {
+                                j += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        *slot = j;
+                    }
+                } else {
+                    // Common case: the exclusions are exactly
+                    // `cp[..contacts_len]` (ascending by peer) with `i`
+                    // spliced in — walk that merge directly instead of
+                    // materializing it, shifting the sampled id up for
+                    // each exclusion at or below it and stopping at the
+                    // first one above (identical to the excl-list walk).
+                    let eligible_len = n - contacts_len - 1;
+                    sampling::sample_indices_into(
+                        eligible_len,
+                        stranger_quota,
+                        &mut rng,
+                        strangers,
+                    );
+                    for slot in strangers.iter_mut() {
+                        let mut j = *slot;
+                        let mut i_pending = true;
+                        for &(e, _) in &cp[..contacts_len] {
+                            if i_pending && i < e {
+                                i_pending = false;
+                                if i <= j {
+                                    j += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            if e <= j {
+                                j += 1;
+                            } else {
+                                i_pending = false;
+                                break;
+                            }
+                        }
+                        if i_pending && i <= j {
+                            j += 1;
+                        }
+                        *slot = j;
+                    }
+                }
+            }
 
             // 4. Allocation over per-slot quanta.
             let q = peers[i].quantum;
             match proto.allocation {
                 Allocation::EqualSplit => {
-                    for &(j, _) in &partners {
-                        next.record(j, i, q);
+                    for &(j, _) in partners.iter() {
+                        next.record_new(j, i, q);
+                        download[j] += q;
                     }
                 }
                 Allocation::PropShare => {
                     let budget = q * partners.len() as f64;
                     let total: f64 = partners.iter().map(|&(_, v)| v).sum();
                     if total > 0.0 {
-                        for &(j, v) in &partners {
-                            next.record(j, i, budget * v / total);
+                        for &(j, v) in partners.iter() {
+                            let amt = budget * v / total;
+                            next.record_new(j, i, amt);
+                            download[j] += amt;
                         }
                     } else {
                         // Nothing received last round ⇒ nothing proportional
                         // to give — the bootstrap failure the paper notes.
-                        for &(j, _) in &partners {
-                            next.record(j, i, 0.0);
+                        for &(j, _) in partners.iter() {
+                            next.record_new(j, i, 0.0);
+                            download[j] += 0.0;
                         }
                     }
                 }
                 Allocation::Freeride => {
-                    for &(j, _) in &partners {
-                        next.record(j, i, 0.0);
+                    for &(j, _) in partners.iter() {
+                        next.record_new(j, i, 0.0);
+                        download[j] += 0.0;
                     }
                 }
             }
@@ -311,17 +542,22 @@ pub fn run(
                 StrangerPolicy::Defect => 0.0,
                 StrangerPolicy::Periodic | StrangerPolicy::WhenNeeded => q,
             };
-            for &j in &strangers {
-                next.record(j, i, stranger_amount);
+            for &j in strangers.iter() {
+                next.record_new(j, i, stranger_amount);
+                download[j] += stranger_amount;
             }
 
-            prev_partners[i].clear();
-            prev_partners[i].extend(partners.iter().map(|&(j, _)| j));
+            pp_len[i] = partners.len();
+            for (slot, &(j, _)) in pp_data[i * n..].iter_mut().zip(partners.iter()) {
+                *slot = j;
+            }
         }
 
-        // Tally downloads, update adaptive state.
+        // Tally downloads, update adaptive state. `download[i]` was
+        // accumulated at record time in ascending-giver order — the same
+        // summation order (and bits) as `next.received_total(i)`.
         for i in 0..n {
-            let dl = next.received_total(i);
+            let dl = download[i];
             total_download[i] += dl;
             let p = &mut peers[i];
             if dl >= p.last_download {
@@ -332,7 +568,10 @@ pub fn run(
             p.aspiration = p.aspiration.clamp(1e-3, p.capacity * 2.0 + 1e-3);
             p.last_download = dl;
         }
-        loyalty.update(&next);
+        download.fill(0.0);
+        if needs_loyalty {
+            loyalty.update(&next);
+        }
 
         // Rotate ledgers: next becomes prev, prev becomes prev2.
         std::mem::swap(&mut prev2, &mut prev);
@@ -346,9 +585,20 @@ pub fn run(
                     prev.forget_peer(i);
                     prev2.forget_peer(i);
                     loyalty.forget_peer(i);
-                    prev_partners[i].clear();
-                    for partners in prev_partners.iter_mut() {
-                        partners.retain(|&j| j != i);
+                    pp_len[i] = 0;
+                    // Drop the departed peer from every partner set
+                    // (in-place compaction of the flat rows).
+                    for (p, len) in pp_len.iter_mut().enumerate() {
+                        let base = p * n;
+                        let mut kept = 0;
+                        for r in 0..*len {
+                            let j = pp_data[base + r];
+                            if j != i {
+                                pp_data[base + kept] = j;
+                                kept += 1;
+                            }
+                        }
+                        *len = kept;
                     }
                     let capacity = config.bandwidth.sample(&mut rng);
                     let proto = &protocols[assignment[i]];

@@ -7,6 +7,7 @@
 //! allocation-light and deterministic.
 
 use crate::rng::Xoshiro256pp;
+use std::cmp::Ordering;
 
 /// Fisher–Yates shuffle in place.
 pub fn shuffle<T>(items: &mut [T], rng: &mut Xoshiro256pp) {
@@ -19,32 +20,200 @@ pub fn shuffle<T>(items: &mut [T], rng: &mut Xoshiro256pp) {
 /// Draws `k` distinct indices uniformly from `0..n` (partial Fisher–Yates).
 ///
 /// Returns fewer than `k` indices if `k > n`. The result order is random.
+/// Allocating convenience wrapper around [`sample_indices_into`].
 pub fn sample_indices(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<usize> {
+    // Capacity matches what `sample_indices_into` needs on each branch,
+    // so the wrapper costs exactly one allocation (as the original did).
+    let mut out = Vec::with_capacity(if k.min(n) * 8 < n { k.min(n) } else { n });
+    sample_indices_into(n, k, rng, &mut out);
+    out
+}
+
+/// [`sample_indices`] writing into a caller-owned buffer (`out` is cleared
+/// first), so engine round loops can reuse one buffer across calls.
+///
+/// Consumes the RNG stream identically to [`sample_indices`] — same branch
+/// selection, same draw order — so the two are bit-interchangeable.
+pub fn sample_indices_into(n: usize, k: usize, rng: &mut Xoshiro256pp, out: &mut Vec<usize>) {
+    out.clear();
     let k = k.min(n);
     if k == 0 {
-        return Vec::new();
+        return;
+    }
+    // k = 1 degenerates to a single draw on *both* branches below: Floyd's
+    // sole iteration is `rng.index(n)` into an empty buffer (the shuffle of
+    // one element draws nothing), and the materialize branch's sole swap
+    // puts `rng.index(n)` at the front. Same draw, same result.
+    if k == 1 {
+        out.push(rng.index(n));
+        return;
     }
     // For small k relative to n, Floyd's algorithm avoids materializing 0..n.
     if k * 8 < n {
-        let mut chosen = Vec::with_capacity(k);
         for j in (n - k)..n {
             let t = rng.index(j + 1);
-            if chosen.contains(&t) {
-                chosen.push(j);
+            if out.contains(&t) {
+                out.push(j);
             } else {
-                chosen.push(t);
+                out.push(t);
             }
         }
-        shuffle(&mut chosen, rng);
-        chosen
+        shuffle(out, rng);
+    } else if k <= SMALL_K {
+        small_materialize(n, k, rng, out);
     } else {
-        let mut all: Vec<usize> = (0..n).collect();
+        out.reserve(n);
+        out.extend(0..n);
         for i in 0..k {
             let j = i + rng.index(n - i);
-            all.swap(i, j);
+            out.swap(i, j);
         }
-        all.truncate(k);
-        all
+        out.truncate(k);
+    }
+}
+
+/// Largest `k` the register-resident materialize path handles.
+const SMALL_K: usize = 4;
+
+/// The materialize branch of [`sample_indices_into`] for `k ≤ SMALL_K`,
+/// simulating the partial Fisher–Yates over the identity permutation in
+/// a stack-resident displacement map instead of a heap array. Each swap
+/// touches at most two positions, so at most `2k` entries ever deviate
+/// from identity — and position `i` is final right after swap `i` (later
+/// swaps only touch positions `> i`). Same draws, same output bits.
+#[inline]
+fn small_materialize(n: usize, k: usize, rng: &mut Xoshiro256pp, out: &mut Vec<usize>) {
+    debug_assert!((2..=SMALL_K).contains(&k) && k <= n);
+    // k = 2 and k = 3 (the engines' request/gossip fan-outs) unroll to
+    // closed-form collision checks — entirely register-resident, and the
+    // collision branches are almost-always-false for n ≫ k.
+    if k == 2 {
+        let j0 = rng.index(n);
+        let j1 = 1 + rng.index(n - 1);
+        out.push(j0);
+        out.push(if j1 == j0 { 0 } else { j1 });
+        return;
+    }
+    if k == 3 {
+        let j0 = rng.index(n);
+        let j1 = 1 + rng.index(n - 1);
+        let j2 = 2 + rng.index(n - 2);
+        // perm[1] before the second swap: displaced iff the first swap
+        // hit position 1.
+        let v1 = if j0 == 1 { 0 } else { 1 };
+        out.push(j0);
+        out.push(if j1 == j0 { 0 } else { j1 });
+        out.push(if j2 == j1 {
+            v1
+        } else if j2 == j0 {
+            0
+        } else {
+            j2
+        });
+        return;
+    }
+    let mut pos = [usize::MAX; 2 * SMALL_K];
+    let mut val = [0usize; 2 * SMALL_K];
+    let mut len = 0;
+    for i in 0..k {
+        let j = i + rng.index(n - i);
+        // vi = perm[i], vj = perm[j] under the displacement map.
+        let mut vi = i;
+        let mut vj = j;
+        let mut slot_j = usize::MAX;
+        for t in 0..len {
+            if pos[t] == i {
+                vi = val[t];
+            }
+            if pos[t] == j {
+                vj = val[t];
+                slot_j = t;
+            }
+        }
+        // perm.swap(i, j): position i is never read again, so only the
+        // j side needs recording (as identity when j == i).
+        if j != i {
+            if slot_j == usize::MAX {
+                pos[len] = j;
+                val[len] = vi;
+                len += 1;
+            } else {
+                val[slot_j] = vi;
+            }
+        }
+        out.push(vj);
+    }
+}
+
+/// Reusable state making [`sample_indices_into`] allocation-free *and*
+/// O(k) on its materialize branch: the identity permutation that branch
+/// rebuilds from scratch each call is kept alive across calls, the same
+/// partial Fisher–Yates swaps are applied to it, and then un-applied in
+/// reverse once the sample is copied out. Same RNG draw order, same
+/// output bits, no per-call `0..n` fill (except when `n` changes).
+#[derive(Debug, Default)]
+pub struct IndexSampler {
+    perm: Vec<usize>,
+    swaps: Vec<usize>,
+}
+
+impl IndexSampler {
+    /// Creates an empty sampler; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bit-identical to [`sample_indices_into`]: same branch selection,
+    /// same draws, same result — engine round loops that sample with a
+    /// stable `n` get O(k) calls with zero steady-state allocations.
+    pub fn sample_into(
+        &mut self,
+        n: usize,
+        k: usize,
+        rng: &mut Xoshiro256pp,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let k = k.min(n);
+        if k == 0 {
+            return;
+        }
+        if k == 1 {
+            out.push(rng.index(n));
+            return;
+        }
+        if k * 8 < n {
+            // Floyd branch: already O(k), delegate verbatim.
+            for j in (n - k)..n {
+                let t = rng.index(j + 1);
+                if out.contains(&t) {
+                    out.push(j);
+                } else {
+                    out.push(t);
+                }
+            }
+            shuffle(out, rng);
+        } else if k <= SMALL_K {
+            // Register-resident path needs no persistent permutation.
+            small_materialize(n, k, rng, out);
+        } else {
+            if self.perm.len() != n {
+                self.perm.clear();
+                self.perm.extend(0..n);
+            }
+            self.swaps.clear();
+            for i in 0..k {
+                let j = i + rng.index(n - i);
+                self.perm.swap(i, j);
+                self.swaps.push(j);
+            }
+            out.extend_from_slice(&self.perm[..k]);
+            // Undo the swaps in reverse: `perm` is the identity again.
+            for (i, &j) in self.swaps.iter().enumerate().rev() {
+                self.perm.swap(i, j);
+            }
+        }
     }
 }
 
@@ -91,15 +260,59 @@ pub fn weighted_choice(weights: &[f64], rng: &mut Xoshiro256pp) -> Option<usize>
 /// addresses or hash ordering, or runs stop being reproducible.
 #[must_use]
 pub fn rank_indices(values: &[f64], ascending: bool) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        let ord = values[a]
-            .partial_cmp(&values[b])
-            .unwrap_or(std::cmp::Ordering::Equal);
-        let ord = if ascending { ord } else { ord.reverse() };
-        ord.then(a.cmp(&b))
-    });
+    let mut idx = Vec::with_capacity(values.len());
+    rank_indices_into(values, ascending, &mut idx);
     idx
+}
+
+/// Rank comparator shared by [`rank_indices_into`] and [`top_k_into`]:
+/// value order (flipped when descending), ties broken by index. On finite
+/// values (the only thing the engines rank) this is a strict total order —
+/// `Equal` only when `a == b` — which is why an unstable sort and a
+/// partial top-k selection both reproduce the stable full sort bit-for-bit.
+#[inline]
+fn rank_cmp(values: &[f64], ascending: bool, a: usize, b: usize) -> Ordering {
+    let ord = values[a].partial_cmp(&values[b]).unwrap_or(Ordering::Equal);
+    let ord = if ascending { ord } else { ord.reverse() };
+    ord.then(a.cmp(&b))
+}
+
+/// [`rank_indices`] writing into a caller-owned buffer (`out` is cleared
+/// first). Uses an unstable sort — no merge-buffer allocation — which is
+/// output-identical to the stable sort because the comparator is a strict
+/// total order (index tie-break).
+pub fn rank_indices_into(values: &[f64], ascending: bool, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..values.len());
+    out.sort_unstable_by(|&a, &b| rank_cmp(values, ascending, a, b));
+}
+
+/// Writes the first `min(k, values.len())` entries of the full
+/// [`rank_indices`] ordering into `out` (cleared first), without sorting
+/// the rest. Engines that only consume `order.iter().take(k)` use this to
+/// replace an O(n log n) full sort with an O(n·k) insertion selection.
+///
+/// Candidates are scanned in increasing index order and ties never
+/// displace an earlier (lower-index) entry, so the result is bit-identical
+/// to the full-sort prefix under the shared tie-break.
+pub fn top_k_into(values: &[f64], ascending: bool, k: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let k = k.min(values.len());
+    if k == 0 {
+        return;
+    }
+    out.reserve(k);
+    for c in 0..values.len() {
+        if out.len() == k {
+            // Fast path: not better than the current worst — skip.
+            if rank_cmp(values, ascending, c, out[k - 1]) != Ordering::Less {
+                continue;
+            }
+            out.pop();
+        }
+        let pos = out.partition_point(|&e| rank_cmp(values, ascending, e, c) == Ordering::Less);
+        out.insert(pos, c);
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +363,15 @@ mod tests {
     #[test]
     fn sample_indices_distinct_and_in_range() {
         let mut r = rng();
-        for (n, k) in [(50, 3), (50, 50), (10, 0), (1000, 5), (4, 10)] {
+        for (n, k) in [
+            (50, 3),
+            (50, 50),
+            (10, 0),
+            (1000, 5),
+            (4, 10),
+            (9, 1),
+            (1000, 1),
+        ] {
             let s = sample_indices(n, k, &mut r);
             assert_eq!(s.len(), k.min(n));
             let set: HashSet<usize> = s.iter().copied().collect();
@@ -229,5 +450,113 @@ mod tests {
         assert_eq!(idx.len(), 3);
         let set: HashSet<usize> = idx.into_iter().collect();
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn sample_indices_into_matches_wrapper_on_both_branches() {
+        // Same seed, same draws: the buffer variant must replicate the
+        // allocating variant bit-for-bit on the Floyd branch (k*8 < n)
+        // and the materialize branch.
+        for (n, k) in [(1000, 3), (50, 3), (50, 30), (10, 10), (7, 0), (4, 9)] {
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let a = sample_indices(n, k, &mut r1);
+            let mut b = vec![99; 64]; // dirty buffer
+            sample_indices_into(n, k, &mut r2, &mut b);
+            assert_eq!(a, b, "n={n} k={k}");
+            assert_eq!(r1.next_u64(), r2.next_u64(), "stream diverged n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn index_sampler_matches_sample_indices_across_calls() {
+        // One sampler reused across branch switches, n switches and
+        // repeated calls must replicate the plain function bit-for-bit
+        // (the permutation un-swap has to actually restore the identity).
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut sampler = IndexSampler::new();
+        let mut out = Vec::new();
+        for (n, k) in [
+            (23, 3),
+            (24, 3),
+            (23, 3),
+            (1000, 3),
+            (23, 23),
+            (24, 1),
+            (5, 0),
+            (24, 3),
+        ] {
+            let expect = sample_indices(n, k, &mut r1);
+            sampler.sample_into(n, k, &mut r2, &mut out);
+            assert_eq!(out, expect, "n={n} k={k}");
+            assert_eq!(r1.next_u64(), r2.next_u64(), "stream diverged n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn small_materialize_matches_reference_partial_fisher_yates() {
+        // Every (n, k) here takes the materialize branch (k*8 >= n,
+        // k >= 2); the register-resident small-k path must reproduce the
+        // heap-permutation algorithm it replaced, draw for draw.
+        for &(n, k) in &[
+            (24usize, 3usize),
+            (23, 3),
+            (8, 2),
+            (2, 2),
+            (3, 3),
+            (4, 3),
+            (10, 4),
+            (4, 4),
+            (24, 4),
+        ] {
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + r1.index(n - i);
+                perm.swap(i, j);
+            }
+            perm.truncate(k);
+            let mut out = Vec::new();
+            sample_indices_into(n, k, &mut r2, &mut out);
+            assert_eq!(out, perm, "n={n} k={k}");
+            assert_eq!(r1.next_u64(), r2.next_u64(), "stream diverged n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn rank_indices_into_matches_wrapper() {
+        let vals = [3.0, 1.0, 3.0, 2.0, -1.0, 3.0];
+        for asc in [true, false] {
+            let mut out = vec![7usize; 2]; // dirty buffer
+            rank_indices_into(&vals, asc, &mut out);
+            assert_eq!(out, rank_indices(&vals, asc));
+        }
+    }
+
+    #[test]
+    fn top_k_prefix_equals_full_sort_prefix() {
+        // Random-ish values with deliberate ties; every k must reproduce
+        // the full ranking's prefix exactly, including tie order.
+        let mut r = rng();
+        let vals: Vec<f64> = (0..40).map(|_| f64::from(r.index(8) as u32)).collect();
+        for asc in [true, false] {
+            let full = rank_indices(&vals, asc);
+            for k in [0, 1, 2, 5, 39, 40, 41] {
+                let mut out = vec![3usize; 3]; // dirty buffer
+                top_k_into(&vals, asc, k, &mut out);
+                assert_eq!(out, full[..k.min(vals.len())], "asc={asc} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_into_trivial_inputs() {
+        let mut out = vec![1usize; 4];
+        top_k_into(&[], true, 3, &mut out);
+        assert!(out.is_empty());
+        top_k_into(&[5.0], false, 0, &mut out);
+        assert!(out.is_empty());
     }
 }
