@@ -25,11 +25,23 @@
 //! dsa bt <kind-a> [kind-b] [--frac F] [--runs N]   (piece-level BitTorrent, swarm-only)
 //! dsa obs report [file] [--out DIR]      render an exported obs-*.csv (default: newest)
 //! dsa obs list [--out DIR]               list the exported observability snapshots
+//! dsa obs runs [--out DIR] [--last N]    list the run journal (results/journal.jsonl)
+//! dsa obs trace [--out FILE] [--domain D] [--scale S] [--seed N] [--threads N]
+//!                                        run a traced PRA workload and export it as
+//!                                        Chrome Trace Event JSON (Perfetto-loadable)
+//! dsa obs diff <run-a> <run-b> [--out DIR] [--threshold PCT]
+//!                                        per-span/per-metric deltas between two journal
+//!                                        records (run ids, or -1/-2/... from the end)
+//! dsa obs regress [--out DIR] [--journal FILE] [--threshold PCT] [--window N]
+//!                 [--floor NS] [--baselines FILE]
+//!                                        perf gate: latest journal entry vs its rolling
+//!                                        window + bench ceilings; exits non-zero on fail
 //! ```
 //!
 //! The global `--metrics` switch turns the [`dsa_obs`] registries on for
 //! any command and `--trace` additionally records spans; both print an
-//! observability epilogue after the command's own output.
+//! observability epilogue after the command's own output **and append a
+//! provenance record to `<out>/journal.jsonl`** (see `dsa obs runs`).
 //!
 //! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (288).
 //! A bare command (`dsa protocols ...`) defaults to the swarm domain.
@@ -72,7 +84,13 @@ const DOMAIN_COMMANDS: [&str; 9] = [
 fn main() -> ExitCode {
     dsa_bench::register_domains();
     dsa_attacks::register_builtin();
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Sample the clock once at startup; everything downstream (CSV
+    // stamps, journal records) receives this value instead of reading
+    // the clock itself.
+    let ts_ms = unix_ms();
+    let t0 = std::time::Instant::now();
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = raw_args.clone();
     // `--trace`/`--metrics` are global switches: strip them before any
     // command-level flag validation sees them.
     let trace = args.iter().any(|a| a == "--trace");
@@ -109,6 +127,15 @@ fn main() -> ExitCode {
         if !snap.is_empty() {
             println!("==== observability ====");
             print!("{}", snap.render());
+            // Append the run's provenance record to the journal.
+            let wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let meta = run_meta_from_args(&raw_args, "dsa", ts_ms);
+            let out_dir = journal_dir(&raw_args);
+            let record = dsa_obs::JournalRecord::from_snapshot(meta, wall_ms, &snap);
+            match dsa_obs::journal::append(&out_dir, &record, dsa_obs::journal::DEFAULT_MAX_BYTES) {
+                Ok(path) => println!("journaled {} to {}", record.meta.run_id, path.display()),
+                Err(msg) => eprintln!("journal append failed: {msg}"),
+            }
         }
     }
     match result {
@@ -117,6 +144,61 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Unix milliseconds — sampled exactly once, in `main`.
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// The value following `--flag` in a raw argument list, if any.
+fn arg_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Where this invocation's journal lives: the `--out` directory when one
+/// was given, else `results`.
+fn journal_dir(args: &[String]) -> std::path::PathBuf {
+    std::path::PathBuf::from(arg_value(args, "--out").unwrap_or("results"))
+}
+
+/// Builds the journal metadata for this invocation out of the raw
+/// argument list: best-effort extraction of the workload coordinates
+/// (domain, scale/effort, seed, threads) without re-running any
+/// command-specific parser.
+fn run_meta_from_args(args: &[String], binary: &str, ts_ms: u64) -> dsa_obs::RunMeta {
+    let domain = args
+        .first()
+        .filter(|name| dsa_core::domain::lookup(name).is_some())
+        .cloned();
+    let scale = arg_value(args, "--scale")
+        .or_else(|| arg_value(args, "--effort"))
+        .map(str::to_string);
+    let seed = arg_value(args, "--seed").and_then(|v| v.parse().ok());
+    let requested = arg_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let command: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--metrics" && *a != "--trace")
+        .collect();
+    dsa_obs::RunMeta {
+        run_id: format!("{binary}-{ts_ms}-{}", std::process::id()),
+        binary: binary.to_string(),
+        command: format!("{binary} {}", command.join(" ")),
+        timestamp_ms: ts_ms,
+        scale,
+        domain,
+        seed,
+        threads: dsa_core::parallel::effective_threads(requested, usize::MAX),
     }
 }
 
@@ -130,7 +212,7 @@ fn help() -> String {
         "dsa — Design Space Analysis toolkit\n\
          usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|attribute|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
-         \u{20}      dsa obs {{report [file]|list}} [--out DIR]\n\
+         \u{20}      dsa obs {{report [file]|list|runs|trace|diff <a> <b>|regress}} [--out DIR]\n\
          domains: {}\n\
          attacks: {} (dsa <domain> attack {{list|run}})\n\
          (bare commands default to the swarm domain; global --metrics/--trace\n\
@@ -883,10 +965,14 @@ fn cmd_obs(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("report") => cmd_obs_report(&args[1..]),
         Some("list") => cmd_obs_list(&args[1..]),
+        Some("runs") => cmd_obs_runs(&args[1..]),
+        Some("trace") => cmd_obs_trace(&args[1..]),
+        Some("diff") => cmd_obs_diff(&args[1..]),
+        Some("regress") => cmd_obs_regress(&args[1..]),
         Some(other) => Err(format!(
-            "unknown obs command '{other}' (expected: report, list)"
+            "unknown obs command '{other}' (expected: report, list, runs, trace, diff, regress)"
         )),
-        None => Err("obs needs a subcommand: report, list".into()),
+        None => Err("obs needs a subcommand: report, list, runs, trace, diff, regress".into()),
     }
 }
 
@@ -929,8 +1015,9 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
                 )
             })?,
     };
-    let (run, snap) = dsa_obs::read_csv(&path)?;
-    println!("observability snapshot '{run}' ({})", path.display());
+    let (meta, snap) = dsa_obs::read_csv(&path)?;
+    println!("observability snapshot ({})", path.display());
+    print!("{}", meta.render());
     print!("{}", snap.render());
     Ok(())
 }
@@ -949,9 +1036,18 @@ fn cmd_obs_list(args: &[String]) -> Result<(), String> {
     }
     for path in files {
         match dsa_obs::read_csv(&path) {
-            Ok((run, snap)) => println!(
-                "{:<40} run={run} ({} counters, {} gauges, {} hists, {} spans)",
+            Ok((meta, snap)) => println!(
+                "{:<40} run={}{}{} ({} counters, {} gauges, {} hists, {} spans)",
                 path.display(),
+                meta.run,
+                meta.scale
+                    .as_deref()
+                    .map_or_else(String::new, |s| format!(" scale={s}")),
+                if meta.threads > 0 {
+                    format!(" threads={}", meta.threads)
+                } else {
+                    String::new()
+                },
                 snap.counters.len(),
                 snap.gauges.len(),
                 snap.hists.len(),
@@ -961,6 +1057,214 @@ fn cmd_obs_list(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+// ---- the run journal (dsa obs runs/trace/diff/regress) ---------------------
+
+/// Reads the journal under `--out` (default `results`), reporting any
+/// skipped (corrupt) lines on stderr.
+fn read_journal(out: &str) -> Result<Vec<dsa_obs::JournalRecord>, String> {
+    let (records, skipped) = dsa_obs::journal::read_all(std::path::Path::new(out))?;
+    if skipped > 0 {
+        eprintln!("(skipped {skipped} unparseable journal line(s))");
+    }
+    Ok(records)
+}
+
+fn cmd_obs_runs(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("obs runs takes no positional argument '{stray}'"));
+    }
+    check_flags(&flags, &["out", "last"])?;
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let last = flag(&flags, "last", 10usize)?.max(1);
+    let records = read_journal(&out)?;
+    if records.is_empty() {
+        println!(
+            "no journal records under {out} (runs with --metrics/--trace and \
+             'experiments profile' append to {}/{})",
+            out,
+            dsa_obs::journal::JOURNAL_FILE
+        );
+        return Ok(());
+    }
+    let shown = records.len().min(last);
+    for r in &records[records.len() - shown..] {
+        println!("{}", r.summary_line());
+    }
+    println!("({shown} of {} journal record(s))", records.len());
+    Ok(())
+}
+
+fn cmd_obs_trace(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("obs trace takes no positional argument '{stray}'"));
+    }
+    check_flags(&flags, &["out", "domain", "scale", "seed", "threads"])?;
+    let out: String = flag(&flags, "out", "trace.json".to_string())?;
+    let domain_name: String = flag(&flags, "domain", "swarm".to_string())?;
+    let domain = dsa_core::domain::lookup(&domain_name)
+        .ok_or_else(|| format!("unknown domain '{domain_name}'"))?;
+    let scale_name: String = flag(&flags, "scale", "smoke".to_string())?;
+    let mut scale = dsa_bench::scale::Scale::by_name(&scale_name)
+        .ok_or_else(|| format!("unknown --scale '{scale_name}' (smoke|lab|paper)"))?;
+    scale.pra.seed = flag(&flags, "seed", scale.pra.seed)?;
+    scale.pra.threads = flag(&flags, "threads", scale.pra.threads)?;
+    // The exporter needs raw begin/end events, which only event-capture
+    // mode records; run a fresh traced PRA workload over the domain's
+    // presets (cache is bypassed — a trace of a cache hit has no tree).
+    dsa_obs::enable_events();
+    dsa_obs::reset();
+    let mut indices: Vec<usize> = domain.presets().iter().map(|(_, i)| *i).collect();
+    indices.dedup();
+    if indices.len() < 2 {
+        indices = (0..domain.size().min(6)).collect();
+    }
+    {
+        let _workload = dsa_obs::span_owned(format!("trace.{}", domain.name()));
+        let _ = domain.quantify(&indices, scale.effort(), &scale.pra);
+    }
+    let events = dsa_obs::take_events();
+    let doc = dsa_obs::trace::chrome_trace(
+        &events,
+        &format!("dsa {} pra ({})", domain.name(), scale_name),
+    );
+    // Self-check before writing: the exported document must satisfy the
+    // Trace Event Format invariants we promise.
+    let stats =
+        dsa_obs::trace::validate(&doc).map_err(|e| format!("exported trace invalid: {e}"))?;
+    std::fs::write(&out, &doc).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} span(s) across {} track(s) from {} events \
+         (open in https://ui.perfetto.dev or chrome://tracing)",
+        stats.spans,
+        stats.tracks,
+        events.len()
+    );
+    Ok(())
+}
+
+/// Resolves a journal-record token: `-1` is the newest record, `-2` the
+/// one before, ...; anything else matches a run id exactly, then as a
+/// unique prefix.
+fn resolve_record<'a>(
+    records: &'a [dsa_obs::JournalRecord],
+    token: &str,
+) -> Result<&'a dsa_obs::JournalRecord, String> {
+    if let Ok(n) = token.parse::<i64>() {
+        if n < 0 {
+            let back = usize::try_from(-n).unwrap_or(usize::MAX);
+            return records
+                .len()
+                .checked_sub(back)
+                .and_then(|i| records.get(i))
+                .ok_or_else(|| {
+                    format!(
+                        "{token} is out of range ({} journal record(s))",
+                        records.len()
+                    )
+                });
+        }
+    }
+    if let Some(r) = records.iter().rev().find(|r| r.meta.run_id == token) {
+        return Ok(r);
+    }
+    let matches: Vec<&dsa_obs::JournalRecord> = records
+        .iter()
+        .filter(|r| r.meta.run_id.starts_with(token))
+        .collect();
+    match matches.as_slice() {
+        [] => Err(format!(
+            "no journal record matches '{token}' (see 'dsa obs runs')"
+        )),
+        [r] => Ok(r),
+        many => Err(format!(
+            "'{token}' is ambiguous: {} records match (e.g. {})",
+            many.len(),
+            many[0].meta.run_id
+        )),
+    }
+}
+
+fn cmd_obs_diff(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["out", "threshold"])?;
+    let [a, b] = pos.as_slice() else {
+        return Err("obs diff needs two runs (run ids, or -1/-2/... from the end)".into());
+    };
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let threshold = flag(&flags, "threshold", 25.0f64)?;
+    let records = read_journal(&out)?;
+    if records.is_empty() {
+        return Err(format!("no journal records under {out}"));
+    }
+    let ra = resolve_record(&records, a)?;
+    let rb = resolve_record(&records, b)?;
+    print!("{}", dsa_obs::diff::render(ra, rb, threshold));
+    Ok(())
+}
+
+fn cmd_obs_regress(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!(
+            "obs regress takes no positional argument '{stray}'"
+        ));
+    }
+    check_flags(
+        &flags,
+        &[
+            "out",
+            "journal",
+            "threshold",
+            "window",
+            "floor",
+            "baselines",
+        ],
+    )?;
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let cfg = dsa_obs::regress::RegressConfig {
+        threshold_pct: flag(&flags, "threshold", 50.0f64)?,
+        window: flag(&flags, "window", 5usize)?.max(1),
+        min_self_ns: flag(&flags, "floor", 1_000_000u64)?,
+        ..dsa_obs::regress::RegressConfig::default()
+    };
+    let records = if let Some((_, path)) = flags.iter().find(|(n, _)| n == "journal") {
+        let path = std::path::Path::new(path);
+        if !path.exists() {
+            return Err(format!("journal file {} does not exist", path.display()));
+        }
+        let (records, skipped) = dsa_obs::journal::read_file(path)?;
+        if skipped > 0 {
+            eprintln!("(skipped {skipped} unparseable journal line(s))");
+        }
+        records
+    } else {
+        read_journal(&out)?
+    };
+    let baselines_path: String = flag(&flags, "baselines", "BENCH_engines.json".to_string())?;
+    let baselines = match std::fs::read_to_string(&baselines_path) {
+        Ok(text) => {
+            dsa_obs::regress::load_baselines(&text).map_err(|e| format!("{baselines_path}: {e}"))?
+        }
+        Err(_) => {
+            eprintln!("(no bench baselines at {baselines_path}: ceiling check skipped)");
+            std::collections::BTreeMap::new()
+        }
+    };
+    let report = dsa_obs::regress::check(&records, &baselines, &cfg);
+    print!("{}", dsa_obs::regress::render(&report, &cfg));
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf gate failed: {} regression(s) beyond +{}%",
+            report.regressions.len(),
+            cfg.threshold_pct
+        ))
+    }
 }
 
 // ---- the piece-level BitTorrent experiment (swarm-domain extra) -----------

@@ -199,6 +199,14 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() -> ExitCode {
+    // Sample the clock once at startup; CSV stamps and journal records
+    // receive this value instead of reading the clock themselves.
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let t0 = std::time::Instant::now();
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -282,7 +290,7 @@ fn main() -> ExitCode {
             "attacks" => attackfig::attacks(&opts.scale, &opts.out, opts.budgets.as_deref()),
             "evolution" => evofig::evolution(&opts.scale, &opts.out, &opts.mutants),
             "attribution" => attribfig::attribution(&opts.scale, &opts.out, &opts.responses),
-            "profile" => profilefig::profile(&opts.scale, &opts.out),
+            "profile" => profilefig::profile(&opts.scale, &opts.out, ts_ms),
             "search" => Ok(render_search(&opts.scale)),
             other => Err(format!("unknown experiment id '{other}'")),
         };
@@ -299,10 +307,42 @@ fn main() -> ExitCode {
         if !snap.is_empty() {
             println!("==== observability ====");
             print!("{}", snap.render());
-            let run = format!("experiments-{}", opts.scale.name);
-            match dsa_obs::write_csv(&opts.out, &run, &snap) {
+            let threads = dsa_core::parallel::effective_threads(opts.scale.pra.threads, usize::MAX);
+            let export = dsa_obs::ExportMeta {
+                run: format!("experiments-{}", opts.scale.name),
+                bin: "experiments".to_string(),
+                scale: Some(opts.scale.name.to_string()),
+                threads,
+                ts_ms,
+            };
+            match dsa_obs::write_csv(&opts.out, &export, &snap) {
                 Ok(path) => println!("wrote {}", path.display()),
                 Err(msg) => eprintln!("obs export failed: {msg}"),
+            }
+            // Journal the run's provenance. (The `profile` id journals its
+            // own per-section record under the command `experiments
+            // profile`; this epilogue record carries the full flag list,
+            // so the two cohorts never mix in diff/regress windows.)
+            let meta = dsa_obs::RunMeta {
+                run_id: format!(
+                    "experiments-{}-{ts_ms}-{}",
+                    opts.scale.name,
+                    std::process::id()
+                ),
+                binary: "experiments".to_string(),
+                command: format!("experiments {}", raw_args.join(" ")),
+                timestamp_ms: ts_ms,
+                scale: Some(opts.scale.name.to_string()),
+                domain: None,
+                seed: Some(opts.scale.pra.seed),
+                threads,
+            };
+            let wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let record = dsa_obs::JournalRecord::from_snapshot(meta, wall_ms, &snap);
+            match dsa_obs::journal::append(&opts.out, &record, dsa_obs::journal::DEFAULT_MAX_BYTES)
+            {
+                Ok(path) => println!("journaled {} to {}", record.meta.run_id, path.display()),
+                Err(msg) => eprintln!("journal append failed: {msg}"),
             }
         }
     }

@@ -6,8 +6,10 @@
 //! ASCII time-attribution figure: one bar per span, sized by *self* time
 //! (time inside the span but outside its children), with a coverage line
 //! stating how much of the measured wall-clock the named spans explain.
-//! The numbers land in `results/profile-<scale>.csv` and the raw merged
-//! registries in `results/obs-profile-<scale>.csv`.
+//! The numbers land in `results/profile-<scale>.csv`, the raw merged
+//! registries in `results/obs-profile-<scale>.csv`, and every run
+//! appends one provenance record to `results/journal.jsonl` under the
+//! `experiments profile` command cohort.
 //!
 //! The cache is probed (via [`DomainSweep::load`]) before each fresh
 //! quantification, so the `cache.hit`/`cache.miss.*` counters in the
@@ -88,7 +90,8 @@ fn merge_snapshots(sections: &[Section]) -> Snapshot {
 }
 
 /// Renders one section's time-attribution block: bars of per-span self
-/// time (milliseconds) plus the coverage line.
+/// time (milliseconds), the coverage line, and per-span invocation
+/// quantiles (p50/p95/p99 over the span's duration histogram).
 fn render_section(s: &Section) -> String {
     let mut entries: Vec<(String, f64, Option<f64>)> = s
         .snap
@@ -111,20 +114,47 @@ fn render_section(s: &Section) -> String {
         s.snap.spans.len()
     );
     out.push_str(&ascii::bars(&entries, 44));
+    let _ = writeln!(
+        out,
+        "  {:<30} {:>8} {:>9} {:>9} {:>9}",
+        "span (per invocation)", "count", "p50", "p95", "p99"
+    );
+    let mut by_total: Vec<_> = s.snap.spans.iter().collect();
+    by_total.sort_by_key(|(_, st)| std::cmp::Reverse(st.dur.sum));
+    for (name, st) in by_total {
+        let (p50, p95, p99) = st.dur.percentiles();
+        let _ = writeln!(
+            out,
+            "  {:<30} {:>8} {:>9} {:>9} {:>9}",
+            name,
+            st.dur.count,
+            dsa_obs::fmt_ns(p50),
+            dsa_obs::fmt_ns(p95),
+            dsa_obs::fmt_ns(p99)
+        );
+    }
     out
 }
 
 /// The `profile` experiment: per-engine phase attribution at a scale.
 ///
+/// `ts_ms` is the run's Unix timestamp in milliseconds, sampled once by
+/// the caller (library code never reads the clock for metadata) — it
+/// stamps the obs CSV export and the appended journal record.
+///
 /// # Errors
 ///
 /// Returns an error when a sweep cache is corrupt or a result file
 /// cannot be written.
-pub fn profile(scale: &Scale, out_dir: &Path) -> Result<String, String> {
+pub fn profile(scale: &Scale, out_dir: &Path, ts_ms: u64) -> Result<String, String> {
     let was_trace = dsa_obs::trace_enabled();
     let was_metrics = dsa_obs::metrics_enabled();
     let domains = crate::register_domains();
     let mut sections = Vec::new();
+    // Cache-touch provenance for the journal record: the per-section
+    // `dsa_obs::reset()` in `profiled` clears the global cache-event log,
+    // so probe- and store-phase events are captured here as they happen.
+    let mut cache_log: Vec<(String, String)> = Vec::new();
 
     for domain in &domains {
         // Probe the cache first: hit/miss counters record cold-vs-warm
@@ -134,6 +164,7 @@ pub fn profile(scale: &Scale, out_dir: &Path) -> Result<String, String> {
         dsa_obs::enable_metrics();
         let cached = DomainSweep::load(&key, out_dir)?;
         let probe_counters = dsa_obs::snapshot().counters;
+        cache_log.extend(dsa_obs::journal::cache_events());
         let (results, wall_ns, mut snap) =
             profiled(|| domain.quantify_all(scale.effort(), &scale.pra));
         if cached.is_none() {
@@ -149,6 +180,7 @@ pub fn profile(scale: &Scale, out_dir: &Path) -> Result<String, String> {
         // snapshot; re-read the counters so the section holds the
         // quantification's events plus the store, then fold the probe in.
         snap.counters = dsa_obs::snapshot().counters;
+        cache_log.extend(dsa_obs::journal::cache_events());
         for (name, c) in probe_counters {
             *snap.counters.entry(name).or_insert(0) += c;
         }
@@ -210,16 +242,46 @@ pub fn profile(scale: &Scale, out_dir: &Path) -> Result<String, String> {
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     let csv_path = out_dir.join(format!("profile-{}.csv", scale.name));
     std::fs::write(&csv_path, csv).map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
-    let obs_path = dsa_obs::write_csv(
-        out_dir,
-        &format!("profile-{}", scale.name),
-        &merge_snapshots(&sections),
-    )?;
+    let merged = merge_snapshots(&sections);
+    let threads = dsa_core::parallel::effective_threads(scale.pra.threads, usize::MAX);
+    let export = dsa_obs::ExportMeta {
+        run: format!("profile-{}", scale.name),
+        bin: "experiments".to_string(),
+        scale: Some(scale.name.to_string()),
+        threads,
+        ts_ms,
+    };
+    let obs_path = dsa_obs::write_csv(out_dir, &export, &merged)?;
     let _ = writeln!(
         out,
         "wrote {} and {}",
         csv_path.display(),
         obs_path.display()
+    );
+
+    // Journal the run: one record per profile invocation, under its own
+    // command cohort ("experiments profile") so diffing and regression
+    // windows compare profile runs only against other profile runs.
+    let wall_ms = sections.iter().map(|s| s.wall_ns).sum::<u64>() / 1_000_000;
+    let meta = dsa_obs::RunMeta {
+        run_id: format!("profile-{}-{ts_ms}-{}", scale.name, std::process::id()),
+        binary: "experiments".to_string(),
+        command: "experiments profile".to_string(),
+        timestamp_ms: ts_ms,
+        scale: Some(scale.name.to_string()),
+        domain: None,
+        seed: Some(scale.pra.seed),
+        threads,
+    };
+    let mut record = dsa_obs::JournalRecord::from_snapshot(meta, wall_ms, &merged);
+    record.cache = cache_log;
+    let journal_path =
+        dsa_obs::journal::append(out_dir, &record, dsa_obs::journal::DEFAULT_MAX_BYTES)?;
+    let _ = writeln!(
+        out,
+        "journaled {} to {}",
+        record.meta.run_id,
+        journal_path.display()
     );
 
     let worst = sections
@@ -258,10 +320,15 @@ mod tests {
         scale.sim.rounds = 10;
         scale.sim.peers = 12;
         scale.pra.sampling = dsa_core::tournament::OpponentSampling::Sampled(1);
-        let report = profile(&scale, &dir).expect("profile runs");
+        let report = profile(&scale, &dir, 1_754_600_000_000).expect("profile runs");
         assert!(report.contains("minimum span coverage"));
         assert!(dir.join("profile-smoke.csv").exists());
         assert!(dir.join("obs-profile-smoke.csv").exists());
+        // The run journals itself and prints per-span quantile columns.
+        assert!(dir.join(dsa_obs::journal::JOURNAL_FILE).exists());
+        assert!(report.contains("journaled profile-smoke-"));
+        assert!(report.contains("span (per invocation)"));
+        assert!(report.contains("p95"));
         // The per-engine phase spans must appear in the rendered bars.
         for span in [
             "swarm.rounds",
@@ -295,16 +362,29 @@ mod tests {
         scale.sim.rounds = 10;
         scale.sim.peers = 12;
         scale.pra.sampling = dsa_core::tournament::OpponentSampling::Sampled(1);
-        profile(&scale, &dir).expect("cold run");
-        let (_, cold) = dsa_obs::read_csv(&dir.join("obs-profile-smoke.csv")).unwrap();
+        profile(&scale, &dir, 1_754_600_000_000).expect("cold run");
+        let (meta, cold) = dsa_obs::read_csv(&dir.join("obs-profile-smoke.csv")).unwrap();
+        assert_eq!(meta.run, "profile-smoke");
+        assert_eq!(meta.scale.as_deref(), Some("smoke"));
+        assert_eq!(meta.ts_ms, 1_754_600_000_000);
         assert_eq!(cold.counters.get("cache.miss.absent"), Some(&3));
         assert_eq!(cold.counters.get("cache.store"), Some(&3));
         assert!(!cold.counters.contains_key("cache.hit"));
-        profile(&scale, &dir).expect("warm run");
+        profile(&scale, &dir, 1_754_600_000_001).expect("warm run");
         let (_, warm) = dsa_obs::read_csv(&dir.join("obs-profile-smoke.csv")).unwrap();
         assert_eq!(warm.counters.get("cache.hit"), Some(&3));
         assert!(!warm.counters.contains_key("cache.miss.absent"));
         assert!(!warm.counters.contains_key("cache.store"));
+        // Two runs under the same cohort → two journal records, with
+        // cache-touch provenance flipping store → hit between them.
+        let (records, skipped) = dsa_obs::journal::read_all(&dir).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 2);
+        assert!(records
+            .iter()
+            .all(|r| r.meta.command == "experiments profile"));
+        assert!(records[0].cache.iter().any(|(_, o)| o == "store"));
+        assert!(records[1].cache.iter().all(|(_, o)| o == "hit"));
         let _ = std::fs::remove_dir_all(&dir);
         dsa_obs::reset();
         dsa_obs::disable();

@@ -1,0 +1,85 @@
+//! The journal-driven perf gate, exercised against the checked-in
+//! fixture journal (`tests/fixtures/journal-regress.jsonl`): five
+//! steady-state `experiments profile` records followed by one with a
+//! planted ~50% regression in `swarm.rounds` self time and wall clock.
+//!
+//! CI runs the same fixture through the CLI
+//! (`dsa obs regress --journal ... --threshold 25`) and asserts the
+//! non-zero exit; these tests pin the underlying verdicts so a silent
+//! detector change cannot turn the CI assertion into a tautology.
+
+use dsa_obs::journal::JournalRecord;
+use dsa_obs::regress::{self, RegressConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn fixture() -> (Vec<JournalRecord>, usize) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/journal-regress.jsonl");
+    dsa_obs::journal::read_file(&path).expect("fixture journal parses")
+}
+
+#[test]
+fn fixture_parses_as_one_profile_cohort() {
+    let (records, skipped) = fixture();
+    assert_eq!(skipped, 0, "fixture must contain no corrupt lines");
+    assert_eq!(records.len(), 6);
+    for r in &records {
+        assert_eq!(r.meta.binary, "experiments");
+        assert_eq!(r.meta.command, "experiments profile");
+        assert_eq!(r.meta.scale.as_deref(), Some("smoke"));
+        assert!(r.spans.contains_key("swarm.rounds"));
+    }
+}
+
+#[test]
+fn planted_regression_fails_the_gate_at_threshold_25() {
+    let (records, _) = fixture();
+    let cfg = RegressConfig {
+        threshold_pct: 25.0,
+        ..RegressConfig::default()
+    };
+    let report = regress::check(&records, &BTreeMap::new(), &cfg);
+    assert!(!report.ok(), "planted regression must fail: {report:?}");
+    // Both the span self time and the wall clock blew up by ~50%.
+    let kinds: Vec<(&str, &str)> = report
+        .regressions
+        .iter()
+        .map(|r| (r.kind, r.name.as_str()))
+        .collect();
+    assert!(kinds.contains(&("span", "swarm.rounds")), "{kinds:?}");
+    assert!(kinds.contains(&("wall", "wall_ms")), "{kinds:?}");
+    let span = report
+        .regressions
+        .iter()
+        .find(|r| r.name == "swarm.rounds")
+        .unwrap();
+    assert!(span.pct > 45.0 && span.pct < 55.0, "pct = {}", span.pct);
+    // The untouched engine stays clean.
+    assert!(!kinds.iter().any(|(_, n)| *n == "gossip.rounds"));
+}
+
+#[test]
+fn steady_state_prefix_passes_the_same_gate() {
+    let (records, _) = fixture();
+    let cfg = RegressConfig {
+        threshold_pct: 25.0,
+        ..RegressConfig::default()
+    };
+    let report = regress::check(&records[..5], &BTreeMap::new(), &cfg);
+    assert!(report.ok(), "steady state must pass: {report:?}");
+    assert!(
+        report.compared > 0,
+        "the pass must come from real comparisons"
+    );
+}
+
+#[test]
+fn diff_renders_the_regressed_pair_with_highlights() {
+    let (records, _) = fixture();
+    let out = dsa_obs::diff::render(&records[4], &records[5], 25.0);
+    assert!(out.contains("swarm.rounds"), "{out}");
+    assert!(out.contains('!'), "threshold marker missing:\n{out}");
+    assert!(out.contains(&records[4].meta.run_id), "{out}");
+    assert!(out.contains(&records[5].meta.run_id), "{out}");
+}

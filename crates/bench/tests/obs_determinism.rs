@@ -5,12 +5,15 @@
 //! function of the work, not of the scheduling: counters, span counts
 //! and histogram totals must be bit-identical whether a sweep runs on 1
 //! thread or 8. Durations are the explicit exception — they are
-//! distributions, compared only structurally — and so is the
-//! `parallel.worker_busy_ns` histogram, whose sample count *is* the
-//! worker count (one busy-time sample per worker; see
-//! `dsa_core::parallel`). Lives in its own process so the global obs
-//! registries are not shared with other test binaries; the in-file lock
-//! serializes the tests themselves.
+//! distributions, compared only structurally — and so is any instrument
+//! tagged [`dsa_obs::DetClass::ThreadDependent`] at its recording site
+//! (today: `parallel.worker_busy_ns`, whose sample count *is* the worker
+//! count — one busy-time sample per worker; see `dsa_core::parallel`).
+//! The exclusion below is by class tag, not by name, so new
+//! thread-dependent instruments are exempted where they are recorded
+//! instead of by editing this test. Lives in its own process so the
+//! global obs registries are not shared with other test binaries; the
+//! in-file lock serializes the tests themselves.
 
 use dsa_core::cache::DomainSweep;
 use dsa_core::domain::Effort;
@@ -21,10 +24,6 @@ use std::path::Path;
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
-
-/// The only histogram whose sample count legitimately varies with the
-/// thread count.
-const WORKER_HIST: &str = "parallel.worker_busy_ns";
 
 fn config(threads: usize) -> PraConfig {
     PraConfig {
@@ -82,18 +81,28 @@ fn counts_are_bit_identical_across_1_and_8_threads() {
     };
     assert_eq!(span_counts(&one), span_counts(&eight));
 
-    // Histograms: same names; totals match everywhere except the
-    // per-worker busy-time histogram (count = worker count by design).
+    // Histograms: same names; totals match for every instrument the
+    // recording site tagged Deterministic. ThreadDependent instruments
+    // (count = worker count by design) are excluded by their class tag —
+    // not by a hard-coded name list in this test.
     let names = |s: &Snapshot| -> Vec<String> { s.hists.keys().cloned().collect() };
     assert_eq!(names(&one), names(&eight));
+    let mut thread_dependent = Vec::new();
     for (name, h1) in &one.hists {
         let h8 = &eight.hists[name];
-        if name == WORKER_HIST {
-            assert_ne!(h1.count, h8.count, "1 vs 8 workers must differ");
-            continue;
+        match dsa_obs::instrument_class(name) {
+            dsa_obs::DetClass::ThreadDependent => {
+                assert_ne!(h1.count, h8.count, "1 vs 8 workers must differ");
+                thread_dependent.push(name.clone());
+            }
+            dsa_obs::DetClass::Deterministic => {
+                assert_eq!(h1.count, h8.count, "sample count of {name}");
+            }
         }
-        assert_eq!(h1.count, h8.count, "sample count of {name}");
     }
+    // Exactly one instrument carries the tag today; a new one showing up
+    // here unannounced means a recording site opted out of determinism.
+    assert_eq!(thread_dependent, ["parallel.worker_busy_ns"]);
 
     // The byte-size histograms observe deterministic values, so even
     // their buckets, sums and extrema are bit-identical.

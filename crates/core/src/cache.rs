@@ -281,18 +281,21 @@ fn miss_counter(field: &'static str) -> &'static str {
 pub fn read_stamped(path: &Path, key: &SweepKey) -> Result<Option<String>, String> {
     if !path.exists() {
         dsa_obs::incr("cache.miss.absent");
+        dsa_obs::note_cache_event(cache_file_name(path), "miss.absent");
         return Ok(None);
     }
     let mut text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let Some(stamp_end) = text.find('\n') else {
         dsa_obs::incr("cache.miss.unstamped");
+        dsa_obs::note_cache_event(cache_file_name(path), "miss.unstamped");
         return Ok(None);
     };
     match SweepKey::parse_meta(&text[..stamp_end]) {
         Some(stamp) => match key.first_mismatch(&stamp) {
             None => {
                 dsa_obs::incr("cache.hit");
+                dsa_obs::note_cache_event(cache_file_name(path), "hit");
                 // Strip the stamp in place rather than copying the
                 // (possibly multi-thousand-row) body into a second
                 // allocation.
@@ -304,15 +307,25 @@ pub fn read_stamped(path: &Path, key: &SweepKey) -> Result<Option<String>, Strin
                 Ok(Some(text))
             }
             Some(field) => {
-                dsa_obs::incr(miss_counter(field));
+                let counter = miss_counter(field);
+                dsa_obs::incr(counter);
+                let outcome = counter.strip_prefix("cache.").unwrap_or(counter);
+                dsa_obs::note_cache_event(cache_file_name(path), outcome);
                 Ok(None)
             }
         },
         None => {
             dsa_obs::incr("cache.miss.unstamped");
+            dsa_obs::note_cache_event(cache_file_name(path), "miss.unstamped");
             Ok(None)
         }
     }
+}
+
+/// The bare file name a cache event is journaled under (paths vary with
+/// the out-dir; file names are stable workload identifiers).
+fn cache_file_name(path: &Path) -> &str {
+    path.file_name().and_then(|n| n.to_str()).unwrap_or("?")
 }
 
 /// Writes `body` under `key`'s stamp, atomically: the content goes to a
@@ -372,6 +385,7 @@ impl DomainSweep {
             // The stamp validated (and counted as `cache.hit`) but the
             // body holds the wrong number of rows.
             dsa_obs::incr("cache.miss.rows");
+            dsa_obs::note_cache_event(cache_file_name(&path), "miss.rows");
             return Ok(None);
         }
         Ok(Some(Self {
@@ -439,6 +453,7 @@ impl DomainSweep {
         let path = self.key.cache_path(out_dir);
         write_stamped(&path, &self.key, &self.results.to_csv(Some(&self.names)))?;
         dsa_obs::incr("cache.store");
+        dsa_obs::note_cache_event(cache_file_name(&path), "store");
         Ok(path)
     }
 }

@@ -133,7 +133,10 @@ fn record_job(tasks: usize, busy_ns: &[u64]) {
     let mut max = 0u64;
     let mut sum = 0u64;
     for &b in busy_ns {
-        dsa_obs::observe("parallel.worker_busy_ns", b);
+        // One sample per worker: the only instrument whose *count* varies
+        // with the thread count, so it records under the ThreadDependent
+        // class and determinism checks exclude it by tag, not by name.
+        dsa_obs::observe_thread_dependent("parallel.worker_busy_ns", b);
         max = max.max(b);
         sum += b;
     }

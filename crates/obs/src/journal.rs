@@ -1,0 +1,760 @@
+//! The persistent run journal: append-only, self-describing JSONL
+//! provenance for every observed run.
+//!
+//! Every `--metrics`/`--trace` run (and every `experiments profile`)
+//! appends one [`JournalRecord`] line to `results/journal.jsonl`: run
+//! identity (id, binary, command line, timestamp), workload coordinates
+//! (domain/scale/seed/threads), the cache stamps it touched with their
+//! hit/miss outcomes, wall-clock, and a compact snapshot of every
+//! counter, gauge, histogram and span — histograms and span durations
+//! reduced to count/sum plus p50/p95/p99 via [`Hist::quantile`]. The
+//! journal is what `dsa obs {runs,diff,regress}` read and what a future
+//! `dsa serve` layer will memory-map: the durable record of exploration
+//! the paper's method calls for.
+//!
+//! **Durability rules.** Appends are line-atomic (one `write` of one
+//! `\n`-terminated line in append mode); a crash can only ever corrupt
+//! the final line, and [`read_file`] tolerates that by skipping
+//! unparseable lines (reporting how many). When the file would exceed
+//! the size cap the current journal rotates to `journal.1.jsonl`
+//! (replacing the previous rotation) and a fresh file starts — two
+//! generations bound disk use while keeping a deep rolling window.
+
+use crate::json::{self, Json};
+use crate::metrics::{metrics_enabled, Hist};
+use crate::report::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The journal file name under the results directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// The rotated (previous-generation) journal file name.
+pub const JOURNAL_ROTATED: &str = "journal.1.jsonl";
+/// Default rotation threshold: 1 MiB (~1000 smoke-profile records).
+pub const DEFAULT_MAX_BYTES: u64 = 1 << 20;
+
+/// Run identity and workload coordinates, supplied by the binary (the
+/// timestamp is passed in, not sampled here, so callers control clock
+/// reads and tests stay deterministic).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMeta {
+    /// Unique run id, e.g. `profile-smoke-1754640000000-4242`.
+    pub run_id: String,
+    /// Binary name (`dsa` or `experiments`).
+    pub binary: String,
+    /// The command line (program name omitted), space-joined.
+    pub command: String,
+    /// Unix milliseconds at process start.
+    pub timestamp_ms: u64,
+    /// Experiment scale name, when one applies.
+    pub scale: Option<String>,
+    /// Domain name, when the run targets a single domain.
+    pub domain: Option<String>,
+    /// Master seed, when one applies.
+    pub seed: Option<u64>,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+}
+
+/// A span aggregate reduced to the journal's compact form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanSummary {
+    /// Invocation count.
+    pub count: u64,
+    /// Total (wall) nanoseconds across invocations.
+    pub total_ns: u64,
+    /// Self nanoseconds (total minus children).
+    pub self_ns: u64,
+    /// Median invocation duration (ns).
+    pub p50: u64,
+    /// 95th-percentile invocation duration (ns).
+    pub p95: u64,
+    /// 99th-percentile invocation duration (ns).
+    pub p99: u64,
+}
+
+/// A histogram reduced to the journal's compact form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Median observation.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistSummary {
+    fn of(h: &Hist) -> Self {
+        let (p50, p95, p99) = h.percentiles();
+        Self {
+            count: h.count,
+            sum: h.sum,
+            p50,
+            p95,
+            p99,
+        }
+    }
+}
+
+/// One journal line: a run's full provenance record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JournalRecord {
+    /// Run identity and coordinates.
+    pub meta: RunMeta,
+    /// Wall-clock of the run, in milliseconds.
+    pub wall_ms: u64,
+    /// Cache stamps touched: `(file name, outcome)` in touch order,
+    /// where outcome is `hit`, `store`, or `miss.<reason>`.
+    pub cache: Vec<(String, String)>,
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Span summaries.
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+// ---- cache-touch provenance ------------------------------------------------
+
+/// More cache events than any sane run produces; beyond this the list
+/// stops growing (and `obs.cache_events_dropped` counts the overflow).
+const CACHE_EVENT_CAP: usize = 512;
+
+static CACHE_EVENTS: Mutex<Vec<(Box<str>, Box<str>)>> = Mutex::new(Vec::new());
+
+/// Records that a cache file was touched with the given outcome (`hit`,
+/// `store`, `miss.<reason>`) for the journal's provenance list. A no-op
+/// unless metrics are enabled. Called by `dsa_core::cache`.
+pub fn note_cache_event(file: &str, outcome: &str) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut events = CACHE_EVENTS.lock().expect("cache event list poisoned");
+    if events.len() >= CACHE_EVENT_CAP {
+        drop(events);
+        crate::metrics::add("obs.cache_events_dropped", 1);
+        return;
+    }
+    events.push((file.into(), outcome.into()));
+}
+
+/// The cache events recorded since the last [`crate::reset`].
+#[must_use]
+pub fn cache_events() -> Vec<(String, String)> {
+    CACHE_EVENTS
+        .lock()
+        .expect("cache event list poisoned")
+        .iter()
+        .map(|(f, o)| (f.to_string(), o.to_string()))
+        .collect()
+}
+
+pub(crate) fn reset_cache_events() {
+    CACHE_EVENTS
+        .lock()
+        .expect("cache event list poisoned")
+        .clear();
+}
+
+// ---- record construction & JSON codec --------------------------------------
+
+fn opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", json::escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+impl JournalRecord {
+    /// Builds a record from a registry snapshot plus the run metadata,
+    /// folding in the cache events recorded since the last reset.
+    #[must_use]
+    pub fn from_snapshot(meta: RunMeta, wall_ms: u64, snap: &Snapshot) -> Self {
+        let spans = snap
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                let (p50, p95, p99) = s.dur.percentiles();
+                (
+                    name.clone(),
+                    SpanSummary {
+                        count: s.dur.count,
+                        total_ns: s.dur.sum,
+                        self_ns: s.self_ns,
+                        p50,
+                        p95,
+                        p99,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            meta,
+            wall_ms,
+            cache: cache_events(),
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            hists: snap
+                .hists
+                .iter()
+                .map(|(name, h)| (name.clone(), HistSummary::of(h)))
+                .collect(),
+            spans,
+        }
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"v\":1,\"run\":\"{}\",\"bin\":\"{}\",\"cmd\":\"{}\",\"ts_ms\":{},\
+             \"scale\":{},\"domain\":{},\"seed\":{},\"threads\":{},\"wall_ms\":{}",
+            json::escape(&self.meta.run_id),
+            json::escape(&self.meta.binary),
+            json::escape(&self.meta.command),
+            self.meta.timestamp_ms,
+            opt_str(&self.meta.scale),
+            opt_str(&self.meta.domain),
+            opt_u64(self.meta.seed),
+            self.meta.threads,
+            self.wall_ms
+        );
+        out.push_str(",\"cache\":[");
+        for (i, (file, outcome)) in self.cache.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"outcome\":\"{}\"}}",
+                json::escape(file),
+                json::escape(outcome)
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json::escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json::escape(name), json::num(*v));
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json::escape(name),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total_ns\":{},\"self_ns\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json::escape(name),
+                s.count,
+                s.total_ns,
+                s.self_ns,
+                s.p50,
+                s.p95,
+                s.p99
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses one journal line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON, an unknown schema version, or
+    /// missing/ill-typed required fields.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let doc = json::parse(line)?;
+        let version = doc.get("v").and_then(Json::as_u64).ok_or("no version")?;
+        if version != 1 {
+            return Err(format!("unknown journal schema version {version}"));
+        }
+        let req_str = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let req_u64 = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let opt_string = |key: &str| -> Option<String> {
+            doc.get(key).and_then(Json::as_str).map(str::to_string)
+        };
+        let meta = RunMeta {
+            run_id: req_str("run")?,
+            binary: req_str("bin")?,
+            command: req_str("cmd")?,
+            timestamp_ms: req_u64("ts_ms")?,
+            scale: opt_string("scale"),
+            domain: opt_string("domain"),
+            seed: doc.get("seed").and_then(Json::as_u64),
+            threads: usize::try_from(req_u64("threads")?).map_err(|_| "threads out of range")?,
+        };
+        let mut record = Self {
+            meta,
+            wall_ms: req_u64("wall_ms")?,
+            ..Self::default()
+        };
+        for item in doc.get("cache").and_then(Json::as_arr).unwrap_or(&[]) {
+            let file = item
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("cache item: no file")?;
+            let outcome = item
+                .get("outcome")
+                .and_then(Json::as_str)
+                .ok_or("cache item: no outcome")?;
+            record.cache.push((file.to_string(), outcome.to_string()));
+        }
+        for (name, v) in doc.get("counters").and_then(Json::as_obj).unwrap_or(&[]) {
+            record.counters.insert(
+                name.clone(),
+                v.as_u64()
+                    .ok_or_else(|| format!("counter {name}: not a u64"))?,
+            );
+        }
+        for (name, v) in doc.get("gauges").and_then(Json::as_obj).unwrap_or(&[]) {
+            record.gauges.insert(
+                name.clone(),
+                v.as_f64()
+                    .ok_or_else(|| format!("gauge {name}: not a number"))?,
+            );
+        }
+        let field = |v: &Json, name: &str, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing {key}"))
+        };
+        for (name, v) in doc.get("hists").and_then(Json::as_obj).unwrap_or(&[]) {
+            record.hists.insert(
+                name.clone(),
+                HistSummary {
+                    count: field(v, name, "count")?,
+                    sum: field(v, name, "sum")?,
+                    p50: field(v, name, "p50")?,
+                    p95: field(v, name, "p95")?,
+                    p99: field(v, name, "p99")?,
+                },
+            );
+        }
+        for (name, v) in doc.get("spans").and_then(Json::as_obj).unwrap_or(&[]) {
+            record.spans.insert(
+                name.clone(),
+                SpanSummary {
+                    count: field(v, name, "count")?,
+                    total_ns: field(v, name, "total_ns")?,
+                    self_ns: field(v, name, "self_ns")?,
+                    p50: field(v, name, "p50")?,
+                    p95: field(v, name, "p95")?,
+                    p99: field(v, name, "p99")?,
+                },
+            );
+        }
+        Ok(record)
+    }
+
+    /// One human-readable summary line (for `dsa obs runs`).
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<40} {} {:<28} wall {:>7}ms  {} spans, {} cache touches",
+            self.meta.run_id,
+            self.meta.binary,
+            self.meta.command.chars().take(28).collect::<String>(),
+            self.wall_ms,
+            self.spans.len(),
+            self.cache.len()
+        )
+    }
+}
+
+/// The record schema as a structural signature: top-level keys in wire
+/// order plus the per-entry keys of the nested maps. Pinned by a
+/// snapshot test so accidental schema drift (a renamed or re-typed
+/// field) fails loudly — bump `v` and the pin together when changing
+/// the schema deliberately.
+///
+/// # Errors
+///
+/// Returns an error when `line` is not a parseable journal line.
+pub fn schema_of(line: &str) -> Result<String, String> {
+    let doc = json::parse(line)?;
+    let obj = doc.as_obj().ok_or("journal line is not an object")?;
+    let mut out = String::new();
+    for (key, value) in obj {
+        match key.as_str() {
+            "cache" => {
+                let keys = value
+                    .as_arr()
+                    .and_then(|a| a.first())
+                    .and_then(Json::as_obj)
+                    .map_or_else(String::new, |m| {
+                        m.iter()
+                            .map(|(k, _)| k.as_str())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    });
+                let _ = writeln!(out, "cache[]{{{keys}}}");
+            }
+            "hists" | "spans" => {
+                let keys = value
+                    .as_obj()
+                    .and_then(|m| m.first())
+                    .and_then(|(_, v)| v.as_obj())
+                    .map_or_else(String::new, |m| {
+                        m.iter()
+                            .map(|(k, _)| k.as_str())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    });
+                let _ = writeln!(out, "{key}{{name -> {{{keys}}}}}");
+            }
+            "counters" | "gauges" => {
+                let _ = writeln!(out, "{key}{{name -> num}}");
+            }
+            _ => {
+                let kind = match value {
+                    Json::Null => "null",
+                    Json::Bool(_) => "bool",
+                    Json::Num(_) => "num",
+                    Json::Str(_) => "str",
+                    Json::Arr(_) => "arr",
+                    Json::Obj(_) => "obj",
+                };
+                let _ = writeln!(out, "{key}:{kind}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---- file I/O --------------------------------------------------------------
+
+/// Appends one record to `dir/journal.jsonl`, rotating the file to
+/// `journal.1.jsonl` first when it would exceed `max_bytes`. Returns the
+/// journal path.
+///
+/// # Errors
+///
+/// Returns an error when the directory, rotation or append fails.
+pub fn append(dir: &Path, record: &JournalRecord, max_bytes: u64) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(JOURNAL_FILE);
+    let mut line = record.to_json_line();
+    line.push('\n');
+    let current = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    if current > 0 && current + line.len() as u64 > max_bytes {
+        let rotated = dir.join(JOURNAL_ROTATED);
+        std::fs::rename(&path, &rotated)
+            .map_err(|e| format!("rotating {}: {e}", path.display()))?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("opening {}: {e}", path.display()))?;
+    file.write_all(line.as_bytes())
+        .map_err(|e| format!("appending to {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads one journal file: the parsed records in file order plus the
+/// number of lines skipped as unparseable (a crash-truncated tail, a
+/// foreign schema version — tolerated, not fatal). A missing file reads
+/// as empty.
+///
+/// # Errors
+///
+/// Returns an error when the file exists but cannot be read.
+pub fn read_file(path: &Path) -> Result<(Vec<JournalRecord>, usize), String> {
+    if !path.exists() {
+        return Ok((Vec::new(), 0));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalRecord::from_json_line(line) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Reads the full journal under `dir`: the rotated generation first
+/// (when present), then the current file — so records come out in
+/// chronological order across the rotation boundary.
+///
+/// # Errors
+///
+/// Returns an error when either file exists but cannot be read.
+pub fn read_all(dir: &Path) -> Result<(Vec<JournalRecord>, usize), String> {
+    let (mut records, mut skipped) = read_file(&dir.join(JOURNAL_ROTATED))?;
+    let (current, s) = read_file(&dir.join(JOURNAL_FILE))?;
+    records.extend(current);
+    skipped += s;
+    Ok((records, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(run_id: &str, swarm_self_ns: u64) -> JournalRecord {
+        let mut record = JournalRecord {
+            meta: RunMeta {
+                run_id: run_id.to_string(),
+                binary: "experiments".to_string(),
+                command: "experiments profile".to_string(),
+                timestamp_ms: 1_754_640_000_000,
+                scale: Some("smoke".to_string()),
+                domain: None,
+                seed: Some(0x5EED),
+                threads: 8,
+            },
+            wall_ms: 1200,
+            cache: vec![
+                ("pra-swarm-smoke.csv".to_string(), "miss.absent".to_string()),
+                ("pra-swarm-smoke.csv".to_string(), "store".to_string()),
+            ],
+            ..JournalRecord::default()
+        };
+        record.counters.insert("cache.store".to_string(), 1);
+        record.gauges.insert("parallel.imbalance".to_string(), 1.25);
+        record.hists.insert(
+            "attacks.cell_ns".to_string(),
+            HistSummary {
+                count: 10,
+                sum: 1000,
+                p50: 90,
+                p95: 150,
+                p99: 190,
+            },
+        );
+        record.spans.insert(
+            "swarm.run".to_string(),
+            SpanSummary {
+                count: 40,
+                total_ns: swarm_self_ns + 1_000_000,
+                self_ns: swarm_self_ns,
+                p50: 100_000,
+                p95: 200_000,
+                p99: 250_000,
+            },
+        );
+        record
+    }
+
+    #[test]
+    fn json_line_roundtrips() {
+        let record = sample("unit-1", 80_000_000);
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = JournalRecord::from_json_line(&line).unwrap();
+        assert_eq!(record, parsed);
+    }
+
+    #[test]
+    fn optional_fields_roundtrip_as_null() {
+        let mut record = sample("unit-null", 1_000_000);
+        record.meta.scale = None;
+        record.meta.seed = None;
+        let line = record.to_json_line();
+        assert!(line.contains("\"scale\":null"));
+        let parsed = JournalRecord::from_json_line(&line).unwrap();
+        assert_eq!(parsed.meta.scale, None);
+        assert_eq!(parsed.meta.seed, None);
+    }
+
+    #[test]
+    fn schema_signature_is_pinned() {
+        // Schema drift (renamed/re-typed/reordered fields) must be a
+        // deliberate act: update this pin AND bump "v" together.
+        let line = sample("unit-schema", 1).to_json_line();
+        let expected = "\
+v:num
+run:str
+bin:str
+cmd:str
+ts_ms:num
+scale:str
+domain:null
+seed:num
+threads:num
+wall_ms:num
+cache[]{file,outcome}
+counters{name -> num}
+gauges{name -> num}
+hists{name -> {count,sum,p50,p95,p99}}
+spans{name -> {count,total_ns,self_ns,p50,p95,p99}}
+";
+        assert_eq!(schema_of(&line).unwrap(), expected);
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsa-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let dir = fresh_dir("rt");
+        let a = sample("run-a", 10_000_000);
+        let b = sample("run-b", 12_000_000);
+        append(&dir, &a, DEFAULT_MAX_BYTES).unwrap();
+        append(&dir, &b, DEFAULT_MAX_BYTES).unwrap();
+        let (records, skipped) = read_all(&dir).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records, vec![a, b]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_caps_the_file_and_keeps_one_generation() {
+        let dir = fresh_dir("rot");
+        let line_len = sample("run-0", 1).to_json_line().len() as u64 + 1;
+        // Cap to ~3 lines: the 4th append must rotate.
+        let cap = line_len * 3 + 10;
+        for i in 0..5 {
+            append(&dir, &sample(&format!("run-{i}"), 1), cap).unwrap();
+        }
+        let current = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        assert!(
+            current <= cap,
+            "current journal {current} exceeds cap {cap}"
+        );
+        assert!(dir.join(JOURNAL_ROTATED).exists());
+        // All records survive across the rotation boundary, in order.
+        let (records, _) = read_all(&dir).unwrap();
+        let ids: Vec<&str> = records.iter().map(|r| r.meta.run_id.as_str()).collect();
+        assert_eq!(ids, ["run-0", "run-1", "run-2", "run-3", "run-4"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_tail_line_is_skipped_not_fatal() {
+        let dir = fresh_dir("corrupt");
+        let a = sample("run-a", 10_000_000);
+        append(&dir, &a, DEFAULT_MAX_BYTES).unwrap();
+        // Simulate a crash mid-append: a truncated final line.
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let half = sample("run-b", 1).to_json_line();
+        text.push_str(&half[..half.len() / 2]);
+        std::fs::write(&path, text).unwrap();
+        let (records, skipped) = read_file(&path).unwrap();
+        assert_eq!(records, vec![a]);
+        assert_eq!(skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_reads_as_empty() {
+        let dir = fresh_dir("missing");
+        let (records, skipped) = read_all(&dir).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn from_snapshot_folds_in_cache_events_and_quantiles() {
+        let _g = crate::tests::LOCK.lock().unwrap();
+        crate::enable_trace();
+        crate::reset();
+        note_cache_event("pra-rep-smoke.csv", "hit");
+        crate::observe("evo.cell_ns", 100);
+        crate::observe("evo.cell_ns", 100);
+        {
+            let _s = crate::span("unit.work");
+        }
+        let snap = crate::snapshot();
+        let record = JournalRecord::from_snapshot(
+            RunMeta {
+                run_id: "snap-1".to_string(),
+                ..RunMeta::default()
+            },
+            5,
+            &snap,
+        );
+        crate::disable();
+        crate::reset();
+        assert_eq!(
+            record.cache,
+            vec![("pra-rep-smoke.csv".to_string(), "hit".to_string())]
+        );
+        let h = &record.hists["evo.cell_ns"];
+        assert_eq!((h.count, h.sum), (2, 200));
+        assert_eq!((h.p50, h.p95, h.p99), (100, 100, 100));
+        assert_eq!(record.spans["unit.work"].count, 1);
+    }
+
+    #[test]
+    fn cache_events_respect_the_cap() {
+        let _g = crate::tests::LOCK.lock().unwrap();
+        crate::enable_metrics();
+        crate::reset();
+        for i in 0..(CACHE_EVENT_CAP + 10) {
+            note_cache_event(&format!("file-{i}"), "hit");
+        }
+        assert_eq!(cache_events().len(), CACHE_EVENT_CAP);
+        let snap = crate::snapshot();
+        assert_eq!(snap.counters["obs.cache_events_dropped"], 10);
+        crate::disable();
+        crate::reset();
+        assert!(cache_events().is_empty());
+    }
+}

@@ -25,6 +25,13 @@
 //!   line-JSON, and stamped `results/obs-<run>.csv` files that
 //!   `dsa obs report` reads back.
 //!
+//! Layered on top: the persistent **run journal** ([`journal`] —
+//! append-only JSONL provenance, one record per observed run), the
+//! Chrome-trace exporter ([`trace`], fed by [`enable_events`] /
+//! [`take_events`]), run diffing ([`diff`]) and the journal-driven perf
+//! gate ([`regress`]) — the machinery behind `dsa obs
+//! {runs,trace,diff,regress}`.
+//!
 //! Everything is **off by default**. Until [`enable_metrics`] or
 //! [`enable_trace`] flips the global flag, every recording call is a
 //! single relaxed atomic load and an early return — unmeasurable in the
@@ -39,26 +46,35 @@
 //! suffix (`_ns`, `_per_sec`). Names must not contain commas or
 //! whitespace (they are CSV/stamp tokens).
 
+pub mod diff;
+pub mod journal;
+pub mod json;
 mod metrics;
+pub mod regress;
 mod report;
 mod span;
+pub mod trace;
 
+pub use journal::{note_cache_event, JournalRecord, RunMeta};
 pub use metrics::{
-    add, disable, enable_metrics, enable_trace, gauge_set, incr, metrics_enabled, observe,
-    trace_enabled, Hist,
+    add, disable, enable_events, enable_metrics, enable_trace, events_enabled, gauge_set, incr,
+    instrument_class, metrics_enabled, observe, observe_thread_dependent, trace_enabled, DetClass,
+    Hist,
 };
-pub use report::{fmt_ns, read_csv, snapshot, write_csv, Snapshot};
-pub use span::{flush, span, span_owned, SpanGuard, SpanStats};
+pub use report::{fmt_ns, read_csv, snapshot, write_csv, ExportMeta, Snapshot};
+pub use span::{flush, span, span_owned, take_events, SpanGuard, SpanStats, TraceEvent};
 
-/// Clears every registry: counters, gauges, histograms, merged spans, and
-/// the calling thread's pending span aggregates. Enable flags are left as
-/// they are. Call between jobs (tests, repeated sweeps) — worker threads
-/// merge their spans when they exit and `dsa_core::parallel` joins every
+/// Clears every registry: counters, gauges, histograms, merged spans,
+/// captured trace events, cache-touch provenance, and the calling
+/// thread's pending span aggregates. Enable flags are left as they are.
+/// Call between jobs (tests, repeated sweeps) — worker threads merge
+/// their spans when they exit and `dsa_core::parallel` joins every
 /// worker before returning, so by the time a fork-join region returns
 /// there is nothing left un-merged to lose.
 pub fn reset() {
     metrics::reset_metrics();
     span::reset_spans();
+    journal::reset_cache_events();
 }
 
 /// Opens a span guard over the enclosing scope.

@@ -19,6 +19,7 @@ use std::sync::Mutex;
 
 static METRICS_ON: AtomicBool = AtomicBool::new(false);
 static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static EVENTS_ON: AtomicBool = AtomicBool::new(false);
 
 /// Enables the metric registries (counters, gauges, histograms) — the
 /// `--metrics` flag.
@@ -32,11 +33,21 @@ pub fn enable_trace() {
     TRACE_ON.store(true, Ordering::Relaxed);
 }
 
+/// Enables metrics, span timing *and* raw begin/end event capture — the
+/// expensive mode behind `dsa obs trace`. Every span open/close appends
+/// one in-memory event (per-thread buffers, size-capped globally), which
+/// the Chrome-trace exporter drains via [`crate::take_events`].
+pub fn enable_events() {
+    enable_trace();
+    EVENTS_ON.store(true, Ordering::Relaxed);
+}
+
 /// Turns all recording back off (registries keep their contents until
 /// [`crate::reset`]).
 pub fn disable() {
     METRICS_ON.store(false, Ordering::Relaxed);
     TRACE_ON.store(false, Ordering::Relaxed);
+    EVENTS_ON.store(false, Ordering::Relaxed);
 }
 
 /// Whether metric recording is on.
@@ -49,6 +60,12 @@ pub fn metrics_enabled() -> bool {
 #[must_use]
 pub fn trace_enabled() -> bool {
     TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Whether raw begin/end event capture is on (implies [`trace_enabled`]).
+#[must_use]
+pub fn events_enabled() -> bool {
+    EVENTS_ON.load(Ordering::Relaxed)
 }
 
 /// A log2-bucketed distribution of `u64` observations.
@@ -115,11 +132,75 @@ impl Hist {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0,1]`, clamped) from the
+    /// log2 buckets: the target rank is located by cumulative count,
+    /// interpolated linearly inside its bucket, and clamped to the
+    /// observed `[min, max]` — so single-valued histograms answer
+    /// exactly, and no estimate can leave the observed range. Precision
+    /// is otherwise bucket-limited (a factor-of-two band). Empty
+    /// histograms answer 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let below = cum as f64;
+            cum += c;
+            if cum as f64 >= target {
+                let lo = if k == 0 { 0u64 } else { 1u64 << (k - 1) };
+                let hi = if k == 0 {
+                    0u64
+                } else if k >= 63 {
+                    u64::MAX
+                } else {
+                    1u64 << k
+                };
+                let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the (p50, p95, p99) triple the journal stores.
+    #[must_use]
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// Whether an instrument's *sample counts* are a pure function of the
+/// work (the default) or legitimately vary with the thread count. The
+/// bit-identity test excludes `ThreadDependent` instruments by tag
+/// instead of by name, so a future thread-dependent instrument that is
+/// not tagged fails the test loudly rather than silently passing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetClass {
+    /// Counts are bit-identical across thread counts.
+    #[default]
+    Deterministic,
+    /// Sample count depends on the worker count (e.g. one observation
+    /// per worker).
+    ThreadDependent,
 }
 
 static COUNTERS: Mutex<BTreeMap<Box<str>, u64>> = Mutex::new(BTreeMap::new());
 static GAUGES: Mutex<BTreeMap<Box<str>, f64>> = Mutex::new(BTreeMap::new());
 static HISTS: Mutex<BTreeMap<Box<str>, Hist>> = Mutex::new(BTreeMap::new());
+static CLASSES: Mutex<BTreeMap<Box<str>, DetClass>> = Mutex::new(BTreeMap::new());
 
 /// Increments a counter by 1. A no-op unless metrics are enabled.
 pub fn incr(name: &str) {
@@ -168,6 +249,37 @@ pub fn observe(name: &str, value: u64) {
     }
 }
 
+/// Records one observation into a histogram whose *sample count* varies
+/// with the thread count (e.g. one sample per worker), tagging the
+/// instrument [`DetClass::ThreadDependent`] so the bit-identity tests
+/// exclude it structurally instead of by hard-coded name. A no-op unless
+/// metrics are enabled.
+pub fn observe_thread_dependent(name: &str, value: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    {
+        let mut classes = CLASSES.lock().expect("class registry poisoned");
+        if !classes.contains_key(name) {
+            classes.insert(name.into(), DetClass::ThreadDependent);
+        }
+    }
+    observe(name, value);
+}
+
+/// The determinism class an instrument was recorded under. Instruments
+/// never recorded through [`observe_thread_dependent`] (including ones
+/// that have recorded nothing yet) are [`DetClass::Deterministic`].
+#[must_use]
+pub fn instrument_class(name: &str) -> DetClass {
+    CLASSES
+        .lock()
+        .expect("class registry poisoned")
+        .get(name)
+        .copied()
+        .unwrap_or_default()
+}
+
 pub(crate) fn counters_snapshot() -> BTreeMap<String, u64> {
     let map = COUNTERS.lock().expect("counter registry poisoned");
     map.iter().map(|(k, v)| (k.to_string(), *v)).collect()
@@ -189,6 +301,7 @@ pub(crate) fn reset_metrics() {
     COUNTERS.lock().expect("counter registry poisoned").clear();
     GAUGES.lock().expect("gauge registry poisoned").clear();
     HISTS.lock().expect("histogram registry poisoned").clear();
+    CLASSES.lock().expect("class registry poisoned").clear();
 }
 
 #[cfg(test)]
@@ -205,6 +318,80 @@ mod tests {
         assert_eq!(Hist::bucket_of(1023), 10);
         assert_eq!(Hist::bucket_of(1024), 11);
         assert_eq!(Hist::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let h = Hist::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantiles_of_single_bucket_are_exact() {
+        // All observations share one value: clamping to [min, max]
+        // collapses the bucket's factor-of-two band to the exact answer.
+        let mut h = Hist::default();
+        for _ in 0..7 {
+            h.record(5);
+        }
+        assert_eq!(h.percentiles(), (5, 5, 5));
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn quantiles_pin_known_uniform_sample() {
+        // 1..=100: p50 interpolates inside the [32,64) bucket; the tail
+        // quantiles overshoot their bucket's upper band and clamp to the
+        // observed max.
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.50), 51);
+        assert_eq!(h.quantile(0.95), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_pin_known_bimodal_sample() {
+        // 19 fast observations and one slow outlier: p50/p95 stay in the
+        // fast bucket, p99 lands (interpolated) in the outlier's bucket.
+        let mut h = Hist::default();
+        for _ in 0..19 {
+            h.record(10);
+        }
+        h.record(1000);
+        assert_eq!(h.quantile(0.50), 12);
+        assert_eq!(h.quantile(0.95), 16);
+        assert_eq!(h.quantile(0.99), 922);
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn thread_dependent_recording_tags_the_instrument() {
+        let _g = crate::tests::LOCK.lock().unwrap();
+        enable_metrics();
+        crate::reset();
+        observe("det.hist", 1);
+        observe_thread_dependent("td.hist", 2);
+        assert_eq!(instrument_class("det.hist"), DetClass::Deterministic);
+        assert_eq!(instrument_class("td.hist"), DetClass::ThreadDependent);
+        // Unknown instruments default to deterministic.
+        assert_eq!(instrument_class("never.seen"), DetClass::Deterministic);
+        // Both recorded into the ordinary histogram registry.
+        let snap = crate::snapshot();
+        assert_eq!(snap.hists["td.hist"].count, 1);
+        crate::reset();
+        assert_eq!(instrument_class("td.hist"), DetClass::Deterministic);
+        disable();
     }
 
     #[test]

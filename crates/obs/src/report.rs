@@ -6,21 +6,121 @@
 //! CSV under `results/obs-<run>.csv`:
 //!
 //! ```text
-//! # dsa-obs v1 run=profile-smoke
+//! # dsa-obs v2 run=profile-smoke bin=experiments scale=smoke threads=8 ts_ms=1754640000000
 //! kind,name,count,sum_ns,self_ns,min_ns,max_ns,value,buckets
 //! counter,cache.hit,3,0,0,0,0,,
 //! span,swarm.rounds,40,812345,790000,12000,40000,,14:22|15:18
 //! ```
 //!
-//! Histogram buckets serialize sparsely as `index:count` pairs joined by
-//! `|`. The CSV round-trips through [`read_csv`], which is what
-//! `dsa obs report <file>` uses.
+//! The stamp ([`ExportMeta`]) carries the run's provenance: id, binary,
+//! scale, thread count and a timestamp *passed in by the binary* (never
+//! sampled here, so library code stays clock-free and tests stay
+//! deterministic). Histogram buckets serialize sparsely as `index:count`
+//! pairs joined by `|`. The CSV round-trips through [`read_csv`] —
+//! which also still accepts the v1 stamp (`# dsa-obs v1 run=<run>`)
+//! written by earlier versions — and is what `dsa obs report <file>`
+//! uses.
 
 use crate::metrics::{counters_snapshot, gauges_snapshot, hists_snapshot, Hist};
 use crate::span::{spans_snapshot, SpanStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Provenance stamped onto an obs CSV export (and rendered back by
+/// `dsa obs report`). The timestamp is supplied by the binary at process
+/// start — this module never reads a clock.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExportMeta {
+    /// Run id (also the file-name component of `obs-<run>.csv`).
+    pub run: String,
+    /// Binary name (`dsa`, `experiments`); empty for v1 files.
+    pub bin: String,
+    /// Experiment scale, when one applies.
+    pub scale: Option<String>,
+    /// Resolved worker-thread count; 0 for v1 files.
+    pub threads: usize,
+    /// Unix milliseconds at process start; 0 for v1 files.
+    pub ts_ms: u64,
+}
+
+impl ExportMeta {
+    /// The stamp line (no trailing newline). Tokens are space-separated
+    /// `key=value` pairs; run ids, binary and scale names never contain
+    /// whitespace (enforced by the naming scheme).
+    #[must_use]
+    pub fn stamp(&self) -> String {
+        format!(
+            "# dsa-obs v2 run={} bin={} scale={} threads={} ts_ms={}",
+            self.run,
+            self.bin,
+            self.scale.as_deref().unwrap_or("-"),
+            self.threads,
+            self.ts_ms
+        )
+    }
+
+    /// Parses a stamp line: v2 fully, v1 with defaulted fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the line is not a dsa-obs stamp.
+    pub fn parse_stamp(line: &str) -> Result<Self, String> {
+        if let Some(run) = line.strip_prefix("# dsa-obs v1 run=") {
+            return Ok(Self {
+                run: run.to_string(),
+                ..Self::default()
+            });
+        }
+        let rest = line
+            .strip_prefix("# dsa-obs v2 ")
+            .ok_or_else(|| format!("not a dsa-obs v1/v2 stamp: {line:?}"))?;
+        let mut meta = Self::default();
+        for token in rest.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("malformed stamp token {token:?}"))?;
+            match key {
+                "run" => meta.run = value.to_string(),
+                "bin" => meta.bin = value.to_string(),
+                "scale" => meta.scale = (value != "-").then(|| value.to_string()),
+                "threads" => {
+                    meta.threads = value
+                        .parse()
+                        .map_err(|_| format!("bad threads {value:?}"))?;
+                }
+                "ts_ms" => {
+                    meta.ts_ms = value.parse().map_err(|_| format!("bad ts_ms {value:?}"))?
+                }
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        if meta.run.is_empty() {
+            return Err(format!("stamp has no run id: {line:?}"));
+        }
+        Ok(meta)
+    }
+
+    /// Human-readable rendering for `dsa obs report`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("run {}", self.run);
+        if !self.bin.is_empty() {
+            let _ = write!(out, "  bin={}", self.bin);
+        }
+        if let Some(scale) = &self.scale {
+            let _ = write!(out, "  scale={scale}");
+        }
+        if self.threads > 0 {
+            let _ = write!(out, "  threads={}", self.threads);
+        }
+        if self.ts_ms > 0 {
+            let _ = write!(out, "  ts_ms={}", self.ts_ms);
+        }
+        out.push('\n');
+        out
+    }
+}
 
 /// A point-in-time copy of every metric and span registry.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -339,16 +439,17 @@ impl Snapshot {
     }
 }
 
-/// Writes a snapshot to `out_dir/obs-<run>.csv` under a
-/// `# dsa-obs v1 run=<run>` stamp, atomically (temp sibling + rename).
+/// Writes a snapshot to `out_dir/obs-<meta.run>.csv` under the v2
+/// provenance stamp, atomically (temp sibling + rename).
 ///
 /// # Errors
 ///
 /// Returns an error when the directory or file cannot be written.
-pub fn write_csv(out_dir: &Path, run: &str, snap: &Snapshot) -> Result<PathBuf, String> {
+pub fn write_csv(out_dir: &Path, meta: &ExportMeta, snap: &Snapshot) -> Result<PathBuf, String> {
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
-    let path = out_dir.join(format!("obs-{run}.csv"));
-    let mut text = format!("# dsa-obs v1 run={run}\n");
+    let path = out_dir.join(format!("obs-{}.csv", meta.run));
+    let mut text = meta.stamp();
+    text.push('\n');
     text.push_str(&snap.to_csv());
     let tmp = path.with_extension(format!("csv.tmp.{}", std::process::id()));
     std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
@@ -356,23 +457,23 @@ pub fn write_csv(out_dir: &Path, run: &str, snap: &Snapshot) -> Result<PathBuf, 
     Ok(path)
 }
 
-/// Reads a stamped obs CSV back: returns the run name and the snapshot.
+/// Reads a stamped obs CSV back: returns the export provenance and the
+/// snapshot. Accepts both the current v2 stamp and the legacy v1 stamp
+/// (whose meta carries only the run id).
 ///
 /// # Errors
 ///
-/// Returns an error when the file cannot be read, is not a v1 obs stamp,
-/// or its body is malformed.
-pub fn read_csv(path: &Path) -> Result<(String, Snapshot), String> {
+/// Returns an error when the file cannot be read, carries no recognized
+/// stamp, or its body is malformed.
+pub fn read_csv(path: &Path) -> Result<(ExportMeta, Snapshot), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let (stamp, body) = text
         .split_once('\n')
         .ok_or_else(|| format!("{}: empty obs file", path.display()))?;
-    let run = stamp
-        .strip_prefix("# dsa-obs v1 run=")
-        .ok_or_else(|| format!("{}: not a dsa-obs v1 file: {stamp:?}", path.display()))?;
+    let meta = ExportMeta::parse_stamp(stamp).map_err(|e| format!("{}: {e}", path.display()))?;
     let snap = Snapshot::from_csv(body).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok((run.to_string(), snap))
+    Ok((meta, snap))
 }
 
 #[cfg(test)]
@@ -410,16 +511,46 @@ mod tests {
     }
 
     #[test]
-    fn stamped_file_roundtrips() {
+    fn stamped_file_roundtrips_with_v2_meta() {
         let dir = std::env::temp_dir().join(format!("dsa-obs-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let snap = sample();
-        let path = write_csv(&dir, "unit", &snap).unwrap();
+        let meta = ExportMeta {
+            run: "unit".to_string(),
+            bin: "experiments".to_string(),
+            scale: Some("smoke".to_string()),
+            threads: 8,
+            ts_ms: 1_754_640_000_000,
+        };
+        let path = write_csv(&dir, &meta, &snap).unwrap();
         assert_eq!(path.file_name().unwrap().to_str().unwrap(), "obs-unit.csv");
-        let (run, parsed) = read_csv(&path).unwrap();
-        assert_eq!(run, "unit");
+        let (parsed_meta, parsed) = read_csv(&path).unwrap();
+        assert_eq!(parsed_meta, meta);
         assert_eq!(snap, parsed);
+        let rendered = parsed_meta.render();
+        for token in ["run unit", "bin=experiments", "scale=smoke", "threads=8"] {
+            assert!(rendered.contains(token), "missing {token} in {rendered:?}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_stamps_still_parse() {
+        let meta = ExportMeta::parse_stamp("# dsa-obs v1 run=legacy").unwrap();
+        assert_eq!(meta.run, "legacy");
+        assert_eq!(meta.bin, "");
+        assert_eq!(meta.scale, None);
+        assert_eq!((meta.threads, meta.ts_ms), (0, 0));
+        // A scale-less v2 stamp round-trips through its own parser.
+        let v2 = ExportMeta {
+            run: "r".to_string(),
+            bin: "dsa".to_string(),
+            scale: None,
+            threads: 1,
+            ts_ms: 5,
+        };
+        assert_eq!(ExportMeta::parse_stamp(&v2.stamp()).unwrap(), v2);
+        assert!(ExportMeta::parse_stamp("# something else").is_err());
     }
 
     #[test]

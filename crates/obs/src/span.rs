@@ -22,11 +22,12 @@
 //! Guards must drop in LIFO order — the natural result of binding them
 //! to scopes.
 
-use crate::metrics::{trace_enabled, Hist};
+use crate::metrics::{events_enabled, trace_enabled, Hist};
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Aggregated timings of one span name.
@@ -51,6 +52,38 @@ impl SpanStats {
     }
 }
 
+/// One raw begin/end event, captured only while event recording
+/// ([`crate::enable_events`]) is on — the input to the Chrome-trace
+/// exporter. Timestamps are nanoseconds since the process's trace epoch
+/// (the first event ever recorded), so they are monotone per track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: Box<str>,
+    /// Track (one per recording thread, assigned on first event).
+    pub track: u32,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// `false` = begin ("B"), `true` = end ("E").
+    pub end: bool,
+    /// On end events: the span's self time (total − children).
+    pub self_ns: u64,
+}
+
+/// Raw events kept in memory at ~48 bytes each; beyond this cap new
+/// events are dropped (and counted in `obs.trace_events_dropped`), so a
+/// runaway traced run degrades instead of exhausting memory.
+const EVENT_CAP: usize = 1 << 19;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TRACK: AtomicU32 = AtomicU32::new(1);
+static GLOBAL_EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+fn epoch_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 struct Frame {
     name: Cow<'static, str>,
     start: Instant,
@@ -61,20 +94,39 @@ struct Frame {
 struct LocalSpans {
     stack: Vec<Frame>,
     agg: BTreeMap<Cow<'static, str>, SpanStats>,
+    events: Vec<TraceEvent>,
+    /// This thread's event track id (0 = not yet assigned).
+    track: u32,
 }
 
 impl LocalSpans {
-    fn merge_into_global(&mut self) {
-        if self.agg.is_empty() {
-            return;
+    fn track_id(&mut self) -> u32 {
+        if self.track == 0 {
+            self.track = NEXT_TRACK.fetch_add(1, Ordering::Relaxed);
         }
-        let mut global = GLOBAL.lock().expect("span registry poisoned");
-        for (name, stats) in std::mem::take(&mut self.agg) {
-            if let Some(g) = global.get_mut(name.as_ref()) {
-                g.merge(&stats);
-            } else {
-                global.insert(name.into_owned().into_boxed_str(), stats);
+        self.track
+    }
+
+    fn merge_into_global(&mut self) {
+        if !self.agg.is_empty() {
+            let mut global = GLOBAL.lock().expect("span registry poisoned");
+            for (name, stats) in std::mem::take(&mut self.agg) {
+                if let Some(g) = global.get_mut(name.as_ref()) {
+                    g.merge(&stats);
+                } else {
+                    global.insert(name.into_owned().into_boxed_str(), stats);
+                }
             }
+        }
+        if !self.events.is_empty() {
+            let mut global = GLOBAL_EVENTS.lock().expect("event buffer poisoned");
+            let room = EVENT_CAP.saturating_sub(global.len());
+            let mut drained = std::mem::take(&mut self.events);
+            if drained.len() > room {
+                crate::metrics::add("obs.trace_events_dropped", (drained.len() - room) as u64);
+                drained.truncate(room);
+            }
+            global.append(&mut drained);
         }
     }
 }
@@ -117,7 +169,19 @@ fn open(name: Cow<'static, str>) -> SpanGuard {
         return SpanGuard { active: false };
     }
     LOCAL.with(|local| {
-        local.borrow_mut().stack.push(Frame {
+        let mut local = local.borrow_mut();
+        if events_enabled() {
+            let track = local.track_id();
+            let event = TraceEvent {
+                name: Box::from(name.as_ref()),
+                track,
+                ts_ns: epoch_ns(),
+                end: false,
+                self_ns: 0,
+            };
+            local.events.push(event);
+        }
+        local.stack.push(Frame {
             name,
             start: Instant::now(),
             child_ns: 0,
@@ -139,6 +203,17 @@ impl Drop for SpanGuard {
                 .expect("span guards must drop in LIFO order");
             let total = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let self_ns = total.saturating_sub(frame.child_ns);
+            if events_enabled() {
+                let track = local.track_id();
+                let event = TraceEvent {
+                    name: Box::from(frame.name.as_ref()),
+                    track,
+                    ts_ns: epoch_ns(),
+                    end: true,
+                    self_ns,
+                };
+                local.events.push(event);
+            }
             if let Some(parent) = local.stack.last_mut() {
                 parent.child_ns += total;
             }
@@ -170,7 +245,22 @@ pub(crate) fn spans_snapshot() -> BTreeMap<String, SpanStats> {
         .collect()
 }
 
+/// Drains every captured trace event (after merging the calling
+/// thread's pending buffer): the input to the Chrome-trace exporter.
+/// Worker-thread events are merged when their threads are joined, which
+/// `dsa_core::parallel` guarantees before any fork-join region returns.
+#[must_use]
+pub fn take_events() -> Vec<TraceEvent> {
+    flush();
+    std::mem::take(&mut *GLOBAL_EVENTS.lock().expect("event buffer poisoned"))
+}
+
 pub(crate) fn reset_spans() {
-    LOCAL.with(|local| local.borrow_mut().agg.clear());
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        local.agg.clear();
+        local.events.clear();
+    });
     GLOBAL.lock().expect("span registry poisoned").clear();
+    GLOBAL_EVENTS.lock().expect("event buffer poisoned").clear();
 }
