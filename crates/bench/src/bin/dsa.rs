@@ -36,12 +36,31 @@
 //!                 [--floor NS] [--baselines FILE]
 //!                                        perf gate: latest journal entry vs its rolling
 //!                                        window + bench ceilings; exits non-zero on fail
+//! dsa obs serve [--addr A] [--out DIR] [+ the regress flags]
+//!                                        resident query server over the journal:
+//!                                        /runs /runs/<id> /diff/<a>/<b> /regress
+//!                                        /metrics /snapshot /healthz
+//! dsa obs top [--addr A] [--interval SECS] [--once]
+//!                                        polling terminal dashboard over a live
+//!                                        /snapshot endpoint (--obs-listen or serve)
+//! dsa obs gc [--out DIR] [--keep N]      compact the journal to its newest N records
+//!                                        (atomic rewrite; refuses on parse errors)
+//! dsa obs lint <file> [--monotone FILE]  validate a saved /metrics body as Prometheus
+//!                                        text exposition; with --monotone, check every
+//!                                        counter series grew vs an earlier scrape
 //! ```
+//!
+//! `obs runs` and `obs diff` also take `--json`, emitting exactly the
+//! documents the resident server serves on `/runs` and `/diff/<a>/<b>`.
 //!
 //! The global `--metrics` switch turns the [`dsa_obs`] registries on for
 //! any command and `--trace` additionally records spans; both print an
 //! observability epilogue after the command's own output **and append a
 //! provenance record to `<out>/journal.jsonl`** (see `dsa obs runs`).
+//! The global `--obs-listen <addr>` switch (implies `--metrics`) serves
+//! the live registry over HTTP while the command runs: `GET /metrics`
+//! (Prometheus text exposition) and `GET /snapshot` (JSON), scrapeable
+//! mid-run — see the bench README's "Live observability" section.
 //!
 //! Domains: `swarm` (3270 protocols), `gossip` (108), `rep` (288).
 //! A bare command (`dsa protocols ...`) defaults to the swarm domain.
@@ -96,10 +115,34 @@ fn main() -> ExitCode {
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
     args.retain(|a| a != "--trace" && a != "--metrics");
+    // `--obs-listen <addr>` is also global: it consumes a value, so it
+    // is stripped as a pair.
+    let obs_listen = match args.iter().position(|a| a == "--obs-listen") {
+        Some(i) => {
+            let Some(addr) = args.get(i + 1).cloned() else {
+                eprintln!("error: --obs-listen needs an address (e.g. 127.0.0.1:9464)");
+                return ExitCode::FAILURE;
+            };
+            args.drain(i..i + 2);
+            Some(addr)
+        }
+        None => None,
+    };
     if trace {
         dsa_obs::enable_trace();
-    } else if metrics {
+    } else if metrics || obs_listen.is_some() {
+        // An exposition endpoint over a disabled registry would scrape
+        // empty forever; --obs-listen implies --metrics.
         dsa_obs::enable_metrics();
+    }
+    if let Some(addr) = &obs_listen {
+        match dsa_obs::serve::spawn(addr, dsa_obs::serve::Mode::Live) {
+            Ok(bound) => eprintln!("obs: serving /metrics /snapshot /healthz on http://{bound}/"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let result = match args.first().map(String::as_str) {
         Some("bt") => cmd_bt(&args[1..]),
@@ -122,7 +165,7 @@ fn main() -> ExitCode {
             }
         }
     };
-    if trace || metrics {
+    if trace || metrics || obs_listen.is_some() {
         let snap = dsa_obs::snapshot();
         if !snap.is_empty() {
             println!("==== observability ====");
@@ -185,11 +228,21 @@ fn run_meta_from_args(args: &[String], binary: &str, ts_ms: u64) -> dsa_obs::Run
     let requested = arg_value(args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    let command: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| *a != "--metrics" && *a != "--trace")
-        .collect();
+    // The journaled command drops the observability switches
+    // (`--metrics`, `--trace`, `--obs-listen <addr>`): they change what
+    // is recorded, not what runs, and diff/regress group comparable runs
+    // by command string.
+    let mut command: Vec<&str> = Vec::new();
+    let mut skip_value = false;
+    for a in args.iter().map(String::as_str) {
+        if skip_value {
+            skip_value = false;
+        } else if a == "--obs-listen" {
+            skip_value = true;
+        } else if a != "--metrics" && a != "--trace" {
+            command.push(a);
+        }
+    }
     dsa_obs::RunMeta {
         run_id: format!("{binary}-{ts_ms}-{}", std::process::id()),
         binary: binary.to_string(),
@@ -212,11 +265,12 @@ fn help() -> String {
         "dsa — Design Space Analysis toolkit\n\
          usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|attribute|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
-         \u{20}      dsa obs {{report [file]|list|runs|trace|diff <a> <b>|regress}} [--out DIR]\n\
+         \u{20}      dsa obs {{report [file]|list|runs|trace|diff <a> <b>|regress|serve|top|gc|lint}} [--out DIR]\n\
          domains: {}\n\
          attacks: {} (dsa <domain> attack {{list|run}})\n\
          (bare commands default to the swarm domain; global --metrics/--trace\n\
-         \u{20}record counters and spans for any command; see crate docs for flags)",
+         \u{20}record counters and spans for any command, and --obs-listen ADDR\n\
+         \u{20}serves the live registry over HTTP; see crate docs for flags)",
         domains.join(", "),
         attacks.join(", ")
     )
@@ -969,10 +1023,19 @@ fn cmd_obs(args: &[String]) -> Result<(), String> {
         Some("trace") => cmd_obs_trace(&args[1..]),
         Some("diff") => cmd_obs_diff(&args[1..]),
         Some("regress") => cmd_obs_regress(&args[1..]),
+        Some("serve") => cmd_obs_serve(&args[1..]),
+        Some("top") => cmd_obs_top(&args[1..]),
+        Some("gc") => cmd_obs_gc(&args[1..]),
+        Some("lint") => cmd_obs_lint(&args[1..]),
         Some(other) => Err(format!(
-            "unknown obs command '{other}' (expected: report, list, runs, trace, diff, regress)"
+            "unknown obs command '{other}' (expected: report, list, runs, trace, diff, \
+             regress, serve, top, gc, lint)"
         )),
-        None => Err("obs needs a subcommand: report, list, runs, trace, diff, regress".into()),
+        None => Err(
+            "obs needs a subcommand: report, list, runs, trace, diff, regress, serve, top, \
+             gc, lint"
+                .into(),
+        ),
     }
 }
 
@@ -1071,14 +1134,36 @@ fn read_journal(out: &str) -> Result<Vec<dsa_obs::JournalRecord>, String> {
     Ok(records)
 }
 
+/// Strips a bare (valueless) `--switch` from an argument list, returning
+/// whether it was present. Must run before [`split_flags`], which would
+/// otherwise swallow the next token as the switch's value.
+fn take_switch(args: &[String], name: &str) -> (bool, Vec<String>) {
+    let present = args.iter().any(|a| a == name);
+    let rest = args
+        .iter()
+        .filter(|a| a.as_str() != name)
+        .cloned()
+        .collect();
+    (present, rest)
+}
+
 fn cmd_obs_runs(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
+    let (json, args) = take_switch(args, "--json");
+    let (pos, flags) = split_flags(&args)?;
     if let Some(stray) = pos.first() {
         return Err(format!("obs runs takes no positional argument '{stray}'"));
     }
     check_flags(&flags, &["out", "last"])?;
     let out: String = flag(&flags, "out", "results".to_string())?;
     let last = flag(&flags, "last", 10usize)?.max(1);
+    if json {
+        // Same document the resident server's /runs endpoint emits —
+        // unfiltered (--last shapes the human listing only), with any
+        // corrupt-line count inline instead of on stderr.
+        let (records, skipped) = dsa_obs::journal::read_all(std::path::Path::new(&out))?;
+        print!("{}", dsa_obs::serve::runs_json(&records, skipped));
+        return Ok(());
+    }
     let records = read_journal(&out)?;
     if records.is_empty() {
         println!(
@@ -1189,7 +1274,8 @@ fn resolve_record<'a>(
 }
 
 fn cmd_obs_diff(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
+    let (json, args) = take_switch(args, "--json");
+    let (pos, flags) = split_flags(&args)?;
     check_flags(&flags, &["out", "threshold"])?;
     let [a, b] = pos.as_slice() else {
         return Err("obs diff needs two runs (run ids, or -1/-2/... from the end)".into());
@@ -1202,7 +1288,12 @@ fn cmd_obs_diff(args: &[String]) -> Result<(), String> {
     }
     let ra = resolve_record(&records, a)?;
     let rb = resolve_record(&records, b)?;
-    print!("{}", dsa_obs::diff::render(ra, rb, threshold));
+    if json {
+        // Same document the resident server's /diff/<a>/<b> endpoint emits.
+        println!("{}", dsa_obs::diff::to_json(ra, rb, threshold));
+    } else {
+        print!("{}", dsa_obs::diff::render(ra, rb, threshold));
+    }
     Ok(())
 }
 
@@ -1245,15 +1336,7 @@ fn cmd_obs_regress(args: &[String]) -> Result<(), String> {
         read_journal(&out)?
     };
     let baselines_path: String = flag(&flags, "baselines", "BENCH_engines.json".to_string())?;
-    let baselines = match std::fs::read_to_string(&baselines_path) {
-        Ok(text) => {
-            dsa_obs::regress::load_baselines(&text).map_err(|e| format!("{baselines_path}: {e}"))?
-        }
-        Err(_) => {
-            eprintln!("(no bench baselines at {baselines_path}: ceiling check skipped)");
-            std::collections::BTreeMap::new()
-        }
-    };
+    let baselines = load_bench_baselines(&baselines_path)?;
     let report = dsa_obs::regress::check(&records, &baselines, &cfg);
     print!("{}", dsa_obs::regress::render(&report, &cfg));
     if report.ok() {
@@ -1265,6 +1348,116 @@ fn cmd_obs_regress(args: &[String]) -> Result<(), String> {
             cfg.threshold_pct
         ))
     }
+}
+
+/// Loads the bench ceiling file for the regress gate; a missing file is
+/// a warning (ceiling check skipped), an unparseable one is an error.
+fn load_bench_baselines(path: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => dsa_obs::regress::load_baselines(&text).map_err(|e| format!("{path}: {e}")),
+        Err(_) => {
+            eprintln!("(no bench baselines at {path}: ceiling check skipped)");
+            Ok(std::collections::BTreeMap::new())
+        }
+    }
+}
+
+// ---- the live observability layer (dsa obs serve/top/gc/lint) --------------
+
+fn cmd_obs_serve(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("obs serve takes no positional argument '{stray}'"));
+    }
+    check_flags(
+        &flags,
+        &["addr", "out", "threshold", "window", "floor", "baselines"],
+    )?;
+    let addr: String = flag(&flags, "addr", "127.0.0.1:9464".to_string())?;
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let cfg = dsa_obs::regress::RegressConfig {
+        threshold_pct: flag(&flags, "threshold", 50.0f64)?,
+        window: flag(&flags, "window", 5usize)?.max(1),
+        min_self_ns: flag(&flags, "floor", 1_000_000u64)?,
+        ..dsa_obs::regress::RegressConfig::default()
+    };
+    let baselines_path: String = flag(&flags, "baselines", "BENCH_engines.json".to_string())?;
+    let baselines = load_bench_baselines(&baselines_path)?;
+    // The resident server instruments itself (serve.requests and
+    // friends), so /metrics is live even before the journal has records.
+    dsa_obs::enable_metrics();
+    let dir = std::path::PathBuf::from(&out);
+    let mode = dsa_obs::serve::Mode::resident(dir, cfg, baselines);
+    let server = dsa_obs::serve::Server::bind(&addr, mode)?;
+    println!(
+        "dsa obs serve: http://{}/ — /runs /runs/<id> /diff/<a>/<b> /regress /metrics \
+         /snapshot /healthz (journal: {out}/{}; ^C to stop)",
+        server.local_addr()?,
+        dsa_obs::journal::JOURNAL_FILE
+    );
+    server.run();
+    Ok(())
+}
+
+fn cmd_obs_top(args: &[String]) -> Result<(), String> {
+    let (once, args) = take_switch(args, "--once");
+    let (pos, flags) = split_flags(&args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("obs top takes no positional argument '{stray}'"));
+    }
+    check_flags(&flags, &["addr", "interval"])?;
+    let addr: String = flag(&flags, "addr", "127.0.0.1:9464".to_string())?;
+    let interval = flag(&flags, "interval", 2.0f64)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(format!(
+            "--interval must be a positive number of seconds, got {interval}"
+        ));
+    }
+    dsa_obs::top::run(&dsa_obs::top::TopOptions {
+        addr,
+        interval: std::time::Duration::from_secs_f64(interval),
+        once,
+    })
+}
+
+fn cmd_obs_gc(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if let Some(stray) = pos.first() {
+        return Err(format!("obs gc takes no positional argument '{stray}'"));
+    }
+    check_flags(&flags, &["out", "keep"])?;
+    let out: String = flag(&flags, "out", "results".to_string())?;
+    let keep = flag(&flags, "keep", 100usize)?;
+    let (kept, dropped) = dsa_obs::journal::gc(std::path::Path::new(&out), keep)?;
+    println!(
+        "journal gc under {out}: kept {kept} record(s), dropped {dropped} \
+         (rotated generation folded in)"
+    );
+    Ok(())
+}
+
+fn cmd_obs_lint(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    check_flags(&flags, &["monotone"])?;
+    let path = pos
+        .first()
+        .ok_or("obs lint needs a /metrics body to validate (a file path)")?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let cur = dsa_obs::expo::parse(&body).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid exposition — {} families, {} samples",
+        cur.families.len(),
+        cur.sample_count()
+    );
+    if let Some((_, prev_path)) = flags.iter().find(|(n, _)| n == "monotone") {
+        let prev_body =
+            std::fs::read_to_string(prev_path).map_err(|e| format!("reading {prev_path}: {e}"))?;
+        let prev = dsa_obs::expo::parse(&prev_body).map_err(|e| format!("{prev_path}: {e}"))?;
+        dsa_obs::expo::check_monotone(&prev, &cur)
+            .map_err(|e| format!("monotonicity violated between {prev_path} and {path}: {e}"))?;
+        println!("monotone against {prev_path}: every counter series is non-decreasing");
+    }
+    Ok(())
 }
 
 // ---- the piece-level BitTorrent experiment (swarm-domain extra) -----------

@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N]
 //!             [--budgets B1,B2,...] [--mutants P1,P2,...]
-//!             [--response pra,attack,evolution] [--metrics] [--trace] <id>...
+//!             [--response pra,attack,evolution] [--metrics] [--trace]
+//!             [--obs-listen ADDR] <id>...
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
@@ -32,8 +33,12 @@
 //! `--metrics` turns the [`dsa_obs`] counters/gauges/histograms on for
 //! the whole run and `--trace` additionally records spans; both print an
 //! observability epilogue and export `<out>/obs-experiments-<scale>.csv`.
-//! The `profile` id renders the per-engine time-attribution figure (it
-//! manages the obs registries itself).
+//! `--obs-listen ADDR` (implies `--metrics`) additionally serves the
+//! live registry over HTTP while the run executes — `GET /metrics`
+//! (Prometheus text exposition) and `GET /snapshot` (JSON), scrapeable
+//! mid-run. The `profile` id renders the per-engine time-attribution
+//! figure (it manages — and resets — the obs registries itself, so
+//! scrape monotonicity holds for every id *except* `profile`).
 
 use dsa_bench::attackfig;
 use dsa_bench::attribfig;
@@ -94,6 +99,7 @@ struct Options {
     responses: Vec<dsa_attribution::ResponseKind>,
     metrics: bool,
     trace: bool,
+    obs_listen: Option<String>,
     ids: Vec<String>,
 }
 
@@ -107,6 +113,7 @@ fn parse_args() -> Result<Options, String> {
     let mut responses = vec![dsa_attribution::ResponseKind::Pra];
     let mut metrics = false;
     let mut trace = false;
+    let mut obs_listen: Option<String> = None;
     let mut ids = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -161,11 +168,18 @@ fn parse_args() -> Result<Options, String> {
             }
             "--metrics" => metrics = true,
             "--trace" => trace = true,
+            "--obs-listen" => {
+                let v = args
+                    .next()
+                    .ok_or("--obs-listen needs an address (e.g. 127.0.0.1:9464)")?;
+                obs_listen = Some(v);
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
                      [--threads N] [--budgets B1,B2,...] [--mutants P1,P2,...] \
-                     [--response pra,attack,evolution] [--metrics] [--trace] <id>...\nids: {} all",
+                     [--response pra,attack,evolution] [--metrics] [--trace] \
+                     [--obs-listen ADDR] <id>...\nids: {} all",
                     ALL_IDS.join(" ")
                 ));
             }
@@ -194,6 +208,7 @@ fn parse_args() -> Result<Options, String> {
         responses,
         metrics,
         trace,
+        obs_listen,
         ids,
     })
 }
@@ -217,8 +232,21 @@ fn main() -> ExitCode {
 
     if opts.trace {
         dsa_obs::enable_trace();
-    } else if opts.metrics {
+    } else if opts.metrics || opts.obs_listen.is_some() {
+        // An exposition endpoint over a disabled registry would scrape
+        // empty forever; --obs-listen implies --metrics.
         dsa_obs::enable_metrics();
+    }
+    if let Some(addr) = &opts.obs_listen {
+        match dsa_obs::serve::spawn(addr, dsa_obs::serve::Mode::Live) {
+            Ok(bound) => eprintln!(
+                "[experiments] obs: serving /metrics /snapshot /healthz on http://{bound}/"
+            ),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     // The sweep is shared by several ids; compute lazily, once.
@@ -302,7 +330,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if opts.metrics || opts.trace {
+    if opts.metrics || opts.trace || opts.obs_listen.is_some() {
         let snap = dsa_obs::snapshot();
         if !snap.is_empty() {
             println!("==== observability ====");
@@ -330,7 +358,23 @@ fn main() -> ExitCode {
                     std::process::id()
                 ),
                 binary: "experiments".to_string(),
-                command: format!("experiments {}", raw_args.join(" ")),
+                // The journaled command drops `--obs-listen <addr>`: it
+                // changes what is exposed, not what runs, and diff/regress
+                // group comparable runs by command string.
+                command: {
+                    let mut kept: Vec<&str> = Vec::new();
+                    let mut skip_value = false;
+                    for a in raw_args.iter().map(String::as_str) {
+                        if skip_value {
+                            skip_value = false;
+                        } else if a == "--obs-listen" {
+                            skip_value = true;
+                        } else {
+                            kept.push(a);
+                        }
+                    }
+                    format!("experiments {}", kept.join(" "))
+                },
                 timestamp_ms: ts_ms,
                 scale: Some(opts.scale.name.to_string()),
                 domain: None,

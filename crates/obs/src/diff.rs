@@ -8,6 +8,7 @@
 //! noise floor so smoke-scale diffs aren't wall-to-wall jitter.
 
 use crate::journal::JournalRecord;
+use crate::json;
 use std::fmt::Write as _;
 
 /// Self-time noise floor: spans under this in *both* runs are omitted
@@ -181,10 +182,125 @@ pub fn render(a: &JournalRecord, b: &JournalRecord, threshold_pct: f64) -> Strin
     out
 }
 
+/// Serializes the diff of two journal records as one JSON document — the
+/// body behind `GET /diff/<a>/<b>` and `dsa obs diff --json`. Same
+/// content policy as [`render`]: spans below the noise floor in both
+/// runs are omitted, unchanged counters and histogram p95s are omitted;
+/// `pct` is `null` where the reference side is zero or missing.
+#[must_use]
+pub fn to_json(a: &JournalRecord, b: &JournalRecord, threshold_pct: f64) -> String {
+    let opt_pct = |p: Option<f64>| p.map_or_else(|| "null".to_string(), json::num);
+    let mut out = format!(
+        "{{\"a\":\"{}\",\"b\":\"{}\",\"comparable\":{},\"threshold_pct\":{},\
+         \"span_floor_ns\":{SPAN_FLOOR_NS},\
+         \"wall_ms\":{{\"a\":{},\"b\":{},\"pct\":{}}}",
+        json::escape(&a.meta.run_id),
+        json::escape(&b.meta.run_id),
+        a.meta.command == b.meta.command && a.meta.scale == b.meta.scale,
+        json::num(threshold_pct),
+        a.wall_ms,
+        b.wall_ms,
+        opt_pct(pct(a.wall_ms as f64, b.wall_ms as f64))
+    );
+
+    out.push_str(",\"spans\":[");
+    let mut names: Vec<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut first = true;
+    for name in &names {
+        let (sa, sb) = (a.spans.get(*name), b.spans.get(*name));
+        if sa.map_or(0, |s| s.self_ns) < SPAN_FLOOR_NS
+            && sb.map_or(0, |s| s.self_ns) < SPAN_FLOOR_NS
+        {
+            continue;
+        }
+        let status = match (sa, sb) {
+            (Some(_), Some(_)) => "both",
+            (Some(_), None) => "removed",
+            _ => "added",
+        };
+        let p = match (sa, sb) {
+            (Some(x), Some(y)) => pct(x.self_ns as f64, y.self_ns as f64),
+            _ => None,
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"status\":\"{status}\",\"a_self_ns\":{},\"b_self_ns\":{},\
+             \"pct\":{}}}",
+            json::escape(name),
+            sa.map_or(0, |s| s.self_ns),
+            sb.map_or(0, |s| s.self_ns),
+            opt_pct(p)
+        );
+    }
+
+    out.push_str("],\"counters\":[");
+    let mut names: Vec<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut first = true;
+    for name in &names {
+        let (va, vb) = (a.counters.get(*name), b.counters.get(*name));
+        if va == vb {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let p = match (va, vb) {
+            (Some(&x), Some(&y)) => pct(x as f64, y as f64),
+            _ => None,
+        };
+        let opt_u64 = |v: Option<&u64>| v.map_or_else(|| "null".to_string(), u64::to_string);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"a\":{},\"b\":{},\"pct\":{}}}",
+            json::escape(name),
+            opt_u64(va),
+            opt_u64(vb),
+            opt_pct(p)
+        );
+    }
+
+    out.push_str("],\"hists_p95\":[");
+    let mut names: Vec<&String> = a.hists.keys().chain(b.hists.keys()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut first = true;
+    for name in &names {
+        if let (Some(ha), Some(hb)) = (a.hists.get(*name), b.hists.get(*name)) {
+            if ha.p95 == hb.p95 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"a\":{},\"b\":{},\"pct\":{}}}",
+                json::escape(name),
+                ha.p95,
+                hb.p95,
+                opt_pct(pct(ha.p95 as f64, hb.p95 as f64))
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::journal::{HistSummary, JournalRecord, RunMeta, SpanSummary};
+    use crate::json::Json;
 
     fn record(run: &str, swarm_self: u64, stores: u64) -> JournalRecord {
         let mut r = JournalRecord {
@@ -267,5 +383,40 @@ mod tests {
         let text = render(&a, &a, 25.0);
         assert!(text.contains("counters: identical"));
         assert!(!text.contains('!'), "no highlights expected:\n{text}");
+    }
+
+    #[test]
+    fn json_diff_parses_and_carries_the_same_content() {
+        let a = record("a", 100_000_000, 1);
+        let b = record("b", 160_000_000, 4);
+        let doc = crate::json::parse(&to_json(&a, &b, 25.0)).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_str), Some("a"));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("b"));
+        assert_eq!(doc.get("comparable"), Some(&Json::Bool(true)));
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        let swarm = spans
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some("swarm.run"))
+            .unwrap();
+        assert_eq!(swarm.get("status").and_then(Json::as_str), Some("both"));
+        let p = swarm.get("pct").and_then(Json::as_f64).unwrap();
+        assert!((p - 60.0).abs() < 1e-9, "pct {p}");
+        // cache.store changed 1 -> 4; cache.hit (unchanged) is omitted.
+        let counters = doc.get("counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0].get("name").and_then(Json::as_str),
+            Some("cache.store")
+        );
+        // p95 changed with the store count; it must appear here too.
+        let hists = doc.get("hists_p95").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            hists[0].get("name").and_then(Json::as_str),
+            Some("attacks.cell_ns")
+        );
+        // Identical runs produce empty delta arrays.
+        let doc = crate::json::parse(&to_json(&a, &a, 25.0)).unwrap();
+        assert_eq!(doc.get("counters").and_then(Json::as_arr), Some(&[][..]));
+        assert_eq!(doc.get("hists_p95").and_then(Json::as_arr), Some(&[][..]));
     }
 }

@@ -1,0 +1,618 @@
+//! Prometheus text exposition (v0.0.4) for the live registry: the body
+//! behind `GET /metrics`, plus the in-repo parser/validator that the
+//! tests and `dsa obs lint` use to check scraped bodies.
+//!
+//! The registry's dotted instrument names (`cache.hit`,
+//! `attacks.cell_ns`) are not legal Prometheus metric names
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`), so every instrument is **mangled**:
+//! prefixed with the `dsa_` namespace and every illegal character mapped
+//! to `_`. Mangling is many-to-one in principle (`cache.hit` and
+//! `cache-hit` would collide); [`mangle_all`] therefore collision-checks
+//! a whole name set at once, and the exposition renderer refuses to emit
+//! a body with ambiguous names rather than silently merging two
+//! instruments. A unit test pins the full instrument taxonomy from the
+//! bench README as collision-free.
+//!
+//! Mapping of the registry onto exposition types, all values chosen so a
+//! scrape mid-run is **monotone** (no resets, no last-value flapping
+//! except gauges, which are gauges):
+//!
+//! - counter `cache.hit` → `dsa_cache_hit_total` (TYPE `counter`);
+//! - gauge `evo.cells_per_sec` → `dsa_evo_cells_per_sec` (TYPE `gauge`);
+//! - histogram `attacks.cell_ns` → `dsa_attacks_cell_ns` (TYPE
+//!   `histogram`): cumulative `_bucket{le="..."}` series derived from
+//!   the log2 buckets (bucket `k` covers integers `≤ 2^k − 1`, so the
+//!   `le` bounds are exact), then `_sum` and `_count`;
+//! - span `swarm.run` → three counters:
+//!   `dsa_span_swarm_run_calls_total`, `dsa_span_swarm_run_time_ns_total`
+//!   (total wall time) and `dsa_span_swarm_run_self_ns_total` (self
+//!   time).
+//!
+//! Families render in sorted-name order within each registry section
+//! (counters, gauges, histograms, spans), so two scrapes of the same
+//! registry shape are line-for-line comparable — [`check_monotone`]
+//! exploits exactly that.
+
+use crate::metrics::Hist;
+use crate::report::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The metric-name namespace every exposed instrument lives under.
+pub const NAMESPACE: &str = "dsa";
+
+/// The Content-Type of the text exposition format, version 0.0.4.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Mangles one instrument name into a legal Prometheus metric name:
+/// `dsa_` + the name with every character outside `[a-zA-Z0-9_:]`
+/// replaced by `_`. The namespace prefix guarantees the first character
+/// is legal regardless of the input.
+#[must_use]
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(NAMESPACE.len() + 1 + name.len());
+    out.push_str(NAMESPACE);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Mangles a whole set of instrument names, collision-checked: two
+/// distinct instruments may not map to the same exposed name (the scrape
+/// would silently merge them).
+///
+/// # Errors
+///
+/// Returns an error naming the first pair of instruments whose mangled
+/// names collide.
+pub fn mangle_all<'a, I>(names: I) -> Result<BTreeMap<String, String>, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut out: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen: BTreeMap<String, String> = BTreeMap::new();
+    for name in names {
+        let mangled = mangle(name);
+        if let Some(prior) = seen.get(&mangled) {
+            if prior != name {
+                return Err(format!(
+                    "instruments {prior:?} and {name:?} both expose as {mangled:?}"
+                ));
+            }
+            continue;
+        }
+        seen.insert(mangled.clone(), name.to_string());
+        out.insert(name.to_string(), mangled);
+    }
+    Ok(out)
+}
+
+/// Whether `name` is a legal Prometheus metric name.
+#[must_use]
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn help_line(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Serializes one `f64` sample value: integers bare, non-finite values
+/// in Prometheus spelling (`+Inf`/`-Inf`/`NaN`).
+fn sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        crate::json::num(v)
+    }
+}
+
+fn render_hist(out: &mut String, name: &str, h: &Hist) {
+    // Cumulative buckets up to the highest non-empty one. Log2 bucket k
+    // holds integers in [2^(k-1), 2^k) — everything ≤ 2^k − 1 — so the
+    // inclusive `le` bound of bucket k is exactly 2^k − 1 (bucket 0, the
+    // zeros, has le="0").
+    let top = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |k| k.min(62));
+    let mut cum = 0u64;
+    for (k, &c) in h.buckets.iter().enumerate().take(top + 1) {
+        cum += c;
+        let le = if k == 0 { 0 } else { (1u64 << k) - 1 };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a registry snapshot as a Prometheus text exposition body.
+/// Deterministic: families appear in sorted instrument order within each
+/// section. An empty snapshot renders as an empty body (a legal
+/// exposition).
+///
+/// # Errors
+///
+/// Returns an error when two registered instruments mangle to the same
+/// exposed metric name (see [`mangle_all`]).
+pub fn render(snap: &Snapshot) -> Result<String, String> {
+    let names = mangle_all(
+        snap.counters
+            .keys()
+            .chain(snap.gauges.keys())
+            .chain(snap.hists.keys())
+            .chain(snap.spans.keys())
+            .map(String::as_str),
+    )?;
+    let mangled = |n: &str| names[n].clone();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let m = format!("{}_total", mangled(name));
+        help_line(
+            &mut out,
+            &m,
+            "counter",
+            &format!("events counted by instrument `{name}`"),
+        );
+        let _ = writeln!(out, "{m} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let m = mangled(name);
+        help_line(
+            &mut out,
+            &m,
+            "gauge",
+            &format!("last value of gauge `{name}`"),
+        );
+        let _ = writeln!(out, "{m} {}", sample(*v));
+    }
+    for (name, h) in &snap.hists {
+        let m = mangled(name);
+        help_line(
+            &mut out,
+            &m,
+            "histogram",
+            &format!("log2-bucketed distribution of instrument `{name}`"),
+        );
+        render_hist(&mut out, &m, h);
+    }
+    for (name, s) in &snap.spans {
+        let base = format!(
+            "{}_span_{}",
+            NAMESPACE,
+            &mangled(name)[NAMESPACE.len() + 1..]
+        );
+        let calls = format!("{base}_calls_total");
+        help_line(
+            &mut out,
+            &calls,
+            "counter",
+            &format!("invocations of span `{name}`"),
+        );
+        let _ = writeln!(out, "{calls} {}", s.dur.count);
+        let time = format!("{base}_time_ns_total");
+        help_line(
+            &mut out,
+            &time,
+            "counter",
+            &format!("total wall nanoseconds in span `{name}`"),
+        );
+        let _ = writeln!(out, "{time} {}", s.dur.sum);
+        let self_t = format!("{base}_self_ns_total");
+        help_line(
+            &mut out,
+            &self_t,
+            "counter",
+            &format!("self (total minus children) nanoseconds in span `{name}`"),
+        );
+        let _ = writeln!(out, "{self_t} {}", s.self_ns);
+    }
+    Ok(out)
+}
+
+// ---- parsing / validation ---------------------------------------------------
+
+/// One metric family parsed back out of an exposition body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Family {
+    /// Declared TYPE (`counter`, `gauge`, `histogram`, ...).
+    pub kind: String,
+    /// Samples: full series key (name + label set, as written) → value.
+    pub samples: Vec<(String, f64)>,
+}
+
+/// A parsed exposition body: family name → [`Family`], in document order
+/// inside each family.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Expo {
+    /// Families by base metric name.
+    pub families: BTreeMap<String, Family>,
+}
+
+impl Expo {
+    /// Total number of samples across families.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.families.values().map(|f| f.samples.len()).sum()
+    }
+
+    /// Looks up one sample value by its full series key (name including
+    /// any label set, exactly as written in the body).
+    #[must_use]
+    pub fn value(&self, series: &str) -> Option<f64> {
+        let base = series.split('{').next().unwrap_or(series);
+        let family = self.families.get(base).or_else(|| {
+            // `_bucket`/`_sum`/`_count` series belong to their histogram
+            // family.
+            ["_bucket", "_sum", "_count", "_total"]
+                .iter()
+                .find_map(|suffix| base.strip_suffix(suffix))
+                .and_then(|stem| self.families.get(stem))
+        })?;
+        family
+            .samples
+            .iter()
+            .find(|(k, _)| k == series)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The base family name a sample series belongs to, given the declared
+/// families: strips label sets and the histogram/counter suffixes.
+fn family_of<'a>(name: &'a str, declared: &BTreeMap<String, Family>) -> Option<&'a str> {
+    if declared.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if declared.get(stem).is_some_and(|f| f.kind == "histogram") {
+                return Some(stem);
+            }
+        }
+    }
+    None
+}
+
+/// Parses and validates a text exposition body. Enforced invariants:
+///
+/// - every line is a comment, blank, or `series value`;
+/// - every sample belongs to a family declared by a preceding `# TYPE`;
+/// - metric and family names are legal Prometheus names;
+/// - no duplicate series;
+/// - histogram families carry cumulative buckets ending in `le="+Inf"`,
+///   and their `_count` equals the `+Inf` bucket.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn parse(body: &str) -> Result<Expo, String> {
+    let mut expo = Expo::default();
+    let mut seen_series: BTreeMap<String, ()> = BTreeMap::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                return Err(format!("line {n}: malformed TYPE line"));
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: illegal metric name {name:?}"));
+            }
+            if expo.families.contains_key(name) {
+                return Err(format!("line {n}: duplicate TYPE for {name:?}"));
+            }
+            expo.families.insert(
+                name.to_string(),
+                Family {
+                    kind: kind.to_string(),
+                    samples: Vec::new(),
+                },
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and other comments
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: expected `series value`"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: bad sample value {v:?}"))?,
+        };
+        let name = series.split('{').next().unwrap_or(series);
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: illegal metric name {name:?}"));
+        }
+        let Some(family) = family_of(name, &expo.families) else {
+            return Err(format!("line {n}: sample {name:?} has no preceding TYPE"));
+        };
+        if seen_series.insert(series.to_string(), ()).is_some() {
+            return Err(format!("line {n}: duplicate series {series:?}"));
+        }
+        let family = family.to_string();
+        expo.families
+            .get_mut(&family)
+            .expect("family exists")
+            .samples
+            .push((series.to_string(), value));
+    }
+    // Histogram shape checks.
+    for (name, family) in &expo.families {
+        if family.kind != "histogram" {
+            continue;
+        }
+        let buckets: Vec<f64> = family
+            .samples
+            .iter()
+            .filter(|(k, _)| k.starts_with(&format!("{name}_bucket")))
+            .map(|(_, v)| *v)
+            .collect();
+        if buckets.is_empty() {
+            return Err(format!("histogram {name:?} has no buckets"));
+        }
+        if buckets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(format!("histogram {name:?} buckets are not cumulative"));
+        }
+        let inf = expo
+            .value(&format!("{name}_bucket{{le=\"+Inf\"}}"))
+            .ok_or_else(|| format!("histogram {name:?} lacks the +Inf bucket"))?;
+        let count = expo
+            .value(&format!("{name}_count"))
+            .ok_or_else(|| format!("histogram {name:?} lacks _count"))?;
+        if (inf - count).abs() > 0.0 {
+            return Err(format!(
+                "histogram {name:?}: _count {count} != +Inf bucket {inf}"
+            ));
+        }
+    }
+    Ok(expo)
+}
+
+/// Checks that every monotone series (counters; histogram buckets,
+/// sums and counts) in `prev` is ≤ its value in `cur` — the invariant
+/// two successive scrapes of one live registry must satisfy. Gauges are
+/// exempt. Series present only in `cur` (new instruments) are fine;
+/// series that disappeared are an error (a registry reset mid-run).
+///
+/// # Errors
+///
+/// Returns a message naming the first series that decreased or vanished.
+pub fn check_monotone(prev: &Expo, cur: &Expo) -> Result<(), String> {
+    for family in prev.families.values() {
+        if family.kind == "gauge" {
+            continue;
+        }
+        for (series, &old) in family.samples.iter().map(|(k, v)| (k, v)) {
+            let Some(new) = cur.value(series) else {
+                return Err(format!("series {series:?} vanished between scrapes"));
+            };
+            if new < old {
+                return Err(format!(
+                    "series {series:?} decreased between scrapes: {old} -> {new}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStats;
+
+    /// The full instrument taxonomy from the bench README ("Metric
+    /// naming" + "Span taxonomy"): the set the registry actually records
+    /// across every engine, sweep and cache. Pinned here so a future
+    /// instrument whose name mangles into an existing one fails loudly.
+    const TAXONOMY: &[&str] = &[
+        "cache.hit",
+        "cache.miss.absent",
+        "cache.miss.unstamped",
+        "cache.miss.domain",
+        "cache.miss.space",
+        "cache.miss.scale",
+        "cache.miss.params",
+        "cache.miss.seed",
+        "cache.miss.n",
+        "cache.miss.attack",
+        "cache.miss.evo",
+        "cache.miss.attrib",
+        "cache.miss.rows",
+        "cache.store",
+        "cache.read_bytes",
+        "cache.write_bytes",
+        "parallel.jobs",
+        "parallel.tasks",
+        "parallel.worker_busy_ns",
+        "parallel.busy_max_ns",
+        "parallel.busy_mean_ns",
+        "parallel.imbalance",
+        "attacks.cell_ns",
+        "attacks.rows_per_sec",
+        "attacks.sweep",
+        "evo.cell_ns",
+        "evo.cells_per_sec",
+        "evo.matrix",
+        "attrib.row_ns",
+        "attrib.rows_per_sec",
+        "attrib.design",
+        "swarm.run",
+        "swarm.setup",
+        "swarm.rounds",
+        "swarm.payoff",
+        "gossip.run",
+        "gossip.setup",
+        "gossip.rounds",
+        "gossip.payoff",
+        "rep.run",
+        "rep.setup",
+        "rep.rounds",
+        "rep.payoff",
+        "btsim.run",
+        "btsim.setup",
+        "btsim.rounds",
+        "btsim.payoff",
+        "pra.performance",
+        "pra.robustness",
+        "pra.aggressiveness",
+        "obs.cache_events_dropped",
+        "obs.trace_events_dropped",
+        "serve.requests",
+        "serve.http_errors",
+        "serve.request_ns",
+    ];
+
+    #[test]
+    fn full_taxonomy_mangles_without_collisions() {
+        let map = mangle_all(TAXONOMY.iter().copied()).expect("no collisions");
+        assert_eq!(map.len(), TAXONOMY.len());
+        for mangled in map.values() {
+            assert!(valid_metric_name(mangled), "illegal name {mangled:?}");
+            assert!(mangled.starts_with("dsa_"));
+        }
+        // Dots and dashes both map to `_`.
+        assert_eq!(mangle("cache.miss.seed"), "dsa_cache_miss_seed");
+        assert_eq!(mangle("rows-per-sec"), "dsa_rows_per_sec");
+        assert_eq!(mangle("9weird name!"), "dsa_9weird_name_");
+    }
+
+    #[test]
+    fn colliding_names_are_rejected() {
+        let err = mangle_all(["cache.hit", "cache-hit"]).unwrap_err();
+        assert!(err.contains("dsa_cache_hit"), "{err}");
+        // The same name twice is not a collision.
+        assert!(mangle_all(["cache.hit", "cache.hit"]).is_ok());
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("cache.hit".into(), 3);
+        snap.counters.insert("cache.miss.seed".into(), 1);
+        snap.gauges.insert("evo.cells_per_sec".into(), 1234.5);
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(1);
+        h.record(900);
+        snap.hists.insert("attacks.cell_ns".into(), h);
+        let mut s = SpanStats::default();
+        s.dur.record(1_000_000);
+        s.self_ns = 800_000;
+        snap.spans.insert("swarm.run".into(), s);
+        snap
+    }
+
+    #[test]
+    fn rendered_body_parses_and_validates() {
+        let body = render(&sample_snapshot()).unwrap();
+        let expo = parse(&body).unwrap();
+        assert_eq!(expo.value("dsa_cache_hit_total"), Some(3.0));
+        assert_eq!(expo.value("dsa_evo_cells_per_sec"), Some(1234.5));
+        assert_eq!(expo.families["dsa_attacks_cell_ns"].kind, "histogram");
+        // 0 lands in le="0"; 1 in le="1"; 900 in bucket 10 (le="1023").
+        assert_eq!(
+            expo.value("dsa_attacks_cell_ns_bucket{le=\"0\"}"),
+            Some(1.0)
+        );
+        assert_eq!(
+            expo.value("dsa_attacks_cell_ns_bucket{le=\"1\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            expo.value("dsa_attacks_cell_ns_bucket{le=\"1023\"}"),
+            Some(3.0)
+        );
+        assert_eq!(
+            expo.value("dsa_attacks_cell_ns_bucket{le=\"+Inf\"}"),
+            Some(3.0)
+        );
+        assert_eq!(expo.value("dsa_attacks_cell_ns_sum"), Some(901.0));
+        assert_eq!(expo.value("dsa_attacks_cell_ns_count"), Some(3.0));
+        assert_eq!(expo.value("dsa_span_swarm_run_calls_total"), Some(1.0));
+        assert_eq!(
+            expo.value("dsa_span_swarm_run_self_ns_total"),
+            Some(800_000.0)
+        );
+        // Empty snapshot: legal empty body.
+        assert_eq!(render(&Snapshot::default()).unwrap(), "");
+        assert_eq!(parse("").unwrap().sample_count(), 0);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let snap = sample_snapshot();
+        assert_eq!(render(&snap).unwrap(), render(&snap).unwrap());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_bodies() {
+        for (bad, why) in [
+            ("dsa_x 1\n", "sample without TYPE"),
+            ("# TYPE dsa_x counter\ndsa_x one\n", "bad value"),
+            ("# TYPE 9x counter\n9x 1\n", "illegal name"),
+            (
+                "# TYPE dsa_x counter\ndsa_x 1\ndsa_x 1\n",
+                "duplicate series",
+            ),
+            (
+                "# TYPE dsa_h histogram\ndsa_h_sum 1\ndsa_h_count 1\n",
+                "no buckets",
+            ),
+            (
+                "# TYPE dsa_h histogram\ndsa_h_bucket{le=\"1\"} 5\n\
+                 dsa_h_bucket{le=\"+Inf\"} 3\ndsa_h_sum 1\ndsa_h_count 3\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE dsa_h histogram\ndsa_h_bucket{le=\"+Inf\"} 3\n\
+                 dsa_h_sum 1\ndsa_h_count 4\n",
+                "_count disagrees with +Inf",
+            ),
+        ] {
+            assert!(parse(bad).is_err(), "accepted {why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_check_accepts_growth_and_rejects_resets() {
+        let mut a = sample_snapshot();
+        let body_a = render(&a).unwrap();
+        *a.counters.get_mut("cache.hit").unwrap() += 5;
+        a.hists.get_mut("attacks.cell_ns").unwrap().record(7);
+        a.gauges.insert("evo.cells_per_sec".into(), 1.0); // gauges may fall
+        let body_b = render(&a).unwrap();
+        let (pa, pb) = (parse(&body_a).unwrap(), parse(&body_b).unwrap());
+        check_monotone(&pa, &pb).unwrap();
+        // Reversed: the counter decreased.
+        let err = check_monotone(&pb, &pa).unwrap_err();
+        assert!(err.contains("decreased"), "{err}");
+        // A vanished series is a registry reset.
+        let err = check_monotone(&pa, &Expo::default()).unwrap_err();
+        assert!(err.contains("vanished"), "{err}");
+    }
+}

@@ -549,6 +549,66 @@ pub fn read_all(dir: &Path) -> Result<(Vec<JournalRecord>, usize), String> {
     Ok((records, skipped))
 }
 
+/// Reads one journal file *strictly*: any unparseable non-blank line is
+/// an error. The tolerant [`read_file`] is right for queries (a
+/// crash-truncated tail must not break `dsa obs runs`); a **rewrite**
+/// must not silently discard lines it cannot parse, so [`gc`] uses this.
+fn read_file_strict(path: &Path) -> Result<Vec<JournalRecord>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = JournalRecord::from_json_line(line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Compacts the journal under `dir` to its newest `keep` records: both
+/// generations are read **strictly** (any unparseable line aborts the
+/// compaction — gc must never destroy data it cannot re-serialize), the
+/// newest `keep` records are rewritten atomically (temp sibling +
+/// rename) into `journal.jsonl`, and the rotated generation is removed.
+/// Returns `(kept, dropped)` record counts. A missing journal compacts
+/// to `(0, 0)` without creating any file.
+///
+/// # Errors
+///
+/// Returns an error on unreadable files, any unparseable journal line,
+/// or a failed rewrite — in every case the journal on disk is untouched.
+pub fn gc(dir: &Path, keep: usize) -> Result<(usize, usize), String> {
+    let rotated_path = dir.join(JOURNAL_ROTATED);
+    let current_path = dir.join(JOURNAL_FILE);
+    let mut records = read_file_strict(&rotated_path)?;
+    records.extend(read_file_strict(&current_path)?);
+    if records.is_empty() {
+        return Ok((0, 0));
+    }
+    let kept = records.len().min(keep);
+    let dropped = records.len() - kept;
+    let mut text = String::new();
+    for record in &records[dropped..] {
+        text.push_str(&record.to_json_line());
+        text.push('\n');
+    }
+    let tmp = current_path.with_extension(format!("jsonl.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &current_path)
+        .map_err(|e| format!("installing {}: {e}", current_path.display()))?;
+    if rotated_path.exists() {
+        std::fs::remove_file(&rotated_path)
+            .map_err(|e| format!("removing {}: {e}", rotated_path.display()))?;
+    }
+    Ok((kept, dropped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,6 +760,50 @@ spans{name -> {count,total_ns,self_ns,p50,p95,p99}}
         assert_eq!(records, vec![a]);
         assert_eq!(skipped, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_the_newest_records_and_collapses_generations() {
+        let dir = fresh_dir("gc");
+        let line_len = sample("run-0", 1).to_json_line().len() as u64 + 1;
+        // Force a rotation so gc has two generations to collapse.
+        let cap = line_len * 3 + 10;
+        for i in 0..6 {
+            append(&dir, &sample(&format!("run-{i}"), 1), cap).unwrap();
+        }
+        assert!(dir.join(JOURNAL_ROTATED).exists());
+        let (kept, dropped) = gc(&dir, 2).unwrap();
+        assert_eq!((kept, dropped), (2, 4));
+        assert!(!dir.join(JOURNAL_ROTATED).exists());
+        let (records, skipped) = read_all(&dir).unwrap();
+        assert_eq!(skipped, 0);
+        let ids: Vec<&str> = records.iter().map(|r| r.meta.run_id.as_str()).collect();
+        assert_eq!(ids, ["run-4", "run-5"]);
+        // Keeping more than exists keeps everything.
+        assert_eq!(gc(&dir, 100).unwrap(), (2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_refuses_on_parse_errors_and_leaves_the_journal_alone() {
+        let dir = fresh_dir("gc-refuse");
+        append(&dir, &sample("run-a", 1), DEFAULT_MAX_BYTES).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"run\":\"trunc");
+        std::fs::write(&path, &text).unwrap();
+        let err = gc(&dir, 10).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        // The journal is byte-identical: nothing was destroyed.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_of_a_missing_journal_is_a_no_op() {
+        let dir = fresh_dir("gc-missing");
+        assert_eq!(gc(&dir, 5).unwrap(), (0, 0));
+        assert!(!dir.join(JOURNAL_FILE).exists());
     }
 
     #[test]

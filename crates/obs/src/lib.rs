@@ -32,6 +32,13 @@
 //! gate ([`regress`]) — the machinery behind `dsa obs
 //! {runs,trace,diff,regress}`.
 //!
+//! And on top of *that*, the live layer: Prometheus text exposition
+//! ([`expo`]), the embedded HTTP scrape/query server ([`serve`] —
+//! `--obs-listen` inside a run, `dsa obs serve` as a resident query
+//! process over the journal) and the polling terminal dashboard
+//! ([`top`], behind `dsa obs top`). All of it std-only: the HTTP layer
+//! is a hand-rolled GET-only HTTP/1.1 on [`std::net::TcpListener`].
+//!
 //! Everything is **off by default**. Until [`enable_metrics`] or
 //! [`enable_trace`] flips the global flag, every recording call is a
 //! single relaxed atomic load and an early return — unmeasurable in the
@@ -47,12 +54,15 @@
 //! whitespace (they are CSV/stamp tokens).
 
 pub mod diff;
+pub mod expo;
 pub mod journal;
 pub mod json;
 mod metrics;
 pub mod regress;
 mod report;
+pub mod serve;
 mod span;
+pub mod top;
 pub mod trace;
 
 pub use journal::{note_cache_event, JournalRecord, RunMeta};

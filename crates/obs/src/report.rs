@@ -21,6 +21,7 @@
 //! written by earlier versions — and is what `dsa obs report <file>`
 //! uses.
 
+use crate::json::{self, Json};
 use crate::metrics::{counters_snapshot, gauges_snapshot, hists_snapshot, Hist};
 use crate::span::{spans_snapshot, SpanStats};
 use std::collections::BTreeMap;
@@ -367,6 +368,134 @@ impl Snapshot {
         out
     }
 
+    /// Serializes the snapshot as one JSON document — the body of the
+    /// live server's `GET /snapshot` and the wire format `dsa obs top`
+    /// polls. Full fidelity: histograms and span durations carry their
+    /// sparse bucket encoding (same `index:count|...` form as the CSV),
+    /// so [`Snapshot::from_json`] reconstructs the snapshot exactly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json::escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json::escape(name), json::num(*v));
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":\"{}\"}}",
+                json::escape(name),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                buckets_to_string(&h.buckets)
+            );
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total_ns\":{},\"self_ns\":{},\"min_ns\":{},\
+                 \"max_ns\":{},\"buckets\":\"{}\"}}",
+                json::escape(name),
+                s.dur.count,
+                s.dur.sum,
+                s.self_ns,
+                if s.dur.count == 0 { 0 } else { s.dur.min },
+                s.dur.max,
+                buckets_to_string(&s.dur.buckets)
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON or missing/ill-typed fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        if doc.as_obj().is_none() {
+            return Err("snapshot document is not an object".to_string());
+        }
+        let mut snap = Self::default();
+        let field = |v: &Json, name: &str, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing {key}"))
+        };
+        let hist = |v: &Json,
+                    name: &str,
+                    sum_key: &str,
+                    min_key: &str,
+                    max_key: &str|
+         -> Result<Hist, String> {
+            let count = field(v, name, "count")?;
+            Ok(Hist {
+                count,
+                sum: field(v, name, sum_key)?,
+                min: if count == 0 {
+                    u64::MAX
+                } else {
+                    field(v, name, min_key)?
+                },
+                max: field(v, name, max_key)?,
+                buckets: buckets_from_string(
+                    v.get("buckets")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("{name}: missing buckets"))?,
+                )?,
+            })
+        };
+        for (name, v) in doc.get("counters").and_then(Json::as_obj).unwrap_or(&[]) {
+            snap.counters.insert(
+                name.clone(),
+                v.as_u64()
+                    .ok_or_else(|| format!("counter {name}: not a u64"))?,
+            );
+        }
+        for (name, v) in doc.get("gauges").and_then(Json::as_obj).unwrap_or(&[]) {
+            snap.gauges.insert(
+                name.clone(),
+                v.as_f64()
+                    .ok_or_else(|| format!("gauge {name}: not a number"))?,
+            );
+        }
+        for (name, v) in doc.get("hists").and_then(Json::as_obj).unwrap_or(&[]) {
+            snap.hists
+                .insert(name.clone(), hist(v, name, "sum", "min", "max")?);
+        }
+        for (name, v) in doc.get("spans").and_then(Json::as_obj).unwrap_or(&[]) {
+            snap.spans.insert(
+                name.clone(),
+                SpanStats {
+                    dur: hist(v, name, "total_ns", "min_ns", "max_ns")?,
+                    self_ns: field(v, name, "self_ns")?,
+                },
+            );
+        }
+        Ok(snap)
+    }
+
     /// Parses a CSV body produced by [`Snapshot::to_csv`].
     ///
     /// # Errors
@@ -508,6 +637,26 @@ mod tests {
         let snap = sample();
         let parsed = Snapshot::from_csv(&snap.to_csv()).unwrap();
         assert_eq!(snap, parsed);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let snap = sample();
+        let doc = snap.to_json();
+        let parsed = Snapshot::from_json(&doc).unwrap();
+        assert_eq!(snap, parsed);
+        // An empty snapshot is a valid (empty-sections) document.
+        let empty = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&empty.to_json()).unwrap(), empty);
+        // Malformed documents are errors, not panics.
+        for bad in [
+            "",
+            "[]",
+            r#"{"counters":{"x":"y"}}"#,
+            r#"{"hists":{"h":{}}}"#,
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
