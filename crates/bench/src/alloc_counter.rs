@@ -1,55 +1,62 @@
 //! A counting global allocator, compiled only under the `count-allocs`
 //! feature.
 //!
-//! Wraps the system allocator and bumps a thread-local counter on every
-//! `alloc` / `alloc_zeroed` / `realloc`, so tests can assert that a code
-//! region performs **zero** heap allocations — the proof behind the
-//! engines' "allocation-free in steady state" contract (see the
-//! `alloc_count` integration test). Deallocations are not counted: the
-//! contract is about acquiring memory in the hot path, and counting
-//! frees would double-charge buffers handed across regions.
+//! Wraps the system allocator and tallies every `alloc` / `alloc_zeroed`
+//! / `realloc`, so tests can assert that a code region performs **zero**
+//! heap allocations — the proof behind the engines' "allocation-free in
+//! steady state" contract (see the `alloc_count` integration test).
 //!
-//! The counter is per-thread, so parallel test threads do not bleed into
-//! each other's measurements.
+//! The tallies live in [`dsa_obs::alloc`] — the same counters the
+//! runtime `--alloc` flag feeds — so footprint tests can compare a
+//! scratch's computed `footprint()` against the live bytes the counting
+//! allocator actually observed. Unlike the runtime allocator (which
+//! tallies only once `--alloc` enables it), this one counts
+//! *unconditionally*: a test must never measure zero because a flag was
+//! left off. Deallocations adjust live-bytes bookkeeping only; the
+//! allocation count tracks acquisition, so handing buffers across
+//! regions is not double-charged.
+//!
+//! The count is per-thread ([`thread_allocations`]), so parallel test
+//! threads do not bleed into each other's measurements.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-
-thread_local! {
-    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
-}
 
 /// Total allocations (alloc + alloc_zeroed + realloc calls) performed by
 /// the current thread since it started.
 #[must_use]
 pub fn thread_allocations() -> u64 {
-    ALLOCATIONS.with(Cell::get)
+    dsa_obs::alloc::thread_count()
 }
 
 /// The counting allocator itself; installed as `#[global_allocator]`
-/// below.
+/// below. The binaries install [`dsa_obs::alloc::CountingAlloc`]
+/// instead (gated off under this feature so the process has exactly one
+/// global allocator).
 pub struct CountingAlloc;
 
-// SAFETY: defers entirely to `System`; the counter is a const-initialized
-// thread-local `Cell`, so bumping it performs no allocation and cannot
-// re-enter the allocator.
+// SAFETY: defers entirely to `System`; the dsa_obs tally path touches
+// only atomics and const-initialized thread-local `Cell`s, so it
+// performs no allocation and cannot re-enter the allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        dsa_obs::alloc::tally(layout.size());
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        dsa_obs::alloc::tally_free(layout.size());
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        dsa_obs::alloc::tally(layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        // A realloc acquires the new size and releases the old one.
+        dsa_obs::alloc::tally(new_size);
+        dsa_obs::alloc::tally_free(layout.size());
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

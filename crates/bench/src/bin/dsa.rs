@@ -43,8 +43,18 @@
 //! dsa obs top [--addr A] [--interval SECS] [--once]
 //!                                        polling terminal dashboard over a live
 //!                                        /snapshot endpoint (--obs-listen or serve)
-//! dsa obs gc [--out DIR] [--keep N]      compact the journal to its newest N records
-//!                                        (atomic rewrite; refuses on parse errors)
+//! dsa obs flame [run | --live] [--out FILE] [--dir DIR]
+//!               [--domain D] [--scale S] [--seed N] [--threads N]
+//!                                        folded-stacks export (inferno / speedscope /
+//!                                        flamegraph.pl): a journal record's spans by
+//!                                        self time, or (--live) a freshly traced PRA
+//!                                        workload with real per-thread stacks — and,
+//!                                        with the global --alloc, weighted by self
+//!                                        allocation counts instead of nanoseconds
+//! dsa obs gc [--out DIR] [--keep N] [--dry-run]
+//!                                        compact the journal to its newest N records
+//!                                        (atomic rewrite; refuses on parse errors;
+//!                                        --dry-run previews kept/dropped run ids)
 //! dsa obs lint <file> [--monotone FILE]  validate a saved /metrics body as Prometheus
 //!                                        text exposition; with --monotone, check every
 //!                                        counter series grew vs an earlier scrape
@@ -57,6 +67,11 @@
 //! any command and `--trace` additionally records spans; both print an
 //! observability epilogue after the command's own output **and append a
 //! provenance record to `<out>/journal.jsonl`** (see `dsa obs runs`).
+//! `--metrics` also samples process RSS (background thread + a final
+//! boundary reading) and the engines' arena footprints; the global
+//! `--alloc` switch (implies `--metrics`) additionally turns on the
+//! runtime counting allocator, adding `mem.alloc.*` totals and the
+//! per-run `mem.run_allocs.*` histograms.
 //! The global `--obs-listen <addr>` switch (implies `--metrics`) serves
 //! the live registry over HTTP while the command runs: `GET /metrics`
 //! (Prometheus text exposition) and `GET /snapshot` (JSON), scrapeable
@@ -87,6 +102,14 @@ use dsa_stats::ci::ConfidenceInterval;
 use dsa_workloads::seeds::SeedSeq;
 use std::process::ExitCode;
 
+// The runtime counting allocator behind --alloc. Under the count-allocs
+// test feature the dsa_bench library installs its own (unconditional)
+// delegating allocator, so gate this one off — a process gets exactly
+// one #[global_allocator].
+#[cfg(not(feature = "count-allocs"))]
+#[global_allocator]
+static GLOBAL_ALLOC: dsa_obs::alloc::CountingAlloc = dsa_obs::alloc::CountingAlloc;
+
 /// The generic per-domain subcommands.
 const DOMAIN_COMMANDS: [&str; 9] = [
     "protocols",
@@ -114,7 +137,8 @@ fn main() -> ExitCode {
     // command-level flag validation sees them.
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
-    args.retain(|a| a != "--trace" && a != "--metrics");
+    let alloc = args.iter().any(|a| a == "--alloc");
+    args.retain(|a| a != "--trace" && a != "--metrics" && a != "--alloc");
     // `--obs-listen <addr>` is also global: it consumes a value, so it
     // is stripped as a pair.
     let obs_listen = match args.iter().position(|a| a == "--obs-listen") {
@@ -128,12 +152,22 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    if alloc {
+        // Counting without a registry to land in would be invisible;
+        // --alloc implies --metrics.
+        dsa_obs::alloc::enable();
+    }
     if trace {
         dsa_obs::enable_trace();
-    } else if metrics || obs_listen.is_some() {
+    } else if metrics || obs_listen.is_some() || alloc {
         // An exposition endpoint over a disabled registry would scrape
         // empty forever; --obs-listen implies --metrics.
         dsa_obs::enable_metrics();
+    }
+    if dsa_obs::metrics_enabled() {
+        // Background RSS sampling + armed passive hooks: live scrapes
+        // and `obs top` see mem.rss_bytes move during the run.
+        dsa_obs::mem::spawn_sampler(dsa_obs::mem::SAMPLER_INTERVAL);
     }
     if let Some(addr) = &obs_listen {
         match dsa_obs::serve::spawn(addr, dsa_obs::serve::Mode::Live) {
@@ -165,19 +199,33 @@ fn main() -> ExitCode {
             }
         }
     };
-    if trace || metrics || obs_listen.is_some() {
-        let snap = dsa_obs::snapshot();
+    if trace || metrics || alloc || obs_listen.is_some() {
+        // Final memory boundary: one last RSS reading, then fold the
+        // allocation tallies (no-op without --alloc) into the snapshot
+        // the epilogue and journal render from.
+        dsa_obs::mem::sample();
+        let mut snap = dsa_obs::snapshot();
+        dsa_obs::alloc::publish_into(&mut snap);
         if !snap.is_empty() {
             println!("==== observability ====");
             print!("{}", snap.render());
-            // Append the run's provenance record to the journal.
-            let wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
-            let meta = run_meta_from_args(&raw_args, "dsa", ts_ms);
-            let out_dir = journal_dir(&raw_args);
-            let record = dsa_obs::JournalRecord::from_snapshot(meta, wall_ms, &snap);
-            match dsa_obs::journal::append(&out_dir, &record, dsa_obs::journal::DEFAULT_MAX_BYTES) {
-                Ok(path) => println!("journaled {} to {}", record.meta.run_id, path.display()),
-                Err(msg) => eprintln!("journal append failed: {msg}"),
+            // Append the run's provenance record to the journal — but
+            // not for `obs` meta-commands: they read or export the
+            // journal rather than run a workload, and their `--out` is
+            // a file (trace.json, flame.folded), not a results dir.
+            if args.first().map(String::as_str) != Some("obs") {
+                let wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+                let meta = run_meta_from_args(&raw_args, "dsa", ts_ms);
+                let out_dir = journal_dir(&raw_args);
+                let record = dsa_obs::JournalRecord::from_snapshot(meta, wall_ms, &snap);
+                match dsa_obs::journal::append(
+                    &out_dir,
+                    &record,
+                    dsa_obs::journal::DEFAULT_MAX_BYTES,
+                ) {
+                    Ok(path) => println!("journaled {} to {}", record.meta.run_id, path.display()),
+                    Err(msg) => eprintln!("journal append failed: {msg}"),
+                }
             }
         }
     }
@@ -229,9 +277,9 @@ fn run_meta_from_args(args: &[String], binary: &str, ts_ms: u64) -> dsa_obs::Run
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     // The journaled command drops the observability switches
-    // (`--metrics`, `--trace`, `--obs-listen <addr>`): they change what
-    // is recorded, not what runs, and diff/regress group comparable runs
-    // by command string.
+    // (`--metrics`, `--trace`, `--alloc`, `--obs-listen <addr>`): they
+    // change what is recorded, not what runs, and diff/regress group
+    // comparable runs by command string.
     let mut command: Vec<&str> = Vec::new();
     let mut skip_value = false;
     for a in args.iter().map(String::as_str) {
@@ -239,7 +287,7 @@ fn run_meta_from_args(args: &[String], binary: &str, ts_ms: u64) -> dsa_obs::Run
             skip_value = false;
         } else if a == "--obs-listen" {
             skip_value = true;
-        } else if a != "--metrics" && a != "--trace" {
+        } else if a != "--metrics" && a != "--trace" && a != "--alloc" {
             command.push(a);
         }
     }
@@ -265,12 +313,13 @@ fn help() -> String {
         "dsa — Design Space Analysis toolkit\n\
          usage: dsa <domain> {{protocols|describe|simulate|encounter|pra|attack|evolve|attribute|search}} [...]\n\
          \u{20}      dsa bt <kind-a> [kind-b] [--frac F] [--runs N]\n\
-         \u{20}      dsa obs {{report [file]|list|runs|trace|diff <a> <b>|regress|serve|top|gc|lint}} [--out DIR]\n\
+         \u{20}      dsa obs {{report [file]|list|runs|trace|diff <a> <b>|regress|serve|top|flame|gc|lint}} [--out DIR]\n\
          domains: {}\n\
          attacks: {} (dsa <domain> attack {{list|run}})\n\
          (bare commands default to the swarm domain; global --metrics/--trace\n\
-         \u{20}record counters and spans for any command, and --obs-listen ADDR\n\
-         \u{20}serves the live registry over HTTP; see crate docs for flags)",
+         \u{20}record counters and spans for any command, --alloc adds runtime\n\
+         \u{20}allocation counting, and --obs-listen ADDR serves the live registry\n\
+         \u{20}over HTTP; see crate docs for flags)",
         domains.join(", "),
         attacks.join(", ")
     )
@@ -1025,15 +1074,16 @@ fn cmd_obs(args: &[String]) -> Result<(), String> {
         Some("regress") => cmd_obs_regress(&args[1..]),
         Some("serve") => cmd_obs_serve(&args[1..]),
         Some("top") => cmd_obs_top(&args[1..]),
+        Some("flame") => cmd_obs_flame(&args[1..]),
         Some("gc") => cmd_obs_gc(&args[1..]),
         Some("lint") => cmd_obs_lint(&args[1..]),
         Some(other) => Err(format!(
             "unknown obs command '{other}' (expected: report, list, runs, trace, diff, \
-             regress, serve, top, gc, lint)"
+             regress, serve, top, flame, gc, lint)"
         )),
         None => Err(
             "obs needs a subcommand: report, list, runs, trace, diff, regress, serve, top, \
-             gc, lint"
+             flame, gc, lint"
                 .into(),
         ),
     }
@@ -1420,14 +1470,103 @@ fn cmd_obs_top(args: &[String]) -> Result<(), String> {
     })
 }
 
+fn cmd_obs_flame(args: &[String]) -> Result<(), String> {
+    let (live, args) = take_switch(args, "--live");
+    let (pos, flags) = split_flags(&args)?;
+    check_flags(
+        &flags,
+        &["out", "dir", "domain", "scale", "seed", "threads"],
+    )?;
+    let out: String = flag(&flags, "out", "flame.folded".to_string())?;
+    // Allocation weighting rides on the global --alloc switch (main has
+    // already stripped and acted on it); it only makes sense live —
+    // journal records keep no per-span allocation counts.
+    let alloc_weighted = live && dsa_obs::alloc::enabled();
+    let folded = if live {
+        if let Some(stray) = pos.first() {
+            return Err(format!("obs flame --live takes no run argument '{stray}'"));
+        }
+        let domain_name: String = flag(&flags, "domain", "swarm".to_string())?;
+        let domain = dsa_core::domain::lookup(&domain_name)
+            .ok_or_else(|| format!("unknown domain '{domain_name}'"))?;
+        let scale_name: String = flag(&flags, "scale", "smoke".to_string())?;
+        let mut scale = dsa_bench::scale::Scale::by_name(&scale_name)
+            .ok_or_else(|| format!("unknown --scale '{scale_name}' (smoke|lab|paper)"))?;
+        scale.pra.seed = flag(&flags, "seed", scale.pra.seed)?;
+        scale.pra.threads = flag(&flags, "threads", scale.pra.threads)?;
+        // Same traced-workload recipe as `obs trace`: real begin/end
+        // events are the only source of true call stacks.
+        dsa_obs::enable_events();
+        dsa_obs::reset();
+        let mut indices: Vec<usize> = domain.presets().iter().map(|(_, i)| *i).collect();
+        indices.dedup();
+        if indices.len() < 2 {
+            indices = (0..domain.size().min(6)).collect();
+        }
+        {
+            let _workload = dsa_obs::span_owned(format!("flame.{}", domain.name()));
+            let _ = domain.quantify(&indices, scale.effort(), &scale.pra);
+        }
+        let events = dsa_obs::take_events();
+        let weight = if alloc_weighted {
+            dsa_obs::flame::Weight::Allocs
+        } else {
+            dsa_obs::flame::Weight::SelfNanos
+        };
+        dsa_obs::flame::fold_events(&events, weight)
+    } else {
+        let dir: String = flag(&flags, "dir", "results".to_string())?;
+        let records = read_journal(&dir)?;
+        if records.is_empty() {
+            return Err(format!("no journal records under {dir}"));
+        }
+        let token = pos.first().map_or("-1", String::as_str);
+        let record = resolve_record(&records, token)?;
+        dsa_obs::flame::fold_record(record)
+    };
+    if folded.is_empty() && alloc_weighted {
+        // Not an error: an allocation-weighted profile of a steady-state
+        // run SHOULD be empty — that is the zero-alloc claim, verified.
+        println!("no allocating stacks: the traced workload ran allocation-free");
+    }
+    std::fs::write(&out, &folded).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} stack(s), {}-weighted (feed to inferno / flamegraph.pl / speedscope)",
+        folded.lines().count(),
+        if alloc_weighted {
+            "allocation"
+        } else {
+            "self-time"
+        }
+    );
+    Ok(())
+}
+
 fn cmd_obs_gc(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
+    let (dry_run, args) = take_switch(args, "--dry-run");
+    let (pos, flags) = split_flags(&args)?;
     if let Some(stray) = pos.first() {
         return Err(format!("obs gc takes no positional argument '{stray}'"));
     }
     check_flags(&flags, &["out", "keep"])?;
     let out: String = flag(&flags, "out", "results".to_string())?;
     let keep = flag(&flags, "keep", 100usize)?;
+    if dry_run {
+        let plan = dsa_obs::journal::gc_plan(std::path::Path::new(&out), keep)?;
+        for id in &plan.dropped {
+            println!("drop {id}");
+        }
+        for id in &plan.kept {
+            println!("keep {id}");
+        }
+        println!(
+            "journal gc under {out} (dry run): would keep {} record(s), drop {} \
+             (rotated generation folded in; nothing rewritten)",
+            plan.kept.len(),
+            plan.dropped.len()
+        );
+        return Ok(());
+    }
     let (kept, dropped) = dsa_obs::journal::gc(std::path::Path::new(&out), keep)?;
     println!(
         "journal gc under {out}: kept {kept} record(s), dropped {dropped} \

@@ -4,7 +4,7 @@
 //! experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] [--threads N]
 //!             [--budgets B1,B2,...] [--mutants P1,P2,...]
 //!             [--response pra,attack,evolution] [--metrics] [--trace]
-//!             [--obs-listen ADDR] <id>...
+//!             [--alloc] [--obs-listen ADDR] <id>...
 //!
 //! ids: fig1 table1 table2 nash fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!      table3 churn corr9010 birds fig9a fig9b fig9c fig10 gossip
@@ -36,7 +36,10 @@
 //! `--obs-listen ADDR` (implies `--metrics`) additionally serves the
 //! live registry over HTTP while the run executes — `GET /metrics`
 //! (Prometheus text exposition) and `GET /snapshot` (JSON), scrapeable
-//! mid-run. The `profile` id renders the per-engine time-attribution
+//! mid-run. `--alloc` (implies `--metrics`) turns on the runtime
+//! counting allocator: `mem.alloc.{count,bytes}` and the per-run
+//! `mem.run_allocs.*` histograms join the RSS and arena-footprint
+//! gauges that `--metrics` already samples. The `profile` id renders the per-engine time-attribution
 //! figure (it manages — and resets — the obs registries itself, so
 //! scrape monotonicity holds for every id *except* `profile`).
 
@@ -99,9 +102,18 @@ struct Options {
     responses: Vec<dsa_attribution::ResponseKind>,
     metrics: bool,
     trace: bool,
+    alloc: bool,
     obs_listen: Option<String>,
     ids: Vec<String>,
 }
+
+// The runtime counting allocator behind --alloc. Under the count-allocs
+// test feature the dsa_bench library installs its own (unconditional)
+// delegating allocator, so gate this one off — a process gets exactly
+// one #[global_allocator].
+#[cfg(not(feature = "count-allocs"))]
+#[global_allocator]
+static GLOBAL_ALLOC: dsa_obs::alloc::CountingAlloc = dsa_obs::alloc::CountingAlloc;
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::lab();
@@ -113,6 +125,7 @@ fn parse_args() -> Result<Options, String> {
     let mut responses = vec![dsa_attribution::ResponseKind::Pra];
     let mut metrics = false;
     let mut trace = false;
+    let mut alloc = false;
     let mut obs_listen: Option<String> = None;
     let mut ids = Vec::new();
 
@@ -168,6 +181,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--metrics" => metrics = true,
             "--trace" => trace = true,
+            "--alloc" => alloc = true,
             "--obs-listen" => {
                 let v = args
                     .next()
@@ -178,7 +192,7 @@ fn parse_args() -> Result<Options, String> {
                 return Err(format!(
                     "usage: experiments [--scale smoke|lab|paper] [--seed N] [--out DIR] \
                      [--threads N] [--budgets B1,B2,...] [--mutants P1,P2,...] \
-                     [--response pra,attack,evolution] [--metrics] [--trace] \
+                     [--response pra,attack,evolution] [--metrics] [--trace] [--alloc] \
                      [--obs-listen ADDR] <id>...\nids: {} all",
                     ALL_IDS.join(" ")
                 ));
@@ -208,6 +222,7 @@ fn parse_args() -> Result<Options, String> {
         responses,
         metrics,
         trace,
+        alloc,
         obs_listen,
         ids,
     })
@@ -230,12 +245,22 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.alloc {
+        // Counting without a registry to land in would be invisible;
+        // --alloc implies --metrics.
+        dsa_obs::alloc::enable();
+    }
     if opts.trace {
         dsa_obs::enable_trace();
-    } else if opts.metrics || opts.obs_listen.is_some() {
+    } else if opts.metrics || opts.obs_listen.is_some() || opts.alloc {
         // An exposition endpoint over a disabled registry would scrape
         // empty forever; --obs-listen implies --metrics.
         dsa_obs::enable_metrics();
+    }
+    if dsa_obs::metrics_enabled() {
+        // Background RSS sampling + armed passive hooks: live scrapes
+        // and `obs top` see mem.rss_bytes move during the run.
+        dsa_obs::mem::spawn_sampler(dsa_obs::mem::SAMPLER_INTERVAL);
     }
     if let Some(addr) = &opts.obs_listen {
         match dsa_obs::serve::spawn(addr, dsa_obs::serve::Mode::Live) {
@@ -330,8 +355,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    if opts.metrics || opts.trace || opts.obs_listen.is_some() {
-        let snap = dsa_obs::snapshot();
+    if opts.metrics || opts.trace || opts.alloc || opts.obs_listen.is_some() {
+        // Final memory boundary: one last RSS reading into the registry,
+        // then fold the allocation tallies (no-op without --alloc) into
+        // the snapshot the CSV, journal and epilogue all render from.
+        dsa_obs::mem::sample();
+        let mut snap = dsa_obs::snapshot();
+        dsa_obs::alloc::publish_into(&mut snap);
         if !snap.is_empty() {
             println!("==== observability ====");
             print!("{}", snap.render());
@@ -342,6 +372,7 @@ fn main() -> ExitCode {
                 scale: Some(opts.scale.name.to_string()),
                 threads,
                 ts_ms,
+                mem: dsa_obs::journal::MemBlock::from_registries(&snap),
             };
             match dsa_obs::write_csv(&opts.out, &export, &snap) {
                 Ok(path) => println!("wrote {}", path.display()),
@@ -358,9 +389,11 @@ fn main() -> ExitCode {
                     std::process::id()
                 ),
                 binary: "experiments".to_string(),
-                // The journaled command drops `--obs-listen <addr>`: it
-                // changes what is exposed, not what runs, and diff/regress
-                // group comparable runs by command string.
+                // The journaled command drops `--obs-listen <addr>` and
+                // `--alloc`: they change what is observed, not what runs,
+                // and diff/regress group comparable runs by command
+                // string — a mem-gated cohort must include the baseline
+                // runs that had telemetry off.
                 command: {
                     let mut kept: Vec<&str> = Vec::new();
                     let mut skip_value = false;
@@ -369,7 +402,7 @@ fn main() -> ExitCode {
                             skip_value = false;
                         } else if a == "--obs-listen" {
                             skip_value = true;
-                        } else {
+                        } else if a != "--alloc" {
                             kept.push(a);
                         }
                     }

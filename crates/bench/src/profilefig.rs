@@ -242,7 +242,20 @@ pub fn profile(scale: &Scale, out_dir: &Path, ts_ms: u64) -> Result<String, Stri
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     let csv_path = out_dir.join(format!("profile-{}.csv", scale.name));
     std::fs::write(&csv_path, csv).map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
-    let merged = merge_snapshots(&sections);
+    let mut merged = merge_snapshots(&sections);
+    // Memory telemetry: a final RSS reading plus the run's allocation
+    // totals (no-op without --alloc) go into the merged snapshot, so
+    // the CSV stamp and the journal's mem block carry them alongside
+    // the arena gauges the engines recorded during the sections.
+    if let Some(s) = dsa_obs::mem::read_rss() {
+        merged
+            .gauges
+            .insert("mem.rss_bytes".to_string(), s.rss_bytes as f64);
+        merged
+            .gauges
+            .insert("mem.rss_peak_bytes".to_string(), s.rss_peak_bytes as f64);
+    }
+    dsa_obs::alloc::publish_into(&mut merged);
     let threads = dsa_core::parallel::effective_threads(scale.pra.threads, usize::MAX);
     let export = dsa_obs::ExportMeta {
         run: format!("profile-{}", scale.name),
@@ -250,6 +263,7 @@ pub fn profile(scale: &Scale, out_dir: &Path, ts_ms: u64) -> Result<String, Stri
         scale: Some(scale.name.to_string()),
         threads,
         ts_ms,
+        mem: dsa_obs::journal::MemBlock::from_registries(&merged),
     };
     let obs_path = dsa_obs::write_csv(out_dir, &export, &merged)?;
     let _ = writeln!(

@@ -57,6 +57,50 @@ fn swarm_round_loop_is_allocation_free() {
 }
 
 #[test]
+fn swarm_footprint_matches_counted_live_bytes() {
+    use dsa_swarm::engine::{run_with_scratch, SimConfig, SwarmScratch};
+    use dsa_swarm::presets;
+
+    let protos = [
+        presets::bittorrent(),
+        presets::sort_s(),
+        presets::freerider(),
+    ];
+    let cfg = SimConfig {
+        peers: 24,
+        rounds: 60,
+        ..SimConfig::default()
+    };
+    let assignment: Vec<usize> = (0..cfg.peers).map(|i| i % protos.len()).collect();
+
+    // Warm-up through a throwaway arena so one-time lazy initializations
+    // (span machinery, thread-locals) do not land inside the window.
+    run_with_scratch(&protos, &assignment, &cfg, 7, &mut SwarmScratch::default());
+
+    let before = dsa_obs::alloc::thread_live_bytes();
+    let mut scratch = SwarmScratch::default();
+    let out = run_with_scratch(&protos, &assignment, &cfg, 7, &mut scratch);
+    drop(out);
+    let live = dsa_obs::alloc::thread_live_bytes() - before;
+    let fp = i64::try_from(scratch.footprint()).unwrap();
+
+    // With the run's outputs dropped, what is still live on this thread
+    // is the arena. `footprint()` walks declared buffers, so it can only
+    // miss bytes, never invent them — it must lower-bound the counted
+    // live bytes and account for nearly all of them.
+    assert!(fp > 0, "warm arena must report a footprint");
+    assert!(
+        fp <= live,
+        "footprint {fp} exceeds counted live bytes {live}"
+    );
+    assert!(
+        live - fp <= live / 8 + 1024,
+        "footprint {fp} misses too much of the {live} live bytes: \
+         a scratch buffer is not counted"
+    );
+}
+
+#[test]
 fn rep_round_loop_is_allocation_free() {
     use dsa_reputation::engine::{run, RepConfig};
     use dsa_reputation::presets;

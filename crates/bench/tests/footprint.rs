@@ -1,0 +1,196 @@
+//! Arena accounting: `Scratch::footprint()` across the four engines.
+//!
+//! The contract: a fresh arena reports (near-)zero, a warm arena reports
+//! the heap bytes its buffers hold, reuse never shrinks it (capacities
+//! are retained by design — that is the zero-allocation contract), a
+//! larger population costs more, and the same workload through two fresh
+//! arenas reports identical bytes (footprint is a function of the work,
+//! not of history). The last test checks the surfaced gauge:
+//! `mem.arena_peak_bytes` recorded during a sweep of identical tasks is
+//! bit-identical on 1 and 8 threads — every worker's scratch grows to
+//! the same high-water mark, so the max is scheduling-independent.
+//!
+//! All tests share the process-global obs registries, so each takes the
+//! file lock even when it never enables metrics: an engine run racing
+//! the gauge test between its `reset` and `snapshot` would pollute the
+//! max.
+
+use std::sync::Mutex;
+
+use dsa_btsim::choker::ClientKind;
+use dsa_btsim::config::BtConfig;
+use dsa_btsim::swarm::{simulate_with_scratch, BtScratch};
+use dsa_gossip::engine::{GossipConfig, GossipScratch};
+use dsa_gossip::protocol::GossipProtocol;
+use dsa_reputation::engine::{RepConfig, RepScratch};
+use dsa_swarm::engine::{run_with_scratch, SimConfig, SwarmScratch};
+use dsa_swarm::presets;
+use dsa_workloads::bandwidth::BandwidthDist;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Asserts the footprint contract for one engine, abstracted over how a
+/// run is driven: `run(scratch, peers, seed)`.
+fn assert_footprint_contract<S, F>(
+    mut fresh: impl FnMut() -> S,
+    mut run: F,
+    fp: impl Fn(&S) -> usize,
+) where
+    F: FnMut(&mut S, usize, u64),
+{
+    let mut scratch = fresh();
+    let start = fp(&scratch);
+
+    run(&mut scratch, 12, 7);
+    let after_small = fp(&scratch);
+    assert!(after_small > start, "first run must grow the arena");
+
+    // Reuse at the same shape: monotone (capacities are never released).
+    run(&mut scratch, 12, 8);
+    let after_reuse = fp(&scratch);
+    assert!(after_reuse >= after_small, "{after_reuse} < {after_small}");
+
+    // A larger population costs more bytes.
+    run(&mut scratch, 40, 7);
+    let after_big = fp(&scratch);
+    assert!(after_big > after_reuse, "{after_big} <= {after_reuse}");
+
+    // Shrinking the workload does not shrink the arena.
+    run(&mut scratch, 12, 9);
+    assert!(fp(&scratch) >= after_big);
+
+    // Footprint is a function of the work: two fresh arenas running the
+    // identical workload report identical bytes.
+    let (mut a, mut b) = (fresh(), fresh());
+    run(&mut a, 20, 11);
+    run(&mut b, 20, 11);
+    assert_eq!(fp(&a), fp(&b));
+}
+
+#[test]
+fn swarm_footprint_contract() {
+    let _guard = LOCK.lock().unwrap();
+    let protos = [
+        presets::bittorrent(),
+        presets::sort_s(),
+        presets::freerider(),
+    ];
+    assert_footprint_contract(
+        SwarmScratch::default,
+        |scratch, peers, seed| {
+            let cfg = SimConfig {
+                peers,
+                rounds: 30,
+                ..SimConfig::default()
+            };
+            let assignment: Vec<usize> = (0..peers).map(|i| i % protos.len()).collect();
+            run_with_scratch(&protos, &assignment, &cfg, seed, scratch);
+        },
+        SwarmScratch::footprint,
+    );
+}
+
+#[test]
+fn gossip_footprint_contract() {
+    let _guard = LOCK.lock().unwrap();
+    let protos: Vec<GossipProtocol> = GossipProtocol::all().take(3).collect();
+    assert_footprint_contract(
+        GossipScratch::default,
+        |scratch, nodes, seed| {
+            let cfg = GossipConfig {
+                nodes,
+                rounds: 24,
+                ..GossipConfig::default()
+            };
+            let assignment: Vec<usize> = (0..nodes).map(|i| i % protos.len()).collect();
+            dsa_gossip::engine::run_with_scratch(&protos, &assignment, &cfg, seed, scratch);
+        },
+        GossipScratch::footprint,
+    );
+}
+
+#[test]
+fn rep_footprint_contract() {
+    let _guard = LOCK.lock().unwrap();
+    let protos = [
+        dsa_reputation::presets::bartercast(),
+        dsa_reputation::presets::eigentrust(),
+        dsa_reputation::presets::freerider(),
+    ];
+    assert_footprint_contract(
+        RepScratch::default,
+        |scratch, peers, seed| {
+            let cfg = RepConfig {
+                peers,
+                rounds: 24,
+                ..RepConfig::default()
+            };
+            let assignment: Vec<usize> = (0..peers).map(|i| i % protos.len()).collect();
+            dsa_reputation::engine::run_with_scratch(&protos, &assignment, &cfg, seed, scratch);
+        },
+        RepScratch::footprint,
+    );
+}
+
+#[test]
+fn btsim_footprint_contract() {
+    let _guard = LOCK.lock().unwrap();
+    assert_footprint_contract(
+        BtScratch::default,
+        |scratch, leechers, seed| {
+            let cfg = BtConfig {
+                leechers,
+                bandwidth: BandwidthDist::Constant(32.0),
+                ..BtConfig::tiny()
+            };
+            let kinds = vec![ClientKind::BitTorrent; leechers];
+            simulate_with_scratch(&kinds, &cfg, seed, scratch);
+        },
+        BtScratch::footprint,
+    );
+}
+
+#[test]
+fn arena_peak_gauge_is_thread_count_invariant() {
+    let _guard = LOCK.lock().unwrap();
+    let protos = [
+        presets::bittorrent(),
+        presets::sort_s(),
+        presets::freerider(),
+    ];
+    let cfg = SimConfig {
+        peers: 16,
+        rounds: 20,
+        ..SimConfig::default()
+    };
+    let assignment: Vec<usize> = (0..cfg.peers).map(|i| i % protos.len()).collect();
+
+    // A sweep of identical tasks: every worker's arena grows to the same
+    // high-water mark, so gauge_max lands on the same bytes no matter
+    // how tasks are partitioned across workers.
+    let sweep = |threads: usize| -> (f64, f64) {
+        dsa_obs::reset();
+        dsa_obs::enable_metrics();
+        dsa_core::parallel::parallel_map_indexed_scratch(
+            32,
+            threads,
+            SwarmScratch::default,
+            |scratch, _i| run_with_scratch(&protos, &assignment, &cfg, 7, scratch).throughput,
+        );
+        let snap = dsa_obs::snapshot();
+        dsa_obs::disable();
+        (
+            snap.gauges["mem.arena_peak_bytes"],
+            snap.gauges["mem.arena.swarm_bytes"],
+        )
+    };
+
+    let one = sweep(1);
+    let eight = sweep(8);
+    assert!(one.0 > 0.0, "peak gauge must record real bytes");
+    assert!(
+        one.1 > 0.0 && one.1 <= one.0,
+        "engine gauge bounds the peak"
+    );
+    assert_eq!(one, eight, "arena peak must not depend on thread count");
+}

@@ -7,6 +7,12 @@
 //! (`dsa obs regress --journal ... --threshold 25`) and asserts the
 //! non-zero exit; these tests pin the underlying verdicts so a silent
 //! detector change cannot turn the CI assertion into a tautology.
+//!
+//! A second fixture (`journal-regress-mem.jsonl`) plants a ~50% peak-RSS
+//! blow-up while every *time* series stays steady — the memory gate must
+//! fail it on `mem.rss_peak_bytes` alone. The time-only fixture above
+//! carries no `mem` blocks at all, pinning the other direction: runs
+//! without memory telemetry never trip the memory gate.
 
 use dsa_obs::journal::JournalRecord;
 use dsa_obs::regress::{self, RegressConfig};
@@ -71,6 +77,85 @@ fn steady_state_prefix_passes_the_same_gate() {
     assert!(
         report.compared > 0,
         "the pass must come from real comparisons"
+    );
+}
+
+fn mem_fixture() -> (Vec<JournalRecord>, usize) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/journal-regress-mem.jsonl");
+    dsa_obs::journal::read_file(&path).expect("mem fixture journal parses")
+}
+
+#[test]
+fn planted_rss_regression_fails_the_memory_gate_alone() {
+    let (records, skipped) = mem_fixture();
+    assert_eq!(skipped, 0, "mem fixture must contain no corrupt lines");
+    assert_eq!(records.len(), 6);
+    for r in &records {
+        assert!(r.mem.is_some(), "every record carries a mem block");
+    }
+    let cfg = RegressConfig {
+        threshold_pct: 25.0,
+        ..RegressConfig::default()
+    };
+    let report = regress::check(&records, &BTreeMap::new(), &cfg);
+    assert!(!report.ok(), "planted RSS blow-up must fail: {report:?}");
+    let kinds: Vec<(&str, &str)> = report
+        .regressions
+        .iter()
+        .map(|r| (r.kind, r.name.as_str()))
+        .collect();
+    assert!(kinds.contains(&("mem", "mem.rss_peak_bytes")), "{kinds:?}");
+    // Time series are steady in this fixture: the failure must come from
+    // the memory gate only, never from span/wall detectors.
+    assert!(
+        !kinds.iter().any(|(k, _)| *k == "span" || *k == "wall"),
+        "{kinds:?}"
+    );
+    // Arena and allocation series are flat too — only peak RSS fires.
+    assert!(
+        !kinds.iter().any(|(_, n)| *n != "mem.rss_peak_bytes"),
+        "{kinds:?}"
+    );
+    let mem = report
+        .regressions
+        .iter()
+        .find(|r| r.name == "mem.rss_peak_bytes")
+        .unwrap();
+    assert!(mem.pct > 45.0 && mem.pct < 60.0, "pct = {}", mem.pct);
+}
+
+#[test]
+fn steady_memory_prefix_passes_the_memory_gate() {
+    let (records, _) = mem_fixture();
+    let cfg = RegressConfig {
+        threshold_pct: 25.0,
+        ..RegressConfig::default()
+    };
+    let report = regress::check(&records[..5], &BTreeMap::new(), &cfg);
+    assert!(report.ok(), "steady memory must pass: {report:?}");
+    assert!(
+        report.compared > 0,
+        "the pass must come from real comparisons"
+    );
+}
+
+#[test]
+fn time_only_fixture_never_trips_the_memory_gate() {
+    // The original fixture predates memory telemetry: no record carries a
+    // mem block, and the planted *time* regression must still be the only
+    // thing the gate reports — mem-less cohorts skip the memory gate.
+    let (records, _) = fixture();
+    assert!(records.iter().all(|r| r.mem.is_none()));
+    let cfg = RegressConfig {
+        threshold_pct: 25.0,
+        ..RegressConfig::default()
+    };
+    let report = regress::check(&records, &BTreeMap::new(), &cfg);
+    assert!(!report.ok());
+    assert!(
+        !report.regressions.iter().any(|r| r.kind == "mem"),
+        "{report:?}"
     );
 }
 

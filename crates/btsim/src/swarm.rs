@@ -79,6 +79,27 @@ pub struct BtScratch {
     availability: Vec<u32>,
 }
 
+impl BtScratch {
+    /// Heap bytes held by the arena: every buffer's capacity times its
+    /// element size. Monotone across runs through one scratch —
+    /// published as the `mem.arena.btsim_bytes` high-water gauge.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        use dsa_obs::mem::vec_bytes;
+        vec_bytes(&self.interested)
+            + vec_bytes(&self.ranked)
+            + vec_bytes(&self.vals)
+            + vec_bytes(&self.order)
+            + vec_bytes(&self.pool)
+            + vec_bytes(&self.wanting)
+            + vec_bytes(&self.chosen)
+            + vec_bytes(&self.targets)
+            + vec_bytes(&self.newly_complete)
+            + vec_bytes(&self.in_flight)
+            + vec_bytes(&self.availability)
+    }
+}
+
 /// Simulates one swarm: `kinds[i]` is leecher `i`'s client; one seeder
 /// (index `kinds.len()`) serves round-robin. Deterministic in `seed`.
 /// Traced as a `btsim.run` span with `btsim.{setup,rounds,payoff}` phase
@@ -161,6 +182,12 @@ pub fn simulate_with_scratch(
     let mut ticks_elapsed = 0;
     drop(setup_span);
 
+    // Allocation count at the edge of the round loop: the loop is the
+    // steady state, so its delta — fed to mem.run_allocs.btsim under
+    // --alloc — must be zero once this scratch is warm. Setup and
+    // payoff assembly allocate outputs by design and stay outside
+    // the window.
+    let loop_allocs = dsa_obs::alloc::thread_count();
     let rounds_span = dsa_obs::span("btsim.rounds");
     for tick in 0..config.max_ticks {
         ticks_elapsed = tick + 1;
@@ -336,8 +363,19 @@ pub fn simulate_with_scratch(
         }
     }
     drop(rounds_span);
+    let loop_allocs = dsa_obs::alloc::thread_count().saturating_sub(loop_allocs);
 
     let _payoff_span = dsa_obs::span("btsim.payoff");
+
+    // Arena accounting (see the swarm engine for the pattern).
+    if dsa_obs::metrics_enabled() {
+        let bytes = scratch.footprint() as f64;
+        dsa_obs::gauge_max("mem.arena.btsim_bytes", bytes);
+        dsa_obs::gauge_max("mem.arena_peak_bytes", bytes);
+        if dsa_obs::alloc::enabled() {
+            dsa_obs::observe_thread_dependent("mem.run_allocs.btsim", loop_allocs);
+        }
+    }
     SwarmOutcome {
         completion_ticks: (0..n).map(|j| peers[j].completed_at).collect(),
         kinds: kinds.to_vec(),

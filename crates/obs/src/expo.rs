@@ -233,6 +233,8 @@ pub fn render(snap: &Snapshot) -> Result<String, String> {
 pub struct Family {
     /// Declared TYPE (`counter`, `gauge`, `histogram`, ...).
     pub kind: String,
+    /// The `# HELP` text preceding the TYPE declaration, when present.
+    pub help: Option<String>,
     /// Samples: full series key (name + label set, as written) → value.
     pub samples: Vec<(String, f64)>,
 }
@@ -243,6 +245,9 @@ pub struct Family {
 pub struct Expo {
     /// Families by base metric name.
     pub families: BTreeMap<String, Family>,
+    /// Family names in document order — what makes [`Expo::render`]
+    /// reproduce a parsed body byte-for-byte.
+    pub order: Vec<String>,
 }
 
 impl Expo {
@@ -270,6 +275,30 @@ impl Expo {
             .iter()
             .find(|(k, _)| k == series)
             .map(|(_, v)| *v)
+    }
+
+    /// Renders the parsed document back into exposition text: families
+    /// in document order, each as its HELP line (when one was parsed),
+    /// its TYPE line, then its samples in document order. For any body
+    /// produced by [`render`] (all sample values exactly representable
+    /// as `f64`), `parse` → `render` reproduces the input byte for byte
+    /// — the property the round-trip fuzz test pins.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for name in &self.order {
+            let Some(family) = self.families.get(name) else {
+                continue;
+            };
+            if let Some(help) = &family.help {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (series, v) in &family.samples {
+                let _ = writeln!(out, "{series} {}", sample(*v));
+            }
+        }
+        out
     }
 }
 
@@ -304,6 +333,7 @@ fn family_of<'a>(name: &'a str, declared: &BTreeMap<String, Family>) -> Option<&
 pub fn parse(body: &str) -> Result<Expo, String> {
     let mut expo = Expo::default();
     let mut seen_series: BTreeMap<String, ()> = BTreeMap::new();
+    let mut pending_help: BTreeMap<String, String> = BTreeMap::new();
     for (lineno, line) in body.lines().enumerate() {
         let n = lineno + 1;
         let line = line.trim_end();
@@ -321,17 +351,27 @@ pub fn parse(body: &str) -> Result<Expo, String> {
             if expo.families.contains_key(name) {
                 return Err(format!("line {n}: duplicate TYPE for {name:?}"));
             }
+            expo.order.push(name.to_string());
             expo.families.insert(
                 name.to_string(),
                 Family {
                     kind: kind.to_string(),
+                    help: pending_help.remove(name),
                     samples: Vec::new(),
                 },
             );
             continue;
         }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            // Remembered so a following TYPE line attaches it — what
+            // lets Expo::render reproduce the document.
+            if let Some((name, text)) = rest.split_once(' ') {
+                pending_help.insert(name.to_string(), text.to_string());
+            }
+            continue;
+        }
         if line.starts_with('#') {
-            continue; // HELP and other comments
+            continue; // other comments
         }
         let (series, value) = line
             .rsplit_once(' ')
@@ -486,6 +526,20 @@ mod tests {
         "serve.requests",
         "serve.http_errors",
         "serve.request_ns",
+        "mem.rss_bytes",
+        "mem.rss_peak_bytes",
+        "mem.arena_peak_bytes",
+        "mem.arena.swarm_bytes",
+        "mem.arena.gossip_bytes",
+        "mem.arena.rep_bytes",
+        "mem.arena.btsim_bytes",
+        "mem.alloc.count",
+        "mem.alloc.bytes",
+        "mem.alloc.peak_live_bytes",
+        "mem.run_allocs.swarm",
+        "mem.run_allocs.gossip",
+        "mem.run_allocs.rep",
+        "mem.run_allocs.btsim",
     ];
 
     #[test]
@@ -567,6 +621,67 @@ mod tests {
     fn rendering_is_deterministic() {
         let snap = sample_snapshot();
         assert_eq!(render(&snap).unwrap(), render(&snap).unwrap());
+    }
+
+    #[test]
+    fn parsed_documents_render_back_byte_identically() {
+        // Property fuzz (deterministic LCG, same style as the serve
+        // request-parser fuzz): over random registry snapshots,
+        // render → parse → render reproduces the body byte for byte.
+        // Order, HELP text, label sets and value formatting all survive
+        // the round trip.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..4000 {
+            let mut snap = Snapshot::default();
+            // Draw a random subset of the taxonomy and assign each
+            // drawn name a random instrument kind and random values
+            // (all exactly representable as f64, as real registry
+            // values are).
+            let picks = 1 + (next() % 8) as usize;
+            let mut used = std::collections::BTreeSet::new();
+            for _ in 0..picks {
+                let name = TAXONOMY[(next() as usize) % TAXONOMY.len()].to_string();
+                // One kind per name, as the real registry guarantees —
+                // a name in two sections would declare TYPE twice.
+                if !used.insert(name.clone()) {
+                    continue;
+                }
+                match next() % 4 {
+                    0 => {
+                        snap.counters.insert(name, u64::from(next()));
+                    }
+                    1 => {
+                        let v = f64::from(next()) + f64::from(next() % 2) * 0.5;
+                        snap.gauges.insert(name, v);
+                    }
+                    2 => {
+                        let h = snap.hists.entry(name).or_default();
+                        for _ in 0..(1 + next() % 5) {
+                            h.record(u64::from(next()));
+                        }
+                    }
+                    _ => {
+                        let s = snap.spans.entry(name).or_default();
+                        s.dur.record(u64::from(next()));
+                        s.self_ns = u64::from(next());
+                    }
+                }
+            }
+            let body = render(&snap).expect("taxonomy names never collide");
+            let expo = parse(&body)
+                .unwrap_or_else(|e| panic!("round {round}: rendered body invalid: {e}"));
+            assert_eq!(
+                expo.render(),
+                body,
+                "round {round}: re-render drifted from the original body"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Folded-stacks export: `dsa obs flame`.
+//!
+//! Renders span data in the folded-stacks text format consumed by
+//! inferno, speedscope and Brendan Gregg's `flamegraph.pl`: one line
+//! per unique stack, frames joined by `;`, followed by a space and an
+//! integer weight. Two sources, two weights:
+//!
+//! - [`fold_events`] reconstructs real per-thread call stacks from the
+//!   raw begin/end [`TraceEvent`]s captured under `--trace` (the same
+//!   input as the Chrome-trace exporter) and weights each stack by the
+//!   closing span's **self time** — or, for runs under `--alloc`, by
+//!   its **self allocation count**, giving an allocation flamegraph.
+//! - [`fold_record`] flattens a journal record's span summaries into
+//!   one-frame stacks weighted by self time. The journal keeps no
+//!   parent links, so this view has no nesting — but it works on any
+//!   historical run without re-running it.
+//!
+//! Identical stacks are aggregated and lines are emitted in sorted
+//! order, so the output is deterministic for a given event sequence.
+
+use crate::journal::JournalRecord;
+use crate::span::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Which per-span quantity weights the folded stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Self time in nanoseconds (total minus children).
+    SelfNanos,
+    /// Self heap allocations (counted only under `--alloc`).
+    Allocs,
+}
+
+/// Folds raw trace events into folded-stacks text. Events within one
+/// track arrive in program order (the per-thread buffers preserve it);
+/// tracks are independent stacks that aggregate into one profile.
+/// Unbalanced events — an end with no matching open frame, possible
+/// when the event cap truncated a thread's buffer — are skipped rather
+/// than corrupting neighbouring stacks. Zero-weight stacks are omitted:
+/// in allocation mode a steady-state (allocation-free) run folds to an
+/// empty document, which is exactly the claim being verified.
+#[must_use]
+pub fn fold_events(events: &[TraceEvent], weight: Weight) -> String {
+    let mut stacks: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for event in events {
+        let stack = stacks.entry(event.track).or_default();
+        if !event.end {
+            stack.push(&event.name);
+            continue;
+        }
+        if stack.last().copied() != Some(event.name.as_ref()) {
+            // Truncated/unbalanced input: drop the event, keep going.
+            continue;
+        }
+        let w = match weight {
+            Weight::SelfNanos => event.self_ns,
+            Weight::Allocs => event.alloc,
+        };
+        if w > 0 {
+            *folded.entry(stack.join(";")).or_default() += w;
+        }
+        stack.pop();
+    }
+    render(&folded)
+}
+
+/// Folds a journal record's span summaries into a flat (one-frame)
+/// folded-stacks document weighted by self time.
+#[must_use]
+pub fn fold_record(record: &JournalRecord) -> String {
+    let folded = record
+        .spans
+        .iter()
+        .filter(|(_, s)| s.self_ns > 0)
+        .map(|(name, s)| (name.clone(), s.self_ns))
+        .collect();
+    render(&folded)
+}
+
+fn render(folded: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (stack, w) in folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::SpanSummary;
+
+    fn ev(name: &str, track: u32, end: bool, self_ns: u64, alloc: u64) -> TraceEvent {
+        TraceEvent {
+            name: Box::from(name),
+            track,
+            ts_ns: 0,
+            end,
+            self_ns,
+            alloc,
+        }
+    }
+
+    #[test]
+    fn folds_nested_stacks_with_self_time_weights() {
+        // outer { inner } outer, plus an unrelated track.
+        let events = vec![
+            ev("outer", 1, false, 0, 0),
+            ev("inner", 1, false, 0, 0),
+            ev("inner", 1, true, 30, 2),
+            ev("outer", 1, true, 70, 0),
+            ev("task", 2, false, 0, 0),
+            ev("task", 2, true, 50, 1),
+        ];
+        let folded = fold_events(&events, Weight::SelfNanos);
+        assert_eq!(folded, "outer 70\nouter;inner 30\ntask 50\n");
+        // Allocation weighting drops zero-alloc frames.
+        let folded = fold_events(&events, Weight::Allocs);
+        assert_eq!(folded, "outer;inner 2\ntask 1\n");
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate_and_unbalanced_events_are_skipped() {
+        let events = vec![
+            ev("run", 1, false, 0, 0),
+            ev("run", 1, true, 10, 0),
+            ev("run", 1, false, 0, 0),
+            ev("run", 1, true, 15, 0),
+            // A stray end (cap-truncated begin) must not panic or leak
+            // into other stacks.
+            ev("ghost", 1, true, 99, 0),
+            ev("run", 2, false, 0, 0),
+            ev("run", 2, true, 5, 0),
+        ];
+        let folded = fold_events(&events, Weight::SelfNanos);
+        assert_eq!(folded, "run 30\n");
+    }
+
+    #[test]
+    fn record_fold_is_flat_self_time() {
+        let mut record = JournalRecord::default();
+        record.spans.insert(
+            "swarm.run".to_string(),
+            SpanSummary {
+                count: 4,
+                total_ns: 1_000,
+                self_ns: 800,
+                ..SpanSummary::default()
+            },
+        );
+        record.spans.insert(
+            "swarm.setup".to_string(),
+            SpanSummary::default(), // zero self time: omitted
+        );
+        assert_eq!(fold_record(&record), "swarm.run 800\n");
+    }
+}

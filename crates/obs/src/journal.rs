@@ -104,6 +104,48 @@ impl HistSummary {
     }
 }
 
+/// The memory telemetry of one run, reduced to the journal's compact
+/// form. Additive relative to the v1 schema: records without it parse
+/// as `mem: None`, and v1 readers ignore the unknown key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemBlock {
+    /// Peak resident set size in bytes (`mem.rss_peak_bytes`; 0 when
+    /// procfs was unavailable).
+    pub rss_peak_bytes: u64,
+    /// Workspace-wide peak scratch-arena footprint in bytes
+    /// (`mem.arena_peak_bytes`).
+    pub arena_peak_bytes: u64,
+    /// Total heap allocations counted (`mem.alloc.count`; 0 unless the
+    /// run used `--alloc`).
+    pub alloc_count: u64,
+    /// Total heap bytes requested (`mem.alloc.bytes`).
+    pub alloc_bytes: u64,
+}
+
+impl MemBlock {
+    /// Collects the memory block from a snapshot's `mem.*` instruments.
+    /// Returns `None` when the run recorded no memory telemetry at all
+    /// (metrics off, or a pre-memory-dimension snapshot).
+    #[must_use]
+    pub fn from_registries(snap: &Snapshot) -> Option<Self> {
+        let gauge = |key: &str| snap.gauges.get(key).map(|v| *v as u64);
+        let counter = |key: &str| snap.counters.get(key).copied();
+        let rss = gauge("mem.rss_peak_bytes");
+        let arena = gauge("mem.arena_peak_bytes");
+        let count = counter("mem.alloc.count");
+        let bytes = counter("mem.alloc.bytes");
+        if rss.is_none() && arena.is_none() && count.is_none() && bytes.is_none() {
+            return None;
+        }
+        Some(Self {
+            rss_peak_bytes: rss.unwrap_or(0),
+            arena_peak_bytes: arena.unwrap_or(0),
+            alloc_count: count.unwrap_or(0),
+            alloc_bytes: bytes.unwrap_or(0),
+        })
+    }
+}
+
 /// One journal line: a run's full provenance record.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct JournalRecord {
@@ -111,6 +153,8 @@ pub struct JournalRecord {
     pub meta: RunMeta,
     /// Wall-clock of the run, in milliseconds.
     pub wall_ms: u64,
+    /// Memory telemetry, when the run recorded any.
+    pub mem: Option<MemBlock>,
     /// Cache stamps touched: `(file name, outcome)` in touch order,
     /// where outcome is `hit`, `store`, or `miss.<reason>`.
     pub cache: Vec<(String, String)>,
@@ -208,6 +252,7 @@ impl JournalRecord {
         Self {
             meta,
             wall_ms,
+            mem: MemBlock::from_registries(snap),
             cache: cache_events(),
             counters: snap.counters.clone(),
             gauges: snap.gauges.clone(),
@@ -238,6 +283,14 @@ impl JournalRecord {
             self.meta.threads,
             self.wall_ms
         );
+        if let Some(mem) = &self.mem {
+            let _ = write!(
+                out,
+                ",\"mem\":{{\"rss_peak_bytes\":{},\"arena_peak_bytes\":{},\
+                 \"alloc_count\":{},\"alloc_bytes\":{}}}",
+                mem.rss_peak_bytes, mem.arena_peak_bytes, mem.alloc_count, mem.alloc_bytes
+            );
+        }
         out.push_str(",\"cache\":[");
         for (i, (file, outcome)) in self.cache.iter().enumerate() {
             if i > 0 {
@@ -343,6 +396,19 @@ impl JournalRecord {
             wall_ms: req_u64("wall_ms")?,
             ..Self::default()
         };
+        if let Some(mem) = doc.get("mem") {
+            let field = |key: &str| -> Result<u64, String> {
+                mem.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("mem: missing {key}"))
+            };
+            record.mem = Some(MemBlock {
+                rss_peak_bytes: field("rss_peak_bytes")?,
+                arena_peak_bytes: field("arena_peak_bytes")?,
+                alloc_count: field("alloc_count")?,
+                alloc_bytes: field("alloc_bytes")?,
+            });
+        }
         for item in doc.get("cache").and_then(Json::as_arr).unwrap_or(&[]) {
             let file = item
                 .get("file")
@@ -460,6 +526,15 @@ pub fn schema_of(line: &str) -> Result<String, String> {
             "counters" | "gauges" => {
                 let _ = writeln!(out, "{key}{{name -> num}}");
             }
+            "mem" => {
+                let keys = value.as_obj().map_or_else(String::new, |m| {
+                    m.iter()
+                        .map(|(k, _)| k.as_str())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                });
+                let _ = writeln!(out, "mem{{{keys}}}");
+            }
             _ => {
                 let kind = match value {
                     Json::Null => "null",
@@ -571,6 +646,42 @@ fn read_file_strict(path: &Path) -> Result<Vec<JournalRecord>, String> {
     Ok(records)
 }
 
+/// What a [`gc`] with the same `keep` would do, without doing it: the
+/// run ids that would survive (chronological order) and the ones that
+/// would be dropped. Backs `dsa obs gc --dry-run`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GcPlan {
+    /// Run ids that would be kept, oldest first.
+    pub kept: Vec<String>,
+    /// Run ids that would be dropped, oldest first.
+    pub dropped: Vec<String>,
+}
+
+/// Plans a compaction to the newest `keep` records without touching the
+/// journal. Reads **strictly**, exactly like [`gc`]: a plan that a real
+/// gc would refuse to execute is an error here too, so the dry run is a
+/// faithful preview.
+///
+/// # Errors
+///
+/// Returns an error on unreadable files or any unparseable journal line.
+pub fn gc_plan(dir: &Path, keep: usize) -> Result<GcPlan, String> {
+    let mut records = read_file_strict(&dir.join(JOURNAL_ROTATED))?;
+    records.extend(read_file_strict(&dir.join(JOURNAL_FILE))?);
+    let kept = records.len().min(keep);
+    let dropped = records.len() - kept;
+    Ok(GcPlan {
+        kept: records[dropped..]
+            .iter()
+            .map(|r| r.meta.run_id.clone())
+            .collect(),
+        dropped: records[..dropped]
+            .iter()
+            .map(|r| r.meta.run_id.clone())
+            .collect(),
+    })
+}
+
 /// Compacts the journal under `dir` to its newest `keep` records: both
 /// generations are read **strictly** (any unparseable line aborts the
 /// compaction — gc must never destroy data it cannot re-serialize), the
@@ -626,6 +737,12 @@ mod tests {
                 threads: 8,
             },
             wall_ms: 1200,
+            mem: Some(MemBlock {
+                rss_peak_bytes: 48 << 20,
+                arena_peak_bytes: 3 << 20,
+                alloc_count: 1234,
+                alloc_bytes: 5 << 20,
+            }),
             cache: vec![
                 ("pra-swarm-smoke.csv".to_string(), "miss.absent".to_string()),
                 ("pra-swarm-smoke.csv".to_string(), "store".to_string()),
@@ -668,6 +785,39 @@ mod tests {
     }
 
     #[test]
+    fn records_without_a_mem_block_still_parse() {
+        // The mem block is additive: pre-memory-dimension journal lines
+        // (and runs that recorded no memory telemetry) parse with
+        // mem: None and their line omits the key entirely.
+        let mut record = sample("unit-nomem", 1_000_000);
+        record.mem = None;
+        let line = record.to_json_line();
+        assert!(!line.contains("\"mem\""));
+        let parsed = JournalRecord::from_json_line(&line).unwrap();
+        assert_eq!(parsed.mem, None);
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn mem_block_is_collected_from_snapshot_instruments() {
+        let mut snap = Snapshot::default();
+        assert_eq!(MemBlock::from_registries(&snap), None);
+        snap.gauges.insert("mem.rss_peak_bytes".to_string(), 1e6);
+        snap.gauges.insert("mem.arena_peak_bytes".to_string(), 2e5);
+        snap.counters.insert("mem.alloc.count".to_string(), 7);
+        snap.counters.insert("mem.alloc.bytes".to_string(), 900);
+        assert_eq!(
+            MemBlock::from_registries(&snap),
+            Some(MemBlock {
+                rss_peak_bytes: 1_000_000,
+                arena_peak_bytes: 200_000,
+                alloc_count: 7,
+                alloc_bytes: 900,
+            })
+        );
+    }
+
+    #[test]
     fn optional_fields_roundtrip_as_null() {
         let mut record = sample("unit-null", 1_000_000);
         record.meta.scale = None;
@@ -695,6 +845,7 @@ domain:null
 seed:num
 threads:num
 wall_ms:num
+mem{rss_peak_bytes,arena_peak_bytes,alloc_count,alloc_bytes}
 cache[]{file,outcome}
 counters{name -> num}
 gauges{name -> num}
@@ -781,6 +932,35 @@ spans{name -> {count,total_ns,self_ns,p50,p95,p99}}
         assert_eq!(ids, ["run-4", "run-5"]);
         // Keeping more than exists keeps everything.
         assert_eq!(gc(&dir, 100).unwrap(), (2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_plan_previews_without_rewriting() {
+        let dir = fresh_dir("gc-plan");
+        for i in 0..4 {
+            append(&dir, &sample(&format!("run-{i}"), 1), DEFAULT_MAX_BYTES).unwrap();
+        }
+        let before = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        let plan = gc_plan(&dir, 2).unwrap();
+        assert_eq!(plan.dropped, ["run-0", "run-1"]);
+        assert_eq!(plan.kept, ["run-2", "run-3"]);
+        // The preview touched nothing.
+        assert_eq!(
+            std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap(),
+            before
+        );
+        // And it agrees with what a real gc then does.
+        assert_eq!(gc(&dir, 2).unwrap(), (2, 2));
+        let (records, _) = read_all(&dir).unwrap();
+        let ids: Vec<&str> = records.iter().map(|r| r.meta.run_id.as_str()).collect();
+        assert_eq!(ids, plan.kept);
+        // An unparseable line fails the plan just like the real gc.
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"run\":\"trunc");
+        std::fs::write(&path, &text).unwrap();
+        assert!(gc_plan(&dir, 10).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -39,6 +39,15 @@
 //! ([`top`], behind `dsa obs top`). All of it std-only: the HTTP layer
 //! is a hand-rolled GET-only HTTP/1.1 on [`std::net::TcpListener`].
 //!
+//! The **memory dimension** completes the picture: an opt-in counting
+//! allocator ([`alloc`], the `--alloc` flag), `/proc/self/status` RSS
+//! sampling ([`mem`]), scratch-arena footprint gauges recorded by the
+//! engines via [`gauge_max`], and a folded-stacks flamegraph exporter
+//! ([`flame`], behind `dsa obs flame`) that can weight stacks by self
+//! time or by allocation counts. The journal's `mem` block and the
+//! `obs regress` gate make peak RSS, arena footprint and allocation
+//! totals first-class, regression-gated quantities alongside time.
+//!
 //! Everything is **off by default**. Until [`enable_metrics`] or
 //! [`enable_trace`] flips the global flag, every recording call is a
 //! single relaxed atomic load and an early return — unmeasurable in the
@@ -53,10 +62,13 @@
 //! suffix (`_ns`, `_per_sec`). Names must not contain commas or
 //! whitespace (they are CSV/stamp tokens).
 
+pub mod alloc;
 pub mod diff;
 pub mod expo;
+pub mod flame;
 pub mod journal;
 pub mod json;
+pub mod mem;
 mod metrics;
 pub mod regress;
 mod report;
@@ -67,9 +79,9 @@ pub mod trace;
 
 pub use journal::{note_cache_event, JournalRecord, RunMeta};
 pub use metrics::{
-    add, disable, enable_events, enable_metrics, enable_trace, events_enabled, gauge_set, incr,
-    instrument_class, metrics_enabled, observe, observe_thread_dependent, trace_enabled, DetClass,
-    Hist,
+    add, disable, enable_events, enable_metrics, enable_trace, events_enabled, gauge_max,
+    gauge_set, incr, instrument_class, metrics_enabled, observe, observe_thread_dependent,
+    trace_enabled, DetClass, Hist,
 };
 pub use report::{fmt_ns, read_csv, snapshot, write_csv, ExportMeta, Snapshot};
 pub use span::{flush, span, span_owned, take_events, SpanGuard, SpanStats, TraceEvent};

@@ -233,6 +233,25 @@ pub fn gauge_set(name: &str, value: f64) {
     }
 }
 
+/// Raises a gauge to `value` when that is higher than its current
+/// reading (insert-or-max): the high-water-mark primitive behind the
+/// `mem.arena*` and `mem.rss_peak_bytes` gauges. Unlike [`gauge_set`],
+/// concurrent writers can never lower the mark, so the result is
+/// independent of worker scheduling. A no-op unless metrics are enabled.
+pub fn gauge_max(name: &str, value: f64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut map = GAUGES.lock().expect("gauge registry poisoned");
+    if let Some(g) = map.get_mut(name) {
+        if value > *g {
+            *g = value;
+        }
+    } else {
+        map.insert(name.into(), value);
+    }
+}
+
 /// Records one observation into a histogram. A no-op unless metrics are
 /// enabled.
 pub fn observe(name: &str, value: u64) {
@@ -392,6 +411,22 @@ mod tests {
         crate::reset();
         assert_eq!(instrument_class("td.hist"), DetClass::Deterministic);
         disable();
+    }
+
+    #[test]
+    fn gauge_max_is_a_high_water_mark() {
+        let _g = crate::tests::LOCK.lock().unwrap();
+        enable_metrics();
+        crate::reset();
+        gauge_max("test.peak", 10.0);
+        gauge_max("test.peak", 4.0); // lower: ignored
+        gauge_max("test.peak", 12.0); // higher: raises the mark
+        let snap = crate::snapshot();
+        assert_eq!(snap.gauges["test.peak"], 12.0);
+        crate::reset();
+        disable();
+        gauge_max("test.peak", 99.0); // disabled: no-op
+        assert!(crate::snapshot().gauges.is_empty());
     }
 
     #[test]

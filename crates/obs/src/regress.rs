@@ -35,6 +35,9 @@ pub struct RegressConfig {
     pub min_self_ns: u64,
     /// Bench-baseline ceiling factor (see module docs).
     pub bench_factor: f64,
+    /// Ignore memory quantities below this many bytes (the memory
+    /// analogue of `min_self_ns`: tiny footprints are all noise).
+    pub min_mem_bytes: u64,
 }
 
 impl Default for RegressConfig {
@@ -44,6 +47,7 @@ impl Default for RegressConfig {
             window: 5,
             min_self_ns: 1_000_000,
             bench_factor: 10.0,
+            min_mem_bytes: 1 << 20,
         }
     }
 }
@@ -51,7 +55,7 @@ impl Default for RegressConfig {
 /// One detected regression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
-    /// `span`, `wall`, `hist`, or `bench`.
+    /// `span`, `wall`, `hist`, `mem`, or `bench`.
     pub kind: &'static str,
     /// Instrument name (`swarm.run`, `wall_ms`, ...).
     pub name: String,
@@ -217,6 +221,43 @@ pub fn check(
                 });
             }
         }
+        // Memory: peak RSS, peak arena footprint, allocated bytes —
+        // each against the window median of runs that recorded it.
+        // A latest run without memory telemetry (metrics off, or a
+        // pre-memory journal) simply skips the gate; mixed windows use
+        // whichever prior records carry a mem block.
+        if let Some(mem) = &latest.mem {
+            type MemGetter = fn(&crate::journal::MemBlock) -> u64;
+            let quantities: [(&'static str, MemGetter); 3] = [
+                ("mem.rss_peak_bytes", |m| m.rss_peak_bytes),
+                ("mem.arena_peak_bytes", |m| m.arena_peak_bytes),
+                ("mem.alloc.bytes", |m| m.alloc_bytes),
+            ];
+            for (name, get) in quantities {
+                let value = get(mem);
+                if value < cfg.min_mem_bytes {
+                    continue;
+                }
+                let mut values: Vec<f64> = window
+                    .iter()
+                    .filter_map(|r| r.mem.as_ref().map(|m| get(m) as f64))
+                    .filter(|v| *v > 0.0)
+                    .collect();
+                let Some(reference) = median(&mut values) else {
+                    continue;
+                };
+                report.compared += 1;
+                if let Some(pct) = over(value as f64, reference, cfg.threshold_pct) {
+                    report.regressions.push(Regression {
+                        kind: "mem",
+                        name: name.to_string(),
+                        reference,
+                        latest: value as f64,
+                        pct,
+                    });
+                }
+            }
+        }
     }
 
     // Bench-baseline ceilings: engine spans vs criterion baselines.
@@ -262,14 +303,15 @@ pub fn to_json(report: &RegressReport, cfg: &RegressConfig) -> String {
     let mut out = format!(
         "{{\"ok\":{},\"compared\":{},\"window_len\":{},\
          \"config\":{{\"threshold_pct\":{},\"window\":{},\"min_self_ns\":{},\
-         \"bench_factor\":{}}},\"notes\":[",
+         \"bench_factor\":{},\"min_mem_bytes\":{}}},\"notes\":[",
         report.ok(),
         report.compared,
         report.window_len,
         json::num(cfg.threshold_pct),
         cfg.window,
         cfg.min_self_ns,
-        json::num(cfg.bench_factor)
+        json::num(cfg.bench_factor),
+        cfg.min_mem_bytes
     );
     for (i, note) in report.notes.iter().enumerate() {
         if i > 0 {
@@ -374,6 +416,78 @@ mod tests {
         assert_eq!(report.regressions[0].kind, "span");
         assert_eq!(report.regressions[0].name, "swarm.run");
         assert!((report.regressions[0].pct - 50.0).abs() < 1e-6);
+    }
+
+    fn with_mem(mut r: JournalRecord, rss_peak: u64, arena_peak: u64) -> JournalRecord {
+        r.mem = Some(crate::journal::MemBlock {
+            rss_peak_bytes: rss_peak,
+            arena_peak_bytes: arena_peak,
+            alloc_count: 100,
+            alloc_bytes: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn planted_memory_regression_fails_while_time_stays_clean() {
+        let cfg = RegressConfig::default();
+        let mut records: Vec<JournalRecord> = (0..4)
+            .map(|i| with_mem(record(&format!("r{i}"), 100_000_000), 40 << 20, 2 << 20))
+            .collect();
+        let report = check(&records, &BTreeMap::new(), &cfg);
+        assert!(report.ok(), "steady memory must pass: {report:?}");
+        // ~50%+ peak-RSS growth with identical timings: only the mem
+        // gate fires, and it names the quantity.
+        records.push(with_mem(record("bloated", 100_000_000), 62 << 20, 2 << 20));
+        let report = check(&records, &BTreeMap::new(), &cfg);
+        assert!(!report.ok());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kind, "mem");
+        assert_eq!(report.regressions[0].name, "mem.rss_peak_bytes");
+        assert!(report.regressions[0].pct > 50.0);
+        // An arena blowup is caught independently of RSS.
+        records.pop();
+        records.push(with_mem(record("arena", 100_000_000), 40 << 20, 8 << 20));
+        let report = check(&records, &BTreeMap::new(), &cfg);
+        assert!(!report.ok());
+        assert_eq!(report.regressions[0].name, "mem.arena_peak_bytes");
+    }
+
+    #[test]
+    fn runs_without_memory_telemetry_skip_the_mem_gate() {
+        let cfg = RegressConfig::default();
+        // Priors carry mem blocks, latest does not (metrics off): the
+        // time gates still run, the mem gate silently skips.
+        let mut records: Vec<JournalRecord> = (0..3)
+            .map(|i| with_mem(record(&format!("r{i}"), 100_000_000), 40 << 20, 2 << 20))
+            .collect();
+        records.push(record("nomem", 100_000_000));
+        let report = check(&records, &BTreeMap::new(), &cfg);
+        assert!(report.ok(), "{report:?}");
+        // And vice versa: a mem-carrying latest over mem-less priors
+        // has no reference, which is a pass, not a crash.
+        let mut records: Vec<JournalRecord> = (0..3)
+            .map(|i| record(&format!("r{i}"), 100_000_000))
+            .collect();
+        records.push(with_mem(
+            record("first-mem", 100_000_000),
+            40 << 20,
+            2 << 20,
+        ));
+        let report = check(&records, &BTreeMap::new(), &cfg);
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn tiny_footprints_sit_below_the_memory_noise_floor() {
+        let cfg = RegressConfig::default();
+        // 100x growth, but under min_mem_bytes: ignored.
+        let mut records: Vec<JournalRecord> = (0..3)
+            .map(|i| with_mem(record(&format!("r{i}"), 100_000_000), 1 << 10, 1 << 10))
+            .collect();
+        records.push(with_mem(record("small", 100_000_000), 100 << 10, 100 << 10));
+        let report = check(&records, &BTreeMap::new(), &cfg);
+        assert!(report.ok(), "{report:?}");
     }
 
     #[test]

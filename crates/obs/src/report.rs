@@ -6,7 +6,7 @@
 //! CSV under `results/obs-<run>.csv`:
 //!
 //! ```text
-//! # dsa-obs v2 run=profile-smoke bin=experiments scale=smoke threads=8 ts_ms=1754640000000
+//! # dsa-obs v3 run=profile-smoke bin=experiments scale=smoke threads=8 ts_ms=1754640000000 rss_peak=50331648 arena_peak=3145728 alloc_count=1234 alloc_bytes=5242880
 //! kind,name,count,sum_ns,self_ns,min_ns,max_ns,value,buckets
 //! counter,cache.hit,3,0,0,0,0,,
 //! span,swarm.rounds,40,812345,790000,12000,40000,,14:22|15:18
@@ -15,9 +15,11 @@
 //! The stamp ([`ExportMeta`]) carries the run's provenance: id, binary,
 //! scale, thread count and a timestamp *passed in by the binary* (never
 //! sampled here, so library code stays clock-free and tests stay
-//! deterministic). Histogram buckets serialize sparsely as `index:count`
-//! pairs joined by `|`. The CSV round-trips through [`read_csv`] —
-//! which also still accepts the v1 stamp (`# dsa-obs v1 run=<run>`)
+//! deterministic) — and, since v3, the run's memory telemetry (peak
+//! RSS, peak arena footprint, allocation totals) when it recorded any.
+//! Histogram buckets serialize sparsely as `index:count` pairs joined
+//! by `|`. The CSV round-trips through [`read_csv`] — which also still
+//! accepts the v2 stamp and the v1 stamp (`# dsa-obs v1 run=<run>`)
 //! written by earlier versions — and is what `dsa obs report <file>`
 //! uses.
 
@@ -43,25 +45,42 @@ pub struct ExportMeta {
     pub threads: usize,
     /// Unix milliseconds at process start; 0 for v1 files.
     pub ts_ms: u64,
+    /// Memory telemetry of the run (v3 stamps); `None` for v1/v2 files
+    /// and runs that recorded none.
+    pub mem: Option<crate::journal::MemBlock>,
 }
 
 impl ExportMeta {
     /// The stamp line (no trailing newline). Tokens are space-separated
     /// `key=value` pairs; run ids, binary and scale names never contain
-    /// whitespace (enforced by the naming scheme).
+    /// whitespace (enforced by the naming scheme). The memory tokens
+    /// (`rss_peak`, `arena_peak`, `alloc_count`, `alloc_bytes`) appear
+    /// only when the run recorded memory telemetry — v2 readers ignored
+    /// unknown keys, so v3 stamps degrade gracefully for them too.
     #[must_use]
     pub fn stamp(&self) -> String {
-        format!(
-            "# dsa-obs v2 run={} bin={} scale={} threads={} ts_ms={}",
+        let mut out = format!(
+            "# dsa-obs v3 run={} bin={} scale={} threads={} ts_ms={}",
             self.run,
             self.bin,
             self.scale.as_deref().unwrap_or("-"),
             self.threads,
             self.ts_ms
-        )
+        );
+        if let Some(mem) = &self.mem {
+            let _ = write!(
+                out,
+                " rss_peak={} arena_peak={} alloc_count={} alloc_bytes={}",
+                mem.rss_peak_bytes, mem.arena_peak_bytes, mem.alloc_count, mem.alloc_bytes
+            );
+        }
+        out
     }
 
-    /// Parses a stamp line: v2 fully, v1 with defaulted fields.
+    /// Parses a stamp line: v3 and v2 fully (any key either version
+    /// lacks simply stays at its default), v1 with defaulted fields.
+    /// Unknown keys are ignored in every version — the tolerance that
+    /// let v2 readers survive the v3 memory fields.
     ///
     /// # Errors
     ///
@@ -75,12 +94,18 @@ impl ExportMeta {
         }
         let rest = line
             .strip_prefix("# dsa-obs v2 ")
-            .ok_or_else(|| format!("not a dsa-obs v1/v2 stamp: {line:?}"))?;
+            .or_else(|| line.strip_prefix("# dsa-obs v3 "))
+            .ok_or_else(|| format!("not a dsa-obs v1/v2/v3 stamp: {line:?}"))?;
         let mut meta = Self::default();
+        let mut mem = crate::journal::MemBlock::default();
+        let mut has_mem = false;
         for token in rest.split_whitespace() {
             let (key, value) = token
                 .split_once('=')
                 .ok_or_else(|| format!("malformed stamp token {token:?}"))?;
+            let mem_field = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("bad {key} {v:?}"))
+            };
             match key {
                 "run" => meta.run = value.to_string(),
                 "bin" => meta.bin = value.to_string(),
@@ -93,8 +118,27 @@ impl ExportMeta {
                 "ts_ms" => {
                     meta.ts_ms = value.parse().map_err(|_| format!("bad ts_ms {value:?}"))?
                 }
+                "rss_peak" => {
+                    mem.rss_peak_bytes = mem_field(value)?;
+                    has_mem = true;
+                }
+                "arena_peak" => {
+                    mem.arena_peak_bytes = mem_field(value)?;
+                    has_mem = true;
+                }
+                "alloc_count" => {
+                    mem.alloc_count = mem_field(value)?;
+                    has_mem = true;
+                }
+                "alloc_bytes" => {
+                    mem.alloc_bytes = mem_field(value)?;
+                    has_mem = true;
+                }
                 _ => {} // forward compatibility: ignore unknown keys
             }
+        }
+        if has_mem {
+            meta.mem = Some(mem);
         }
         if meta.run.is_empty() {
             return Err(format!("stamp has no run id: {line:?}"));
@@ -119,6 +163,16 @@ impl ExportMeta {
             let _ = write!(out, "  ts_ms={}", self.ts_ms);
         }
         out.push('\n');
+        if let Some(mem) = &self.mem {
+            let _ = writeln!(
+                out,
+                "mem rss_peak={}  arena_peak={}  allocs={} ({})",
+                fmt_bytes(mem.rss_peak_bytes),
+                fmt_bytes(mem.arena_peak_bytes),
+                mem.alloc_count,
+                fmt_bytes(mem.alloc_bytes)
+            );
+        }
         out
     }
 }
@@ -160,6 +214,22 @@ pub fn fmt_ns(ns: u64) -> String {
         format!("{:.1}ms", ns / 1e6)
     } else {
         format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Formats a byte count human-readably (`412B`, `3.1KiB`, `48.0MiB`,
+/// `2.40GiB`).
+#[must_use]
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b < 1024.0 {
+        format!("{b:.0}B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1}KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1}MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2}GiB", b / (1024.0 * 1024.0 * 1024.0))
     }
 }
 
@@ -660,7 +730,7 @@ mod tests {
     }
 
     #[test]
-    fn stamped_file_roundtrips_with_v2_meta() {
+    fn stamped_file_roundtrips_with_v3_meta() {
         let dir = std::env::temp_dir().join(format!("dsa-obs-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let snap = sample();
@@ -670,6 +740,12 @@ mod tests {
             scale: Some("smoke".to_string()),
             threads: 8,
             ts_ms: 1_754_640_000_000,
+            mem: Some(crate::journal::MemBlock {
+                rss_peak_bytes: 48 << 20,
+                arena_peak_bytes: 3 << 20,
+                alloc_count: 1234,
+                alloc_bytes: 5 << 20,
+            }),
         };
         let path = write_csv(&dir, &meta, &snap).unwrap();
         assert_eq!(path.file_name().unwrap().to_str().unwrap(), "obs-unit.csv");
@@ -677,28 +753,51 @@ mod tests {
         assert_eq!(parsed_meta, meta);
         assert_eq!(snap, parsed);
         let rendered = parsed_meta.render();
-        for token in ["run unit", "bin=experiments", "scale=smoke", "threads=8"] {
+        for token in [
+            "run unit",
+            "bin=experiments",
+            "scale=smoke",
+            "threads=8",
+            "rss_peak=48.0MiB",
+            "arena_peak=3.0MiB",
+            "allocs=1234",
+        ] {
             assert!(rendered.contains(token), "missing {token} in {rendered:?}");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn v1_stamps_still_parse() {
+    fn v1_and_v2_stamps_still_parse() {
         let meta = ExportMeta::parse_stamp("# dsa-obs v1 run=legacy").unwrap();
         assert_eq!(meta.run, "legacy");
         assert_eq!(meta.bin, "");
         assert_eq!(meta.scale, None);
         assert_eq!((meta.threads, meta.ts_ms), (0, 0));
-        // A scale-less v2 stamp round-trips through its own parser.
-        let v2 = ExportMeta {
+        // A v2 stamp written by the previous version parses with no mem.
+        let meta =
+            ExportMeta::parse_stamp("# dsa-obs v2 run=old bin=dsa scale=- threads=4 ts_ms=7")
+                .unwrap();
+        assert_eq!(meta.run, "old");
+        assert_eq!(meta.threads, 4);
+        assert_eq!(meta.mem, None);
+        // Unknown keys are ignored, not fatal — the tolerance that kept
+        // v2 readers alive through this version's new tokens.
+        let meta =
+            ExportMeta::parse_stamp("# dsa-obs v2 run=old threads=4 ts_ms=7 future_key=x").unwrap();
+        assert_eq!(meta.run, "old");
+        // A mem-less v3 stamp round-trips through its own parser.
+        let v3 = ExportMeta {
             run: "r".to_string(),
             bin: "dsa".to_string(),
             scale: None,
             threads: 1,
             ts_ms: 5,
+            mem: None,
         };
-        assert_eq!(ExportMeta::parse_stamp(&v2.stamp()).unwrap(), v2);
+        assert!(v3.stamp().starts_with("# dsa-obs v3 "));
+        assert!(!v3.stamp().contains("rss_peak"));
+        assert_eq!(ExportMeta::parse_stamp(&v3.stamp()).unwrap(), v3);
         assert!(ExportMeta::parse_stamp("# something else").is_err());
     }
 
@@ -747,5 +846,13 @@ mod tests {
         assert_eq!(fmt_ns(3_100), "3.1µs");
         assert_eq!(fmt_ns(48_000_000), "48.0ms");
         assert_eq!(fmt_ns(2_400_000_000), "2.40s");
+    }
+
+    #[test]
+    fn fmt_bytes_scales() {
+        assert_eq!(fmt_bytes(412), "412B");
+        assert_eq!(fmt_bytes(3174), "3.1KiB");
+        assert_eq!(fmt_bytes(48 << 20), "48.0MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00GiB");
     }
 }

@@ -68,6 +68,10 @@ pub struct TraceEvent {
     pub end: bool,
     /// On end events: the span's self time (total − children).
     pub self_ns: u64,
+    /// On end events: allocations attributed to the span itself (this
+    /// thread's count delta minus child spans'). Always 0 unless the
+    /// counting allocator is enabled (`--alloc`).
+    pub alloc: u64,
 }
 
 /// Raw events kept in memory at ~48 bytes each; beyond this cap new
@@ -88,6 +92,10 @@ struct Frame {
     name: Cow<'static, str>,
     start: Instant,
     child_ns: u64,
+    /// This thread's allocation count when the span opened.
+    start_allocs: u64,
+    /// Allocations attributed to (completed) child spans.
+    child_allocs: u64,
 }
 
 #[derive(Default)]
@@ -108,6 +116,10 @@ impl LocalSpans {
     }
 
     fn merge_into_global(&mut self) {
+        // A merge marks a span boundary worth a (throttled, armed-only)
+        // RSS reading — merges happen at thread exit and explicit
+        // flushes, never inside the span hot path.
+        crate::mem::sample_throttled();
         if !self.agg.is_empty() {
             let mut global = GLOBAL.lock().expect("span registry poisoned");
             for (name, stats) in std::mem::take(&mut self.agg) {
@@ -178,6 +190,7 @@ fn open(name: Cow<'static, str>) -> SpanGuard {
                 ts_ns: epoch_ns(),
                 end: false,
                 self_ns: 0,
+                alloc: 0,
             };
             local.events.push(event);
         }
@@ -185,6 +198,8 @@ fn open(name: Cow<'static, str>) -> SpanGuard {
             name,
             start: Instant::now(),
             child_ns: 0,
+            start_allocs: crate::alloc::thread_count(),
+            child_allocs: 0,
         });
     });
     SpanGuard { active: true }
@@ -203,6 +218,8 @@ impl Drop for SpanGuard {
                 .expect("span guards must drop in LIFO order");
             let total = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let self_ns = total.saturating_sub(frame.child_ns);
+            let total_allocs = crate::alloc::thread_count().saturating_sub(frame.start_allocs);
+            let self_allocs = total_allocs.saturating_sub(frame.child_allocs);
             if events_enabled() {
                 let track = local.track_id();
                 let event = TraceEvent {
@@ -211,11 +228,13 @@ impl Drop for SpanGuard {
                     ts_ns: epoch_ns(),
                     end: true,
                     self_ns,
+                    alloc: self_allocs,
                 };
                 local.events.push(event);
             }
             if let Some(parent) = local.stack.last_mut() {
                 parent.child_ns += total;
+                parent.child_allocs += total_allocs;
             }
             if let Some(stats) = local.agg.get_mut(&frame.name) {
                 stats.record(total, self_ns);

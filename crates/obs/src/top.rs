@@ -4,7 +4,9 @@
 //! Connects to an address exposed by `--obs-listen` (or by
 //! `dsa obs serve`), polls `GET /snapshot` on an interval, and redraws
 //! a plain-ANSI dashboard: top counters with per-interval rates, span
-//! self-time ranked with text bars, and gauges verbatim. No raw
+//! self-time ranked with text bars, gauges verbatim, and — when the
+//! run records memory telemetry — a memory pane with RSS, arena
+//! footprints and allocation totals in human-readable units. No raw
 //! terminal mode, no external TUI dependency — just a home-cursor +
 //! clear-to-end redraw, so it works in any ANSI terminal and degrades
 //! to plain append-only output under `--once` (single poll, no escape
@@ -14,7 +16,7 @@
 //! snapshots (current + previous, for rates) to a string, so the
 //! layout is unit-testable without a server.
 
-use crate::report::{fmt_ns, Snapshot};
+use crate::report::{fmt_bytes, fmt_ns, Snapshot};
 use crate::serve::http_get;
 use std::time::Duration;
 
@@ -96,14 +98,19 @@ pub fn render_dashboard(cur: &Snapshot, prev: Option<&Snapshot>, elapsed: Durati
     }
 
     // Counters, ranked by per-interval delta when we have a previous
-    // frame (what's hot *now*), by absolute value otherwise.
-    if !cur.counters.is_empty() {
+    // frame (what's hot *now*), by absolute value otherwise. The mem.*
+    // namespace is carved out into its own pane below.
+    let plain_counters: Vec<(&String, &u64)> = cur
+        .counters
+        .iter()
+        .filter(|(name, _)| !name.starts_with("mem."))
+        .collect();
+    if !plain_counters.is_empty() {
         out.push_str("\n  counter                         value       delta/s\n");
         let secs = elapsed.as_secs_f64().max(1e-9);
-        let mut counters: Vec<(&String, u64, Option<f64>)> = cur
-            .counters
+        let mut counters: Vec<(&String, u64, Option<f64>)> = plain_counters
             .iter()
-            .map(|(name, &v)| {
+            .map(|&(name, &v)| {
                 let rate = prev.map(|p| {
                     let before = p.counters.get(name).copied().unwrap_or(0);
                     v.saturating_sub(before) as f64 / secs
@@ -126,22 +133,57 @@ pub fn render_dashboard(cur: &Snapshot, prev: Option<&Snapshot>, elapsed: Durati
                 rate.map_or_else(|| "      —".to_string(), |r| format!("{r:>10.1}"))
             ));
         }
-        if cur.counters.len() > TOP_N {
+        if plain_counters.len() > TOP_N {
             out.push_str(&format!(
                 "  … {} more counters\n",
-                cur.counters.len() - TOP_N
+                plain_counters.len() - TOP_N
             ));
         }
     }
 
-    // Gauges verbatim (rows/s style rates are already gauges).
-    if !cur.gauges.is_empty() {
+    // Gauges verbatim (rows/s style rates are already gauges); byte
+    // quantities live in the memory pane instead.
+    let plain_gauges: Vec<(&String, &f64)> = cur
+        .gauges
+        .iter()
+        .filter(|(name, _)| !name.starts_with("mem."))
+        .collect();
+    if !plain_gauges.is_empty() {
         out.push_str("\n  gauge                           value\n");
-        for (name, v) in cur.gauges.iter().take(TOP_N) {
+        for &(name, v) in plain_gauges.iter().take(TOP_N) {
             out.push_str(&format!("  {name:<28} {v:>12.1}\n"));
         }
-        if cur.gauges.len() > TOP_N {
-            out.push_str(&format!("  … {} more gauges\n", cur.gauges.len() - TOP_N));
+        if plain_gauges.len() > TOP_N {
+            out.push_str(&format!("  … {} more gauges\n", plain_gauges.len() - TOP_N));
+        }
+    }
+
+    // Memory pane: RSS and arena-footprint gauges plus allocation
+    // counters, in human-readable byte units. Present only when the run
+    // recorded memory telemetry (--metrics samples RSS and arena
+    // footprints; --alloc adds allocation totals).
+    let mem_gauges: Vec<(&String, &f64)> = cur
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with("mem."))
+        .collect();
+    let mem_counters: Vec<(&String, &u64)> = cur
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("mem."))
+        .collect();
+    if !mem_gauges.is_empty() || !mem_counters.is_empty() {
+        out.push_str("\n  memory                          value\n");
+        for &(name, v) in &mem_gauges {
+            out.push_str(&format!("  {:<28} {:>12}\n", name, fmt_bytes(*v as u64)));
+        }
+        for &(name, v) in &mem_counters {
+            let shown = if name.ends_with("bytes") {
+                fmt_bytes(*v)
+            } else {
+                fmt_count(*v)
+            };
+            out.push_str(&format!("  {name:<28} {shown:>12}\n"));
         }
     }
 
@@ -267,6 +309,35 @@ mod tests {
         let frame = render_dashboard(&cur, Some(&prev), Duration::from_secs(2));
         // 200 over 2s = 100.0/s.
         assert!(frame.contains("100.0"), "no rate in:\n{frame}");
+    }
+
+    #[test]
+    fn memory_pane_collects_mem_instruments_in_byte_units() {
+        let mut snap = sample();
+        snap.gauges
+            .insert("mem.rss_peak_bytes".to_string(), (48u64 << 20) as f64);
+        snap.gauges
+            .insert("mem.arena.swarm_bytes".to_string(), (3u64 << 20) as f64);
+        snap.counters.insert("mem.alloc.count".to_string(), 1_234);
+        snap.counters.insert("mem.alloc.bytes".to_string(), 5 << 20);
+        let frame = render_dashboard(&snap, None, Duration::from_secs(0));
+        for needle in [
+            "memory",
+            "mem.rss_peak_bytes",
+            "48.0MiB",
+            "mem.arena.swarm_bytes",
+            "3.0MiB",
+            "mem.alloc.count",
+            "1234",
+            "5.0MiB",
+        ] {
+            assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+        }
+        // mem.* stays out of the generic panes: the gauge pane would
+        // otherwise print bytes as floats.
+        let gauge_pane = frame.split("gauge  ").nth(1).unwrap();
+        let gauge_pane = gauge_pane.split("\n\n").next().unwrap();
+        assert!(!gauge_pane.contains("mem."), "{gauge_pane}");
     }
 
     #[test]

@@ -229,6 +229,7 @@ mod tests {
             ts_ns,
             end,
             self_ns: if end { 7 } else { 0 },
+            alloc: if end { 2 } else { 0 },
         }
     }
 

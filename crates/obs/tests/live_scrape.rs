@@ -45,6 +45,12 @@ fn golden_snapshot() -> Snapshot {
     snap.counters.insert("cache.hit".to_string(), 3);
     snap.counters.insert("cache.miss.seed".to_string(), 1);
     snap.gauges.insert("evo.cells_per_sec".to_string(), 1234.5);
+    snap.gauges
+        .insert("mem.rss_bytes".to_string(), (40u64 << 20) as f64);
+    snap.gauges
+        .insert("mem.rss_peak_bytes".to_string(), (48u64 << 20) as f64);
+    snap.gauges
+        .insert("mem.arena_peak_bytes".to_string(), (3u64 << 20) as f64);
     let mut h = dsa_obs::Hist::default();
     for v in [0, 1, 900] {
         h.record(v);

@@ -107,6 +107,15 @@ struct LedgerMat {
 }
 
 impl LedgerMat {
+    fn footprint(&self) -> usize {
+        use dsa_obs::mem::vec_bytes;
+        vec_bytes(&self.opinion)
+            + vec_bytes(&self.accum)
+            + vec_bytes(&self.ring)
+            + vec_bytes(&self.ring_pos)
+            + vec_bytes(&self.seen)
+    }
+
     /// Folds owner `i`'s round contributions into its opinion row.
     fn end_round(&mut self, i: usize, maintenance: Maintenance, decay: f64) {
         let row = i * self.n..(i + 1) * self.n;
@@ -195,6 +204,26 @@ pub struct RepScratch {
     received: Vec<f64>,
 }
 
+impl RepScratch {
+    /// Heap bytes held by the arena — every buffer's capacity times its
+    /// element size, including the nested decision scratch, ledger
+    /// matrices and index samplers. Monotone across runs through one
+    /// scratch; published as the `mem.arena.rep_bytes` high-water gauge.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        use dsa_obs::mem::vec_bytes;
+        vec_bytes(&self.req_data)
+            + vec_bytes(&self.req_len)
+            + vec_bytes(&self.req_out)
+            + self.req_sampler.footprint()
+            + vec_bytes(&self.grants)
+            + self.decision.footprint()
+            + self.ledgers.footprint()
+            + vec_bytes(&self.capacity)
+            + vec_bytes(&self.received)
+    }
+}
+
 /// Buffers for one server's allocation decision.
 #[derive(Debug, Default)]
 struct DecisionScratch {
@@ -212,6 +241,22 @@ struct DecisionScratch {
     gossip_out: Vec<usize>,
     /// EigenTrust witness buffer: (trust in witness, witness's opinion).
     witnesses: Vec<(f64, f64)>,
+}
+
+impl DecisionScratch {
+    fn footprint(&self) -> usize {
+        use dsa_obs::mem::vec_bytes;
+        vec_bytes(&self.scores)
+            + vec_bytes(&self.admitted)
+            + vec_bytes(&self.weights)
+            + vec_bytes(&self.eligible)
+            + vec_bytes(&self.order)
+            + vec_bytes(&self.values)
+            + vec_bytes(&self.ranks)
+            + self.gossip_sampler.footprint()
+            + vec_bytes(&self.gossip_out)
+            + vec_bytes(&self.witnesses)
+    }
 }
 
 /// Runs one reputation simulation; returns per-peer utilities.
@@ -308,6 +353,12 @@ pub fn run_with_scratch(
     scratch.req_len.resize(n, 0);
     drop(setup_span);
 
+    // Allocation count at the edge of the round loop: the loop is the
+    // steady state, so its delta — fed to mem.run_allocs.rep under
+    // --alloc — must be zero once this scratch is warm. Setup and
+    // payoff assembly allocate outputs by design and stay outside
+    // the window.
+    let loop_allocs = dsa_obs::alloc::thread_count();
     let rounds_span = dsa_obs::span("rep.rounds");
     let RepScratch {
         req_data,
@@ -443,9 +494,21 @@ pub fn run_with_scratch(
     }
 
     drop(rounds_span);
+    let loop_allocs = dsa_obs::alloc::thread_count().saturating_sub(loop_allocs);
 
     let _payoff_span = dsa_obs::span("rep.payoff");
-    received.clone()
+    let out = received.clone();
+
+    // Arena accounting (see the swarm engine for the pattern).
+    if dsa_obs::metrics_enabled() {
+        let bytes = scratch.footprint() as f64;
+        dsa_obs::gauge_max("mem.arena.rep_bytes", bytes);
+        dsa_obs::gauge_max("mem.arena_peak_bytes", bytes);
+        if dsa_obs::alloc::enabled() {
+            dsa_obs::observe_thread_dependent("mem.run_allocs.rep", loop_allocs);
+        }
+    }
+    out
 }
 
 /// Computes the allocation weight of every requester of server `s` into

@@ -142,6 +142,24 @@ impl SwarmScratch {
         Self::default()
     }
 
+    /// Heap bytes held by the arena: every buffer's capacity times its
+    /// element size. Capacities only ever grow under reuse, so this is
+    /// monotone across runs through one scratch — the engines publish
+    /// it as the `mem.arena.swarm_bytes` high-water gauge.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        use dsa_obs::mem::vec_bytes;
+        vec_bytes(&self.cand)
+            + vec_bytes(&self.sel)
+            + vec_bytes(&self.order)
+            + vec_bytes(&self.partners)
+            + vec_bytes(&self.strangers)
+            + vec_bytes(&self.excl)
+            + vec_bytes(&self.download)
+            + vec_bytes(&self.pp_data)
+            + vec_bytes(&self.pp_len)
+    }
+
     /// Sizes and clears the run-persistent buffers for an `n`-peer run.
     /// Per-peer transient buffers are cleared at their use sites.
     fn reset(&mut self, n: usize) {
@@ -317,6 +335,12 @@ pub fn run_with_scratch(
     let needs_loyalty = protocols.iter().any(|p| p.ranking == Ranking::Loyal);
     drop(setup_span);
 
+    // Thread-local allocation count at the edge of the round loop: the
+    // loop is the steady state, so its delta — fed to the
+    // mem.run_allocs.swarm histogram under --alloc — must be zero once
+    // this scratch is warm. Setup and payoff assembly allocate outputs
+    // by design and stay outside the window.
+    let loop_allocs = dsa_obs::alloc::thread_count();
     let rounds_span = dsa_obs::span("swarm.rounds");
     for _round in 0..config.rounds {
         next.clear();
@@ -615,6 +639,7 @@ pub fn run_with_scratch(
         }
     }
     drop(rounds_span);
+    let loop_allocs = dsa_obs::alloc::thread_count().saturating_sub(loop_allocs);
 
     let _payoff_span = dsa_obs::span("swarm.payoff");
     let utilities: Vec<f64> = total_download
@@ -633,6 +658,18 @@ pub fn run_with_scratch(
         .zip(&group_count)
         .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
         .collect();
+
+    // Arena accounting: high-water footprint of this scratch, plus the
+    // workspace-wide peak, and (under --alloc) the run's allocation
+    // delta. Gated so disabled runs skip the capacity walk entirely.
+    if dsa_obs::metrics_enabled() {
+        let bytes = scratch.footprint() as f64;
+        dsa_obs::gauge_max("mem.arena.swarm_bytes", bytes);
+        dsa_obs::gauge_max("mem.arena_peak_bytes", bytes);
+        if dsa_obs::alloc::enabled() {
+            dsa_obs::observe_thread_dependent("mem.run_allocs.swarm", loop_allocs);
+        }
+    }
 
     RunOutcome {
         utilities,

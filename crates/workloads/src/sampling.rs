@@ -164,6 +164,14 @@ impl IndexSampler {
         Self::default()
     }
 
+    /// Heap bytes held by the sampler's buffers (capacities, not
+    /// lengths) — rolled up into the owning scratch's `footprint()`.
+    /// Computed inline so this crate stays dependency-free.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        (self.perm.capacity() + self.swaps.capacity()) * std::mem::size_of::<usize>()
+    }
+
     /// Bit-identical to [`sample_indices_into`]: same branch selection,
     /// same draws, same result — engine round loops that sample with a
     /// stable `n` get O(k) calls with zero steady-state allocations.
